@@ -1,0 +1,74 @@
+// Ablation: contribution of each BSSR optimization (DESIGN.md's design
+// choices). Sweeps the full toggle matrix — initial search (I), lower
+// bounds (L), cache (C), queue discipline (Q: proposed/distance) — and
+// reports mean response time and vertices settled per configuration, at
+// |S_q| = 4 on every dataset.
+//
+// Complements the paper's per-optimization ablations (Tables 7/8,
+// Figures 4/5) with the cross-combination view the paper omits.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/bssr_engine.h"
+#include "util/timer.h"
+
+namespace skysr::bench {
+namespace {
+
+void Run() {
+  const int queries_per_cfg = EnvInt("SKYSR_BENCH_QUERIES", 5);
+  const auto datasets = MakeBenchDatasets();
+
+  std::printf("=== Ablation: optimization toggle matrix (|Sq| = 4) ===\n");
+  std::printf("I=init search, L=lower bounds, C=cache, Q=proposed queue\n\n");
+  for (const Dataset& ds : datasets) {
+    std::printf("--- %s ---\n", ds.name.c_str());
+    TablePrinter table({"config", "mean ms", "settled", "runs", "pruned"});
+    BssrEngine engine(ds.graph, ds.forest);
+    const auto queries = MakeBenchQueries(ds, 4, queries_per_cfg);
+    for (int bits = 0; bits < 16; ++bits) {
+      QueryOptions opts;
+      opts.use_initial_search = (bits & 1) != 0;
+      opts.use_lower_bounds = (bits & 2) != 0;
+      opts.use_cache = (bits & 4) != 0;
+      opts.queue_discipline = (bits & 8) != 0
+                                  ? QueueDiscipline::kProposed
+                                  : QueueDiscipline::kDistanceBased;
+      opts.time_budget_seconds = EnvDouble("SKYSR_BENCH_BUDGET", 5.0);
+      double total_ms = 0;
+      int64_t settled = 0, runs = 0, pruned = 0;
+      int done = 0;
+      for (const Query& q : queries) {
+        WallTimer t;
+        auto r = engine.Run(q, opts);
+        if (!r.ok() || r->stats.timed_out) continue;
+        total_ms += t.ElapsedMillis();
+        settled += r->stats.vertices_settled;
+        runs += r->stats.mdijkstra_runs;
+        pruned += r->stats.routes_pruned;
+        ++done;
+      }
+      std::string config;
+      config += (bits & 1) ? 'I' : '-';
+      config += (bits & 2) ? 'L' : '-';
+      config += (bits & 4) ? 'C' : '-';
+      config += (bits & 8) ? 'Q' : '-';
+      table.AddRow({config,
+                    done ? Fmt("%.2f", total_ms / done) : std::string("DNF"),
+                    FmtInt(done ? settled / done : 0),
+                    FmtInt(done ? runs / done : 0),
+                    FmtInt(done ? pruned / done : 0)});
+    }
+    table.Print();
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace skysr::bench
+
+int main() {
+  skysr::bench::Run();
+  return 0;
+}

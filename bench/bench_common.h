@@ -1,0 +1,102 @@
+// Shared infrastructure for the table/figure benchmarks: scaled datasets,
+// query workloads, aligned table printing, and forked peak-RSS measurement.
+//
+// Every bench accepts:
+//   SKYSR_BENCH_SCALE    multiplies dataset sizes (default 1.0 = laptop)
+//   SKYSR_BENCH_QUERIES  queries per configuration (default 5)
+//   SKYSR_BENCH_BUDGET   per-query time budget in seconds for the naive
+//                        baselines (default 5; exceeded runs print DNF,
+//                        mirroring the paper's "not finished" bars)
+
+#ifndef SKYSR_BENCH_BENCH_COMMON_H_
+#define SKYSR_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "workload/dataset.h"
+#include "workload/query_gen.h"
+
+namespace skysr::bench {
+
+inline double EnvDouble(const char* name, double def) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atof(v) : def;
+}
+
+inline int EnvInt(const char* name, int def) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atoi(v) : def;
+}
+
+/// Laptop-scale defaults; SKYSR_BENCH_SCALE grows/shrinks all three.
+/// Paper scale would be SKYSR_BENCH_SCALE=50 for Tokyo/NYC and =10 for Cal.
+inline std::vector<Dataset> MakeBenchDatasets() {
+  const double scale = EnvDouble("SKYSR_BENCH_SCALE", 1.0);
+  std::vector<Dataset> out;
+  out.push_back(MakeDataset(TokyoLikeSpec(0.02 * scale)));
+  out.push_back(MakeDataset(NycLikeSpec(0.01 * scale)));
+  out.push_back(MakeDataset(CalLikeSpec(0.10 * scale)));
+  return out;
+}
+
+inline std::vector<Query> MakeBenchQueries(const Dataset& ds, int size,
+                                           int count, uint64_t seed = 99) {
+  QueryGenParams qp;
+  qp.count = count;
+  qp.sequence_size = size;
+  qp.seed = seed + static_cast<uint64_t>(size) * 1000;
+  return GenerateQueries(ds, qp);
+}
+
+/// Minimal aligned-table printer for the harness output.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {
+    widths_.reserve(headers_.size());
+    for (const auto& h : headers_) widths_.push_back(h.size());
+  }
+
+  void AddRow(std::vector<std::string> row) {
+    for (size_t i = 0; i < row.size() && i < widths_.size(); ++i) {
+      widths_[i] = std::max(widths_[i], row[i].size());
+    }
+    rows_.push_back(std::move(row));
+  }
+
+  void Print() const {
+    PrintRow(headers_);
+    std::string sep;
+    for (size_t i = 0; i < widths_.size(); ++i) {
+      sep += std::string(widths_[i] + 2, '-');
+    }
+    std::printf("%s\n", sep.c_str());
+    for (const auto& row : rows_) PrintRow(row);
+  }
+
+ private:
+  void PrintRow(const std::vector<std::string>& row) const {
+    for (size_t i = 0; i < row.size(); ++i) {
+      std::printf("%-*s  ", static_cast<int>(widths_[i]), row[i].c_str());
+    }
+    std::printf("\n");
+  }
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<size_t> widths_;
+};
+
+inline std::string Fmt(const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+inline std::string FmtInt(int64_t v) { return std::to_string(v); }
+
+}  // namespace skysr::bench
+
+#endif  // SKYSR_BENCH_BENCH_COMMON_H_

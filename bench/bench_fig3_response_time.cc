@@ -1,0 +1,106 @@
+// Figure 3 (a,b,c): response time vs category-sequence size |S_q| for BSSR,
+// BSSR without optimizations, and the naive PNE / Dijkstra-based baselines,
+// on the Tokyo-like, NYC-like and Cal-like datasets.
+//
+// Paper shape to reproduce: BSSR fastest everywhere; the naive baselines
+// degrade by orders of magnitude as |S_q| grows (the paper's |S_q|=5 naive
+// runs "were not finished after a month" — here they hit the per-query
+// budget and print DNF).
+
+#include <cstdio>
+
+#include "baseline/naive_skysr.h"
+#include "bench/bench_common.h"
+#include "core/bssr_engine.h"
+#include "util/timer.h"
+
+namespace skysr::bench {
+namespace {
+
+struct Cell {
+  double total_ms = 0;
+  int done = 0;
+  int dnf = 0;
+
+  std::string Render() const {
+    if (done == 0) return "DNF";
+    std::string s = Fmt("%.1f ms", total_ms / done);
+    if (dnf > 0) s += " (" + std::to_string(dnf) + " DNF)";
+    return s;
+  }
+};
+
+void Run() {
+  const int queries_per_cfg = EnvInt("SKYSR_BENCH_QUERIES", 5);
+  const double budget = EnvDouble("SKYSR_BENCH_BUDGET", 5.0);
+  const auto datasets = MakeBenchDatasets();
+
+  std::printf("=== Figure 3: response time vs |Sq| ===\n");
+  std::printf("(per-query naive budget %.1fs; DNF = did not finish)\n\n",
+              budget);
+  for (const Dataset& ds : datasets) {
+    std::printf("--- %s: |V|=%lld |P|=%lld |E|=%lld ---\n", ds.name.c_str(),
+                static_cast<long long>(ds.graph.num_vertices()),
+                static_cast<long long>(ds.graph.num_pois()),
+                static_cast<long long>(ds.graph.num_edges()));
+    TablePrinter table({"|Sq|", "BSSR", "BSSR w/o Opt", "PNE", "Dij"});
+    BssrEngine engine(ds.graph, ds.forest);
+    for (int size = 2; size <= 5; ++size) {
+      const auto queries = MakeBenchQueries(ds, size, queries_per_cfg);
+      Cell bssr, bssr_wo, pne, dij;
+      for (const Query& q : queries) {
+        {
+          QueryOptions opts;
+          WallTimer t;
+          auto r = engine.Run(q, opts);
+          if (r.ok() && !r->stats.timed_out) {
+            bssr.total_ms += t.ElapsedMillis();
+            ++bssr.done;
+          }
+        }
+        {
+          QueryOptions opts;
+          opts.use_initial_search = false;
+          opts.use_lower_bounds = false;
+          opts.use_cache = false;
+          opts.queue_discipline = QueueDiscipline::kDistanceBased;
+          opts.time_budget_seconds = budget;
+          WallTimer t;
+          auto r = engine.Run(q, opts);
+          if (r.ok() && !r->stats.timed_out) {
+            bssr_wo.total_ms += t.ElapsedMillis();
+            ++bssr_wo.done;
+          } else {
+            ++bssr_wo.dnf;
+          }
+        }
+        for (const OsrEngineKind kind :
+             {OsrEngineKind::kPne, OsrEngineKind::kDijkstraBased}) {
+          Cell& cell = kind == OsrEngineKind::kPne ? pne : dij;
+          QueryOptions opts;
+          opts.time_budget_seconds = budget;
+          WallTimer t;
+          auto r = RunNaiveSkySr(ds.graph, ds.forest, q, opts, kind);
+          if (r.ok() && !r->stats.timed_out) {
+            cell.total_ms += t.ElapsedMillis();
+            ++cell.done;
+          } else {
+            ++cell.dnf;
+          }
+        }
+      }
+      table.AddRow({std::to_string(size), bssr.Render(), bssr_wo.Render(),
+                    pne.Render(), dij.Render()});
+    }
+    table.Print();
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace skysr::bench
+
+int main() {
+  skysr::bench::Run();
+  return 0;
+}

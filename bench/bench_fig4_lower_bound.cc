@@ -1,0 +1,49 @@
+// Figure 4: tightness of the possible-minimum-distance lower bounds
+// (§5.3.3) at |S_q| = 5 — the ratio of the semantic-match (ls) and
+// perfect-match (lp) distance sums to the weight sum of the initial search.
+//
+// Paper shape to reproduce: lp >= ls everywhere; the Tokyo-like dataset
+// (spread-out PoIs) gets markedly larger ratios than the NYC/Cal-like
+// datasets whose PoIs concentrate in clusters.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/bssr_engine.h"
+
+namespace skysr::bench {
+namespace {
+
+void Run() {
+  const int queries_per_cfg = EnvInt("SKYSR_BENCH_QUERIES", 5);
+  const auto datasets = MakeBenchDatasets();
+
+  std::printf("=== Figure 4: lower-bound tightness (|Sq| = 5) ===\n\n");
+  TablePrinter table({"dataset", "semantic-match ratio", "perfect-match ratio",
+                      "PoI clustering"});
+  for (const Dataset& ds : datasets) {
+    BssrEngine engine(ds.graph, ds.forest);
+    const auto queries = MakeBenchQueries(ds, 5, queries_per_cfg);
+    double ls_ratio = 0, lp_ratio = 0;
+    int n = 0;
+    for (const Query& q : queries) {
+      auto r = engine.Run(q, QueryOptions());
+      if (!r.ok() || r->stats.nninit_weight_sum <= 0) continue;
+      ls_ratio += r->stats.ls_total / r->stats.nninit_weight_sum;
+      lp_ratio += r->stats.lp_total / r->stats.nninit_weight_sum;
+      ++n;
+    }
+    const char* clustering = ds.name == "tokyo-like" ? "spread" : "clustered";
+    table.AddRow({ds.name, n ? Fmt("%.4f", ls_ratio / n) : "-",
+                  n ? Fmt("%.4f", lp_ratio / n) : "-", clustering});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace skysr::bench
+
+int main() {
+  skysr::bench::Run();
+  return 0;
+}

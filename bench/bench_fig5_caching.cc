@@ -1,0 +1,59 @@
+// Figure 5: number of (modified) Dijkstra executions with and without
+// on-the-fly caching (§5.3.4), for |S_q| in 2..5.
+//
+// Paper shape to reproduce: caching cuts the execution count, and the gap
+// widens with |S_q| (more opportunities to reuse earlier searches).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/bssr_engine.h"
+
+namespace skysr::bench {
+namespace {
+
+void Run() {
+  const int queries_per_cfg = EnvInt("SKYSR_BENCH_QUERIES", 5);
+  const auto datasets = MakeBenchDatasets();
+
+  std::printf("=== Figure 5: # Dijkstra executions with/without cache ===\n\n");
+  for (const Dataset& ds : datasets) {
+    std::printf("--- %s ---\n", ds.name.c_str());
+    TablePrinter table(
+        {"|Sq|", "with cache", "w/o cache", "hits", "saved"});
+    BssrEngine engine(ds.graph, ds.forest);
+    for (int size = 2; size <= 5; ++size) {
+      const auto queries = MakeBenchQueries(ds, size, queries_per_cfg);
+      int64_t with = 0, without = 0, hits = 0;
+      for (const Query& q : queries) {
+        QueryOptions opts;
+        opts.use_cache = true;
+        auto a = engine.Run(q, opts);
+        if (a.ok()) {
+          with += a->stats.mdijkstra_runs;
+          hits += a->stats.mdijkstra_cache_hits;
+        }
+        opts.use_cache = false;
+        auto b = engine.Run(q, opts);
+        if (b.ok()) without += b->stats.mdijkstra_runs;
+      }
+      table.AddRow({std::to_string(size), FmtInt(with), FmtInt(without),
+                    FmtInt(hits),
+                    Fmt("%.1f%%",
+                        without > 0
+                            ? 100.0 * static_cast<double>(without - with) /
+                                  static_cast<double>(without)
+                            : 0.0)});
+    }
+    table.Print();
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace skysr::bench
+
+int main() {
+  skysr::bench::Run();
+  return 0;
+}

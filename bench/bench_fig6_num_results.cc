@@ -1,0 +1,47 @@
+// Figure 6: number of skyline sequenced routes per |S_q| per dataset.
+//
+// Paper shape to reproduce: small result sets (roughly 2-8), largest on the
+// Cal-like dataset (synthetic taxonomy with many interchangeable leaves).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/bssr_engine.h"
+
+namespace skysr::bench {
+namespace {
+
+void Run() {
+  const int queries_per_cfg = EnvInt("SKYSR_BENCH_QUERIES", 8);
+  const auto datasets = MakeBenchDatasets();
+
+  std::printf("=== Figure 6: number of SkySRs ===\n\n");
+  TablePrinter table({"dataset", "|Sq|=2", "|Sq|=3", "|Sq|=4", "|Sq|=5"});
+  for (const Dataset& ds : datasets) {
+    BssrEngine engine(ds.graph, ds.forest);
+    std::vector<std::string> row = {ds.name};
+    for (int size = 2; size <= 5; ++size) {
+      const auto queries = MakeBenchQueries(ds, size, queries_per_cfg);
+      double total = 0;
+      int n = 0;
+      for (const Query& q : queries) {
+        auto r = engine.Run(q, QueryOptions());
+        if (r.ok()) {
+          total += static_cast<double>(r->routes.size());
+          ++n;
+        }
+      }
+      row.push_back(n ? Fmt("%.2f", total / n) : "-");
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace skysr::bench
+
+int main() {
+  skysr::bench::Run();
+  return 0;
+}

@@ -1,0 +1,128 @@
+// google-benchmark micro suite for the substrates: Dijkstra variants, LCA,
+// similarity tables, skyline-set operations, expansion searches and full
+// BSSR queries on a fixed mid-size dataset.
+
+#include <benchmark/benchmark.h>
+
+#include "category/taxonomy_factory.h"
+#include "core/bssr_engine.h"
+#include "core/modified_dijkstra.h"
+#include "core/skyline_set.h"
+#include "graph/dijkstra.h"
+#include "util/rng.h"
+#include "workload/dataset.h"
+#include "workload/query_gen.h"
+
+namespace skysr {
+namespace {
+
+const Dataset& BenchDataset() {
+  static const Dataset* ds = [] {
+    DatasetSpec spec = CalLikeSpec(0.08);
+    spec.seed = 7;
+    return new Dataset(MakeDataset(spec));
+  }();
+  return *ds;
+}
+
+void BM_DijkstraFull(benchmark::State& state) {
+  const Dataset& ds = BenchDataset();
+  Rng rng(1);
+  for (auto _ : state) {
+    const auto src = static_cast<VertexId>(
+        rng.UniformU64(static_cast<uint64_t>(ds.graph.num_vertices())));
+    benchmark::DoNotOptimize(SingleSourceDistances(ds.graph, src));
+  }
+  state.SetItemsProcessed(state.iterations() * ds.graph.num_vertices());
+}
+BENCHMARK(BM_DijkstraFull);
+
+void BM_DijkstraBounded(benchmark::State& state) {
+  const Dataset& ds = BenchDataset();
+  Rng rng(2);
+  const double radius = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    const auto src = static_cast<VertexId>(
+        rng.UniformU64(static_cast<uint64_t>(ds.graph.num_vertices())));
+    benchmark::DoNotOptimize(BoundedDistances(ds.graph, src, radius));
+  }
+}
+BENCHMARK(BM_DijkstraBounded)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_LcaQueries(benchmark::State& state) {
+  const CategoryForest f = MakeFoursquareLikeForest();
+  Rng rng(3);
+  const auto n = static_cast<uint64_t>(f.num_categories());
+  for (auto _ : state) {
+    const auto a = static_cast<CategoryId>(rng.UniformU64(n));
+    const auto b = static_cast<CategoryId>(rng.UniformU64(n));
+    benchmark::DoNotOptimize(f.Lca(a, b));
+  }
+}
+BENCHMARK(BM_LcaQueries);
+
+void BM_SimilarityTableBuild(benchmark::State& state) {
+  const CategoryForest f = MakeFoursquareLikeForest();
+  const WuPalmerSimilarity fn;
+  const CategoryId query = f.FindByName("Sushi Restaurant");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SimilarityTable(f, fn, query));
+  }
+}
+BENCHMARK(BM_SimilarityTableBuild);
+
+void BM_SkylineUpdate(benchmark::State& state) {
+  Rng rng(4);
+  for (auto _ : state) {
+    SkylineSet s;
+    for (int i = 0; i < 256; ++i) {
+      s.Update({rng.UniformDouble(0, 100), rng.UniformDouble()}, {i});
+    }
+    benchmark::DoNotOptimize(s.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_SkylineUpdate);
+
+void BM_ExpansionSearch(benchmark::State& state) {
+  const Dataset& ds = BenchDataset();
+  const WuPalmerSimilarity fn;
+  const auto leaves = ds.forest.LeavesOfTree(0);
+  const PositionMatcher matcher(ds.graph, ds.forest, fn,
+                                CategoryPredicate::Single(leaves[0]),
+                                MultiCategoryMode::kMaxSimilarity);
+  ExpansionScratch scratch;
+  Rng rng(5);
+  const double budget = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    const auto src = static_cast<VertexId>(
+        rng.UniformU64(static_cast<uint64_t>(ds.graph.num_vertices())));
+    auto list = RunExpansion(
+        ds.graph, matcher, src, [budget] { return budget; },
+        /*apply_lemma55=*/true, scratch,
+        [](const ExpansionCandidate&) {}, nullptr);
+    benchmark::DoNotOptimize(list.candidates.size());
+  }
+}
+BENCHMARK(BM_ExpansionSearch)->Arg(4)->Arg(16);
+
+void BM_BssrQuery(benchmark::State& state) {
+  const Dataset& ds = BenchDataset();
+  BssrEngine engine(ds.graph, ds.forest);
+  QueryGenParams qp;
+  qp.count = 32;
+  qp.sequence_size = static_cast<int>(state.range(0));
+  qp.seed = 6;
+  const auto queries = GenerateQueries(ds, qp);
+  size_t i = 0;
+  for (auto _ : state) {
+    auto r = engine.Run(queries[i++ % queries.size()], QueryOptions());
+    benchmark::DoNotOptimize(r->routes.size());
+  }
+}
+BENCHMARK(BM_BssrQuery)->Arg(2)->Arg(3)->Arg(4);
+
+}  // namespace
+}  // namespace skysr
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+// Table 6: maximum resident set size per algorithm at |S_q| = 4.
+//
+// Paper shape to reproduce: Dij's route-carrying queue dwarfs the others;
+// BSSR and PNE sit near the graph size. We report the logical memory model
+// (structures the algorithm allocates) and the process RSS delta sampled
+// around the runs (VmHWM when the kernel provides it).
+
+#include <cstdio>
+
+#include "baseline/naive_skysr.h"
+#include "bench/bench_common.h"
+#include "core/bssr_engine.h"
+#include "util/memory.h"
+
+namespace skysr::bench {
+namespace {
+
+std::string Bytes(int64_t b) {
+  char buf[32];
+  return FormatBytes(b, buf, sizeof(buf));
+}
+
+void Run() {
+  const int queries_per_cfg = EnvInt("SKYSR_BENCH_QUERIES", 3);
+  const double budget = EnvDouble("SKYSR_BENCH_BUDGET", 5.0);
+  const auto datasets = MakeBenchDatasets();
+
+  std::printf("=== Table 6: memory usage (|Sq| = 4) ===\n");
+  std::printf("logical = peak bytes of algorithm structures; graph = CSR\n\n");
+  TablePrinter table({"dataset", "graph", "BSSR", "BSSR w/o Opt", "PNE",
+                      "Dij", "RSS now"});
+  for (const Dataset& ds : datasets) {
+    const auto queries = MakeBenchQueries(ds, 4, queries_per_cfg);
+    BssrEngine engine(ds.graph, ds.forest);
+    int64_t bssr_peak = 0, bssr_wo_peak = 0, pne_peak = 0, dij_peak = 0;
+    for (const Query& q : queries) {
+      {
+        auto r = engine.Run(q, QueryOptions());
+        if (r.ok()) {
+          bssr_peak = std::max(bssr_peak, r->stats.logical_peak_bytes);
+        }
+      }
+      {
+        QueryOptions opts;
+        opts.use_initial_search = false;
+        opts.use_lower_bounds = false;
+        opts.use_cache = false;
+        opts.time_budget_seconds = budget;
+        auto r = engine.Run(q, opts);
+        if (r.ok()) {
+          bssr_wo_peak = std::max(bssr_wo_peak, r->stats.logical_peak_bytes);
+        }
+      }
+      for (const OsrEngineKind kind :
+           {OsrEngineKind::kPne, OsrEngineKind::kDijkstraBased}) {
+        QueryOptions opts;
+        opts.time_budget_seconds = budget;
+        auto r = RunNaiveSkySr(ds.graph, ds.forest, q, opts, kind);
+        if (r.ok()) {
+          int64_t& peak =
+              kind == OsrEngineKind::kPne ? pne_peak : dij_peak;
+          peak = std::max(peak, r->stats.logical_peak_bytes);
+        }
+      }
+    }
+    table.AddRow({ds.name, Bytes(ds.graph.MemoryBytes()), Bytes(bssr_peak),
+                  Bytes(bssr_wo_peak), Bytes(pne_peak), Bytes(dij_peak),
+                  Bytes(PeakRssBytes())});
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace skysr::bench
+
+int main() {
+  skysr::bench::Run();
+  return 0;
+}

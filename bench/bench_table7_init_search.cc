@@ -1,0 +1,68 @@
+// Table 7: effect of the initial search (§5.3.1) for |S_q| in 2..5.
+//
+// Columns mirror the paper: the weight sum of the FIRST modified Dijkstra
+// with the initial search ("Proposed") vs without it ("Existing" — constant
+// in |S_q| because the unseeded first search floods the graph), NNinit's own
+// response time, the number of sequenced routes NNinit finds, and the ratio
+// of the length of NNinit's most-relaxed route to its perfect-match route.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/bssr_engine.h"
+
+namespace skysr::bench {
+namespace {
+
+void Run() {
+  const int queries_per_cfg = EnvInt("SKYSR_BENCH_QUERIES", 5);
+  const auto datasets = MakeBenchDatasets();
+
+  std::printf("=== Table 7: effect of the initial search ===\n\n");
+  for (const Dataset& ds : datasets) {
+    std::printf("--- %s ---\n", ds.name.c_str());
+    TablePrinter table({"|Sq|", "weight sum (proposed)",
+                        "weight sum (existing)", "NNinit ms", "# routes",
+                        "ratio"});
+    BssrEngine engine(ds.graph, ds.forest);
+    for (int size = 2; size <= 5; ++size) {
+      const auto queries = MakeBenchQueries(ds, size, queries_per_cfg);
+      double w_with = 0, w_without = 0, nninit_ms = 0, routes = 0, ratio = 0;
+      int ratio_n = 0;
+      for (const Query& q : queries) {
+        QueryOptions opts;
+        auto a = engine.Run(q, opts);
+        if (a.ok()) {
+          w_with += a->stats.first_search_weight_sum;
+          nninit_ms += a->stats.nninit_ms;
+          routes += static_cast<double>(a->stats.nninit_routes);
+          if (a->stats.nninit_perfect_length != kInfWeight &&
+              a->stats.nninit_max_semantic_length != kInfWeight) {
+            ratio += a->stats.nninit_max_semantic_length /
+                     a->stats.nninit_perfect_length;
+            ++ratio_n;
+          }
+        }
+        opts.use_initial_search = false;
+        opts.use_lower_bounds = false;
+        auto b = engine.Run(q, opts);
+        if (b.ok()) w_without += b->stats.first_search_weight_sum;
+      }
+      const double n = queries.size();
+      table.AddRow({std::to_string(size), Fmt("%.3f", w_with / n),
+                    Fmt("%.3f", w_without / n), Fmt("%.2f", nninit_ms / n),
+                    Fmt("%.2f", routes / n),
+                    ratio_n > 0 ? Fmt("%.2f", ratio / ratio_n) : "-"});
+    }
+    table.Print();
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace skysr::bench
+
+int main() {
+  skysr::bench::Run();
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Table 8: total vertices visited under the proposed queue discipline
+// (size desc, semantic asc, length asc) vs the conventional distance-based
+// discipline, for |S_q| in 2..5.
+//
+// Paper shape to reproduce: the proposed discipline visits fewer vertices,
+// with the gap widening as |S_q| grows.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/bssr_engine.h"
+
+namespace skysr::bench {
+namespace {
+
+void Run() {
+  const int queries_per_cfg = EnvInt("SKYSR_BENCH_QUERIES", 5);
+  const auto datasets = MakeBenchDatasets();
+
+  std::printf("=== Table 8: vertices visited per queue discipline ===\n\n");
+  for (const Dataset& ds : datasets) {
+    std::printf("--- %s ---\n", ds.name.c_str());
+    TablePrinter table({"|Sq|", "Proposed", "Distance-based", "ratio"});
+    BssrEngine engine(ds.graph, ds.forest);
+    for (int size = 2; size <= 5; ++size) {
+      const auto queries = MakeBenchQueries(ds, size, queries_per_cfg);
+      int64_t proposed = 0, distance = 0;
+      for (const Query& q : queries) {
+        QueryOptions opts;
+        opts.queue_discipline = QueueDiscipline::kProposed;
+        auto a = engine.Run(q, opts);
+        if (a.ok()) proposed += a->stats.vertices_settled;
+        opts.queue_discipline = QueueDiscipline::kDistanceBased;
+        auto b = engine.Run(q, opts);
+        if (b.ok()) distance += b->stats.vertices_settled;
+      }
+      table.AddRow({std::to_string(size), FmtInt(proposed), FmtInt(distance),
+                    Fmt("%.2fx", proposed > 0
+                                     ? static_cast<double>(distance) /
+                                           static_cast<double>(proposed)
+                                     : 0.0)});
+    }
+    table.Print();
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace skysr::bench
+
+int main() {
+  skysr::bench::Run();
+  return 0;
+}

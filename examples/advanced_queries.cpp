@@ -1,0 +1,76 @@
+// The §6 extensions in action: complex category predicates (disjunction /
+// negation / conjunction), unordered skyline trip planning, and alternative
+// similarity functions / aggregators.
+//
+//   $ ./build/examples/advanced_queries
+
+#include <cstdio>
+
+#include "skysr.h"
+
+namespace {
+
+void PrintRoutes(const skysr::Dataset& ds,
+                 const std::vector<skysr::Route>& routes, const char* title) {
+  std::printf("%s (%zu routes):\n", title, routes.size());
+  for (const skysr::Route& route : routes) {
+    std::printf("  %7.2f  sem=%.3f  ", route.scores.length,
+                route.scores.semantic);
+    for (size_t i = 0; i < route.pois.size(); ++i) {
+      if (i > 0) std::printf(" -> ");
+      std::printf("%s", ds.graph.PoiName(route.pois[i]).c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace skysr;
+  Dataset ds = MakeDataset(NycLikeSpec(0.005));
+  BssrEngine engine(ds.graph, ds.forest);
+  const VertexId start = 17 % static_cast<VertexId>(ds.graph.num_vertices());
+
+  // --- Complex predicates: "an American or Mexican restaurant, but not a
+  // Taco Place; then any Museum". ---
+  CategoryPredicate dinner;
+  dinner.any_of = {ds.forest.FindByName("American Restaurant"),
+                   ds.forest.FindByName("Mexican Restaurant")};
+  dinner.none_of = {ds.forest.FindByName("Taco Place")};
+  Query complex_q;
+  complex_q.start = start;
+  complex_q.sequence = {dinner, CategoryPredicate::Single(
+                                    ds.forest.FindByName("Museum"))};
+  if (auto r = engine.Run(complex_q); r.ok()) {
+    PrintRoutes(ds, r->routes,
+                "complex predicate: (American|Mexican) \\ TacoPlace -> Museum");
+  }
+
+  // --- Unordered trip planning: visit a Cafe, a Park and a Bookstore in
+  // whatever order is shortest. ---
+  const Query unordered_q = MakeSimpleQuery(
+      start, {ds.forest.FindByName("Cafe"), ds.forest.FindByName("Park"),
+              ds.forest.FindByName("Bookstore")});
+  if (auto r = RunUnorderedSkySr(ds.graph, ds.forest, unordered_q); r.ok()) {
+    PrintRoutes(ds, r->routes, "unordered: {Cafe, Park, Bookstore}");
+  }
+  if (auto r = engine.Run(unordered_q); r.ok()) {
+    PrintRoutes(ds, r->routes, "same requirements, fixed order");
+  }
+
+  // --- Alternative scoring: symmetric Wu-Palmer + worst-deviation
+  // aggregation. ---
+  QueryOptions opts;
+  opts.similarity = std::make_shared<SymmetricWuPalmerSimilarity>();
+  opts.aggregation = SemanticAggregation::kMinSimilarity;
+  const Query alt_q = MakeSimpleQuery(
+      start, {ds.forest.FindByName("Sushi Restaurant"),
+              ds.forest.FindByName("Jazz Club")});
+  if (auto r = engine.Run(alt_q, opts); r.ok()) {
+    PrintRoutes(ds, r->routes,
+                "symmetric Wu-Palmer + min-similarity aggregation");
+  }
+  return 0;
+}

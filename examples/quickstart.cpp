@@ -1,0 +1,74 @@
+// Quickstart: build a tiny city, run one SkySR query, print the skyline.
+//
+//   $ ./build/examples/quickstart
+//
+// Demonstrates the three core steps: (1) construct a graph with PoIs,
+// (2) construct the category forest, (3) run BssrEngine.
+
+#include <cstdio>
+
+#include "skysr.h"
+
+int main() {
+  using namespace skysr;
+
+  // (1) The semantic hierarchy — here the bundled Foursquare-like forest.
+  const CategoryForest forest = MakeFoursquareLikeForest();
+  const CategoryId asian = forest.FindByName("Asian Restaurant");
+  const CategoryId italian = forest.FindByName("Italian Restaurant");
+  const CategoryId arts = forest.FindByName("Arts & Entertainment");
+  const CategoryId museum = forest.FindByName("Art Museum");
+  const CategoryId gift = forest.FindByName("Gift Shop");
+  const CategoryId hobby = forest.FindByName("Hobby Shop");
+
+  // (2) A hand-made road network in the spirit of the paper's Figure 1:
+  // a start vertex, restaurants, an entertainment venue, and shops.
+  GraphBuilder b;
+  for (int i = 0; i < 10; ++i) b.AddVertex();
+  const auto edge = [&](VertexId u, VertexId v, Weight w) {
+    b.AddEdge(u, v, w);
+  };
+  edge(0, 1, 2.0);  // vq -> junction
+  edge(1, 2, 1.0);  // junction -> Asian restaurant
+  edge(1, 3, 0.5);  // junction -> Italian restaurant (closer!)
+  edge(2, 4, 2.0);
+  edge(3, 4, 1.5);  // -> Art museum
+  edge(4, 5, 1.0);  // -> Gift shop
+  edge(4, 6, 0.5);  // -> Hobby shop (closer!)
+  edge(5, 7, 1.0);
+  edge(6, 7, 1.0);
+  edge(7, 8, 1.0);
+  edge(8, 9, 1.0);
+  edge(9, 0, 4.0);
+  b.AddPoi(2, {asian}, "Golden Wok");
+  b.AddPoi(3, {italian}, "Trattoria Roma");
+  b.AddPoi(4, {museum}, "City Art Museum");
+  b.AddPoi(5, {gift}, "Gifts & Co");
+  b.AddPoi(6, {hobby}, "Hobby Corner");
+  auto graph = b.Build();
+  if (!graph.ok()) {
+    std::fprintf(stderr, "graph: %s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+
+  // (3) The query of Example 1.1: Asian restaurant, then an Arts &
+  // Entertainment place, then a Gift Shop, starting from vertex 0.
+  BssrEngine engine(*graph, forest);
+  const Query query = MakeSimpleQuery(0, {asian, arts, gift});
+  auto result = engine.Run(query);
+  if (!result.ok()) {
+    std::fprintf(stderr, "query: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("skyline sequenced routes (shortest & most relaxed first):\n");
+  for (const Route& route : result->routes) {
+    std::printf("  %s\n", RouteToString(*graph, route).c_str());
+  }
+  std::printf("\nsearch effort: %lld graph searches, %lld vertices settled, "
+              "%.2f ms\n",
+              static_cast<long long>(result->stats.mdijkstra_runs),
+              static_cast<long long>(result->stats.vertices_settled),
+              result->stats.elapsed_ms);
+  return 0;
+}

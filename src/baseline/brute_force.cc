@@ -1,0 +1,182 @@
+#include "baseline/brute_force.h"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_map>
+
+#include "core/skyline_set.h"
+#include "graph/dijkstra.h"
+#include "graph/graph_builder.h"
+
+namespace skysr {
+namespace {
+
+/// Caches full single-source distance fields per source vertex.
+class DistanceOracle {
+ public:
+  explicit DistanceOracle(const Graph& g) : g_(g) {}
+
+  Weight Distance(VertexId from, VertexId to) {
+    auto [it, inserted] = fields_.try_emplace(from);
+    if (inserted) it->second = SingleSourceDistances(g_, from).dist;
+    return it->second[static_cast<size_t>(to)];
+  }
+
+ private:
+  const Graph& g_;
+  std::unordered_map<VertexId, std::vector<Weight>> fields_;
+};
+
+struct Enumerator {
+  const Graph& g;
+  const std::vector<PositionMatcher>& matchers;
+  const SemanticAggregator& agg;
+  DistanceOracle& oracle;
+  const std::vector<Weight>* dest_dist;  // null when no destination
+  bool unordered;
+  int k;
+  SkylineSet skyline;
+
+  std::vector<PoiId> pois;   // visit order
+  std::vector<char> used_positions;
+
+  void Recurse(VertexId cursor, Weight len, double acc, int filled) {
+    if (filled == k) {
+      skyline.Update(RouteScores{len, agg.Score(acc)}, pois);
+      return;
+    }
+    for (PoiId p = 0; p < g.num_pois(); ++p) {
+      bool already = false;
+      for (PoiId q : pois) {
+        if (q == p) {
+          already = true;
+          break;
+        }
+      }
+      if (already) continue;
+      const VertexId v = g.VertexOfPoi(p);
+      const Weight hop = oracle.Distance(cursor, v);
+      if (hop == kInfWeight) continue;
+      // In ordered mode the next PoI must match position `filled`; in
+      // unordered mode it may claim any unassigned position.
+      for (int pos = 0; pos < k; ++pos) {
+        if (!unordered && pos != filled) continue;
+        if (unordered && used_positions[static_cast<size_t>(pos)]) continue;
+        const double sim = matchers[static_cast<size_t>(pos)].SimOfPoi(p);
+        if (sim <= 0) continue;
+        Weight extra = 0;
+        if (filled + 1 == k && dest_dist != nullptr) {
+          extra = (*dest_dist)[static_cast<size_t>(v)];
+          if (extra == kInfWeight) continue;
+        }
+        pois.push_back(p);
+        used_positions[static_cast<size_t>(pos)] = 1;
+        Recurse(v, len + hop + extra, agg.Extend(acc, sim), filled + 1);
+        used_positions[static_cast<size_t>(pos)] = 0;
+        pois.pop_back();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+Result<std::vector<Route>> BruteForceSkySr(const Graph& g,
+                                           const CategoryForest& forest,
+                                           const Query& query,
+                                           const QueryOptions& options,
+                                           bool unordered) {
+  SKYSR_RETURN_NOT_OK(ValidateQuery(g, forest, query));
+  const SimilarityFunction& sim_fn =
+      options.similarity ? *options.similarity : *DefaultSimilarity();
+  const SemanticAggregator agg(options.aggregation);
+  const int k = query.size();
+
+  std::vector<PositionMatcher> matchers;
+  matchers.reserve(static_cast<size_t>(k));
+  for (const CategoryPredicate& pred : query.sequence) {
+    matchers.emplace_back(g, forest, sim_fn, pred, options.multi_category);
+  }
+
+  std::vector<Weight> dest_storage;
+  const std::vector<Weight>* dest_dist = nullptr;
+  if (query.destination) {
+    dest_storage = g.directed()
+                       ? SingleSourceDistances(ReverseOf(g),
+                                               *query.destination)
+                             .dist
+                       : SingleSourceDistances(g, *query.destination).dist;
+    dest_dist = &dest_storage;
+  }
+
+  DistanceOracle oracle(g);
+  Enumerator e{g,     matchers, agg, oracle, dest_dist,
+               unordered, k,        {},  {},     {}};
+  e.used_positions.assign(static_cast<size_t>(k), 0);
+  e.Recurse(query.start, 0, agg.Identity(), 0);
+  return e.skyline.routes();
+}
+
+Result<std::vector<Route>> BruteForceOsr(const Graph& g,
+                                         const CategoryForest& forest,
+                                         const Query& query,
+                                         const QueryOptions& options) {
+  SKYSR_RETURN_NOT_OK(ValidateQuery(g, forest, query));
+  const SimilarityFunction& sim_fn =
+      options.similarity ? *options.similarity : *DefaultSimilarity();
+  const int k = query.size();
+  std::vector<PositionMatcher> matchers;
+  matchers.reserve(static_cast<size_t>(k));
+  for (const CategoryPredicate& pred : query.sequence) {
+    matchers.emplace_back(g, forest, sim_fn, pred, options.multi_category);
+  }
+
+  std::vector<Weight> dest_storage;
+  if (query.destination) {
+    dest_storage = g.directed()
+                       ? SingleSourceDistances(ReverseOf(g),
+                                               *query.destination)
+                             .dist
+                       : SingleSourceDistances(g, *query.destination).dist;
+  }
+
+  DistanceOracle oracle(g);
+  std::vector<PoiId> best;
+  Weight best_len = kInfWeight;
+  std::vector<PoiId> pois;
+
+  // Depth-first over perfect matches only.
+  const std::function<void(VertexId, Weight, int)> rec =
+      [&](VertexId cursor, Weight len, int filled) {
+        if (len >= best_len) return;
+        if (filled == k) {
+          best = pois;
+          best_len = len;
+          return;
+        }
+        for (PoiId p = 0; p < g.num_pois(); ++p) {
+          if (std::find(pois.begin(), pois.end(), p) != pois.end()) continue;
+          if (!matchers[static_cast<size_t>(filled)].IsPerfect(p)) continue;
+          const VertexId v = g.VertexOfPoi(p);
+          const Weight hop = oracle.Distance(cursor, v);
+          if (hop == kInfWeight) continue;
+          Weight extra = 0;
+          if (filled + 1 == k && query.destination) {
+            extra = dest_storage[static_cast<size_t>(v)];
+            if (extra == kInfWeight) continue;
+          }
+          pois.push_back(p);
+          rec(v, len + hop + extra, filled + 1);
+          pois.pop_back();
+        }
+      };
+  rec(query.start, 0, 0);
+
+  std::vector<Route> out;
+  if (best_len < kInfWeight) {
+    out.push_back(Route{std::move(best), RouteScores{best_len, 0.0}});
+  }
+  return out;
+}
+
+}  // namespace skysr

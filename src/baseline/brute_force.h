@@ -1,0 +1,35 @@
+// Exponential reference implementations used by the test suite as ground
+// truth. They enumerate every admissible PoI tuple and compute exact scores
+// with cached single-source shortest-path fields. Only for small inputs.
+
+#ifndef SKYSR_BASELINE_BRUTE_FORCE_H_
+#define SKYSR_BASELINE_BRUTE_FORCE_H_
+
+#include <vector>
+
+#include "core/bssr_engine.h"
+#include "core/query.h"
+
+namespace skysr {
+
+/// Exact skyline by exhaustive enumeration. Supports every query feature
+/// (predicates, destination, multi-category PoIs, any similarity/aggregator).
+/// When `unordered` is true the sequence is treated as a SET of requirements
+/// and every assignment of PoIs to positions is considered; returned routes
+/// list PoIs in visit order.
+Result<std::vector<Route>> BruteForceSkySr(const Graph& g,
+                                           const CategoryForest& forest,
+                                           const Query& query,
+                                           const QueryOptions& options,
+                                           bool unordered = false);
+
+/// Exact OSR (shortest perfect-match sequenced route) by enumeration;
+/// returns an empty vector when no perfect route exists, else one route.
+Result<std::vector<Route>> BruteForceOsr(const Graph& g,
+                                         const CategoryForest& forest,
+                                         const Query& query,
+                                         const QueryOptions& options);
+
+}  // namespace skysr
+
+#endif  // SKYSR_BASELINE_BRUTE_FORCE_H_

@@ -1,0 +1,105 @@
+#include "baseline/osr_dijkstra.h"
+
+#include <algorithm>
+
+#include "util/dary_heap.h"
+#include "util/timer.h"
+
+namespace skysr {
+namespace {
+
+// Faithful to the original Dijkstra-based OSR: every queue entry carries its
+// partial route by value. This is what makes the approach memory-hungry
+// (Table 6 of the paper) — do not "optimize" it into a shared-prefix arena,
+// the blow-up is the point of the baseline.
+struct Item {
+  Weight len;
+  VertexId vertex;
+  int32_t progress;
+  std::vector<PoiId> route;
+
+  bool operator<(const Item& o) const {
+    if (len != o.len) return len < o.len;
+    if (vertex != o.vertex) return vertex < o.vertex;
+    return progress < o.progress;
+  }
+};
+
+int64_t ItemBytes(const Item& item) {
+  return static_cast<int64_t>(sizeof(Item) +
+                              item.route.capacity() * sizeof(PoiId));
+}
+
+}  // namespace
+
+OsrResult RunOsrDijkstra(const Graph& g,
+                         const std::vector<PositionMatcher>& matchers,
+                         VertexId start, std::optional<VertexId> dest,
+                         double time_budget_seconds) {
+  WallTimer timer;
+  OsrResult result;
+  const int k = static_cast<int>(matchers.size());
+  const int64_t n = g.num_vertices();
+  const int64_t layers = k + 1;
+
+  DaryHeap<Item> heap;
+  std::vector<char> settled(static_cast<size_t>(n * layers), 0);
+  const auto state_of = [n](VertexId v, int32_t progress) {
+    return static_cast<size_t>(progress) * static_cast<size_t>(n) +
+           static_cast<size_t>(v);
+  };
+
+  int64_t queue_bytes = 0;
+  int64_t peak_queue_bytes = 0;
+  const auto push = [&](Item&& item) {
+    queue_bytes += ItemBytes(item);
+    peak_queue_bytes = std::max(peak_queue_bytes, queue_bytes);
+    heap.push(std::move(item));
+  };
+
+  push(Item{0, start, 0, {}});
+  int64_t pops = 0;
+  while (!heap.empty()) {
+    if ((++pops & 1023) == 0 &&
+        timer.ElapsedSeconds() > time_budget_seconds) {
+      result.timed_out = true;
+      break;
+    }
+    Item item = heap.pop();
+    queue_bytes -= ItemBytes(item);
+    if (settled[state_of(item.vertex, item.progress)]) continue;
+    settled[state_of(item.vertex, item.progress)] = 1;
+    ++result.vertices_settled;
+
+    if (item.progress == k && (!dest || item.vertex == *dest)) {
+      result.pois = std::move(item.route);
+      result.length = item.len;
+      break;
+    }
+
+    // Zero-cost progress transition at a perfectly matching PoI.
+    if (item.progress < k) {
+      const PoiId poi = g.PoiAtVertex(item.vertex);
+      if (poi != kInvalidPoi &&
+          matchers[static_cast<size_t>(item.progress)].IsPerfect(poi) &&
+          std::find(item.route.begin(), item.route.end(), poi) ==
+              item.route.end()) {
+        Item next{item.len, item.vertex, item.progress + 1, item.route};
+        next.route.push_back(poi);
+        push(std::move(next));
+      }
+    }
+    for (const Neighbor& nb : g.OutEdges(item.vertex)) {
+      if (settled[state_of(nb.to, item.progress)]) continue;
+      push(Item{item.len + nb.weight, nb.to, item.progress, item.route});
+    }
+  }
+
+  result.peak_queue_size = static_cast<int64_t>(heap.peak_size());
+  result.route_nodes = 0;
+  result.logical_peak_bytes =
+      peak_queue_bytes + static_cast<int64_t>(settled.size());
+  return result;
+}
+
+}  // namespace skysr

@@ -1,0 +1,37 @@
+// The Dijkstra-based OSR solution of Sharifzadeh et al. (VLDBJ'08), §3 of
+// the paper ("Dij"). A single Dijkstra over (vertex, progress) states whose
+// queue entries carry partial routes; settling a PoI that perfectly matches
+// the next category advances progress at zero cost. The route-carrying
+// queue makes its memory footprint balloon — the effect Table 6 of the
+// paper reports.
+//
+// Contract: exact when the perfect-match PoI sets of the positions are
+// pairwise disjoint (the paper's experimental setting — categories from
+// distinct trees). With overlapping positions the (vertex, progress) state
+// dedup can hide the PoI-distinctness constraint of Definition 3.4(iii);
+// use PNE (which is exact in general) or brute force there.
+
+#ifndef SKYSR_BASELINE_OSR_DIJKSTRA_H_
+#define SKYSR_BASELINE_OSR_DIJKSTRA_H_
+
+#include <optional>
+#include <vector>
+
+#include "baseline/osr_common.h"
+#include "core/query.h"
+#include "core/route.h"
+#include "graph/graph.h"
+
+namespace skysr {
+
+/// Runs one Dijkstra-based OSR query. `matchers` define the per-position
+/// perfect-match sets; `dest` optionally appends a fixed destination. The
+/// search aborts (timed_out) after `time_budget_seconds`.
+OsrResult RunOsrDijkstra(const Graph& g,
+                         const std::vector<PositionMatcher>& matchers,
+                         VertexId start, std::optional<VertexId> dest,
+                         double time_budget_seconds);
+
+}  // namespace skysr
+
+#endif  // SKYSR_BASELINE_OSR_DIJKSTRA_H_

@@ -1,0 +1,38 @@
+#include "baseline/super_sequence.h"
+
+namespace skysr {
+
+SuperSequenceEnumerator::SuperSequenceEnumerator(
+    const CategoryForest& forest, std::span<const CategoryId> base) {
+  choices_.reserve(base.size());
+  for (CategoryId c : base) {
+    choices_.push_back(forest.AncestorsOrSelf(c));
+  }
+  Reset();
+}
+
+int64_t SuperSequenceEnumerator::Count() const {
+  int64_t count = 1;
+  for (const auto& c : choices_) count *= static_cast<int64_t>(c.size());
+  return choices_.empty() ? 0 : count;
+}
+
+bool SuperSequenceEnumerator::Next(std::vector<CategoryId>* out) {
+  if (done_) return false;
+  out->clear();
+  out->reserve(choices_.size());
+  for (size_t i = 0; i < choices_.size(); ++i) {
+    out->push_back(choices_[i][cursor_[i]]);
+  }
+  // Advance the odometer.
+  size_t i = 0;
+  while (i < cursor_.size()) {
+    if (++cursor_[i] < choices_[i].size()) break;
+    cursor_[i] = 0;
+    ++i;
+  }
+  if (i == cursor_.size()) done_ = true;
+  return true;
+}
+
+}  // namespace skysr

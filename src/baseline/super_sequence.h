@@ -1,0 +1,42 @@
+// Enumeration of super-category sequences (Definition 3.1): every sequence
+// obtained by replacing each category with itself or one of its ancestors.
+// The naive SkySR baseline runs one OSR query per super-category sequence;
+// their count is Π_i (depth of c_i) — the exponential blow-up that motivates
+// BSSR.
+
+#ifndef SKYSR_BASELINE_SUPER_SEQUENCE_H_
+#define SKYSR_BASELINE_SUPER_SEQUENCE_H_
+
+#include <span>
+#include <vector>
+
+#include "category/category_forest.h"
+
+namespace skysr {
+
+/// Odometer-style enumerator over a(c_1) × a(c_2) × ... × a(c_k).
+class SuperSequenceEnumerator {
+ public:
+  SuperSequenceEnumerator(const CategoryForest& forest,
+                          std::span<const CategoryId> base);
+
+  /// Number of super-category sequences.
+  int64_t Count() const;
+
+  /// Writes the next sequence into `out`; false when exhausted.
+  bool Next(std::vector<CategoryId>* out);
+
+  void Reset() {
+    cursor_.assign(choices_.size(), 0);
+    done_ = choices_.empty();
+  }
+
+ private:
+  std::vector<std::vector<CategoryId>> choices_;  // per position: c, parent(c), ...
+  std::vector<size_t> cursor_;
+  bool done_ = false;
+};
+
+}  // namespace skysr
+
+#endif  // SKYSR_BASELINE_SUPER_SEQUENCE_H_

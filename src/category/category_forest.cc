@@ -1,0 +1,129 @@
+#include "category/category_forest.h"
+
+#include <algorithm>
+
+namespace skysr {
+
+std::vector<CategoryId> CategoryForest::LeavesOfTree(TreeId t) const {
+  std::vector<CategoryId> leaves;
+  std::vector<CategoryId> stack = {RootOf(t)};
+  while (!stack.empty()) {
+    const CategoryId c = stack.back();
+    stack.pop_back();
+    const auto kids = Children(c);
+    if (kids.empty()) {
+      leaves.push_back(c);
+    } else {
+      // Push in reverse so preorder comes out left-to-right.
+      for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+        stack.push_back(*it);
+      }
+    }
+  }
+  return leaves;
+}
+
+std::vector<CategoryId> CategoryForest::AncestorsOrSelf(CategoryId c) const {
+  std::vector<CategoryId> out;
+  for (CategoryId cur = c; cur != kInvalidCategory; cur = Parent(cur)) {
+    out.push_back(cur);
+  }
+  return out;
+}
+
+CategoryId CategoryForest::FindByName(std::string_view name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<CategoryId>(i);
+  }
+  return kInvalidCategory;
+}
+
+CategoryId CategoryForestBuilder::AddRoot(std::string name) {
+  parent_.push_back(kInvalidCategory);
+  names_.push_back(std::move(name));
+  return static_cast<CategoryId>(parent_.size() - 1);
+}
+
+CategoryId CategoryForestBuilder::AddChild(CategoryId parent,
+                                           std::string name) {
+  SKYSR_CHECK_MSG(parent >= 0 &&
+                      parent < static_cast<CategoryId>(parent_.size()),
+                  "AddChild: unknown parent");
+  parent_.push_back(parent);
+  names_.push_back(std::move(name));
+  return static_cast<CategoryId>(parent_.size() - 1);
+}
+
+Result<CategoryForest> CategoryForestBuilder::Build() const {
+  const auto n = static_cast<size_t>(parent_.size());
+  if (n == 0) return Status::InvalidArgument("empty category forest");
+
+  CategoryForest f;
+  f.parent_ = parent_;
+  f.names_ = names_;
+  f.depth_.assign(n, 0);
+  f.tree_.assign(n, kInvalidTree);
+
+  // Children CSR.
+  std::vector<int32_t> counts(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    const CategoryId p = parent_[i];
+    if (p != kInvalidCategory) {
+      ++counts[static_cast<size_t>(p)];
+    }
+  }
+  f.child_offsets_.assign(n + 1, 0);
+  for (size_t i = 0; i < n; ++i) {
+    f.child_offsets_[i + 1] = f.child_offsets_[i] + counts[i];
+  }
+  f.children_.resize(static_cast<size_t>(f.child_offsets_[n]));
+  std::vector<int32_t> cursor(f.child_offsets_.begin(),
+                              f.child_offsets_.end() - 1);
+  for (size_t i = 0; i < n; ++i) {
+    const CategoryId p = parent_[i];
+    if (p != kInvalidCategory) {
+      f.children_[static_cast<size_t>(cursor[static_cast<size_t>(p)]++)] =
+          static_cast<CategoryId>(i);
+    }
+  }
+
+  // Roots, depths and tree ids via BFS (also detects cycles / forward refs).
+  for (size_t i = 0; i < n; ++i) {
+    if (parent_[i] == kInvalidCategory) {
+      f.roots_.push_back(static_cast<CategoryId>(i));
+    }
+  }
+  if (f.roots_.empty()) {
+    return Status::InvalidArgument("category forest has no roots");
+  }
+  int64_t visited = 0;
+  std::vector<CategoryId> queue;
+  for (size_t t = 0; t < f.roots_.size(); ++t) {
+    const CategoryId root = f.roots_[t];
+    f.depth_[static_cast<size_t>(root)] = 1;  // roots have depth 1
+    f.tree_[static_cast<size_t>(root)] = static_cast<TreeId>(t);
+    queue.assign(1, root);
+    while (!queue.empty()) {
+      const CategoryId c = queue.back();
+      queue.pop_back();
+      ++visited;
+      const auto b = static_cast<size_t>(f.child_offsets_[c]);
+      const auto e = static_cast<size_t>(f.child_offsets_[c + 1]);
+      for (size_t k = b; k < e; ++k) {
+        const CategoryId ch = f.children_[k];
+        f.depth_[static_cast<size_t>(ch)] =
+            f.depth_[static_cast<size_t>(c)] + 1;
+        f.tree_[static_cast<size_t>(ch)] = static_cast<TreeId>(t);
+        queue.push_back(ch);
+      }
+    }
+  }
+  if (visited != static_cast<int64_t>(n)) {
+    return Status::InvalidArgument("category forest contains a cycle");
+  }
+
+  f.lca_.Build(f.parent_, f.child_offsets_, f.children_, f.roots_);
+  return f;
+}
+
+}  // namespace skysr

@@ -1,0 +1,114 @@
+// The semantic hierarchy: a forest of category trees (Figure 2 of the paper).
+//
+// Every category belongs to exactly one tree; a PoI associated with category
+// c is implicitly associated with all ancestors of c. Depth is 1 at roots
+// (Wu–Palmer needs positive root depth so that intra-tree similarities are
+// positive). The forest is immutable; construct it via CategoryForestBuilder.
+
+#ifndef SKYSR_CATEGORY_CATEGORY_FOREST_H_
+#define SKYSR_CATEGORY_CATEGORY_FOREST_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "category/lca_index.h"
+#include "graph/types.h"
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace skysr {
+
+/// Immutable category forest with O(1) LCA and subtree tests.
+class CategoryForest {
+ public:
+  CategoryForest() = default;
+
+  int64_t num_categories() const {
+    return static_cast<int64_t>(parent_.size());
+  }
+  int64_t num_trees() const { return static_cast<int64_t>(roots_.size()); }
+
+  /// Parent category; kInvalidCategory for roots.
+  CategoryId Parent(CategoryId c) const {
+    return parent_[static_cast<size_t>(c)];
+  }
+  /// Depth of the category; roots have depth 1.
+  int32_t Depth(CategoryId c) const { return depth_[static_cast<size_t>(c)]; }
+  /// Tree that the category belongs to.
+  TreeId TreeOf(CategoryId c) const { return tree_[static_cast<size_t>(c)]; }
+  /// Root category of a tree.
+  CategoryId RootOf(TreeId t) const { return roots_[static_cast<size_t>(t)]; }
+  const std::string& Name(CategoryId c) const {
+    return names_[static_cast<size_t>(c)];
+  }
+
+  /// Direct children of `c`.
+  std::span<const CategoryId> Children(CategoryId c) const {
+    const auto b = static_cast<size_t>(child_offsets_[c]);
+    const auto e = static_cast<size_t>(child_offsets_[c + 1]);
+    return {children_.data() + b, e - b};
+  }
+  bool IsLeaf(CategoryId c) const { return Children(c).empty(); }
+
+  /// All leaves of tree `t` in preorder.
+  std::vector<CategoryId> LeavesOfTree(TreeId t) const;
+
+  /// True when `ancestor` is `c` or a proper ancestor of `c`.
+  bool IsAncestorOrSelf(CategoryId ancestor, CategoryId c) const {
+    if (TreeOf(ancestor) != TreeOf(c)) return false;
+    return lca_.InSubtree(ancestor, c);
+  }
+
+  /// Deepest common ancestor of `a` and `b`, or kInvalidCategory when they
+  /// live in different trees.
+  CategoryId Lca(CategoryId a, CategoryId b) const {
+    if (TreeOf(a) != TreeOf(b)) return kInvalidCategory;
+    return lca_.Lca(a, b);
+  }
+
+  /// Ancestors of `c` from `c` itself up to the root (the paper's a(c)).
+  std::vector<CategoryId> AncestorsOrSelf(CategoryId c) const;
+
+  /// First category with the given name, or kInvalidCategory.
+  CategoryId FindByName(std::string_view name) const;
+
+  /// Validates a category id (useful at API boundaries).
+  bool Valid(CategoryId c) const { return c >= 0 && c < num_categories(); }
+
+ private:
+  friend class CategoryForestBuilder;
+
+  std::vector<CategoryId> parent_;
+  std::vector<int32_t> depth_;
+  std::vector<TreeId> tree_;
+  std::vector<std::string> names_;
+  std::vector<CategoryId> roots_;
+  std::vector<int32_t> child_offsets_;  // CSR over children
+  std::vector<CategoryId> children_;
+  LcaIndex lca_;
+};
+
+/// Builder for CategoryForest. Ids are assigned in insertion order.
+class CategoryForestBuilder {
+ public:
+  /// Adds the root of a new tree.
+  CategoryId AddRoot(std::string name);
+  /// Adds a child of an existing category.
+  CategoryId AddChild(CategoryId parent, std::string name);
+
+  int64_t num_categories() const {
+    return static_cast<int64_t>(parent_.size());
+  }
+
+  /// Validates and assembles the immutable forest.
+  Result<CategoryForest> Build() const;
+
+ private:
+  std::vector<CategoryId> parent_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace skysr
+
+#endif  // SKYSR_CATEGORY_CATEGORY_FOREST_H_

@@ -1,0 +1,105 @@
+#include "category/lca_index.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace skysr {
+
+void LcaIndex::Build(std::span<const CategoryId> parent,
+                     std::span<const int32_t> child_offsets,
+                     std::span<const CategoryId> children,
+                     std::span<const CategoryId> roots) {
+  const auto n = static_cast<size_t>(parent.size());
+  tin_.assign(n, 0);
+  tout_.assign(n, 0);
+  first_occ_.assign(n, -1);
+  euler_.clear();
+  euler_depth_.clear();
+  euler_.reserve(2 * n);
+  euler_depth_.reserve(2 * n);
+
+  // Iterative DFS per tree producing the Euler tour and preorder intervals.
+  int32_t timer = 0;
+  struct Frame {
+    CategoryId node;
+    size_t child_pos;
+    int32_t depth;
+  };
+  std::vector<Frame> stack;
+  for (CategoryId root : roots) {
+    stack.push_back(Frame{root, 0, 0});
+    tin_[static_cast<size_t>(root)] = timer++;
+    first_occ_[static_cast<size_t>(root)] =
+        static_cast<int32_t>(euler_.size());
+    euler_.push_back(root);
+    euler_depth_.push_back(0);
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      const auto begin = static_cast<size_t>(child_offsets[f.node]);
+      const auto end = static_cast<size_t>(child_offsets[f.node + 1]);
+      if (f.child_pos < end - begin) {
+        const CategoryId child = children[begin + f.child_pos++];
+        tin_[static_cast<size_t>(child)] = timer++;
+        first_occ_[static_cast<size_t>(child)] =
+            static_cast<int32_t>(euler_.size());
+        euler_.push_back(child);
+        euler_depth_.push_back(f.depth + 1);
+        stack.push_back(Frame{child, 0, f.depth + 1});
+      } else {
+        tout_[static_cast<size_t>(f.node)] = timer - 1;
+        const int32_t d = f.depth;
+        stack.pop_back();
+        if (!stack.empty()) {
+          euler_.push_back(stack.back().node);
+          euler_depth_.push_back(d - 1);
+        }
+      }
+    }
+  }
+
+  // Sparse table over euler_depth_ storing tour indices of minima.
+  const auto m = euler_.size();
+  log2_.assign(m + 1, 0);
+  for (size_t i = 2; i <= m; ++i) {
+    log2_[i] = log2_[i / 2] + 1;
+  }
+  const int levels = m > 0 ? log2_[m] + 1 : 1;
+  sparse_.assign(static_cast<size_t>(levels), {});
+  sparse_[0].resize(m);
+  for (size_t i = 0; i < m; ++i) sparse_[0][i] = static_cast<int32_t>(i);
+  for (int k = 1; k < levels; ++k) {
+    const size_t len = size_t{1} << k;
+    if (m + 1 < len) break;
+    sparse_[static_cast<size_t>(k)].resize(m - len + 1);
+    for (size_t i = 0; i + len <= m; ++i) {
+      const int32_t a = sparse_[static_cast<size_t>(k - 1)][i];
+      const int32_t b =
+          sparse_[static_cast<size_t>(k - 1)][i + len / 2];
+      sparse_[static_cast<size_t>(k)][i] =
+          euler_depth_[static_cast<size_t>(a)] <=
+                  euler_depth_[static_cast<size_t>(b)]
+              ? a
+              : b;
+    }
+  }
+}
+
+CategoryId LcaIndex::Lca(CategoryId a, CategoryId b) const {
+  int32_t i = first_occ_[static_cast<size_t>(a)];
+  int32_t j = first_occ_[static_cast<size_t>(b)];
+  SKYSR_DCHECK(i >= 0 && j >= 0);
+  if (i > j) std::swap(i, j);
+  const int32_t len = j - i + 1;
+  const int k = log2_[static_cast<size_t>(len)];
+  const int32_t x = sparse_[static_cast<size_t>(k)][static_cast<size_t>(i)];
+  const int32_t y = sparse_[static_cast<size_t>(k)]
+                           [static_cast<size_t>(j - (1 << k) + 1)];
+  const int32_t best = euler_depth_[static_cast<size_t>(x)] <=
+                               euler_depth_[static_cast<size_t>(y)]
+                           ? x
+                           : y;
+  return euler_[static_cast<size_t>(best)];
+}
+
+}  // namespace skysr

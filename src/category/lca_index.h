@@ -1,0 +1,49 @@
+// O(1) lowest-common-ancestor queries via Euler tour + sparse-table RMQ,
+// plus O(1) subtree membership via preorder intervals.
+
+#ifndef SKYSR_CATEGORY_LCA_INDEX_H_
+#define SKYSR_CATEGORY_LCA_INDEX_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace skysr {
+
+/// LCA/subtree index over a forest given parent pointers. Built once per
+/// forest; queries never allocate.
+class LcaIndex {
+ public:
+  LcaIndex() = default;
+
+  /// Builds the index. `parent[c]` is kInvalidCategory for roots; children
+  /// must have larger ids than parents is NOT required (explicit child lists
+  /// are passed via CSR arrays).
+  void Build(std::span<const CategoryId> parent,
+             std::span<const int32_t> child_offsets,
+             std::span<const CategoryId> children,
+             std::span<const CategoryId> roots);
+
+  /// Lowest common ancestor of a and b; both must be in the same tree.
+  CategoryId Lca(CategoryId a, CategoryId b) const;
+
+  /// True when `c` lies in the subtree rooted at `root` (inclusive).
+  bool InSubtree(CategoryId root, CategoryId c) const {
+    const auto r = static_cast<size_t>(root);
+    const auto i = static_cast<size_t>(c);
+    return tin_[i] >= tin_[r] && tin_[i] <= tout_[r];
+  }
+
+ private:
+  std::vector<int32_t> tin_, tout_;      // preorder intervals
+  std::vector<int32_t> euler_;           // euler tour of category ids
+  std::vector<int32_t> euler_depth_;     // depths along the tour
+  std::vector<int32_t> first_occ_;       // first occurrence in the tour
+  std::vector<std::vector<int32_t>> sparse_;  // RMQ table of tour indices
+  std::vector<int32_t> log2_;
+};
+
+}  // namespace skysr
+
+#endif  // SKYSR_CATEGORY_LCA_INDEX_H_

@@ -1,0 +1,148 @@
+#include "category/taxonomy_factory.h"
+
+#include <functional>
+#include <string>
+
+#include "util/logging.h"
+
+namespace skysr {
+namespace {
+
+CategoryForest BuildOrDie(const CategoryForestBuilder& b) {
+  auto result = b.Build();
+  SKYSR_CHECK_MSG(result.ok(), result.status().ToString().c_str());
+  return std::move(result).ValueOrDie();
+}
+
+}  // namespace
+
+CategoryForest MakeFoursquareLikeForest() {
+  CategoryForestBuilder b;
+
+  // 1. Food
+  const CategoryId food = b.AddRoot("Food");
+  const CategoryId asian = b.AddChild(food, "Asian Restaurant");
+  const CategoryId japanese = b.AddChild(asian, "Japanese Restaurant");
+  b.AddChild(japanese, "Sushi Restaurant");
+  b.AddChild(japanese, "Ramen Restaurant");
+  b.AddChild(asian, "Chinese Restaurant");
+  b.AddChild(asian, "Thai Restaurant");
+  const CategoryId italian = b.AddChild(food, "Italian Restaurant");
+  b.AddChild(italian, "Pizza Place");
+  b.AddChild(food, "Bakery");
+  const CategoryId dessert = b.AddChild(food, "Dessert Shop");
+  b.AddChild(dessert, "Cupcake Shop");
+  b.AddChild(dessert, "Ice Cream Shop");
+  b.AddChild(food, "Cafe");
+  b.AddChild(food, "American Restaurant");
+  const CategoryId mexican = b.AddChild(food, "Mexican Restaurant");
+  b.AddChild(mexican, "Taco Place");
+
+  // 2. Shop & Service
+  const CategoryId shop = b.AddRoot("Shop & Service");
+  b.AddChild(shop, "Gift Shop");
+  b.AddChild(shop, "Hobby Shop");
+  const CategoryId clothing = b.AddChild(shop, "Clothing Store");
+  b.AddChild(clothing, "Men's Store");
+  b.AddChild(clothing, "Women's Store");
+  b.AddChild(shop, "Bookstore");
+  b.AddChild(shop, "Electronics Store");
+  b.AddChild(shop, "Convenience Store");
+
+  // 3. Arts & Entertainment
+  const CategoryId arts = b.AddRoot("Arts & Entertainment");
+  const CategoryId museum = b.AddChild(arts, "Museum");
+  b.AddChild(museum, "Art Museum");
+  b.AddChild(museum, "History Museum");
+  b.AddChild(museum, "Science Museum");
+  const CategoryId music = b.AddChild(arts, "Music Venue");
+  b.AddChild(music, "Jazz Club");
+  b.AddChild(music, "Rock Club");
+  b.AddChild(arts, "Theater");
+  b.AddChild(arts, "Movie Theater");
+  b.AddChild(arts, "Art Gallery");
+
+  // 4. Nightlife Spot
+  const CategoryId nightlife = b.AddRoot("Nightlife Spot");
+  const CategoryId bar = b.AddChild(nightlife, "Bar");
+  b.AddChild(bar, "Beer Garden");
+  b.AddChild(bar, "Sake Bar");
+  b.AddChild(bar, "Wine Bar");
+  b.AddChild(bar, "Pub");
+  b.AddChild(nightlife, "Nightclub");
+  b.AddChild(nightlife, "Lounge");
+
+  // 5. Outdoors & Recreation
+  const CategoryId outdoors = b.AddRoot("Outdoors & Recreation");
+  const CategoryId park = b.AddChild(outdoors, "Park");
+  b.AddChild(park, "Playground");
+  b.AddChild(park, "Dog Run");
+  const CategoryId gym = b.AddChild(outdoors, "Gym / Fitness Center");
+  b.AddChild(gym, "Yoga Studio");
+  b.AddChild(outdoors, "Trail");
+  b.AddChild(outdoors, "Beach");
+
+  // 6. Travel & Transport
+  const CategoryId travel = b.AddRoot("Travel & Transport");
+  const CategoryId hotel = b.AddChild(travel, "Hotel");
+  b.AddChild(hotel, "Hostel");
+  b.AddChild(hotel, "Resort");
+  b.AddChild(travel, "Train Station");
+  b.AddChild(travel, "Airport");
+  b.AddChild(travel, "Bus Stop");
+
+  // 7. College & University
+  const CategoryId college = b.AddRoot("College & University");
+  b.AddChild(college, "Academic Building");
+  b.AddChild(college, "University Library");
+  b.AddChild(college, "Student Center");
+
+  // 8. Professional & Other Places
+  const CategoryId professional = b.AddRoot("Professional & Other Places");
+  b.AddChild(professional, "Office");
+  const CategoryId medical = b.AddChild(professional, "Medical Center");
+  b.AddChild(medical, "Hospital");
+  b.AddChild(medical, "Dentist's Office");
+  b.AddChild(professional, "School");
+
+  // 9. Residence
+  const CategoryId residence = b.AddRoot("Residence");
+  b.AddChild(residence, "Home (private)");
+  b.AddChild(residence, "Apartment Building");
+
+  // 10. Event
+  const CategoryId event = b.AddRoot("Event");
+  b.AddChild(event, "Festival");
+  const CategoryId market = b.AddChild(event, "Market");
+  b.AddChild(market, "Farmers Market");
+  b.AddChild(event, "Parade");
+
+  return BuildOrDie(b);
+}
+
+CategoryForest MakeCalLikeForest() { return MakeSyntheticForest(7, 3, 2); }
+
+CategoryForest MakeSyntheticForest(int num_trees, int branching, int levels) {
+  SKYSR_CHECK(num_trees > 0);
+  SKYSR_CHECK(branching > 0);
+  SKYSR_CHECK(levels >= 0);
+  CategoryForestBuilder b;
+  // Ids are assigned in PREORDER so that the indented text format
+  // round-trips with identical ids (important for graph.bin + taxonomy.txt
+  // dataset directories).
+  const std::function<void(CategoryId, const std::string&, int)> grow =
+      [&](CategoryId parent, const std::string& name, int level) {
+        if (level >= levels) return;
+        for (int c = 0; c < branching; ++c) {
+          const std::string child_name = name + "." + std::to_string(c);
+          grow(b.AddChild(parent, child_name), child_name, level + 1);
+        }
+      };
+  for (int t = 0; t < num_trees; ++t) {
+    const std::string root_name = "T" + std::to_string(t);
+    grow(b.AddRoot(root_name), root_name, 0);
+  }
+  return BuildOrDie(b);
+}
+
+}  // namespace skysr

@@ -1,0 +1,37 @@
+// Ready-made category forests.
+//
+// The paper evaluates on the Foursquare category hierarchy (10 trees) for
+// Tokyo/NYC and, for the Cal dataset (63 flat categories), on synthetic
+// trees "of height three where a non-leaf node has three child nodes"
+// (footnote 5). These factories reproduce both shapes; Foursquare data
+// itself is not redistributable, so the Foursquare-like forest encodes a
+// realistic hand-curated subset including every category featured in the
+// paper's examples (Tables 1 and 9).
+
+#ifndef SKYSR_CATEGORY_TAXONOMY_FACTORY_H_
+#define SKYSR_CATEGORY_TAXONOMY_FACTORY_H_
+
+#include "category/category_forest.h"
+
+namespace skysr {
+
+/// A 10-tree Foursquare-like forest (Food, Shop & Service,
+/// Arts & Entertainment, Nightlife Spot, ...). Contains the categories used
+/// in the paper's running examples: Asian/Italian Restaurant, Gift Shop,
+/// Hobby Shop, Cupcake/Dessert Shop, Art Museum, Jazz Club, Beer Garden,
+/// Sushi Restaurant, Sake Bar, Hotel, etc.
+CategoryForest MakeFoursquareLikeForest();
+
+/// Cal-style synthetic forest: 7 trees, branching factor 3, height 3
+/// (7 roots, 21 mid nodes, 63 leaves) — the 63 leaves model the Cal
+/// dataset's 63 categories.
+CategoryForest MakeCalLikeForest();
+
+/// Fully synthetic forest with `num_trees` trees, uniform branching
+/// `branching` and `levels` levels below each root (levels = 0 gives
+/// root-only trees). Node names are "T<i>", "T<i>.<j>", ...
+CategoryForest MakeSyntheticForest(int num_trees, int branching, int levels);
+
+}  // namespace skysr
+
+#endif  // SKYSR_CATEGORY_TAXONOMY_FACTORY_H_

@@ -1,0 +1,34 @@
+// Human-editable text format for category forests.
+//
+//   # comment
+//   Food
+//     Asian Restaurant
+//       Japanese Restaurant
+//   Shop & Service
+//     Gift Shop
+//
+// Indentation (2 spaces per level) encodes the hierarchy; top-level lines
+// are tree roots.
+
+#ifndef SKYSR_CATEGORY_TEXT_FORMAT_H_
+#define SKYSR_CATEGORY_TEXT_FORMAT_H_
+
+#include <string>
+
+#include "category/category_forest.h"
+#include "util/status.h"
+
+namespace skysr {
+
+/// Serializes a forest to the indented text format.
+std::string ForestToText(const CategoryForest& forest);
+
+/// Parses the indented text format.
+Result<CategoryForest> ForestFromText(const std::string& text);
+
+/// Loads a forest from a file in the indented text format.
+Result<CategoryForest> LoadForestFile(const std::string& path);
+
+}  // namespace skysr
+
+#endif  // SKYSR_CATEGORY_TEXT_FORMAT_H_

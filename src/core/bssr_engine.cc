@@ -1,0 +1,246 @@
+#include "core/bssr_engine.h"
+
+#include <algorithm>
+
+#include "core/lower_bound.h"
+#include "core/nn_init.h"
+#include "core/skyline_set.h"
+#include "core/threshold.h"
+#include "graph/dijkstra.h"
+#include "graph/graph_builder.h"
+#include "util/dary_heap.h"
+#include "util/timer.h"
+
+namespace skysr {
+namespace {
+
+/// Queue entry for the bulk priority queue Q_b.
+struct QbEntry {
+  int32_t node;
+  int32_t size;
+  double semantic;
+  Weight length;
+};
+
+/// §5.3.2: the proposed discipline dequeues the largest route first, then the
+/// semantically best, then the shortest; the distance-based baseline orders
+/// purely by length. Node-id tie-breaks keep runs deterministic.
+struct QbLess {
+  QueueDiscipline discipline;
+  bool operator()(const QbEntry& a, const QbEntry& b) const {
+    if (discipline == QueueDiscipline::kProposed) {
+      if (a.size != b.size) return a.size > b.size;
+      if (a.semantic != b.semantic) return a.semantic < b.semantic;
+      if (a.length != b.length) return a.length < b.length;
+    } else {
+      if (a.length != b.length) return a.length < b.length;
+    }
+    return a.node < b.node;
+  }
+};
+
+}  // namespace
+
+BssrEngine::BssrEngine(const Graph& graph, const CategoryForest& forest)
+    : g_(&graph), forest_(&forest) {
+  for (PoiId p = 0; p < g_->num_pois(); ++p) {
+    if (g_->PoiCategories(p).size() > 1) {
+      has_multi_category_poi_ = true;
+      break;
+    }
+  }
+}
+
+Result<QueryResult> BssrEngine::Run(const Query& query,
+                                    const QueryOptions& options) {
+  SKYSR_RETURN_NOT_OK(ValidateQuery(*g_, *forest_, query));
+  WallTimer timer;
+  QueryResult result;
+  SearchStats& stats = result.stats;
+
+  const SimilarityFunction& sim_fn =
+      options.similarity ? *options.similarity : *DefaultSimilarity();
+  const SemanticAggregator agg(options.aggregation);
+  const int k = query.size();
+
+  std::vector<PositionMatcher> matchers;
+  matchers.reserve(static_cast<size_t>(k));
+  for (const CategoryPredicate& pred : query.sequence) {
+    matchers.emplace_back(*g_, *forest_, sim_fn, pred,
+                          options.multi_category);
+  }
+
+  // Lemma 5.5 is sound only when a blocking PoI can never be used at any
+  // other position of the route: single-category PoIs and pairwise-disjoint
+  // position trees (see modified_dijkstra.h). Otherwise emit unfiltered.
+  bool needs_deferred_lemma55 = has_multi_category_poi_;
+  for (int i = 0; !needs_deferred_lemma55 && i < k; ++i) {
+    for (int j = i + 1; !needs_deferred_lemma55 && j < k; ++j) {
+      for (TreeId t : matchers[static_cast<size_t>(i)].trees()) {
+        const auto& tj = matchers[static_cast<size_t>(j)].trees();
+        if (std::find(tj.begin(), tj.end(), t) != tj.end()) {
+          needs_deferred_lemma55 = true;
+          break;
+        }
+      }
+    }
+  }
+
+  // Destination distances (§6): D(v, destination) for every v.
+  std::vector<Weight> dest_dist_storage;
+  const std::vector<Weight>* dest_dist = nullptr;
+  if (query.destination) {
+    if (g_->directed()) {
+      const Graph reversed = ReverseOf(*g_);
+      dest_dist_storage =
+          SingleSourceDistances(reversed, *query.destination).dist;
+    } else {
+      dest_dist_storage = SingleSourceDistances(*g_, *query.destination).dist;
+    }
+    dest_dist = &dest_dist_storage;
+  }
+
+  SkylineSet skyline;
+  RouteArena arena;
+  cache_.Clear();
+
+  // --- Optimization 1: initial search (§5.3.1). ---
+  if (options.use_initial_search) {
+    RunNnInit(*g_, matchers, query.start, agg, dest_dist, nn_ws_, &skyline,
+              &stats);
+  }
+
+  // --- Optimization 3: minimum-distance lower bounds (§5.3.3). ---
+  LowerBounds lb;
+  const LowerBounds* lb_ptr = nullptr;
+  if (options.use_lower_bounds && k >= 2) {
+    lb = ComputeLowerBounds(*g_, matchers, query.start,
+                            skyline.Threshold(0.0), &stats);
+    lb_ptr = &lb;
+  }
+
+  // σ_max over remaining positions, input to Lemma 5.8's δ.
+  std::vector<double> sigma_suffix(static_cast<size_t>(k) + 1, 0.0);
+  for (int m = k - 1; m >= 0; --m) {
+    sigma_suffix[static_cast<size_t>(m)] =
+        std::max(sigma_suffix[static_cast<size_t>(m) + 1],
+                 matchers[static_cast<size_t>(m)].max_non_perfect_sim());
+  }
+  const ThresholdPolicy policy(skyline, agg, lb_ptr, sigma_suffix, k);
+
+  // --- Optimization 2: queue arrangement (§5.3.2). ---
+  DaryHeap<QbEntry, QbLess> qb(QbLess{options.queue_discipline});
+
+  // Expands the partial route `node_idx` (kEmpty = the empty route at the
+  // start vertex) by one position, via cache or a fresh search.
+  const auto expand = [&](int32_t node_idx) {
+    VertexId src;
+    Weight len;
+    double acc;
+    int m;
+    if (node_idx == RouteArena::kEmpty) {
+      src = query.start;
+      len = 0;
+      acc = agg.Identity();
+      m = 0;
+    } else {
+      const RouteArena::Node& nd = arena.node(node_idx);
+      src = nd.vertex;
+      len = nd.length;
+      acc = nd.acc;
+      m = nd.size;
+    }
+    const PositionMatcher& matcher = matchers[static_cast<size_t>(m)];
+    const auto budget_fn = [&policy, acc, len, m]() {
+      return policy.ExpansionBudget(acc, len, m);
+    };
+
+    const auto consume = [&](const ExpansionCandidate& cand) {
+      const PoiId poi = g_->PoiAtVertex(cand.vertex);
+      if (node_idx != RouteArena::kEmpty && arena.Contains(node_idx, poi)) {
+        return;  // Definition 3.4(iii): PoIs must be distinct
+      }
+      const double nacc = agg.Extend(acc, cand.sim);
+      const double nsem = agg.Score(nacc);
+      const Weight nlen = len + cand.dist;
+      if (m + 1 == k) {
+        Weight flen = nlen;
+        if (dest_dist != nullptr) {
+          const Weight tail =
+              (*dest_dist)[static_cast<size_t>(cand.vertex)];
+          if (tail == kInfWeight) return;
+          flen += tail;
+        }
+        const RouteScores scores{flen, nsem};
+        if (!policy.ShouldPruneComplete(scores)) {
+          std::vector<PoiId> pois = arena.Materialize(node_idx);
+          pois.push_back(poi);
+          skyline.Update(scores, std::move(pois));
+        }
+      } else if (!policy.ShouldPrunePartial(nacc, nlen, m + 1)) {
+        const int32_t idx = arena.Add(node_idx, poi, cand.vertex, nlen, nacc);
+        qb.push(QbEntry{idx, m + 1, nsem, nlen});
+        ++stats.routes_enqueued;
+      }
+    };
+
+    if (options.use_cache) {
+      const CandidateList* entry = cache_.Find(src, m);
+      if (entry != nullptr &&
+          (entry->exhausted || entry->covered_radius >= budget_fn())) {
+        ++stats.mdijkstra_cache_hits;
+        for (const ExpansionCandidate& cand : entry->candidates) {
+          if (cand.dist >= budget_fn()) break;
+          consume(cand);
+        }
+        return;
+      }
+      if (entry != nullptr) ++stats.cache_reruns;
+    }
+
+    ++stats.mdijkstra_runs;
+    DijkstraRunStats run_stats;
+    CandidateList list =
+        RunExpansion(*g_, matcher, src, budget_fn, !needs_deferred_lemma55,
+                     scratch_, consume, &run_stats);
+    stats.vertices_settled += run_stats.settled;
+    stats.edges_relaxed += run_stats.relaxed;
+    stats.weight_sum += run_stats.weight_sum;
+    if (stats.mdijkstra_runs == 1) {
+      stats.first_search_weight_sum = run_stats.weight_sum;
+    }
+    if (options.use_cache) cache_.Put(src, m, std::move(list));
+  };
+
+  // Algorithm 1: seed with the first expansion, then drain Q_b.
+  expand(RouteArena::kEmpty);
+  while (!qb.empty()) {
+    if (timer.ElapsedSeconds() > options.time_budget_seconds) {
+      stats.timed_out = true;
+      break;
+    }
+    const QbEntry entry = qb.pop();
+    ++stats.routes_dequeued;
+    const RouteArena::Node& nd = arena.node(entry.node);
+    if (policy.ShouldPrunePartial(nd.acc, nd.length, nd.size)) {
+      ++stats.routes_pruned;
+      continue;
+    }
+    expand(entry.node);
+  }
+
+  stats.peak_queue_size = static_cast<int64_t>(qb.peak_size());
+  stats.route_nodes = arena.num_nodes();
+  stats.logical_peak_bytes =
+      arena.MemoryBytes() +
+      static_cast<int64_t>(qb.peak_size() * sizeof(QbEntry)) +
+      skyline.MemoryBytes() + cache_.MemoryBytes();
+  cache_.Clear();
+
+  result.routes = skyline.routes();
+  stats.skyline_size = skyline.size();
+  stats.elapsed_ms = timer.ElapsedMillis();
+  return result;
+}
+
+}  // namespace skysr

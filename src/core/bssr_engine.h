@@ -1,0 +1,63 @@
+// BSSR — the bulk SkySR algorithm (§5): a single interleaved traversal that
+// discovers all skyline sequenced routes, pruning with branch-and-bound
+// (Lemmas 5.1-5.3, 5.5, 5.8) and accelerated by the four optimizations of
+// §5.3 (NNinit, queue arrangement, minimum-distance lower bounds, on-the-fly
+// caching), each individually toggleable through QueryOptions.
+//
+// Usage:
+//   BssrEngine engine(graph, forest);
+//   auto result = engine.Run(MakeSimpleQuery(start, {cafe, museum, bar}));
+//   for (const Route& r : result->routes) ...
+//
+// The engine is cheap to construct and reusable across queries; it owns
+// scratch buffers, so use one engine per thread.
+
+#ifndef SKYSR_CORE_BSSR_ENGINE_H_
+#define SKYSR_CORE_BSSR_ENGINE_H_
+
+#include <vector>
+
+#include "category/category_forest.h"
+#include "core/mdijkstra_cache.h"
+#include "core/modified_dijkstra.h"
+#include "core/query.h"
+#include "core/route.h"
+#include "core/search_stats.h"
+#include "util/status.h"
+
+namespace skysr {
+
+/// Outcome of a SkySR query: the minimal skyline set (sorted by length
+/// ascending / semantic descending) plus instrumentation.
+struct QueryResult {
+  std::vector<Route> routes;
+  SearchStats stats;
+};
+
+/// The SkySR query engine.
+class BssrEngine {
+ public:
+  /// The graph and forest must outlive the engine.
+  BssrEngine(const Graph& graph, const CategoryForest& forest);
+
+  /// Executes a SkySR query. Returns InvalidArgument for malformed queries.
+  Result<QueryResult> Run(const Query& query,
+                          const QueryOptions& options = QueryOptions());
+
+  const Graph& graph() const { return *g_; }
+  const CategoryForest& forest() const { return *forest_; }
+
+ private:
+  const Graph* g_;
+  const CategoryForest* forest_;
+  bool has_multi_category_poi_ = false;
+
+  // Reusable scratch (engine is single-threaded by design).
+  ExpansionScratch scratch_;
+  DijkstraWorkspace nn_ws_;
+  MdijkstraCache cache_;
+};
+
+}  // namespace skysr
+
+#endif  // SKYSR_CORE_BSSR_ENGINE_H_

@@ -1,0 +1,109 @@
+#include "core/lower_bound.h"
+
+#include <algorithm>
+
+#include "util/timer.h"
+
+namespace skysr {
+
+LowerBounds ComputeLowerBounds(const Graph& g,
+                               const std::vector<PositionMatcher>& matchers,
+                               VertexId start, Weight radius,
+                               SearchStats* stats) {
+  WallTimer timer;
+  const int k = static_cast<int>(matchers.size());
+  LowerBounds lb;
+  if (k < 2) {
+    lb.ls_leg.clear();
+    lb.lp_leg.clear();
+    lb.ls_remaining.assign(static_cast<size_t>(k) + 1, 0);
+    lb.lp_remaining.assign(static_cast<size_t>(k) + 1, 0);
+    if (stats != nullptr) stats->lb_ms = timer.ElapsedMillis();
+    return lb;
+  }
+
+  // Ball membership: D(v_q, v) < radius. Every leg of a surviving route lies
+  // inside the ball (its prefix length bounds the distance from v_q of every
+  // point on the route), so restricting everything to the ball keeps the
+  // bounds valid for surviving routes.
+  DijkstraWorkspace ws;
+  DijkstraRunStats ball_stats =
+      RunDijkstra(g, start, ws, [&](VertexId, Weight d, VertexId) {
+        return d < radius ? VisitAction::kContinue : VisitAction::kStop;
+      });
+  std::vector<Weight> ball_dist(static_cast<size_t>(g.num_vertices()),
+                                kInfWeight);
+  // Copy settled distances out of the workspace before it is reused.
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (ws.Settled(v)) ball_dist[static_cast<size_t>(v)] = ws.Dist(v);
+  }
+  const auto in_ball = [&](VertexId v) {
+    return ball_dist[static_cast<size_t>(v)] < radius;
+  };
+
+  DijkstraRunStats leg_stats;
+  lb.ls_leg.assign(static_cast<size_t>(k) - 1, kInfWeight);
+  lb.lp_leg.assign(static_cast<size_t>(k) - 1, kInfWeight);
+  std::vector<SourceSeed> seeds;
+  for (int i = 0; i + 1 < k; ++i) {
+    seeds.clear();
+    for (PoiId p = 0; p < g.num_pois(); ++p) {
+      const VertexId v = g.VertexOfPoi(p);
+      if (in_ball(v) && matchers[static_cast<size_t>(i)].SimOfPoi(p) > 0) {
+        seeds.push_back(SourceSeed{v, 0});
+      }
+    }
+    if (seeds.empty()) continue;  // leg stays +inf: nothing can cross it
+
+    const PositionMatcher& next = matchers[static_cast<size_t>(i) + 1];
+    const auto semantic_target = [&](VertexId v) {
+      return in_ball(v) && next.SimOfVertex(v) > 0;
+    };
+    const auto perfect_target = [&](VertexId v) {
+      if (!in_ball(v)) return false;
+      const PoiId p = g.PoiAtVertex(v);
+      return p != kInvalidPoi && next.IsPerfect(p);
+    };
+    const auto filter = [&](VertexId v) { return in_ball(v); };
+
+    if (auto hit = MultiSourceNearest(g, seeds, semantic_target, filter,
+                                      &leg_stats)) {
+      lb.ls_leg[static_cast<size_t>(i)] = hit->dist;
+    }
+    if (auto hit =
+            MultiSourceNearest(g, seeds, perfect_target, filter, &leg_stats)) {
+      lb.lp_leg[static_cast<size_t>(i)] = hit->dist;
+    }
+  }
+
+  // Suffix sums; +inf saturates naturally in IEEE arithmetic.
+  lb.ls_remaining.assign(static_cast<size_t>(k) + 1, 0);
+  lb.lp_remaining.assign(static_cast<size_t>(k) + 1, 0);
+  for (int m = k - 1; m >= 1; --m) {
+    // Completing a size-m route still needs legs m-1 .. k-2.
+    lb.ls_remaining[static_cast<size_t>(m)] =
+        lb.ls_remaining[static_cast<size_t>(m) + 1] +
+        lb.ls_leg[static_cast<size_t>(m) - 1];
+    lb.lp_remaining[static_cast<size_t>(m)] =
+        lb.lp_remaining[static_cast<size_t>(m) + 1] +
+        lb.lp_leg[static_cast<size_t>(m) - 1];
+  }
+  lb.ls_remaining[0] = lb.ls_remaining[1];
+  lb.lp_remaining[0] = lb.lp_remaining[1];
+
+  if (stats != nullptr) {
+    stats->lb_ms = timer.ElapsedMillis();
+    for (Weight w : lb.ls_leg) {
+      if (w != kInfWeight) stats->ls_total += w;
+    }
+    for (Weight w : lb.lp_leg) {
+      if (w != kInfWeight) stats->lp_total += w;
+    }
+    stats->vertices_settled += ball_stats.settled + leg_stats.settled;
+    stats->edges_relaxed += ball_stats.relaxed + leg_stats.relaxed;
+    stats->weight_sum += ball_stats.weight_sum + leg_stats.weight_sum;
+  }
+  return lb;
+}
+
+}  // namespace skysr

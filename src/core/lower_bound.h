@@ -1,0 +1,53 @@
+// Possible-minimum-distance lower bounds (§5.3.3, Algorithm 4, Lemma 5.8).
+//
+// For each remaining leg the engine adds a provable minimum distance to a
+// partial route's length before comparing against the threshold. Two bounds
+// per leg: the semantic-match distance ls (unconditionally addable) and the
+// larger perfect-match distance lp (addable only under Lemma 5.8's δ
+// condition). Both are computed with a multi-source multi-destination
+// Dijkstra restricted to the ball B(v_q, l̄(∅)) — sources, destinations AND
+// traversal; DESIGN.md explains why the traversal restriction is sound.
+
+#ifndef SKYSR_CORE_LOWER_BOUND_H_
+#define SKYSR_CORE_LOWER_BOUND_H_
+
+#include <vector>
+
+#include "core/query.h"
+#include "core/search_stats.h"
+#include "graph/dijkstra.h"
+#include "graph/graph.h"
+
+namespace skysr {
+
+/// Per-leg and per-suffix minimum distances for one query.
+///
+/// Legs are 0-based: leg i connects sequence position i to i+1
+/// (i in [0, k-2]). A leg bound of kInfWeight means no in-ball pair of
+/// matching PoIs is connected — any route needing that leg is prunable.
+struct LowerBounds {
+  std::vector<Weight> ls_leg;  // size k-1
+  std::vector<Weight> lp_leg;  // size k-1
+
+  /// ls_remaining[m] = Σ_{i=m-1}^{k-2} ls_leg[i]: minimum extra length any
+  /// completion of a size-m partial route must add (m in [1, k]; entry 0 is
+  /// the full sum including the unmodelled v_q -> position-0 leg lower bound
+  /// of zero, kept for symmetry).
+  std::vector<Weight> ls_remaining;  // size k+1
+  std::vector<Weight> lp_remaining;  // size k+1
+
+  bool empty() const { return ls_remaining.empty(); }
+};
+
+/// Computes the bounds. `radius` is l̄(∅) — the length of the best
+/// perfect-match route known after the initial search (kInfWeight when
+/// unknown, in which case no ball restriction applies). Updates
+/// stats->lb_ms / ls_total / lp_total and the global search counters.
+LowerBounds ComputeLowerBounds(const Graph& g,
+                               const std::vector<PositionMatcher>& matchers,
+                               VertexId start, Weight radius,
+                               SearchStats* stats);
+
+}  // namespace skysr
+
+#endif  // SKYSR_CORE_LOWER_BOUND_H_

@@ -1,0 +1,60 @@
+// On-the-fly caching (§5.3.4): memoizes expansion-search results keyed by
+// (source vertex, sequence position) for the duration of ONE query. BSSR
+// frequently re-expands the same PoI vertex for the same next category; the
+// cached CandidateList replaces the whole graph search. Entries whose
+// covered radius is too small for a later, larger budget are rebuilt and
+// replaced. The cache is cleared when the query finishes — the paper notes
+// the search spaces of different queries rarely overlap.
+
+#ifndef SKYSR_CORE_MDIJKSTRA_CACHE_H_
+#define SKYSR_CORE_MDIJKSTRA_CACHE_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "core/modified_dijkstra.h"
+#include "graph/types.h"
+
+namespace skysr {
+
+/// Per-query memo of expansion searches.
+class MdijkstraCache {
+ public:
+  /// Cached list for (source, position), or nullptr.
+  const CandidateList* Find(VertexId source, int position) const {
+    const auto it = entries_.find(KeyOf(source, position));
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+
+  /// Inserts or replaces the entry, returning a stable pointer to it.
+  const CandidateList* Put(VertexId source, int position,
+                           CandidateList&& list) {
+    auto [it, inserted] = entries_.insert_or_assign(KeyOf(source, position),
+                                                    std::move(list));
+    if (!inserted) ++replacements_;
+    return &it->second;
+  }
+
+  void Clear() { entries_.clear(); }
+  int64_t size() const { return static_cast<int64_t>(entries_.size()); }
+  int64_t replacements() const { return replacements_; }
+
+  int64_t MemoryBytes() const {
+    int64_t bytes = 0;
+    for (const auto& [k, v] : entries_) bytes += 64 + v.MemoryBytes();
+    return bytes;
+  }
+
+ private:
+  static uint64_t KeyOf(VertexId source, int position) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(source)) << 16) |
+           static_cast<uint64_t>(static_cast<uint32_t>(position) & 0xffff);
+  }
+
+  std::unordered_map<uint64_t, CandidateList> entries_;
+  int64_t replacements_ = 0;
+};
+
+}  // namespace skysr
+
+#endif  // SKYSR_CORE_MDIJKSTRA_CACHE_H_

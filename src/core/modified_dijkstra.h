@@ -1,0 +1,77 @@
+// The modified Dijkstra of Algorithm 2: expands from the end of a partial
+// route and emits every PoI that semantically matches the next position,
+// pruning with Lemma 5.3 (dynamic budget) and Lemma 5.5 (on-path blockers,
+// perfect-match traversal cut).
+//
+// The search produces a CandidateList — (vertex, distance, similarity)
+// triples in non-decreasing distance order — which doubles as the value
+// stored by the on-the-fly cache (§5.3.4). Emission is also streamed to a
+// callback so that complete routes can tighten the skyline threshold while
+// the search is still running (the paper's Algorithm 2 updates S inline).
+//
+// Lemma 5.5 soundness (see DESIGN.md): substituting the on-path blocker for
+// the candidate requires the blocker to be usable at this position — it must
+// appear neither earlier in the route nor at any later position of any
+// completion. Both are guaranteed exactly when every query position targets
+// pairwise-distinct trees and all PoIs carry a single category; the engine
+// passes apply_lemma55 = true only then. Otherwise candidates are emitted
+// unfiltered and traversal does not stop at perfect matches — slower, still
+// exact.
+
+#ifndef SKYSR_CORE_MODIFIED_DIJKSTRA_H_
+#define SKYSR_CORE_MODIFIED_DIJKSTRA_H_
+
+#include <functional>
+#include <vector>
+
+#include "core/query.h"
+#include "graph/dijkstra_runner.h"
+#include "graph/graph.h"
+#include "util/stamped_array.h"
+
+namespace skysr {
+
+/// One PoI vertex found by an expansion search.
+struct ExpansionCandidate {
+  VertexId vertex;
+  Weight dist;
+  double sim;
+};
+
+/// Result of one expansion search; also the cache value type.
+struct CandidateList {
+  std::vector<ExpansionCandidate> candidates;  // non-decreasing dist
+  /// Candidates with dist < covered_radius are complete; a later consumer
+  /// needing a larger radius must re-run the search.
+  Weight covered_radius = 0;
+  /// The whole reachable region was searched (covered_radius is unbounded).
+  bool exhausted = false;
+
+  int64_t MemoryBytes() const {
+    return static_cast<int64_t>(candidates.capacity() *
+                                sizeof(ExpansionCandidate));
+  }
+};
+
+/// Scratch arrays reusable across expansion searches of one engine.
+struct ExpansionScratch {
+  DijkstraWorkspace ws;
+  StampedArray<double> max_sim_on_path;  // Lemma 5.5 inline state
+};
+
+/// Runs the expansion from `source` for one sequence position.
+///
+/// `budget_fn` is re-evaluated at every settle and returns the current
+/// maximum useful distance (Lemma 5.3); it may shrink while the search runs
+/// as the consumer tightens the skyline. `on_candidate` is invoked for each
+/// emitted candidate in non-decreasing distance order.
+CandidateList RunExpansion(
+    const Graph& g, const PositionMatcher& matcher, VertexId source,
+    const std::function<Weight()>& budget_fn, bool apply_lemma55,
+    ExpansionScratch& scratch,
+    const std::function<void(const ExpansionCandidate&)>& on_candidate,
+    DijkstraRunStats* stats_out);
+
+}  // namespace skysr
+
+#endif  // SKYSR_CORE_MODIFIED_DIJKSTRA_H_

@@ -1,0 +1,85 @@
+#include "core/nn_init.h"
+
+#include <algorithm>
+
+#include "util/timer.h"
+
+namespace skysr {
+
+void RunNnInit(const Graph& g, const std::vector<PositionMatcher>& matchers,
+               VertexId start, const SemanticAggregator& agg,
+               const std::vector<Weight>* dest_dist, DijkstraWorkspace& ws,
+               SkylineSet* skyline, SearchStats* stats) {
+  WallTimer timer;
+  const int k = static_cast<int>(matchers.size());
+  std::vector<PoiId> route;
+  route.reserve(static_cast<size_t>(k));
+  VertexId cursor = start;
+  Weight length = 0;
+  double acc = agg.Identity();  // all prefix matches are perfect (sim = 1)
+
+  DijkstraRunStats total;
+  double max_semantic_seen = -1.0;
+
+  for (int i = 0; i < k; ++i) {
+    const PositionMatcher& matcher = matchers[static_cast<size_t>(i)];
+    const bool last = i == k - 1;
+    std::optional<NearestHit> perfect_hit;
+
+    const DijkstraRunStats run = RunDijkstra(
+        g, cursor, ws, [&](VertexId v, Weight d, VertexId) {
+          const PoiId poi = g.PoiAtVertex(v);
+          if (poi == kInvalidPoi ||
+              std::find(route.begin(), route.end(), poi) != route.end()) {
+            return VisitAction::kContinue;
+          }
+          const double sim = matcher.SimOfPoi(poi);
+          if (last && sim > 0) {
+            // Every semantic match passed during the last hop becomes a
+            // sequenced route (Algorithm 3, lines 9-11).
+            Weight total_len = length + d;
+            if (dest_dist != nullptr) {
+              const Weight tail = (*dest_dist)[static_cast<size_t>(v)];
+              if (tail == kInfWeight) return VisitAction::kContinue;
+              total_len += tail;
+            }
+            const double sem = agg.Score(agg.Extend(acc, sim));
+            std::vector<PoiId> pois = route;
+            pois.push_back(poi);
+            skyline->Update(RouteScores{total_len, sem}, std::move(pois));
+            if (stats != nullptr) {
+              ++stats->nninit_routes;
+              if (sem == 0.0) {
+                stats->nninit_perfect_length =
+                    std::min(stats->nninit_perfect_length, total_len);
+              }
+              if (sem > max_semantic_seen) {
+                max_semantic_seen = sem;
+                stats->nninit_max_semantic_length = total_len;
+              }
+            }
+          }
+          if (sim == 1.0) {
+            perfect_hit = NearestHit{v, d};
+            return VisitAction::kStop;
+          }
+          return VisitAction::kContinue;
+        });
+    total += run;
+
+    if (!perfect_hit) break;  // no perfect match reachable: stop the chain
+    route.push_back(g.PoiAtVertex(perfect_hit->vertex));
+    cursor = perfect_hit->vertex;
+    length += perfect_hit->dist;
+  }
+
+  if (stats != nullptr) {
+    stats->nninit_ms = timer.ElapsedMillis();
+    stats->nninit_weight_sum = total.weight_sum;
+    stats->vertices_settled += total.settled;
+    stats->edges_relaxed += total.relaxed;
+    stats->weight_sum += total.weight_sum;
+  }
+}
+
+}  // namespace skysr

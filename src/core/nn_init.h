@@ -1,0 +1,31 @@
+// NNinit (§5.3.1, Algorithm 3): a greedy chain of nearest-neighbor searches
+// that seeds the skyline before the bulk search starts. It finds the
+// perfect-match route by repeatedly jumping to the nearest PoI that
+// perfectly matches the next category; during the LAST hop it additionally
+// records every semantically-matching PoI passed on the way, yielding
+// several cheap sequenced routes with small lengths.
+
+#ifndef SKYSR_CORE_NN_INIT_H_
+#define SKYSR_CORE_NN_INIT_H_
+
+#include <optional>
+#include <vector>
+
+#include "core/query.h"
+#include "core/search_stats.h"
+#include "core/skyline_set.h"
+#include "graph/dijkstra.h"
+
+namespace skysr {
+
+/// Seeds `skyline` with the routes found by NNinit. `dest_dist` (optional)
+/// holds D(v, destination) for every vertex, for the §6 destination variant.
+/// Updates the nninit_* fields of `stats` and the global search counters.
+void RunNnInit(const Graph& g, const std::vector<PositionMatcher>& matchers,
+               VertexId start, const SemanticAggregator& agg,
+               const std::vector<Weight>* dest_dist, DijkstraWorkspace& ws,
+               SkylineSet* skyline, SearchStats* stats);
+
+}  // namespace skysr
+
+#endif  // SKYSR_CORE_NN_INIT_H_

@@ -1,0 +1,36 @@
+#include "core/route.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace skysr {
+
+std::vector<PoiId> RouteArena::Materialize(int32_t idx) const {
+  std::vector<PoiId> pois;
+  for (int32_t cur = idx; cur != kEmpty;
+       cur = nodes_[static_cast<size_t>(cur)].parent) {
+    pois.push_back(nodes_[static_cast<size_t>(cur)].poi);
+  }
+  std::reverse(pois.begin(), pois.end());
+  return pois;
+}
+
+std::string RouteToString(const Graph& g, const Route& route) {
+  std::string out;
+  for (size_t i = 0; i < route.pois.size(); ++i) {
+    if (i > 0) out += " -> ";
+    const std::string& name = g.PoiName(route.pois[i]);
+    if (name.empty()) {
+      out += "poi#" + std::to_string(route.pois[i]);
+    } else {
+      out += name;
+    }
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "  (length=%.3f, semantic=%.4f)",
+                route.scores.length, route.scores.semantic);
+  out += buf;
+  return out;
+}
+
+}  // namespace skysr

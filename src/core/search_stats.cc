@@ -1,0 +1,38 @@
+#include "core/search_stats.h"
+
+#include <cstdio>
+
+namespace skysr {
+
+std::string SearchStats::ToString() const {
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof(buf),
+      "elapsed=%.3fms%s skyline=%lld\n"
+      "searches: runs=%lld cache_hits=%lld reruns=%lld settled=%lld "
+      "relaxed=%lld weight_sum=%.4f first_weight_sum=%.4f\n"
+      "nninit: %.3fms routes=%lld weight_sum=%.4f perfect_len=%.4f "
+      "max_sem_len=%.4f\n"
+      "bounds: %.3fms ls=%.4f lp=%.4f\n"
+      "queue: enq=%lld deq=%lld pruned=%lld peak=%lld nodes=%lld "
+      "logical_bytes=%lld",
+      elapsed_ms, timed_out ? " TIMED-OUT" : "",
+      static_cast<long long>(skyline_size),
+      static_cast<long long>(mdijkstra_runs),
+      static_cast<long long>(mdijkstra_cache_hits),
+      static_cast<long long>(cache_reruns),
+      static_cast<long long>(vertices_settled),
+      static_cast<long long>(edges_relaxed), weight_sum,
+      first_search_weight_sum, nninit_ms,
+      static_cast<long long>(nninit_routes), nninit_weight_sum,
+      nninit_perfect_length, nninit_max_semantic_length, lb_ms, ls_total,
+      lp_total, static_cast<long long>(routes_enqueued),
+      static_cast<long long>(routes_dequeued),
+      static_cast<long long>(routes_pruned),
+      static_cast<long long>(peak_queue_size),
+      static_cast<long long>(route_nodes),
+      static_cast<long long>(logical_peak_bytes));
+  return buf;
+}
+
+}  // namespace skysr

@@ -1,0 +1,60 @@
+// Instrumentation counters collected by every engine. Each counter feeds one
+// of the paper's tables/figures (see DESIGN.md §3).
+
+#ifndef SKYSR_CORE_SEARCH_STATS_H_
+#define SKYSR_CORE_SEARCH_STATS_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "graph/types.h"
+
+namespace skysr {
+
+/// Counters for a single query execution.
+struct SearchStats {
+  // Overall.
+  double elapsed_ms = 0;
+  bool timed_out = false;
+  int64_t skyline_size = 0;
+
+  // Graph-search effort (Table 8, Figure 5, Table 7).
+  int64_t mdijkstra_runs = 0;        // expansion searches actually executed
+  int64_t mdijkstra_cache_hits = 0;  // expansions served from cache
+  int64_t cache_reruns = 0;          // cache entries rebuilt with larger radius
+  int64_t vertices_settled = 0;      // all searches of this query
+  int64_t edges_relaxed = 0;
+  double weight_sum = 0;              // all searches (search-space proxy)
+  double first_search_weight_sum = 0; // the first modified Dijkstra only
+
+  // NNinit (§5.3.1, Table 7).
+  double nninit_ms = 0;
+  int64_t nninit_routes = 0;
+  double nninit_weight_sum = 0;
+  Weight nninit_perfect_length = std::numeric_limits<Weight>::infinity();
+  Weight nninit_max_semantic_length =
+      std::numeric_limits<Weight>::infinity();  // route w/ largest semantic
+
+  // Lower bounds (§5.3.3, Figure 4).
+  double lb_ms = 0;
+  Weight ls_total = 0;  // sum of finite semantic-match leg bounds
+  Weight lp_total = 0;  // sum of finite perfect-match leg bounds
+
+  // Bulk queue (§5.3.2).
+  int64_t routes_enqueued = 0;
+  int64_t routes_dequeued = 0;
+  int64_t routes_pruned = 0;  // pruned at dequeue by the threshold
+  int64_t peak_queue_size = 0;
+  int64_t route_nodes = 0;  // arena nodes allocated
+
+  // Logical memory model (Table 6 companion to process RSS).
+  int64_t logical_peak_bytes = 0;
+
+  /// Multi-line human-readable dump.
+  std::string ToString() const;
+};
+
+}  // namespace skysr
+
+#endif  // SKYSR_CORE_SEARCH_STATS_H_

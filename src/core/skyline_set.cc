@@ -1,0 +1,56 @@
+#include "core/skyline_set.h"
+
+#include <algorithm>
+
+namespace skysr {
+
+bool SkylineSet::DominatedOrEqual(const RouteScores& s) const {
+  // Entries with length <= s.length form a prefix; by the staircase
+  // invariant the last of them has the smallest semantic score among them.
+  auto it = std::upper_bound(
+      routes_.begin(), routes_.end(), s.length,
+      [](Weight value, const Route& r) { return value < r.scores.length; });
+  if (it == routes_.begin()) return false;
+  --it;
+  return it->scores.semantic <= s.semantic;
+}
+
+Weight SkylineSet::Threshold(double semantic) const {
+  // First entry with semantic <= `semantic` (semantic is descending); its
+  // length is the smallest among qualifying entries (length ascending).
+  auto it = std::lower_bound(routes_.begin(), routes_.end(), semantic,
+                             [](const Route& r, double value) {
+                               return r.scores.semantic > value;
+                             });
+  if (it == routes_.end()) return kInfWeight;
+  return it->scores.length;
+}
+
+bool SkylineSet::Update(RouteScores scores, std::vector<PoiId> pois) {
+  if (DominatedOrEqual(scores)) return false;
+
+  // Routes dominated by the new one: length >= scores.length (a suffix) and
+  // semantic >= scores.semantic (a prefix of that suffix).
+  auto first = std::lower_bound(
+      routes_.begin(), routes_.end(), scores.length,
+      [](const Route& r, Weight value) { return r.scores.length < value; });
+  auto last = first;
+  while (last != routes_.end() && last->scores.semantic >= scores.semantic) {
+    ++last;
+  }
+  evictions_ += last - first;
+  auto pos = routes_.erase(first, last);
+  routes_.insert(pos, Route{std::move(pois), scores});
+  ++updates_;
+  return true;
+}
+
+int64_t SkylineSet::MemoryBytes() const {
+  int64_t bytes = static_cast<int64_t>(routes_.capacity() * sizeof(Route));
+  for (const Route& r : routes_) {
+    bytes += static_cast<int64_t>(r.pois.capacity() * sizeof(PoiId));
+  }
+  return bytes;
+}
+
+}  // namespace skysr

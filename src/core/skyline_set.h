@@ -1,0 +1,55 @@
+// The minimal set S of sequenced routes (Definitions 4.1/4.2) with the
+// threshold queries of Definition 5.4.
+//
+// Invariant: entries are sorted by length ascending and semantic strictly
+// descending (a 2-D skyline staircase), which makes dominance tests and
+// threshold lookups O(log |S|) and insertion O(|S|).
+
+#ifndef SKYSR_CORE_SKYLINE_SET_H_
+#define SKYSR_CORE_SKYLINE_SET_H_
+
+#include <vector>
+
+#include "core/route.h"
+#include "graph/types.h"
+
+namespace skysr {
+
+/// Maintains the skyline of sequenced routes found so far.
+class SkylineSet {
+ public:
+  /// True when some kept route dominates or equals (l, s) — exactly the
+  /// condition under which a new route must NOT enter the minimal set.
+  bool DominatedOrEqual(const RouteScores& s) const;
+
+  /// Definition 5.4: min { l(R') : R' in S, s(R') <= semantic }, or
+  /// kInfWeight when no such route exists yet.
+  Weight Threshold(double semantic) const;
+
+  /// Inserts the route unless dominated-or-equal; evicts routes it
+  /// dominates. Returns true when inserted.
+  bool Update(RouteScores scores, std::vector<PoiId> pois);
+
+  const std::vector<Route>& routes() const { return routes_; }
+  int64_t size() const { return static_cast<int64_t>(routes_.size()); }
+  bool empty() const { return routes_.empty(); }
+  void Clear() {
+    routes_.clear();
+    updates_ = evictions_ = 0;
+  }
+
+  int64_t num_updates() const { return updates_; }
+  int64_t num_evictions() const { return evictions_; }
+
+  int64_t MemoryBytes() const;
+
+ private:
+  // Sorted by length asc / semantic strictly desc.
+  std::vector<Route> routes_;
+  int64_t updates_ = 0;
+  int64_t evictions_ = 0;
+};
+
+}  // namespace skysr
+
+#endif  // SKYSR_CORE_SKYLINE_SET_H_

@@ -1,0 +1,87 @@
+// Branch-and-bound pruning policy: combines the skyline threshold
+// (Definition 5.4 / Lemma 5.3) with the lower bounds of §5.3.3 and the
+// conditional perfect-match pruning of Lemma 5.8.
+
+#ifndef SKYSR_CORE_THRESHOLD_H_
+#define SKYSR_CORE_THRESHOLD_H_
+
+#include <vector>
+
+#include "category/similarity.h"
+#include "core/lower_bound.h"
+#include "core/skyline_set.h"
+
+namespace skysr {
+
+/// Stateless-per-call pruning decisions against a live SkylineSet.
+/// `sigma_max_suffix[m]` must hold the largest non-perfect similarity over
+/// positions m..k-1 (input to δ); `k` is the sequence size.
+class ThresholdPolicy {
+ public:
+  ThresholdPolicy(const SkylineSet& skyline, const SemanticAggregator& agg,
+                  const LowerBounds* lb /* null disables lower bounds */,
+                  std::vector<double> sigma_max_suffix, int k)
+      : skyline_(&skyline),
+        agg_(agg),
+        lb_(lb),
+        sigma_max_suffix_(std::move(sigma_max_suffix)),
+        k_(k) {}
+
+  /// Break budget for an expansion out of a partial route of size m with
+  /// length `len` and semantic accumulator `acc` (Algorithm 2, line 8):
+  /// candidates at distance >= budget cannot lead to skyline routes.
+  Weight ExpansionBudget(double acc, Weight len, int m) const {
+    const Weight th = skyline_->Threshold(agg_.Score(acc));
+    if (th == kInfWeight) return kInfWeight;
+    Weight budget = th - len;
+    if (lb_ != nullptr && m + 1 < k_) {
+      // The candidate produces a size-(m+1) route whose completion still
+      // needs at least ls_remaining[m+1] further length.
+      budget -= lb_->ls_remaining[static_cast<size_t>(m) + 1];
+    }
+    return budget;
+  }
+
+  /// Full pruning test for a partial route of size m (1 <= m < k).
+  bool ShouldPrunePartial(double acc, Weight len, int m) const {
+    const double sem = agg_.Score(acc);
+    const Weight th = skyline_->Threshold(sem);
+    if (th == kInfWeight) return false;
+
+    // Lemma 5.3 with the unconditional semantic-match bound.
+    Weight ls = 0;
+    if (lb_ != nullptr) ls = lb_->ls_remaining[static_cast<size_t>(m)];
+    if (len + ls >= th) return true;
+
+    // Lemma 5.8: if any non-perfect future match gets the route dominated
+    // (a), and an all-perfect completion is dominated too (b), prune.
+    if (lb_ != nullptr && m < k_) {
+      const double sigma = sigma_max_suffix_[static_cast<size_t>(m)];
+      const double delta = agg_.MinIncrementDelta(acc, sigma);
+      if (delta > 0) {
+        const Weight th_bumped = skyline_->Threshold(sem + delta);
+        const Weight lp = lb_->lp_remaining[static_cast<size_t>(m)];
+        if (th_bumped != kInfWeight && th_bumped <= len && len + lp >= th) {
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  /// Pruning test for a complete route's scores.
+  bool ShouldPruneComplete(const RouteScores& s) const {
+    return skyline_->DominatedOrEqual(s);
+  }
+
+ private:
+  const SkylineSet* skyline_;
+  SemanticAggregator agg_;
+  const LowerBounds* lb_;
+  std::vector<double> sigma_max_suffix_;
+  int k_;
+};
+
+}  // namespace skysr
+
+#endif  // SKYSR_CORE_THRESHOLD_H_

@@ -1,0 +1,26 @@
+// §6 "Skyline trip planning query": the category sequence is treated as a
+// SET of requirements — any visiting order is allowed, every requirement
+// must be satisfied by a distinct PoI. The engine reuses BSSR's machinery
+// (bulk queue, branch-and-bound against the skyline, greedy seeding) with
+// positions tracked by a bitmask; Lemma 5.5 pruning does not transfer to the
+// unordered setting and is not applied (see DESIGN.md).
+
+#ifndef SKYSR_EXT_UNORDERED_TRIP_H_
+#define SKYSR_EXT_UNORDERED_TRIP_H_
+
+#include "core/bssr_engine.h"
+#include "core/query.h"
+
+namespace skysr {
+
+/// Executes an unordered skyline trip-planning query. At most 31 positions.
+/// Returned routes list PoIs in visit order; semantic scores aggregate the
+/// similarity of each PoI to the requirement it was assigned.
+Result<QueryResult> RunUnorderedSkySr(const Graph& g,
+                                      const CategoryForest& forest,
+                                      const Query& query,
+                                      const QueryOptions& options = {});
+
+}  // namespace skysr
+
+#endif  // SKYSR_EXT_UNORDERED_TRIP_H_

@@ -1,0 +1,107 @@
+#include "graph/dijkstra.h"
+
+#include <algorithm>
+
+namespace skysr {
+
+std::vector<VertexId> DistanceField::PathTo(VertexId target) const {
+  std::vector<VertexId> path;
+  if (target < 0 || static_cast<size_t>(target) >= dist.size() ||
+      dist[static_cast<size_t>(target)] == kInfWeight) {
+    return path;
+  }
+  for (VertexId v = target; v != kInvalidVertex;
+       v = parent[static_cast<size_t>(v)]) {
+    path.push_back(v);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+namespace {
+
+DistanceField CollectField(const Graph& g, VertexId source, Weight radius) {
+  DistanceField out;
+  const auto n = static_cast<size_t>(g.num_vertices());
+  out.dist.assign(n, kInfWeight);
+  out.parent.assign(n, kInvalidVertex);
+  DijkstraWorkspace ws;
+  RunDijkstra(g, source, ws,
+              [&](VertexId v, Weight d, VertexId parent) {
+                if (d > radius) return VisitAction::kStop;
+                out.dist[static_cast<size_t>(v)] = d;
+                out.parent[static_cast<size_t>(v)] = parent;
+                return VisitAction::kContinue;
+              });
+  return out;
+}
+
+}  // namespace
+
+DistanceField SingleSourceDistances(const Graph& g, VertexId source) {
+  return CollectField(g, source, kInfWeight);
+}
+
+DistanceField BoundedDistances(const Graph& g, VertexId source,
+                               Weight radius) {
+  return CollectField(g, source, radius);
+}
+
+Weight PointToPointDistance(const Graph& g, VertexId source, VertexId target) {
+  Weight result = kInfWeight;
+  DijkstraWorkspace ws;
+  RunDijkstra(g, source, ws, [&](VertexId v, Weight d, VertexId) {
+    if (v == target) {
+      result = d;
+      return VisitAction::kStop;
+    }
+    return VisitAction::kContinue;
+  });
+  return result;
+}
+
+std::optional<NearestHit> MultiSourceNearest(
+    const Graph& g, std::span<const SourceSeed> seeds,
+    const std::function<bool(VertexId)>& is_target,
+    const std::function<bool(VertexId)>& traversal_filter,
+    DijkstraRunStats* stats_out) {
+  std::optional<NearestHit> hit;
+  DijkstraWorkspace ws;
+  DijkstraRunStats stats =
+      RunDijkstra(g, seeds, ws, [&](VertexId v, Weight d, VertexId) {
+        if (is_target(v)) {
+          hit = NearestHit{v, d};
+          return VisitAction::kStop;
+        }
+        if (traversal_filter && !traversal_filter(v)) {
+          return VisitAction::kSkipExpand;
+        }
+        return VisitAction::kContinue;
+      });
+  if (stats_out != nullptr) *stats_out += stats;
+  return hit;
+}
+
+std::vector<Weight> BellmanFordDistances(const Graph& g, VertexId source) {
+  const auto n = static_cast<size_t>(g.num_vertices());
+  std::vector<Weight> dist(n, kInfWeight);
+  dist[static_cast<size_t>(source)] = 0;
+  bool changed = true;
+  // |V|-1 relaxation rounds, early exit when a round changes nothing.
+  for (int64_t round = 0; changed && round < g.num_vertices(); ++round) {
+    changed = false;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      const Weight dv = dist[static_cast<size_t>(v)];
+      if (dv == kInfWeight) continue;
+      for (const Neighbor& nb : g.OutEdges(v)) {
+        if (dv + nb.weight < dist[static_cast<size_t>(nb.to)]) {
+          dist[static_cast<size_t>(nb.to)] = dv + nb.weight;
+          changed = true;
+        }
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace skysr

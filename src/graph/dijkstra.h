@@ -1,0 +1,60 @@
+// Concrete shortest-path helpers built on the generic runner.
+
+#ifndef SKYSR_GRAPH_DIJKSTRA_H_
+#define SKYSR_GRAPH_DIJKSTRA_H_
+
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "graph/dijkstra_runner.h"
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace skysr {
+
+/// Distances (and parents) from a source to every vertex; kInfWeight for
+/// unreachable vertices.
+struct DistanceField {
+  std::vector<Weight> dist;
+  std::vector<VertexId> parent;
+
+  /// Reconstructs the vertex path ending at `target` (source first). Empty
+  /// when `target` is unreachable.
+  std::vector<VertexId> PathTo(VertexId target) const;
+};
+
+/// Full single-source shortest paths.
+DistanceField SingleSourceDistances(const Graph& g, VertexId source);
+
+/// Single-source shortest paths truncated at `radius`: vertices with distance
+/// > radius keep kInfWeight. Settles every vertex with dist <= radius.
+DistanceField BoundedDistances(const Graph& g, VertexId source, Weight radius);
+
+/// Point-to-point distance with early termination; kInfWeight if unreachable.
+Weight PointToPointDistance(const Graph& g, VertexId source, VertexId target);
+
+/// Result of a nearest-target search.
+struct NearestHit {
+  VertexId vertex = kInvalidVertex;
+  Weight dist = kInfWeight;
+};
+
+/// Multi-source multi-destination Dijkstra (Lemma 5.9): returns the closest
+/// vertex satisfying `is_target` from any seed, or an empty optional. When
+/// `traversal_filter` is provided, only vertices for which it returns true
+/// are expanded (used for the ball restriction of Algorithm 4; see DESIGN.md).
+std::optional<NearestHit> MultiSourceNearest(
+    const Graph& g, std::span<const SourceSeed> seeds,
+    const std::function<bool(VertexId)>& is_target,
+    const std::function<bool(VertexId)>& traversal_filter = nullptr,
+    DijkstraRunStats* stats_out = nullptr);
+
+/// Reference Bellman-Ford (handles the same non-negative inputs; O(V*E)).
+/// Exists to property-test Dijkstra against an independent implementation.
+std::vector<Weight> BellmanFordDistances(const Graph& g, VertexId source);
+
+}  // namespace skysr
+
+#endif  // SKYSR_GRAPH_DIJKSTRA_H_

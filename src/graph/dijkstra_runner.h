@@ -1,0 +1,122 @@
+// Generic visitor-driven Dijkstra. Every shortest-path search in the library
+// (plain distances, the paper's modified Dijkstra of Algorithm 2, NNinit of
+// Algorithm 3, the multi-source multi-destination search of Algorithm 4, the
+// OSR baselines) instantiates this template with an inline visitor, so the
+// traversal core is written — and tested — once.
+
+#ifndef SKYSR_GRAPH_DIJKSTRA_RUNNER_H_
+#define SKYSR_GRAPH_DIJKSTRA_RUNNER_H_
+
+#include <span>
+#include <utility>
+
+#include "graph/dijkstra_workspace.h"
+#include "graph/graph.h"
+#include "graph/types.h"
+#include "util/dary_heap.h"
+
+namespace skysr {
+
+/// Visitor verdict for a settled vertex.
+enum class VisitAction {
+  /// Keep going and expand this vertex's neighbors.
+  kContinue,
+  /// Keep going but do not relax edges out of this vertex (Lemma 5.5(ii)).
+  kSkipExpand,
+  /// Terminate the whole search (bound exceeded / target found).
+  kStop,
+};
+
+/// Instrumentation counters for one search. `weight_sum` accumulates the
+/// weight of every relaxed edge — the paper's "weight sum" search-space proxy
+/// (Table 7, Figure 4).
+struct DijkstraRunStats {
+  int64_t settled = 0;
+  int64_t relaxed = 0;
+  Weight weight_sum = 0;
+  Weight max_settled_dist = 0;
+
+  DijkstraRunStats& operator+=(const DijkstraRunStats& o) {
+    settled += o.settled;
+    relaxed += o.relaxed;
+    weight_sum += o.weight_sum;
+    if (o.max_settled_dist > max_settled_dist) {
+      max_settled_dist = o.max_settled_dist;
+    }
+    return *this;
+  }
+};
+
+/// A weighted source seed: search starts at `vertex` with initial distance
+/// `dist` (normally 0).
+struct SourceSeed {
+  VertexId vertex;
+  Weight dist = 0;
+};
+
+/// Runs Dijkstra from the given seeds. The visitor is invoked exactly once
+/// per settled vertex as `VisitAction visitor(VertexId v, Weight dist,
+/// VertexId parent)`; `parent` is kInvalidVertex for seeds. Ties are broken
+/// by vertex id, making traversal order deterministic.
+template <typename Visitor>
+DijkstraRunStats RunDijkstra(const Graph& g, std::span<const SourceSeed> seeds,
+                             DijkstraWorkspace& ws, Visitor&& visitor) {
+  struct HeapItem {
+    Weight dist;
+    VertexId vertex;
+    VertexId parent;
+    bool operator<(const HeapItem& o) const {
+      if (dist != o.dist) return dist < o.dist;
+      return vertex < o.vertex;
+    }
+  };
+
+  DijkstraRunStats stats;
+  ws.Prepare(g.num_vertices());
+  DaryHeap<HeapItem> heap;
+  for (const SourceSeed& s : seeds) {
+    if (s.dist < ws.Dist(s.vertex)) {
+      ws.SetDist(s.vertex, s.dist, kInvalidVertex);
+      heap.push(HeapItem{s.dist, s.vertex, kInvalidVertex});
+    }
+  }
+
+  while (!heap.empty()) {
+    const HeapItem item = heap.pop();
+    if (ws.Settled(item.vertex)) continue;  // stale (lazy deletion)
+    ws.MarkSettled(item.vertex);
+    ++stats.settled;
+    if (item.dist > stats.max_settled_dist) {
+      stats.max_settled_dist = item.dist;
+    }
+
+    const VisitAction action = visitor(item.vertex, item.dist, item.parent);
+    if (action == VisitAction::kStop) break;
+    if (action == VisitAction::kSkipExpand) continue;
+
+    for (const Neighbor& nb : g.OutEdges(item.vertex)) {
+      if (ws.Settled(nb.to)) continue;
+      const Weight nd = item.dist + nb.weight;
+      if (nd < ws.Dist(nb.to)) {
+        ws.SetDist(nb.to, nd, item.vertex);
+        heap.push(HeapItem{nd, nb.to, item.vertex});
+        ++stats.relaxed;
+        stats.weight_sum += nb.weight;
+      }
+    }
+  }
+  return stats;
+}
+
+/// Single-seed convenience overload.
+template <typename Visitor>
+DijkstraRunStats RunDijkstra(const Graph& g, VertexId source,
+                             DijkstraWorkspace& ws, Visitor&& visitor) {
+  const SourceSeed seed{source, 0};
+  return RunDijkstra(g, std::span<const SourceSeed>(&seed, 1), ws,
+                     std::forward<Visitor>(visitor));
+}
+
+}  // namespace skysr
+
+#endif  // SKYSR_GRAPH_DIJKSTRA_RUNNER_H_

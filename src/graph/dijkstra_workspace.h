@@ -1,0 +1,79 @@
+// Reusable epoch-stamped scratch space for Dijkstra runs.
+//
+// A query executes many graph searches; allocating and clearing O(|V|)
+// arrays for each would dominate the runtime. The workspace keeps dist /
+// parent / settled arrays permanently and invalidates them in O(1) by
+// bumping an epoch counter (the classic timestamp trick).
+
+#ifndef SKYSR_GRAPH_DIJKSTRA_WORKSPACE_H_
+#define SKYSR_GRAPH_DIJKSTRA_WORKSPACE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+#include "util/logging.h"
+
+namespace skysr {
+
+/// Scratch arrays shared by successive Dijkstra executions on one graph.
+/// Not thread-safe; use one workspace per thread.
+class DijkstraWorkspace {
+ public:
+  /// Prepares for a new search over a graph with `n` vertices. O(1) unless
+  /// the graph grew (or the 32-bit epoch wrapped, which forces a full clear).
+  void Prepare(int64_t n) {
+    const auto un = static_cast<size_t>(n);
+    if (stamp_.size() < un) {
+      stamp_.resize(un, 0);
+      settled_stamp_.resize(un, 0);
+      dist_.resize(un);
+      parent_.resize(un);
+    }
+    if (++epoch_ == 0) {
+      std::fill(stamp_.begin(), stamp_.end(), 0);
+      std::fill(settled_stamp_.begin(), settled_stamp_.end(), 0);
+      epoch_ = 1;
+    }
+  }
+
+  bool HasDist(VertexId v) const {
+    return stamp_[static_cast<size_t>(v)] == epoch_;
+  }
+
+  /// Tentative (or final, once settled) distance; +inf when untouched.
+  Weight Dist(VertexId v) const {
+    return HasDist(v) ? dist_[static_cast<size_t>(v)] : kInfWeight;
+  }
+
+  /// Predecessor on the current shortest path; kInvalidVertex for sources or
+  /// untouched vertices.
+  VertexId Parent(VertexId v) const {
+    return HasDist(v) ? parent_[static_cast<size_t>(v)] : kInvalidVertex;
+  }
+
+  void SetDist(VertexId v, Weight d, VertexId parent) {
+    const auto i = static_cast<size_t>(v);
+    stamp_[i] = epoch_;
+    dist_[i] = d;
+    parent_[i] = parent;
+  }
+
+  bool Settled(VertexId v) const {
+    return settled_stamp_[static_cast<size_t>(v)] == epoch_;
+  }
+  void MarkSettled(VertexId v) {
+    settled_stamp_[static_cast<size_t>(v)] = epoch_;
+  }
+
+ private:
+  std::vector<uint32_t> stamp_;
+  std::vector<uint32_t> settled_stamp_;
+  std::vector<Weight> dist_;
+  std::vector<VertexId> parent_;
+  uint32_t epoch_ = 0;
+};
+
+}  // namespace skysr
+
+#endif  // SKYSR_GRAPH_DIJKSTRA_WORKSPACE_H_

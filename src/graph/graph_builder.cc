@@ -1,0 +1,151 @@
+#include "graph/graph_builder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace skysr {
+
+VertexId GraphBuilder::AddVertex() {
+  has_coordless_ = true;
+  xs_.push_back(0.0);
+  ys_.push_back(0.0);
+  return next_vertex_++;
+}
+
+VertexId GraphBuilder::AddVertex(double x, double y) {
+  has_coords_ = true;
+  xs_.push_back(x);
+  ys_.push_back(y);
+  return next_vertex_++;
+}
+
+void GraphBuilder::AddEdge(VertexId from, VertexId to, Weight weight) {
+  edges_.push_back(EdgeRec{from, to, weight});
+}
+
+void GraphBuilder::AddPoi(VertexId vertex,
+                          std::span<const CategoryId> categories,
+                          std::string name) {
+  pois_.push_back(PoiRec{vertex,
+                         std::vector<CategoryId>(categories.begin(),
+                                                 categories.end()),
+                         std::move(name)});
+}
+
+Result<Graph> GraphBuilder::Build() const {
+  const int64_t n = next_vertex_;
+  if (has_coords_ && has_coordless_) {
+    return Status::InvalidArgument(
+        "mixing coordinate and coordinate-less vertices");
+  }
+  for (const EdgeRec& e : edges_) {
+    if (e.from < 0 || e.from >= n || e.to < 0 || e.to >= n) {
+      return Status::InvalidArgument("edge endpoint out of range");
+    }
+    if (!(e.weight >= 0) || std::isnan(e.weight) || std::isinf(e.weight)) {
+      return Status::InvalidArgument("edge weight must be finite and >= 0");
+    }
+  }
+
+  Graph g;
+  g.directed_ = directed_;
+  g.num_edges_ = static_cast<int64_t>(edges_.size());
+  if (has_coords_) {
+    g.xs_ = xs_;
+    g.ys_ = ys_;
+  }
+
+  // Counting sort into CSR. Undirected edges are stored in both lists.
+  std::vector<int64_t> degree(static_cast<size_t>(n), 0);
+  for (const EdgeRec& e : edges_) {
+    ++degree[static_cast<size_t>(e.from)];
+    if (!directed_) ++degree[static_cast<size_t>(e.to)];
+  }
+  g.offsets_.assign(static_cast<size_t>(n) + 1, 0);
+  for (int64_t v = 0; v < n; ++v) {
+    g.offsets_[static_cast<size_t>(v) + 1] =
+        g.offsets_[static_cast<size_t>(v)] + degree[static_cast<size_t>(v)];
+  }
+  g.adj_.resize(static_cast<size_t>(g.offsets_.back()));
+  std::vector<int64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  Weight total = 0;
+  for (const EdgeRec& e : edges_) {
+    g.adj_[static_cast<size_t>(cursor[static_cast<size_t>(e.from)]++)] =
+        Neighbor{e.to, e.weight};
+    if (!directed_) {
+      g.adj_[static_cast<size_t>(cursor[static_cast<size_t>(e.to)]++)] =
+          Neighbor{e.from, e.weight};
+    }
+    total += e.weight;
+  }
+  g.total_edge_weight_ = total;
+
+  // Sort each adjacency list by target id for deterministic iteration.
+  for (int64_t v = 0; v < n; ++v) {
+    auto* begin = g.adj_.data() + g.offsets_[static_cast<size_t>(v)];
+    auto* end = g.adj_.data() + g.offsets_[static_cast<size_t>(v) + 1];
+    std::sort(begin, end, [](const Neighbor& a, const Neighbor& b) {
+      return a.to != b.to ? a.to < b.to : a.weight < b.weight;
+    });
+  }
+
+  // PoIs.
+  g.poi_of_vertex_.assign(static_cast<size_t>(n), kInvalidPoi);
+  g.poi_cat_offsets_.push_back(0);
+  bool any_name = false;
+  for (const PoiRec& p : pois_) {
+    if (p.vertex < 0 || p.vertex >= n) {
+      return Status::InvalidArgument("PoI vertex out of range");
+    }
+    if (p.categories.empty()) {
+      return Status::InvalidArgument("PoI must have at least one category");
+    }
+    if (g.poi_of_vertex_[static_cast<size_t>(p.vertex)] != kInvalidPoi) {
+      return Status::InvalidArgument(
+          "vertex " + std::to_string(p.vertex) + " hosts two PoIs");
+    }
+    const PoiId id = static_cast<PoiId>(g.poi_vertex_.size());
+    g.poi_of_vertex_[static_cast<size_t>(p.vertex)] = id;
+    g.poi_vertex_.push_back(p.vertex);
+    for (CategoryId c : p.categories) {
+      if (c < 0) return Status::InvalidArgument("negative category id");
+      g.poi_cats_.push_back(c);
+    }
+    g.poi_cat_offsets_.push_back(static_cast<int32_t>(g.poi_cats_.size()));
+    any_name = any_name || !p.name.empty();
+  }
+  if (any_name) {
+    g.poi_names_.reserve(pois_.size());
+    for (const PoiRec& p : pois_) g.poi_names_.push_back(p.name);
+  }
+  return g;
+}
+
+Graph ReverseOf(const Graph& g) {
+  GraphBuilder b(g.directed());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (g.has_coordinates()) {
+      b.AddVertex(g.X(v), g.Y(v));
+    } else {
+      b.AddVertex();
+    }
+  }
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (const Neighbor& nb : g.OutEdges(v)) {
+      if (g.directed()) {
+        b.AddEdge(nb.to, v, nb.weight);
+      } else if (v < nb.to) {
+        b.AddEdge(v, nb.to, nb.weight);
+      }
+    }
+  }
+  for (PoiId p = 0; p < g.num_pois(); ++p) {
+    b.AddPoi(g.VertexOfPoi(p), g.PoiCategories(p), g.PoiName(p));
+  }
+  auto result = b.Build();
+  SKYSR_CHECK_MSG(result.ok(), "ReverseOf: rebuild failed");
+  return std::move(result).ValueOrDie();
+}
+
+}  // namespace skysr

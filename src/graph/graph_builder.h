@@ -1,0 +1,85 @@
+// Mutable builder producing immutable CSR Graphs.
+
+#ifndef SKYSR_GRAPH_GRAPH_BUILDER_H_
+#define SKYSR_GRAPH_GRAPH_BUILDER_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace skysr {
+
+/// Accumulates vertices, edges and PoIs, then validates and emits a Graph.
+///
+/// Usage:
+///   GraphBuilder b(/*directed=*/false);
+///   VertexId a = b.AddVertex(0.0, 0.0);
+///   VertexId c = b.AddVertex(1.0, 0.0);
+///   b.AddEdge(a, c, 1.0);
+///   b.AddPoi(c, {category}, "Cafe X");
+///   SKYSR_ASSIGN_OR_RETURN(Graph g, b.Build());
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(bool directed = false) : directed_(directed) {}
+
+  /// Adds a vertex without coordinates.
+  VertexId AddVertex();
+  /// Adds a vertex with coordinates. Mixing with coordinate-less vertices is
+  /// rejected at Build() time.
+  VertexId AddVertex(double x, double y);
+
+  /// Adds an edge with non-negative weight. For undirected builders the edge
+  /// is logically one edge traversable both ways.
+  void AddEdge(VertexId from, VertexId to, Weight weight);
+
+  /// Declares the vertex to be a PoI with the given categories (at least one)
+  /// and an optional display name. A vertex may host at most one PoI.
+  void AddPoi(VertexId vertex, std::span<const CategoryId> categories,
+              std::string name = "");
+  void AddPoi(VertexId vertex, std::initializer_list<CategoryId> categories,
+              std::string name = "") {
+    AddPoi(vertex, std::span<const CategoryId>(categories.begin(),
+                                               categories.size()),
+           std::move(name));
+  }
+
+  int64_t num_vertices() const { return next_vertex_; }
+  int64_t num_edges() const { return static_cast<int64_t>(edges_.size()); }
+
+  /// Validates and assembles the CSR graph. The builder can be reused after
+  /// Build (it is left unchanged).
+  Result<Graph> Build() const;
+
+ private:
+  struct EdgeRec {
+    VertexId from;
+    VertexId to;
+    Weight weight;
+  };
+  struct PoiRec {
+    VertexId vertex;
+    std::vector<CategoryId> categories;
+    std::string name;
+  };
+
+  bool directed_;
+  VertexId next_vertex_ = 0;
+  std::vector<double> xs_, ys_;
+  bool has_coords_ = false;
+  bool has_coordless_ = false;
+  std::vector<EdgeRec> edges_;
+  std::vector<PoiRec> pois_;
+};
+
+/// Returns the edge-reversed graph (same vertices, coordinates and PoIs).
+/// For undirected graphs this is a plain copy. Used by destination queries
+/// on directed networks, which need distances TO a vertex.
+Graph ReverseOf(const Graph& g);
+
+}  // namespace skysr
+
+#endif  // SKYSR_GRAPH_GRAPH_BUILDER_H_

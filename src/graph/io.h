@@ -1,0 +1,38 @@
+// Text loaders for public road-network datasets.
+//
+// The formats follow the "California" (Cal) dataset of Li et al.
+// (https://www.cs.utah.edu/~lifeifei/SpatialDataset.htm), which the paper
+// uses directly:
+//   node file:  `<node_id> <x> <y>`                     (one per line)
+//   edge file:  `<edge_id> <node_id1> <node_id2> <w>`   (one per line)
+//   poi  file:  `<x> <y> <category_id> [name]`          (this library's own)
+// Lines starting with '#' are comments; blank lines are skipped.
+
+#ifndef SKYSR_GRAPH_IO_H_
+#define SKYSR_GRAPH_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/poi_embedding.h"
+#include "util/status.h"
+
+namespace skysr {
+
+/// Loads a road network (no PoIs) from Cal-format node and edge files.
+/// Node ids must be dense 0..n-1.
+Result<Graph> LoadRoadNetwork(const std::string& node_path,
+                              const std::string& edge_path);
+
+/// Loads raw PoI points from a poi file (format above).
+Result<std::vector<PoiPoint>> LoadPoiPoints(const std::string& poi_path);
+
+/// Convenience: loads the network, loads the PoIs, embeds the PoIs.
+Result<Graph> LoadDataset(const std::string& node_path,
+                          const std::string& edge_path,
+                          const std::string& poi_path);
+
+}  // namespace skysr
+
+#endif  // SKYSR_GRAPH_IO_H_

@@ -1,0 +1,38 @@
+// Embedding of PoI points into a road network.
+//
+// Following the paper (§7.1, after Li et al. [10]), every PoI is attached to
+// the closest road edge: the edge (u,v) is split at the PoI's projection
+// point, a new PoI vertex is inserted, and the edge weight is divided
+// proportionally. Multiple PoIs on one edge form a chain ordered by their
+// projection parameter.
+
+#ifndef SKYSR_GRAPH_POI_EMBEDDING_H_
+#define SKYSR_GRAPH_POI_EMBEDDING_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace skysr {
+
+/// A raw PoI observation: a coordinate plus categories, before embedding.
+struct PoiPoint {
+  double x = 0;
+  double y = 0;
+  std::vector<CategoryId> categories;
+  std::string name;
+};
+
+/// Returns a new graph in which every PoI point has been embedded on the
+/// closest edge of `base`. `base` must be undirected, have coordinates, and
+/// contain no PoIs of its own.
+Result<Graph> EmbedPoisOnEdges(const Graph& base,
+                               std::span<const PoiPoint> pois);
+
+}  // namespace skysr
+
+#endif  // SKYSR_GRAPH_POI_EMBEDDING_H_

@@ -1,0 +1,38 @@
+#include "graph/resumable_dijkstra.h"
+
+namespace skysr {
+
+ResumableDijkstra::ResumableDijkstra(const Graph& g, VertexId source) : g_(g) {
+  dist_[source] = 0;
+  heap_.push(HeapItem{0, source});
+}
+
+std::optional<ResumableDijkstra::Settle> ResumableDijkstra::Next() {
+  while (!heap_.empty()) {
+    const HeapItem item = heap_.pop();
+    auto [it, inserted] = settled_.try_emplace(item.vertex, 1);
+    if (!inserted) continue;  // stale entry
+    ++settled_count_;
+    for (const Neighbor& nb : g_.OutEdges(item.vertex)) {
+      if (settled_.count(nb.to) != 0) continue;
+      const Weight nd = item.dist + nb.weight;
+      auto [dit, dinserted] = dist_.try_emplace(nb.to, nd);
+      if (dinserted || nd < dit->second) {
+        dit->second = nd;
+        heap_.push(HeapItem{nd, nb.to});
+      }
+    }
+    return Settle{item.vertex, item.dist};
+  }
+  return std::nullopt;
+}
+
+int64_t ResumableDijkstra::MemoryBytes() const {
+  // Rough model: hash nodes cost ~ 4x their payload; heap is a flat vector.
+  const int64_t hash_nodes =
+      static_cast<int64_t>(dist_.size() + settled_.size());
+  return hash_nodes * 48 +
+         static_cast<int64_t>(heap_.size() * sizeof(HeapItem));
+}
+
+}  // namespace skysr

@@ -1,0 +1,32 @@
+// Fundamental identifier and numeric types shared across the library.
+
+#ifndef SKYSR_GRAPH_TYPES_H_
+#define SKYSR_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace skysr {
+
+/// Index of a vertex (road vertex or PoI vertex) in a Graph.
+using VertexId = int32_t;
+/// Index of a PoI in a Graph's PoI table.
+using PoiId = int32_t;
+/// Index of a category node in a CategoryForest.
+using CategoryId = int32_t;
+/// Index of a category tree within a CategoryForest.
+using TreeId = int32_t;
+
+inline constexpr VertexId kInvalidVertex = -1;
+inline constexpr PoiId kInvalidPoi = -1;
+inline constexpr CategoryId kInvalidCategory = -1;
+inline constexpr TreeId kInvalidTree = -1;
+
+/// Edge weights / route lengths. Weights are non-negative; +infinity encodes
+/// "unreachable".
+using Weight = double;
+inline constexpr Weight kInfWeight = std::numeric_limits<Weight>::infinity();
+
+}  // namespace skysr
+
+#endif  // SKYSR_GRAPH_TYPES_H_

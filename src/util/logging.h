@@ -1,0 +1,36 @@
+// Minimal CHECK macros (Arrow-style). SKYSR_CHECK aborts with a message on
+// violated invariants; SKYSR_DCHECK compiles out in release builds.
+
+#ifndef SKYSR_UTIL_LOGGING_H_
+#define SKYSR_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define SKYSR_CHECK(cond)                                                     \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::fprintf(stderr, "SKYSR_CHECK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, #cond);                                          \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (false)
+
+#define SKYSR_CHECK_MSG(cond, msg)                                            \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::fprintf(stderr, "SKYSR_CHECK failed at %s:%d: %s (%s)\n",          \
+                   __FILE__, __LINE__, #cond, msg);                           \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (false)
+
+#ifdef NDEBUG
+#define SKYSR_DCHECK(cond) \
+  do {                     \
+  } while (false)
+#else
+#define SKYSR_DCHECK(cond) SKYSR_CHECK(cond)
+#endif
+
+#endif  // SKYSR_UTIL_LOGGING_H_

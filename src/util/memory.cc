@@ -1,0 +1,53 @@
+#include "util/memory.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace skysr {
+namespace {
+
+// Parses a "VmHWM:   123 kB"-style line from /proc/self/status.
+int64_t ReadProcStatusKb(const char* key) {
+  FILE* f = std::fopen("/proc/self/status", "re");
+  if (f == nullptr) return 0;
+  char line[256];
+  int64_t kb = 0;
+  const size_t key_len = std::strlen(key);
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, key, key_len) == 0) {
+      long long value = 0;
+      if (std::sscanf(line + key_len, " %lld", &value) == 1) kb = value;
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+}
+
+}  // namespace
+
+int64_t PeakRssBytes() {
+  const int64_t hwm = ReadProcStatusKb("VmHWM:") * 1024;
+  // Some kernels/sandboxes omit VmHWM; fall back to the current RSS, which
+  // still yields a usable (if slightly understated) peak when sampled at the
+  // right moment.
+  return hwm > 0 ? hwm : CurrentRssBytes();
+}
+
+int64_t CurrentRssBytes() { return ReadProcStatusKb("VmRSS:") * 1024; }
+
+const char* FormatBytes(int64_t bytes, char* buf, int buf_size) {
+  const double b = static_cast<double>(bytes);
+  if (bytes >= (1LL << 30)) {
+    std::snprintf(buf, buf_size, "%.1f GB", b / (1LL << 30));
+  } else if (bytes >= (1LL << 20)) {
+    std::snprintf(buf, buf_size, "%.1f MB", b / (1LL << 20));
+  } else if (bytes >= (1LL << 10)) {
+    std::snprintf(buf, buf_size, "%.1f KB", b / (1LL << 10));
+  } else {
+    std::snprintf(buf, buf_size, "%lld B", static_cast<long long>(bytes));
+  }
+  return buf;
+}
+
+}  // namespace skysr

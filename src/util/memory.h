@@ -1,0 +1,25 @@
+// Process-memory introspection used to reproduce the paper's RSS comparison
+// (Table 6). Reads Linux /proc/self/status; returns 0 on other platforms.
+
+#ifndef SKYSR_UTIL_MEMORY_H_
+#define SKYSR_UTIL_MEMORY_H_
+
+#include <cstdint>
+
+namespace skysr {
+
+/// Peak resident set size (VmHWM) of the current process in bytes, or 0 when
+/// unavailable.
+int64_t PeakRssBytes();
+
+/// Current resident set size (VmRSS) of the current process in bytes, or 0
+/// when unavailable.
+int64_t CurrentRssBytes();
+
+/// Formats a byte count as a short human-readable string ("239.6 MB").
+/// Buffer must hold at least 32 chars; returns `buf` for convenience.
+const char* FormatBytes(int64_t bytes, char* buf, int buf_size);
+
+}  // namespace skysr
+
+#endif  // SKYSR_UTIL_MEMORY_H_

@@ -1,0 +1,145 @@
+// Status / Result error-handling primitives in the Arrow/RocksDB idiom.
+//
+// Fallible operations (I/O, parsing, builders with user input) return a
+// `Status` or `Result<T>`; pure algorithms take validated inputs and return
+// values directly.
+
+#ifndef SKYSR_UTIL_STATUS_H_
+#define SKYSR_UTIL_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace skysr {
+
+/// Machine-readable classification of an error.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIOError,
+  kOutOfRange,
+  kAlreadyExists,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a short human-readable name for a status code ("Invalid argument").
+const char* StatusCodeToString(StatusCode code);
+
+/// Outcome of a fallible operation: a code plus, when not OK, a message.
+///
+/// OK statuses carry no allocation; error statuses own a heap message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept = default;
+
+  Status(StatusCode code, std::string message)
+      : state_(code == StatusCode::kOk
+                   ? nullptr
+                   : std::make_unique<State>(State{code, std::move(message)})) {}
+
+  Status(const Status& other)
+      : state_(other.state_ ? std::make_unique<State>(*other.state_) : nullptr) {}
+  Status& operator=(const Status& other) {
+    if (this != &other) {
+      state_ = other.state_ ? std::make_unique<State>(*other.state_) : nullptr;
+    }
+    return *this;
+  }
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
+  /// Error message; empty for OK statuses.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->message : kEmpty;
+  }
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  std::unique_ptr<State> state_;  // nullptr means OK
+};
+
+/// Either a value of type T or an error Status. Modeled after arrow::Result.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the common, successful path).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error status. Must not be OK.
+  Result(Status status) : value_(std::move(status)) {}  // NOLINT(runtime/explicit)
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+  /// The error status; OK when the result holds a value.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(value_);
+  }
+
+  /// The contained value. Requires ok().
+  const T& ValueOrDie() const& { return std::get<T>(value_); }
+  T& ValueOrDie() & { return std::get<T>(value_); }
+  T&& ValueOrDie() && { return std::get<T>(std::move(value_)); }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define SKYSR_RETURN_NOT_OK(expr)            \
+  do {                                       \
+    ::skysr::Status _st = (expr);            \
+    if (!_st.ok()) return _st;               \
+  } while (false)
+
+/// Assigns the value of a Result to `lhs` or propagates its error status.
+#define SKYSR_ASSIGN_OR_RETURN(lhs, rexpr)                  \
+  auto SKYSR_CONCAT_(_res_, __LINE__) = (rexpr);            \
+  if (!SKYSR_CONCAT_(_res_, __LINE__).ok())                 \
+    return SKYSR_CONCAT_(_res_, __LINE__).status();         \
+  lhs = std::move(SKYSR_CONCAT_(_res_, __LINE__)).ValueOrDie()
+
+#define SKYSR_CONCAT_IMPL_(a, b) a##b
+#define SKYSR_CONCAT_(a, b) SKYSR_CONCAT_IMPL_(a, b)
+
+}  // namespace skysr
+
+#endif  // SKYSR_UTIL_STATUS_H_

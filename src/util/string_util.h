@@ -1,0 +1,32 @@
+// Small string helpers for the text loaders/serializers.
+
+#ifndef SKYSR_UTIL_STRING_UTIL_H_
+#define SKYSR_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace skysr {
+
+/// Splits `s` on `delim`, keeping empty fields.
+std::vector<std::string_view> Split(std::string_view s, char delim);
+
+/// Splits `s` on any run of whitespace, dropping empty fields.
+std::vector<std::string_view> SplitWhitespace(std::string_view s);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// True if `s` begins with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Parses a double; returns false on malformed input (trailing junk included).
+bool ParseDouble(std::string_view s, double* out);
+
+/// Parses a signed 64-bit integer; returns false on malformed input.
+bool ParseInt64(std::string_view s, int64_t* out);
+
+}  // namespace skysr
+
+#endif  // SKYSR_UTIL_STRING_UTIL_H_

@@ -1,0 +1,36 @@
+#include "util/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace skysr {
+
+ZipfDistribution::ZipfDistribution(int64_t n, double theta)
+    : n_(n), theta_(theta) {
+  SKYSR_CHECK(n > 0);
+  SKYSR_CHECK(theta >= 0.0);
+  cdf_.resize(static_cast<size_t>(n));
+  double sum = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    cdf_[static_cast<size_t>(i)] = sum;
+  }
+  for (auto& v : cdf_) v /= sum;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+int64_t ZipfDistribution::Sample(Rng& rng) const {
+  const double u = rng.UniformDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<int64_t>(it - cdf_.begin());
+}
+
+double ZipfDistribution::Pmf(int64_t rank) const {
+  SKYSR_CHECK(rank >= 0 && rank < n_);
+  const auto i = static_cast<size_t>(rank);
+  return i == 0 ? cdf_[0] : cdf_[i] - cdf_[i - 1];
+}
+
+}  // namespace skysr

@@ -1,0 +1,42 @@
+// Zipfian sampling over {0, ..., n-1}. The paper notes that "the number of
+// PoI vertices associated with each category is significantly biased"; the
+// workload generator reproduces that bias with a Zipf distribution over
+// category leaves.
+
+#ifndef SKYSR_UTIL_ZIPF_H_
+#define SKYSR_UTIL_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace skysr {
+
+/// Samples ranks 0..n-1 with probability proportional to 1/(rank+1)^theta.
+/// Rank 0 is the most popular. Uses an exact inverse-CDF table (O(n) memory,
+/// O(log n) per sample), which is fine for the catalog sizes involved here.
+class ZipfDistribution {
+ public:
+  /// Creates a distribution over n items with skew theta >= 0
+  /// (theta = 0 is uniform).
+  ZipfDistribution(int64_t n, double theta);
+
+  /// Draws one rank in [0, n).
+  int64_t Sample(Rng& rng) const;
+
+  int64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+  /// Probability mass of a given rank.
+  double Pmf(int64_t rank) const;
+
+ private:
+  int64_t n_;
+  double theta_;
+  std::vector<double> cdf_;  // cdf_[i] = P(rank <= i)
+};
+
+}  // namespace skysr
+
+#endif  // SKYSR_UTIL_ZIPF_H_

@@ -1,0 +1,79 @@
+#include "workload/dataset.h"
+
+#include <cmath>
+
+#include "category/taxonomy_factory.h"
+#include "graph/poi_embedding.h"
+#include "util/logging.h"
+#include "workload/poi_assignment.h"
+#include "workload/road_network_gen.h"
+
+namespace skysr {
+
+Dataset MakeDataset(const DatasetSpec& spec) {
+  Dataset ds;
+  ds.name = spec.name;
+  ds.forest = spec.forest == ForestKind::kFoursquareLike
+                  ? MakeFoursquareLikeForest()
+                  : MakeCalLikeForest();
+
+  RoadNetworkParams road;
+  road.target_vertices = spec.road_vertices;
+  road.seed = spec.seed;
+  const Graph base = MakeRoadNetwork(road);
+
+  PoiAssignmentParams pa;
+  pa.num_pois = spec.num_pois;
+  pa.cluster_fraction = spec.cluster_fraction;
+  pa.zipf_theta = spec.zipf_theta;
+  pa.multi_category_fraction = spec.multi_category_fraction;
+  pa.seed = spec.seed + 1;
+  const auto pois = GeneratePoiPoints(base, ds.forest, pa);
+
+  auto embedded = EmbedPoisOnEdges(base, pois);
+  SKYSR_CHECK_MSG(embedded.ok(), "PoI embedding failed");
+  ds.graph = std::move(embedded).ValueOrDie();
+  if (spec.one_way_fraction > 0) {
+    ds.graph =
+        ApplyOneWayStreets(ds.graph, spec.one_way_fraction, spec.seed + 2);
+  }
+  return ds;
+}
+
+DatasetSpec TokyoLikeSpec(double scale) {
+  DatasetSpec s;
+  s.name = "tokyo-like";
+  s.road_vertices = static_cast<int64_t>(std::llround(401893 * scale));
+  s.num_pois = static_cast<int64_t>(std::llround(174421 * scale));
+  s.cluster_fraction = 0.15;  // Tokyo PoIs are spread out (Figure 4)
+  s.zipf_theta = 0.8;
+  s.forest = ForestKind::kFoursquareLike;
+  s.seed = 1001;
+  return s;
+}
+
+DatasetSpec NycLikeSpec(double scale) {
+  DatasetSpec s;
+  s.name = "nyc-like";
+  s.road_vertices = static_cast<int64_t>(std::llround(1150744 * scale));
+  s.num_pois = static_cast<int64_t>(std::llround(451051 * scale));
+  s.cluster_fraction = 0.75;  // concentrated PoIs
+  s.zipf_theta = 0.8;
+  s.forest = ForestKind::kFoursquareLike;
+  s.seed = 2002;
+  return s;
+}
+
+DatasetSpec CalLikeSpec(double scale) {
+  DatasetSpec s;
+  s.name = "cal-like";
+  s.road_vertices = static_cast<int64_t>(std::llround(21048 * scale));
+  s.num_pois = static_cast<int64_t>(std::llround(87365 * scale));
+  s.cluster_fraction = 0.75;  // concentrated PoIs
+  s.zipf_theta = 0.9;         // Cal category counts are heavily biased
+  s.forest = ForestKind::kCalLike;
+  s.seed = 3003;
+  return s;
+}
+
+}  // namespace skysr

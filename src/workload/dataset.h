@@ -1,0 +1,56 @@
+// Dataset bundles and the Tokyo/NYC/Cal-like descriptors (Table 5 of the
+// paper, scaled to laptop size; see DESIGN.md §4 for the substitution
+// rationale and the preserved ratios).
+
+#ifndef SKYSR_WORKLOAD_DATASET_H_
+#define SKYSR_WORKLOAD_DATASET_H_
+
+#include <string>
+
+#include "category/category_forest.h"
+#include "graph/graph.h"
+
+namespace skysr {
+
+/// Which taxonomy a dataset uses.
+enum class ForestKind {
+  kFoursquareLike,  // 10 named trees (Tokyo, NYC)
+  kCalLike,         // 7 synthetic trees, branching 3, 63 leaves (Cal)
+};
+
+/// Everything a benchmark needs: the embedded graph plus its forest.
+struct Dataset {
+  std::string name;
+  Graph graph;
+  CategoryForest forest;
+};
+
+/// Generation recipe.
+struct DatasetSpec {
+  std::string name;
+  int64_t road_vertices = 10000;
+  int64_t num_pois = 4000;
+  double cluster_fraction = 0.5;  // PoI spatial concentration (Figure 4)
+  double zipf_theta = 0.8;
+  ForestKind forest = ForestKind::kFoursquareLike;
+  double multi_category_fraction = 0.0;
+  /// Fraction of streets made one-way (> 0 yields a DIRECTED graph; §6).
+  double one_way_fraction = 0.0;
+  uint64_t seed = 42;
+};
+
+/// Builds the dataset (generate network, generate PoIs, embed).
+Dataset MakeDataset(const DatasetSpec& spec);
+
+/// Paper Table 5: Tokyo |V|=401,893 |P|=174,421 — spread-out PoIs.
+/// `scale` multiplies both counts (default 0.1 keeps benches laptop-sized).
+DatasetSpec TokyoLikeSpec(double scale = 0.1);
+/// Paper Table 5: NYC |V|=1,150,744 |P|=451,051 — clustered PoIs.
+DatasetSpec NycLikeSpec(double scale = 0.05);
+/// Paper Table 5: Cal |V|=21,048 |P|=87,365 — small network, dense clustered
+/// PoIs, synthetic 63-leaf taxonomy. Full scale by default.
+DatasetSpec CalLikeSpec(double scale = 1.0);
+
+}  // namespace skysr
+
+#endif  // SKYSR_WORKLOAD_DATASET_H_

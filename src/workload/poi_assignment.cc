@@ -1,0 +1,95 @@
+#include "workload/poi_assignment.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace skysr {
+
+std::vector<PoiPoint> GeneratePoiPoints(const Graph& base,
+                                        const CategoryForest& forest,
+                                        const PoiAssignmentParams& params) {
+  SKYSR_CHECK_MSG(base.has_coordinates(), "base graph needs coordinates");
+  Rng rng(params.seed);
+
+  double min_x = base.X(0), max_x = base.X(0);
+  double min_y = base.Y(0), max_y = base.Y(0);
+  for (VertexId v = 1; v < base.num_vertices(); ++v) {
+    min_x = std::min(min_x, base.X(v));
+    max_x = std::max(max_x, base.X(v));
+    min_y = std::min(min_y, base.Y(v));
+    max_y = std::max(max_y, base.Y(v));
+  }
+  const double width = std::max(max_x - min_x, 1e-9);
+  
+
+  struct Cluster {
+    double x, y;
+  };
+  std::vector<Cluster> clusters;
+  for (int c = 0; c < params.num_clusters; ++c) {
+    clusters.push_back(Cluster{rng.UniformDouble(min_x, max_x),
+                               rng.UniformDouble(min_y, max_y)});
+  }
+  const double sigma = params.cluster_sigma_fraction * width;
+
+  // All leaves across all trees; shuffle deterministically so that Zipf
+  // popularity spreads across trees instead of following declaration order
+  // (real-world popular categories come from many trees).
+  std::vector<CategoryId> leaves;
+  for (TreeId t = 0; t < forest.num_trees(); ++t) {
+    const auto tl = forest.LeavesOfTree(t);
+    leaves.insert(leaves.end(), tl.begin(), tl.end());
+  }
+  SKYSR_CHECK(!leaves.empty());
+  for (size_t i = leaves.size(); i > 1; --i) {
+    std::swap(leaves[i - 1], leaves[rng.UniformU64(i)]);
+  }
+  const ZipfDistribution zipf(static_cast<int64_t>(leaves.size()),
+                              params.zipf_theta);
+
+  // Box-Muller for cluster offsets.
+  const auto gaussian = [&rng]() {
+    const double u1 = std::max(rng.UniformDouble(), 1e-12);
+    const double u2 = rng.UniformDouble();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * 3.14159265358979 * u2);
+  };
+
+  std::vector<PoiPoint> pois;
+  pois.reserve(static_cast<size_t>(params.num_pois));
+  for (int64_t i = 0; i < params.num_pois; ++i) {
+    PoiPoint p;
+    if (!clusters.empty() && rng.Bernoulli(params.cluster_fraction)) {
+      const Cluster& c =
+          clusters[rng.UniformU64(clusters.size())];
+      p.x = std::clamp(c.x + gaussian() * sigma, min_x, max_x);
+      p.y = std::clamp(c.y + gaussian() * sigma, min_y, max_y);
+    } else {
+      p.x = rng.UniformDouble(min_x, max_x);
+      p.y = rng.UniformDouble(min_y, max_y);
+    }
+    const CategoryId cat = leaves[static_cast<size_t>(zipf.Sample(rng))];
+    p.categories.push_back(cat);
+    if (params.multi_category_fraction > 0 &&
+        rng.Bernoulli(params.multi_category_fraction)) {
+      // Second category from a different tree, uniformly.
+      for (int attempts = 0; attempts < 8; ++attempts) {
+        const CategoryId extra =
+            leaves[rng.UniformU64(leaves.size())];
+        if (forest.TreeOf(extra) != forest.TreeOf(cat)) {
+          p.categories.push_back(extra);
+          break;
+        }
+      }
+    }
+    p.name = forest.Name(cat) + " #" + std::to_string(i);
+    pois.push_back(std::move(p));
+  }
+  return pois;
+}
+
+}  // namespace skysr

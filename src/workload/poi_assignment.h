@@ -1,0 +1,45 @@
+// Synthetic PoI placement and category assignment (DESIGN.md §4 substitution
+// for the Foursquare PoI extracts).
+//
+// Positions mix a uniform background with Gaussian clusters — the paper
+// observes (Figure 4 discussion) that NYC/Cal PoIs are "relatively
+// concentrated in a small area" while Tokyo's are spread out, which the
+// cluster_fraction knob reproduces. Categories are drawn Zipf-biased over
+// the forest's leaves ("the number of PoI vertices associated with each
+// category is significantly biased", §7.1).
+
+#ifndef SKYSR_WORKLOAD_POI_ASSIGNMENT_H_
+#define SKYSR_WORKLOAD_POI_ASSIGNMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "category/category_forest.h"
+#include "graph/graph.h"
+#include "graph/poi_embedding.h"
+
+namespace skysr {
+
+struct PoiAssignmentParams {
+  int64_t num_pois = 1000;
+  /// Fraction of PoIs placed in Gaussian clusters (the rest is uniform).
+  double cluster_fraction = 0.5;
+  int num_clusters = 12;
+  /// Cluster standard deviation as a fraction of the bounding-box width.
+  double cluster_sigma_fraction = 0.03;
+  /// Zipf skew over category leaves (0 = uniform).
+  double zipf_theta = 0.8;
+  /// Fraction of PoIs given a second category from another tree (§6).
+  double multi_category_fraction = 0.0;
+  uint64_t seed = 7;
+};
+
+/// Generates raw PoI points within the bounding box of `base` (which must
+/// have coordinates); embed them with EmbedPoisOnEdges.
+std::vector<PoiPoint> GeneratePoiPoints(const Graph& base,
+                                        const CategoryForest& forest,
+                                        const PoiAssignmentParams& params);
+
+}  // namespace skysr
+
+#endif  // SKYSR_WORKLOAD_POI_ASSIGNMENT_H_

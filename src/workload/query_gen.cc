@@ -1,0 +1,81 @@
+#include "workload/query_gen.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace skysr {
+
+std::vector<Query> GenerateQueries(const Dataset& dataset,
+                                   const QueryGenParams& params) {
+  const Graph& g = dataset.graph;
+  const CategoryForest& forest = dataset.forest;
+  Rng rng(params.seed);
+
+  // Popularity = number of PoIs whose primary category is the leaf.
+  std::unordered_map<CategoryId, int64_t> counts;
+  for (PoiId p = 0; p < g.num_pois(); ++p) {
+    ++counts[g.PoiPrimaryCategory(p)];
+  }
+  std::vector<std::pair<CategoryId, int64_t>> ranked(counts.begin(),
+                                                     counts.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  size_t pool = std::min<size_t>(ranked.size(),
+                                 static_cast<size_t>(params.popular_pool));
+  SKYSR_CHECK_MSG(pool > 0, "dataset has no PoIs");
+  // Widen the pool until it spans enough distinct trees for the constraint.
+  if (params.distinct_trees) {
+    std::vector<TreeId> seen;
+    size_t i = 0;
+    for (; i < ranked.size() &&
+           static_cast<int>(seen.size()) < params.sequence_size;
+         ++i) {
+      const TreeId t = forest.TreeOf(ranked[i].first);
+      if (std::find(seen.begin(), seen.end(), t) == seen.end()) {
+        seen.push_back(t);
+      }
+    }
+    SKYSR_CHECK_MSG(static_cast<int>(seen.size()) >= params.sequence_size,
+                    "fewer category trees with PoIs than sequence positions");
+    pool = std::max(pool, i);
+  }
+  std::vector<CategoryId> candidates;
+  candidates.reserve(pool);
+  for (size_t i = 0; i < pool; ++i) candidates.push_back(ranked[i].first);
+
+  std::vector<Query> queries;
+  queries.reserve(static_cast<size_t>(params.count));
+  for (int qi = 0; qi < params.count; ++qi) {
+    std::vector<CategoryId> cats;
+    std::vector<TreeId> used_trees;
+    int guard = 0;
+    while (static_cast<int>(cats.size()) < params.sequence_size) {
+      SKYSR_CHECK_MSG(++guard < 100000,
+                      "cannot satisfy distinct-tree constraint; "
+                      "increase popular_pool or reduce sequence_size");
+      const CategoryId c = candidates[rng.UniformU64(candidates.size())];
+      const TreeId t = forest.TreeOf(c);
+      if (params.distinct_trees &&
+          std::find(used_trees.begin(), used_trees.end(), t) !=
+              used_trees.end()) {
+        continue;
+      }
+      if (std::find(cats.begin(), cats.end(), c) != cats.end()) continue;
+      cats.push_back(c);
+      used_trees.push_back(t);
+    }
+    Query q = MakeSimpleQuery(
+        static_cast<VertexId>(rng.UniformU64(
+            static_cast<uint64_t>(g.num_vertices()))),
+        cats);
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+}  // namespace skysr

@@ -1,0 +1,32 @@
+// Query workload generation (§7.1): random start vertices; categories drawn
+// from the leaves with the most PoIs ("we select only categories that have a
+// large number of PoI vertices"), constrained to distinct trees.
+
+#ifndef SKYSR_WORKLOAD_QUERY_GEN_H_
+#define SKYSR_WORKLOAD_QUERY_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/query.h"
+#include "workload/dataset.h"
+
+namespace skysr {
+
+struct QueryGenParams {
+  int count = 100;
+  int sequence_size = 3;
+  /// Candidate categories = the `popular_pool` leaves with the most PoIs.
+  int popular_pool = 20;
+  /// Require pairwise distinct trees across positions (the paper's setting).
+  bool distinct_trees = true;
+  uint64_t seed = 99;
+};
+
+/// Generates `count` queries over the dataset.
+std::vector<Query> GenerateQueries(const Dataset& dataset,
+                                   const QueryGenParams& params);
+
+}  // namespace skysr
+
+#endif  // SKYSR_WORKLOAD_QUERY_GEN_H_

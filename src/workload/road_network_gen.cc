@@ -1,0 +1,197 @@
+#include "workload/road_network_gen.h"
+
+#include <cmath>
+#include <vector>
+
+#include "graph/graph_builder.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace skysr {
+
+Graph MakeRoadNetwork(const RoadNetworkParams& params) {
+  SKYSR_CHECK(params.target_vertices >= 4);
+  Rng rng(params.seed);
+  const int64_t side = static_cast<int64_t>(
+      std::ceil(std::sqrt(static_cast<double>(params.target_vertices))));
+  const double sp = params.cell_spacing;
+  const double extent = static_cast<double>(side) * sp;
+
+  // Circular holes covering ~hole_fraction of the area.
+  struct Hole {
+    double x, y, r2;
+  };
+  std::vector<Hole> holes;
+  double covered = 0;
+  const double total_area = extent * extent;
+  while (covered < params.hole_fraction * total_area) {
+    const double r = rng.UniformDouble(2.0 * sp, extent / 12.0 + 2.0 * sp);
+    holes.push_back(Hole{rng.UniformDouble(0, extent),
+                         rng.UniformDouble(0, extent), r * r});
+    covered += 3.14159265358979 * r * r;
+  }
+  const auto in_hole = [&](double x, double y) {
+    for (const Hole& h : holes) {
+      const double dx = x - h.x, dy = y - h.y;
+      if (dx * dx + dy * dy < h.r2) return true;
+    }
+    return false;
+  };
+
+  // Jittered grid points outside holes.
+  std::vector<int32_t> id_at(static_cast<size_t>(side * side), -1);
+  std::vector<double> xs, ys;
+  for (int64_t gy = 0; gy < side; ++gy) {
+    for (int64_t gx = 0; gx < side; ++gx) {
+      const double x =
+          static_cast<double>(gx) * sp + rng.UniformDouble(-0.25, 0.25) * sp;
+      const double y =
+          static_cast<double>(gy) * sp + rng.UniformDouble(-0.25, 0.25) * sp;
+      if (in_hole(x, y)) continue;
+      id_at[static_cast<size_t>(gy * side + gx)] =
+          static_cast<int32_t>(xs.size());
+      xs.push_back(x);
+      ys.push_back(y);
+    }
+  }
+
+  // Street edges: 4-neighborhood plus random diagonals.
+  struct E {
+    int32_t a, b;
+    double w;
+  };
+  std::vector<E> edges;
+  const auto add_edge = [&](int32_t a, int32_t b) {
+    if (a < 0 || b < 0) return;
+    const double dx = xs[static_cast<size_t>(a)] - xs[static_cast<size_t>(b)];
+    const double dy = ys[static_cast<size_t>(a)] - ys[static_cast<size_t>(b)];
+    const double w = std::hypot(dx, dy) *
+                     (1.0 + rng.UniformDouble(0, params.weight_jitter));
+    edges.push_back(E{a, b, w});
+  };
+  for (int64_t gy = 0; gy < side; ++gy) {
+    for (int64_t gx = 0; gx < side; ++gx) {
+      const int32_t v = id_at[static_cast<size_t>(gy * side + gx)];
+      if (v < 0) continue;
+      if (gx + 1 < side) {
+        add_edge(v, id_at[static_cast<size_t>(gy * side + gx + 1)]);
+      }
+      if (gy + 1 < side) {
+        add_edge(v, id_at[static_cast<size_t>((gy + 1) * side + gx)]);
+      }
+      if (gx + 1 < side && gy + 1 < side &&
+          rng.Bernoulli(params.diagonal_fraction)) {
+        add_edge(v, id_at[static_cast<size_t>((gy + 1) * side + gx + 1)]);
+      }
+    }
+  }
+
+  // Keep the largest connected component; relabel densely.
+  const auto n = static_cast<int32_t>(xs.size());
+  std::vector<std::vector<int32_t>> adj(static_cast<size_t>(n));
+  for (const E& e : edges) {
+    adj[static_cast<size_t>(e.a)].push_back(e.b);
+    adj[static_cast<size_t>(e.b)].push_back(e.a);
+  }
+  std::vector<int32_t> comp(static_cast<size_t>(n), -1);
+  int32_t num_comp = 0;
+  int32_t best_comp = 0;
+  int64_t best_size = 0;
+  std::vector<int32_t> stack;
+  for (int32_t v = 0; v < n; ++v) {
+    if (comp[static_cast<size_t>(v)] >= 0) continue;
+    int64_t size = 0;
+    stack.assign(1, v);
+    comp[static_cast<size_t>(v)] = num_comp;
+    while (!stack.empty()) {
+      const int32_t u = stack.back();
+      stack.pop_back();
+      ++size;
+      for (int32_t w : adj[static_cast<size_t>(u)]) {
+        if (comp[static_cast<size_t>(w)] < 0) {
+          comp[static_cast<size_t>(w)] = num_comp;
+          stack.push_back(w);
+        }
+      }
+    }
+    if (size > best_size) {
+      best_size = size;
+      best_comp = num_comp;
+    }
+    ++num_comp;
+  }
+
+  GraphBuilder builder(/*directed=*/false);
+  std::vector<int32_t> relabel(static_cast<size_t>(n), -1);
+  for (int32_t v = 0; v < n; ++v) {
+    if (comp[static_cast<size_t>(v)] == best_comp) {
+      relabel[static_cast<size_t>(v)] = builder.AddVertex(
+          xs[static_cast<size_t>(v)], ys[static_cast<size_t>(v)]);
+    }
+  }
+  for (const E& e : edges) {
+    const int32_t a = relabel[static_cast<size_t>(e.a)];
+    const int32_t b = relabel[static_cast<size_t>(e.b)];
+    if (a >= 0 && b >= 0) builder.AddEdge(a, b, e.w);
+  }
+  auto result = builder.Build();
+  SKYSR_CHECK_MSG(result.ok(), "road network generation failed");
+  return std::move(result).ValueOrDie();
+}
+
+Graph ApplyOneWayStreets(const Graph& g, double fraction, uint64_t seed) {
+  SKYSR_CHECK_MSG(!g.directed(), "input must be undirected");
+  Rng rng(seed);
+  const int64_t n = g.num_vertices();
+
+  // BFS spanning tree: these streets stay bidirectional.
+  std::vector<VertexId> tree_parent(static_cast<size_t>(n), kInvalidVertex);
+  std::vector<char> seen(static_cast<size_t>(n), 0);
+  std::vector<VertexId> queue = {0};
+  seen[0] = 1;
+  for (size_t head = 0; head < queue.size(); ++head) {
+    const VertexId u = queue[head];
+    for (const Neighbor& nb : g.OutEdges(u)) {
+      if (!seen[static_cast<size_t>(nb.to)]) {
+        seen[static_cast<size_t>(nb.to)] = 1;
+        tree_parent[static_cast<size_t>(nb.to)] = u;
+        queue.push_back(nb.to);
+      }
+    }
+  }
+
+  GraphBuilder b(/*directed=*/true);
+  for (VertexId v = 0; v < n; ++v) {
+    if (g.has_coordinates()) {
+      b.AddVertex(g.X(v), g.Y(v));
+    } else {
+      b.AddVertex();
+    }
+  }
+  for (VertexId u = 0; u < n; ++u) {
+    for (const Neighbor& nb : g.OutEdges(u)) {
+      if (u >= nb.to) continue;  // each undirected street once
+      const bool is_tree_edge =
+          tree_parent[static_cast<size_t>(nb.to)] == u ||
+          tree_parent[static_cast<size_t>(u)] == nb.to;
+      if (!is_tree_edge && rng.Bernoulli(fraction)) {
+        if (rng.Bernoulli(0.5)) {
+          b.AddEdge(u, nb.to, nb.weight);
+        } else {
+          b.AddEdge(nb.to, u, nb.weight);
+        }
+      } else {
+        b.AddEdge(u, nb.to, nb.weight);
+        b.AddEdge(nb.to, u, nb.weight);
+      }
+    }
+  }
+  for (PoiId p = 0; p < g.num_pois(); ++p) {
+    b.AddPoi(g.VertexOfPoi(p), g.PoiCategories(p), g.PoiName(p));
+  }
+  auto result = b.Build();
+  SKYSR_CHECK_MSG(result.ok(), "one-way conversion failed");
+  return std::move(result).ValueOrDie();
+}
+
+}  // namespace skysr

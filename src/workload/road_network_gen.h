@@ -1,0 +1,46 @@
+// Synthetic road-network generation (DESIGN.md §4 substitution for the
+// OpenStreetMap extracts the paper uses).
+//
+// Model: a jittered grid with circular "holes" (parks, rivers, rail yards),
+// 4-neighbor streets whose weights are Euclidean lengths with multiplicative
+// jitter, plus a sprinkling of diagonal shortcuts. The result is connected
+// (largest component is kept and relabeled), near-planar and low-degree —
+// the structural profile of a real road network.
+
+#ifndef SKYSR_WORKLOAD_ROAD_NETWORK_GEN_H_
+#define SKYSR_WORKLOAD_ROAD_NETWORK_GEN_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace skysr {
+
+struct RoadNetworkParams {
+  /// Approximate number of road vertices (before hole removal trims ~10%).
+  int64_t target_vertices = 10000;
+  /// Fraction of the area covered by holes.
+  double hole_fraction = 0.12;
+  /// Probability of adding a diagonal shortcut per grid cell.
+  double diagonal_fraction = 0.08;
+  /// Edge weight = euclidean * (1 + U[0, weight_jitter]).
+  double weight_jitter = 0.2;
+  /// Distance between adjacent grid points.
+  double cell_spacing = 1.0;
+  uint64_t seed = 42;
+};
+
+/// Generates a connected, undirected road network with coordinates and no
+/// PoIs (PoIs are embedded separately; see poi_assignment.h).
+Graph MakeRoadNetwork(const RoadNetworkParams& params);
+
+/// Converts an undirected graph (PoIs and coordinates preserved) into a
+/// DIRECTED one where `fraction` of the streets become one-way with a
+/// random orientation. A bidirectional BFS spanning tree is always kept, so
+/// the result is strongly connected whenever the input is connected —
+/// exercising the §6 directed-graph support on realistic workloads.
+Graph ApplyOneWayStreets(const Graph& g, double fraction, uint64_t seed);
+
+}  // namespace skysr
+
+#endif  // SKYSR_WORKLOAD_ROAD_NETWORK_GEN_H_

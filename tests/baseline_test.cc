@@ -1,0 +1,273 @@
+// Baseline engines: OSR-Dijkstra and OSR-PNE against brute-force OSR, the
+// super-sequence enumerator, and the naive SkySR baselines against BSSR.
+
+#include <gtest/gtest.h>
+
+#include "baseline/brute_force.h"
+#include "baseline/naive_skysr.h"
+#include "baseline/osr_dijkstra.h"
+#include "baseline/osr_pne.h"
+#include "baseline/super_sequence.h"
+#include "category/taxonomy_factory.h"
+#include "core/bssr_engine.h"
+#include "tests/test_util.h"
+
+namespace skysr {
+namespace {
+
+using ::skysr::testing::MakeTinyDataset;
+using ::skysr::testing::ScoreVectorsNear;
+using ::skysr::testing::SkylinesEquivalent;
+using ::skysr::testing::TinyDataset;
+
+std::vector<PositionMatcher> MakeMatchers(const TinyDataset& ds,
+                                          const SimilarityFunction& fn,
+                                          std::span<const CategoryId> cats) {
+  std::vector<PositionMatcher> matchers;
+  for (CategoryId c : cats) {
+    matchers.emplace_back(ds.graph, ds.forest, fn,
+                          CategoryPredicate::Single(c),
+                          MultiCategoryMode::kMaxSimilarity);
+  }
+  return matchers;
+}
+
+class OsrEnginesVsBruteForce : public ::testing::TestWithParam<int> {};
+
+TEST_P(OsrEnginesVsBruteForce, BothEnginesFindTheOptimum) {
+  const uint64_t seed = 5000 + static_cast<uint64_t>(GetParam());
+  TinyDataset ds = MakeTinyDataset(seed, 28, 24, 14);
+  Rng rng(seed);
+  const WuPalmerSimilarity fn;
+
+  for (int rep = 0; rep < 4; ++rep) {
+    // Categories from pairwise-distinct trees: the Dij baseline's exactness
+    // contract (PNE is exact in general; see OsrPneHandlesOverlap below).
+    const int k = 2 + static_cast<int>(rng.UniformU64(2));
+    std::vector<CategoryId> cats;
+    std::vector<TreeId> used;
+    int guard = 0;
+    while (static_cast<int>(cats.size()) < k && ++guard < 1000) {
+      const auto c = static_cast<CategoryId>(
+          rng.UniformU64(static_cast<uint64_t>(ds.forest.num_categories())));
+      const TreeId t = ds.forest.TreeOf(c);
+      bool dup = false;
+      for (TreeId u : used) dup = dup || u == t;
+      if (dup) continue;
+      cats.push_back(c);
+      used.push_back(t);
+    }
+    if (static_cast<int>(cats.size()) != k) continue;
+    const auto start = static_cast<VertexId>(
+        rng.UniformU64(static_cast<uint64_t>(ds.graph.num_vertices())));
+    const auto matchers = MakeMatchers(ds, fn, cats);
+
+    const OsrResult dij =
+        RunOsrDijkstra(ds.graph, matchers, start, std::nullopt, 10.0);
+    const OsrResult pne =
+        RunOsrPne(ds.graph, matchers, start, std::nullopt, 10.0);
+    const Query q = MakeSimpleQuery(start, cats);
+    auto brute = BruteForceOsr(ds.graph, ds.forest, q, QueryOptions());
+    ASSERT_TRUE(brute.ok());
+
+    if (brute->empty()) {
+      EXPECT_FALSE(dij.pois.has_value());
+      EXPECT_FALSE(pne.pois.has_value());
+      continue;
+    }
+    const Weight expected = (*brute)[0].scores.length;
+    ASSERT_TRUE(dij.pois.has_value()) << "seed=" << seed << " rep=" << rep;
+    ASSERT_TRUE(pne.pois.has_value()) << "seed=" << seed << " rep=" << rep;
+    EXPECT_NEAR(dij.length, expected, 1e-9);
+    EXPECT_NEAR(pne.length, expected, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OsrEnginesVsBruteForce,
+                         ::testing::Range(0, 15));
+
+class OsrWithDestination : public ::testing::TestWithParam<int> {};
+
+TEST_P(OsrWithDestination, EnginesHandleDestinationTails) {
+  const uint64_t seed = 6000 + static_cast<uint64_t>(GetParam());
+  TinyDataset ds = MakeTinyDataset(seed, 24, 20, 12);
+  Rng rng(seed);
+  const WuPalmerSimilarity fn;
+  // Distinct trees: the Dij engine's exactness contract (see osr_dijkstra.h).
+  std::vector<CategoryId> cats;
+  {
+    std::vector<TreeId> used;
+    int guard = 0;
+    while (cats.size() < 2 && ++guard < 1000) {
+      const auto c = static_cast<CategoryId>(
+          rng.UniformU64(static_cast<uint64_t>(ds.forest.num_categories())));
+      const TreeId t = ds.forest.TreeOf(c);
+      bool dup = false;
+      for (TreeId u : used) dup = dup || u == t;
+      if (dup) continue;
+      cats.push_back(c);
+      used.push_back(t);
+    }
+  }
+  const auto start = static_cast<VertexId>(
+      rng.UniformU64(static_cast<uint64_t>(ds.graph.num_vertices())));
+  const auto dest = static_cast<VertexId>(
+      rng.UniformU64(static_cast<uint64_t>(ds.graph.num_vertices())));
+  const auto matchers = MakeMatchers(ds, fn, cats);
+
+  Query q = MakeSimpleQuery(start, cats);
+  q.destination = dest;
+  auto brute = BruteForceOsr(ds.graph, ds.forest, q, QueryOptions());
+  ASSERT_TRUE(brute.ok());
+  const OsrResult dij = RunOsrDijkstra(ds.graph, matchers, start, dest, 10.0);
+  const OsrResult pne = RunOsrPne(ds.graph, matchers, start, dest, 10.0);
+  if (brute->empty()) {
+    EXPECT_FALSE(dij.pois.has_value());
+    EXPECT_FALSE(pne.pois.has_value());
+    return;
+  }
+  ASSERT_TRUE(dij.pois.has_value());
+  ASSERT_TRUE(pne.pois.has_value());
+  EXPECT_NEAR(dij.length, (*brute)[0].scores.length, 1e-9) << "seed=" << seed;
+  EXPECT_NEAR(pne.length, (*brute)[0].scores.length, 1e-9) << "seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OsrWithDestination, ::testing::Range(0, 15));
+
+TEST(SuperSequenceTest, EnumeratesAncestorProduct) {
+  const CategoryForest f = MakeFoursquareLikeForest();
+  const CategoryId sushi = f.FindByName("Sushi Restaurant");  // depth 4
+  const CategoryId gift = f.FindByName("Gift Shop");          // depth 2
+  SuperSequenceEnumerator e(f, std::vector<CategoryId>{sushi, gift});
+  EXPECT_EQ(e.Count(), 4 * 2);
+  std::vector<std::vector<CategoryId>> all;
+  std::vector<CategoryId> seq;
+  while (e.Next(&seq)) all.push_back(seq);
+  EXPECT_EQ(all.size(), 8u);
+  // First combination is the base sequence itself.
+  EXPECT_EQ(all[0], (std::vector<CategoryId>{sushi, gift}));
+  // All combinations distinct.
+  for (size_t i = 0; i < all.size(); ++i) {
+    for (size_t j = i + 1; j < all.size(); ++j) {
+      EXPECT_NE(all[i], all[j]);
+    }
+  }
+  // Every entry is an ancestor-or-self of the base.
+  for (const auto& s : all) {
+    EXPECT_TRUE(f.IsAncestorOrSelf(s[0], sushi));
+    EXPECT_TRUE(f.IsAncestorOrSelf(s[1], gift));
+  }
+}
+
+class NaiveVsBssr : public ::testing::TestWithParam<int> {};
+
+TEST_P(NaiveVsBssr, BothNaiveEnginesMatchBssr) {
+  const uint64_t seed = 7000 + static_cast<uint64_t>(GetParam());
+  TinyDataset ds = MakeTinyDataset(seed, 30, 26, 14);
+  Rng rng(seed);
+  // Distinct-tree leaf categories (the naive baseline's exactness regime).
+  std::vector<CategoryId> cats;
+  std::vector<TreeId> trees;
+  int guard = 0;
+  while (cats.size() < 2 && ++guard < 1000) {
+    const auto c = static_cast<CategoryId>(
+        rng.UniformU64(static_cast<uint64_t>(ds.forest.num_categories())));
+    if (!ds.forest.IsLeaf(c)) continue;
+    const TreeId t = ds.forest.TreeOf(c);
+    bool dup = false;
+    for (TreeId u : trees) dup = dup || t == u;
+    if (dup) continue;
+    cats.push_back(c);
+    trees.push_back(t);
+  }
+  ASSERT_EQ(cats.size(), 2u);
+  const auto start = static_cast<VertexId>(
+      rng.UniformU64(static_cast<uint64_t>(ds.graph.num_vertices())));
+  const Query q = MakeSimpleQuery(start, cats);
+
+  BssrEngine engine(ds.graph, ds.forest);
+  const QueryOptions opts;
+  auto bssr = engine.Run(q, opts);
+  ASSERT_TRUE(bssr.ok());
+  auto naive_dij = RunNaiveSkySr(ds.graph, ds.forest, q, opts,
+                                 OsrEngineKind::kDijkstraBased);
+  ASSERT_TRUE(naive_dij.ok()) << naive_dij.status().ToString();
+  auto naive_pne =
+      RunNaiveSkySr(ds.graph, ds.forest, q, opts, OsrEngineKind::kPne);
+  ASSERT_TRUE(naive_pne.ok());
+
+  EXPECT_TRUE(SkylinesEquivalent(bssr->routes, naive_dij->routes))
+      << "seed=" << seed;
+  EXPECT_TRUE(SkylinesEquivalent(bssr->routes, naive_pne->routes))
+      << "seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NaiveVsBssr, ::testing::Range(0, 15));
+
+TEST(NaiveSkySrTest, RejectsComplexPredicates) {
+  TinyDataset ds = MakeTinyDataset(1);
+  Query q = MakeSimpleQuery(0, {0});
+  q.sequence[0].none_of.push_back(1);
+  auto r = RunNaiveSkySr(ds.graph, ds.forest, q, QueryOptions(),
+                         OsrEngineKind::kPne);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(NaiveSkySrTest, TimeBudgetProducesTimedOutFlag) {
+  TinyDataset ds = MakeTinyDataset(2, 40, 40, 20);
+  Query q = MakeSimpleQuery(0, {0, ds.forest.RootOf(1), ds.forest.RootOf(2)});
+  QueryOptions opts;
+  opts.time_budget_seconds = 0.0;  // expire immediately
+  auto r = RunNaiveSkySr(ds.graph, ds.forest, q, opts,
+                         OsrEngineKind::kDijkstraBased);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->stats.timed_out);
+}
+
+class PneOverlap : public ::testing::TestWithParam<int> {};
+
+TEST_P(PneOverlap, PneIsExactEvenWithOverlappingPositions) {
+  const uint64_t seed = 5500 + static_cast<uint64_t>(GetParam());
+  TinyDataset ds = MakeTinyDataset(seed, 24, 20, 12, /*num_trees=*/1,
+                                   /*branching=*/3, /*levels=*/1);
+  Rng rng(seed);
+  const WuPalmerSimilarity fn;
+  // Both positions draw from the SAME tree: distinctness binds.
+  std::vector<CategoryId> cats = {
+      static_cast<CategoryId>(
+          rng.UniformU64(static_cast<uint64_t>(ds.forest.num_categories()))),
+      static_cast<CategoryId>(
+          rng.UniformU64(static_cast<uint64_t>(ds.forest.num_categories())))};
+  const auto start = static_cast<VertexId>(
+      rng.UniformU64(static_cast<uint64_t>(ds.graph.num_vertices())));
+  const auto matchers = MakeMatchers(ds, fn, cats);
+  const OsrResult pne =
+      RunOsrPne(ds.graph, matchers, start, std::nullopt, 10.0);
+  auto brute = BruteForceOsr(ds.graph, ds.forest,
+                             MakeSimpleQuery(start, cats), QueryOptions());
+  ASSERT_TRUE(brute.ok());
+  if (brute->empty()) {
+    EXPECT_FALSE(pne.pois.has_value());
+  } else {
+    ASSERT_TRUE(pne.pois.has_value()) << "seed=" << seed;
+    EXPECT_NEAR(pne.length, (*brute)[0].scores.length, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PneOverlap, ::testing::Range(0, 12));
+
+TEST(OsrDijkstraTest, ReportsMemoryAndEffort) {
+  TinyDataset ds = MakeTinyDataset(3);
+  const WuPalmerSimilarity fn;
+  const auto matchers =
+      MakeMatchers(ds, fn, std::vector<CategoryId>{ds.forest.RootOf(0)});
+  const OsrResult r =
+      RunOsrDijkstra(ds.graph, matchers, 0, std::nullopt, 10.0);
+  EXPECT_GT(r.vertices_settled, 0);
+  EXPECT_GT(r.peak_queue_size, 0);
+  EXPECT_GT(r.logical_peak_bytes, 0);
+}
+
+}  // namespace
+}  // namespace skysr

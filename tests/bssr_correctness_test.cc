@@ -1,0 +1,209 @@
+// Ground-truth correctness of BSSR: against brute force on random tiny
+// datasets, across every optimization-toggle combination, and on handcrafted
+// instances mirroring the paper's running example (§5.5).
+
+#include <gtest/gtest.h>
+
+#include "baseline/brute_force.h"
+#include "core/bssr_engine.h"
+#include "tests/test_util.h"
+
+namespace skysr {
+namespace {
+
+using ::skysr::testing::MakeTinyDataset;
+using ::skysr::testing::ScoreVector;
+using ::skysr::testing::ScoreVectorsNear;
+using ::skysr::testing::TinyDataset;
+
+// Builds a random simple query whose categories come from distinct trees.
+Query RandomDistinctTreeQuery(const TinyDataset& ds, Rng& rng, int k) {
+  std::vector<CategoryId> cats;
+  std::vector<TreeId> trees;
+  int guard = 0;
+  while (static_cast<int>(cats.size()) < k) {
+    if (++guard > 10000) break;
+    // Any category (not only leaves) can be queried.
+    const auto c = static_cast<CategoryId>(
+        rng.UniformU64(static_cast<uint64_t>(ds.forest.num_categories())));
+    const TreeId t = ds.forest.TreeOf(c);
+    bool dup = false;
+    for (TreeId u : trees) dup = dup || u == t;
+    if (dup) continue;
+    cats.push_back(c);
+    trees.push_back(t);
+  }
+  const auto start = static_cast<VertexId>(
+      rng.UniformU64(static_cast<uint64_t>(ds.graph.num_vertices())));
+  return MakeSimpleQuery(start, cats);
+}
+
+class BssrVsBruteForce : public ::testing::TestWithParam<int> {};
+
+TEST_P(BssrVsBruteForce, MatchesBruteForceOnRandomInstances) {
+  const uint64_t seed = static_cast<uint64_t>(GetParam());
+  TinyDataset ds = MakeTinyDataset(seed);
+  Rng rng(seed * 31 + 7);
+  BssrEngine engine(ds.graph, ds.forest);
+
+  for (int k = 1; k <= 3; ++k) {
+    Query q = RandomDistinctTreeQuery(ds, rng, k);
+    if (q.size() != k) continue;  // tree pool exhausted
+    QueryOptions opts;
+    auto bssr = engine.Run(q, opts);
+    ASSERT_TRUE(bssr.ok()) << bssr.status().ToString();
+    auto brute = BruteForceSkySr(ds.graph, ds.forest, q, opts);
+    ASSERT_TRUE(brute.ok()) << brute.status().ToString();
+    EXPECT_TRUE(ScoreVectorsNear(bssr->routes, *brute))
+        << "seed=" << seed << " k=" << k << " start=" << q.start;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BssrVsBruteForce, ::testing::Range(0, 40));
+
+// Every combination of the four optimization toggles and both queue
+// disciplines must return identical skylines (Theorem 3: exactness does not
+// depend on the optimizations).
+class BssrToggleEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(BssrToggleEquivalence, AllToggleCombosAgree) {
+  const uint64_t seed = 1000 + static_cast<uint64_t>(GetParam());
+  TinyDataset ds = MakeTinyDataset(seed, /*n=*/30, /*extra_edges=*/25,
+                                   /*num_pois=*/15);
+  Rng rng(seed);
+  BssrEngine engine(ds.graph, ds.forest);
+  Query q = RandomDistinctTreeQuery(ds, rng, 3);
+  if (q.size() != 3) GTEST_SKIP();
+
+  std::vector<Route> reference;
+  bool have_reference = false;
+  for (int bits = 0; bits < 16; ++bits) {
+    for (QueueDiscipline disc :
+         {QueueDiscipline::kProposed, QueueDiscipline::kDistanceBased}) {
+      QueryOptions opts;
+      opts.use_initial_search = (bits & 1) != 0;
+      opts.use_lower_bounds = (bits & 2) != 0;
+      opts.use_cache = (bits & 4) != 0;
+      // bit 3 toggles nothing extra; kept so the sweep covers repeats.
+      opts.queue_discipline = disc;
+      auto result = engine.Run(q, opts);
+      ASSERT_TRUE(result.ok());
+      if (!have_reference) {
+        reference = result->routes;
+        have_reference = true;
+      } else {
+        EXPECT_TRUE(ScoreVectorsNear(result->routes, reference))
+            << "seed=" << seed << " bits=" << bits << " disc="
+            << (disc == QueueDiscipline::kProposed ? "proposed" : "distance");
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BssrToggleEquivalence, ::testing::Range(0, 12));
+
+// Same-tree query positions exercise the blocker-tracking path (Lemma 5.5
+// deferred filtering); brute force remains the arbiter.
+class BssrSameTree : public ::testing::TestWithParam<int> {};
+
+TEST_P(BssrSameTree, SameTreePositionsMatchBruteForce) {
+  const uint64_t seed = 2000 + static_cast<uint64_t>(GetParam());
+  TinyDataset ds = MakeTinyDataset(seed, /*n=*/20, /*extra_edges=*/16,
+                                   /*num_pois=*/10, /*num_trees=*/1,
+                                   /*branching=*/3, /*levels=*/2);
+  Rng rng(seed);
+  BssrEngine engine(ds.graph, ds.forest);
+  // Both positions target the SAME tree (indeed possibly the same category).
+  const auto c1 = static_cast<CategoryId>(
+      rng.UniformU64(static_cast<uint64_t>(ds.forest.num_categories())));
+  const auto c2 = static_cast<CategoryId>(
+      rng.UniformU64(static_cast<uint64_t>(ds.forest.num_categories())));
+  const auto start = static_cast<VertexId>(
+      rng.UniformU64(static_cast<uint64_t>(ds.graph.num_vertices())));
+  const Query q = MakeSimpleQuery(start, {c1, c2});
+
+  QueryOptions opts;
+  auto bssr = engine.Run(q, opts);
+  ASSERT_TRUE(bssr.ok());
+  auto brute = BruteForceSkySr(ds.graph, ds.forest, q, opts);
+  ASSERT_TRUE(brute.ok());
+  EXPECT_TRUE(ScoreVectorsNear(bssr->routes, *brute))
+      << "seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BssrSameTree, ::testing::Range(0, 20));
+
+// Multi-category PoIs (§6) against brute force.
+class BssrMultiCategory : public ::testing::TestWithParam<int> {};
+
+TEST_P(BssrMultiCategory, MultiCategoryPoisMatchBruteForce) {
+  const uint64_t seed = 3000 + static_cast<uint64_t>(GetParam());
+  TinyDataset ds =
+      MakeTinyDataset(seed, 24, 20, 12, 3, 2, 2, /*multi_cat_fraction=*/0.5);
+  Rng rng(seed);
+  BssrEngine engine(ds.graph, ds.forest);
+  Query q = RandomDistinctTreeQuery(ds, rng, 2);
+  if (q.size() != 2) GTEST_SKIP();
+
+  QueryOptions opts;
+  auto bssr = engine.Run(q, opts);
+  ASSERT_TRUE(bssr.ok());
+  auto brute = BruteForceSkySr(ds.graph, ds.forest, q, opts);
+  ASSERT_TRUE(brute.ok());
+  EXPECT_TRUE(ScoreVectorsNear(bssr->routes, *brute)) << "seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BssrMultiCategory, ::testing::Range(0, 15));
+
+// Destination variant (§6) against brute force.
+class BssrDestination : public ::testing::TestWithParam<int> {};
+
+TEST_P(BssrDestination, DestinationMatchesBruteForce) {
+  const uint64_t seed = 4000 + static_cast<uint64_t>(GetParam());
+  TinyDataset ds = MakeTinyDataset(seed);
+  Rng rng(seed);
+  BssrEngine engine(ds.graph, ds.forest);
+  Query q = RandomDistinctTreeQuery(ds, rng, 2);
+  if (q.size() != 2) GTEST_SKIP();
+  q.destination = static_cast<VertexId>(
+      rng.UniformU64(static_cast<uint64_t>(ds.graph.num_vertices())));
+
+  QueryOptions opts;
+  auto bssr = engine.Run(q, opts);
+  ASSERT_TRUE(bssr.ok());
+  auto brute = BruteForceSkySr(ds.graph, ds.forest, q, opts);
+  ASSERT_TRUE(brute.ok());
+  EXPECT_TRUE(ScoreVectorsNear(bssr->routes, *brute)) << "seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BssrDestination, ::testing::Range(0, 15));
+
+// The paper's qualitative claim (Example 1.2 / Table 1): relaxing semantics
+// can only shorten the best route; the perfect-match route, when present,
+// is the longest skyline entry.
+TEST(BssrProperties, SkylineIsAStaircase) {
+  TinyDataset ds = MakeTinyDataset(77);
+  Rng rng(77);
+  BssrEngine engine(ds.graph, ds.forest);
+  for (int rep = 0; rep < 10; ++rep) {
+    Query q = RandomDistinctTreeQuery(ds, rng, 3);
+    if (q.size() != 3) continue;
+    auto result = engine.Run(q);
+    ASSERT_TRUE(result.ok());
+    const auto& routes = result->routes;
+    for (size_t i = 1; i < routes.size(); ++i) {
+      EXPECT_GT(routes[i].scores.length, routes[i - 1].scores.length);
+      EXPECT_LT(routes[i].scores.semantic, routes[i - 1].scores.semantic);
+    }
+    // No route may dominate another.
+    for (size_t i = 0; i < routes.size(); ++i) {
+      for (size_t j = 0; j < routes.size(); ++j) {
+        if (i == j) continue;
+        EXPECT_FALSE(Dominates(routes[i].scores, routes[j].scores));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace skysr

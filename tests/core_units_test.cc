@@ -1,0 +1,317 @@
+// Unit tests for core building blocks: PositionMatcher (predicates,
+// multi-category modes), query validation, ThresholdPolicy, NNinit,
+// lower bounds, the expansion search and the on-the-fly cache.
+
+#include <gtest/gtest.h>
+
+#include "category/taxonomy_factory.h"
+#include "core/lower_bound.h"
+#include "core/mdijkstra_cache.h"
+#include "core/modified_dijkstra.h"
+#include "core/nn_init.h"
+#include "core/query.h"
+#include "core/skyline_set.h"
+#include "core/threshold.h"
+#include "graph/graph_builder.h"
+#include "tests/test_util.h"
+
+namespace skysr {
+namespace {
+
+// A line graph 0-1-2-3-4 with PoIs at 1 (Sushi), 2 (Italian), 3 (Asian),
+// 4 (Gift Shop): handy for matcher and expansion unit tests.
+struct LineFixture {
+  Graph graph;
+  CategoryForest forest;
+  CategoryId sushi, italian, asian, gift, food, japanese;
+
+  LineFixture() {
+    forest = MakeFoursquareLikeForest();
+    sushi = forest.FindByName("Sushi Restaurant");
+    italian = forest.FindByName("Italian Restaurant");
+    asian = forest.FindByName("Asian Restaurant");
+    gift = forest.FindByName("Gift Shop");
+    food = forest.FindByName("Food");
+    japanese = forest.FindByName("Japanese Restaurant");
+    GraphBuilder b;
+    for (int i = 0; i < 5; ++i) b.AddVertex();
+    for (int i = 0; i < 4; ++i) b.AddEdge(i, i + 1, 1.0);
+    b.AddPoi(1, {sushi}, "Sushi One");
+    b.AddPoi(2, {italian}, "Trattoria");
+    b.AddPoi(3, {asian}, "Pan-Asia");
+    b.AddPoi(4, {gift}, "Gifts!");
+    graph = std::move(b.Build()).ValueOrDie();
+  }
+};
+
+TEST(PositionMatcherTest, SingleCategorySimilarity) {
+  const LineFixture fx;
+  const WuPalmerSimilarity fn;
+  const PositionMatcher m(fx.graph, fx.forest, fn,
+                          CategoryPredicate::Single(fx.japanese),
+                          MultiCategoryMode::kMaxSimilarity);
+  // Sushi is a descendant of Japanese: perfect.
+  EXPECT_EQ(m.SimOfPoi(fx.graph.PoiAtVertex(1)), 1.0);
+  EXPECT_TRUE(m.IsPerfect(fx.graph.PoiAtVertex(1)));
+  // Italian is in the Food tree: semantic but not perfect.
+  const double italian_sim = m.SimOfPoi(fx.graph.PoiAtVertex(2));
+  EXPECT_GT(italian_sim, 0.0);
+  EXPECT_LT(italian_sim, 1.0);
+  // Gift Shop is in another tree: no match.
+  EXPECT_EQ(m.SimOfPoi(fx.graph.PoiAtVertex(4)), 0.0);
+  EXPECT_EQ(m.SimOfVertex(0), 0.0);  // plain road vertex
+  EXPECT_EQ(m.trees().size(), 1u);
+}
+
+TEST(PositionMatcherTest, DisjunctionTakesBestAlternative) {
+  const LineFixture fx;
+  const WuPalmerSimilarity fn;
+  CategoryPredicate pred;
+  pred.any_of = {fx.japanese, fx.gift};
+  const PositionMatcher m(fx.graph, fx.forest, fn, pred,
+                          MultiCategoryMode::kMaxSimilarity);
+  EXPECT_EQ(m.SimOfPoi(fx.graph.PoiAtVertex(1)), 1.0);  // via Japanese
+  EXPECT_EQ(m.SimOfPoi(fx.graph.PoiAtVertex(4)), 1.0);  // via Gift Shop
+  EXPECT_EQ(m.trees().size(), 2u);
+}
+
+TEST(PositionMatcherTest, NegationExcludesSubtrees) {
+  const LineFixture fx;
+  const WuPalmerSimilarity fn;
+  CategoryPredicate pred;
+  pred.any_of = {fx.food};
+  pred.none_of = {fx.japanese};
+  const PositionMatcher m(fx.graph, fx.forest, fn, pred,
+                          MultiCategoryMode::kMaxSimilarity);
+  EXPECT_EQ(m.SimOfPoi(fx.graph.PoiAtVertex(1)), 0.0);  // Sushi banned
+  EXPECT_EQ(m.SimOfPoi(fx.graph.PoiAtVertex(2)), 1.0);  // Italian fine
+}
+
+TEST(PositionMatcherTest, ConjunctionNeedsEveryCategory) {
+  // Multi-category PoI holding {Sushi, Gift}.
+  const CategoryForest forest = MakeFoursquareLikeForest();
+  const CategoryId sushi = forest.FindByName("Sushi Restaurant");
+  const CategoryId gift = forest.FindByName("Gift Shop");
+  const CategoryId food = forest.FindByName("Food");
+  const CategoryId shop = forest.FindByName("Shop & Service");
+  GraphBuilder b;
+  b.AddVertex();
+  b.AddVertex();
+  b.AddEdge(0, 1, 1.0);
+  b.AddPoi(1, {sushi, gift});
+  const Graph g = std::move(b.Build()).ValueOrDie();
+  const WuPalmerSimilarity fn;
+
+  CategoryPredicate both;
+  both.any_of = {food};
+  both.all_of = {food, shop};
+  const PositionMatcher m_both(g, forest, fn, both,
+                               MultiCategoryMode::kMaxSimilarity);
+  EXPECT_EQ(m_both.SimOfPoi(0), 1.0);
+
+  CategoryPredicate impossible;
+  impossible.any_of = {food};
+  impossible.all_of = {forest.FindByName("Event")};
+  const PositionMatcher m_imp(g, forest, fn, impossible,
+                              MultiCategoryMode::kMaxSimilarity);
+  EXPECT_EQ(m_imp.SimOfPoi(0), 0.0);
+}
+
+TEST(PositionMatcherTest, AverageModeAveragesOverPoiCategories) {
+  const CategoryForest forest = MakeFoursquareLikeForest();
+  const CategoryId sushi = forest.FindByName("Sushi Restaurant");
+  const CategoryId gift = forest.FindByName("Gift Shop");
+  GraphBuilder b;
+  b.AddVertex();
+  b.AddPoi(0, {sushi, gift});
+  const Graph g = std::move(b.Build()).ValueOrDie();
+  const WuPalmerSimilarity fn;
+  const auto pred = CategoryPredicate::Single(sushi);
+  const PositionMatcher max_m(g, forest, fn, pred,
+                              MultiCategoryMode::kMaxSimilarity);
+  const PositionMatcher avg_m(g, forest, fn, pred,
+                              MultiCategoryMode::kAverageSimilarity);
+  EXPECT_EQ(max_m.SimOfPoi(0), 1.0);
+  EXPECT_DOUBLE_EQ(avg_m.SimOfPoi(0), 0.5);  // (1 + 0) / 2
+  EXPECT_EQ(avg_m.max_non_perfect_sim(), 1.0);  // conservative δ = 0
+}
+
+TEST(ValidateQueryTest, CatchesBadInputs) {
+  const LineFixture fx;
+  Query q = MakeSimpleQuery(0, {fx.sushi});
+  EXPECT_TRUE(ValidateQuery(fx.graph, fx.forest, q).ok());
+  q.start = 99;
+  EXPECT_FALSE(ValidateQuery(fx.graph, fx.forest, q).ok());
+  q.start = 0;
+  q.sequence.clear();
+  EXPECT_FALSE(ValidateQuery(fx.graph, fx.forest, q).ok());
+  q = MakeSimpleQuery(0, {fx.sushi});
+  q.destination = -3;
+  EXPECT_FALSE(ValidateQuery(fx.graph, fx.forest, q).ok());
+  q = MakeSimpleQuery(0, {static_cast<CategoryId>(10000)});
+  EXPECT_FALSE(ValidateQuery(fx.graph, fx.forest, q).ok());
+  q = MakeSimpleQuery(0, {fx.sushi});
+  q.sequence[0].any_of.clear();
+  EXPECT_FALSE(ValidateQuery(fx.graph, fx.forest, q).ok());
+}
+
+TEST(ExpansionTest, EmitsSemanticMatchesInDistanceOrder) {
+  const LineFixture fx;
+  const WuPalmerSimilarity fn;
+  const PositionMatcher m(fx.graph, fx.forest, fn,
+                          CategoryPredicate::Single(fx.japanese),
+                          MultiCategoryMode::kMaxSimilarity);
+  ExpansionScratch scratch;
+  std::vector<ExpansionCandidate> seen;
+  const CandidateList list = RunExpansion(
+      fx.graph, m, /*source=*/0, [] { return kInfWeight; },
+      /*apply_lemma55=*/false, scratch,
+      [&](const ExpansionCandidate& c) { seen.push_back(c); }, nullptr);
+  ASSERT_EQ(seen.size(), 3u);  // Sushi, Italian, Asian all in Food tree
+  EXPECT_EQ(seen[0].vertex, 1);
+  EXPECT_EQ(seen[0].sim, 1.0);
+  for (size_t i = 1; i < seen.size(); ++i) {
+    EXPECT_GE(seen[i].dist, seen[i - 1].dist);
+  }
+  EXPECT_TRUE(list.exhausted);
+}
+
+TEST(ExpansionTest, Lemma55StopsAtPerfectMatchAndFiltersBlocked) {
+  const LineFixture fx;
+  const WuPalmerSimilarity fn;
+  const PositionMatcher m(fx.graph, fx.forest, fn,
+                          CategoryPredicate::Single(fx.japanese),
+                          MultiCategoryMode::kMaxSimilarity);
+  ExpansionScratch scratch;
+  std::vector<ExpansionCandidate> seen;
+  RunExpansion(
+      fx.graph, m, /*source=*/0, [] { return kInfWeight; },
+      /*apply_lemma55=*/true, scratch,
+      [&](const ExpansionCandidate& c) { seen.push_back(c); }, nullptr);
+  // The perfect Sushi at vertex 1 blocks everything beyond it (Lemma 5.5ii).
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].vertex, 1);
+}
+
+TEST(ExpansionTest, BudgetTerminatesSearch) {
+  const LineFixture fx;
+  const WuPalmerSimilarity fn;
+  const PositionMatcher m(fx.graph, fx.forest, fn,
+                          CategoryPredicate::Single(fx.japanese),
+                          MultiCategoryMode::kMaxSimilarity);
+  ExpansionScratch scratch;
+  std::vector<ExpansionCandidate> seen;
+  const CandidateList list = RunExpansion(
+      fx.graph, m, /*source=*/0, [] { return 1.5; },
+      /*apply_lemma55=*/false, scratch,
+      [&](const ExpansionCandidate& c) { seen.push_back(c); }, nullptr);
+  ASSERT_EQ(seen.size(), 1u);  // only vertex 1 at distance 1 < 1.5
+  EXPECT_FALSE(list.exhausted);
+  EXPECT_LE(list.covered_radius, 2.0);
+  EXPECT_GE(list.covered_radius, 1.5);
+}
+
+TEST(CacheTest, PutFindReplaceAndClear) {
+  MdijkstraCache cache;
+  EXPECT_EQ(cache.Find(3, 1), nullptr);
+  CandidateList l1;
+  l1.covered_radius = 5;
+  cache.Put(3, 1, std::move(l1));
+  const CandidateList* hit = cache.Find(3, 1);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->covered_radius, 5);
+  EXPECT_EQ(cache.Find(3, 2), nullptr);
+  EXPECT_EQ(cache.Find(4, 1), nullptr);
+  CandidateList l2;
+  l2.covered_radius = 9;
+  cache.Put(3, 1, std::move(l2));
+  EXPECT_EQ(cache.Find(3, 1)->covered_radius, 9);
+  EXPECT_EQ(cache.replacements(), 1);
+  cache.Clear();
+  EXPECT_EQ(cache.Find(3, 1), nullptr);
+}
+
+TEST(NnInitTest, FindsPerfectChainAndSemanticVariants) {
+  const LineFixture fx;
+  const WuPalmerSimilarity fn;
+  std::vector<PositionMatcher> matchers;
+  matchers.emplace_back(fx.graph, fx.forest, fn,
+                        CategoryPredicate::Single(fx.asian),
+                        MultiCategoryMode::kMaxSimilarity);
+  matchers.emplace_back(fx.graph, fx.forest, fn,
+                        CategoryPredicate::Single(fx.gift),
+                        MultiCategoryMode::kMaxSimilarity);
+  const SemanticAggregator agg;
+  DijkstraWorkspace ws;
+  SkylineSet skyline;
+  SearchStats stats;
+  RunNnInit(fx.graph, matchers, /*start=*/0, agg, nullptr, ws, &skyline,
+            &stats);
+  // Asian position: nearest perfect match is Sushi@1 (descendant).
+  // Gift position from vertex 1: Gifts!@4 — one perfect route.
+  ASSERT_GE(skyline.size(), 1);
+  EXPECT_EQ(skyline.Threshold(0.0), 1.0 + 3.0);
+  EXPECT_GT(stats.nninit_routes, 0);
+  EXPECT_EQ(stats.nninit_perfect_length, 4.0);
+}
+
+TEST(LowerBoundTest, LegBoundsAreValidMinima) {
+  const LineFixture fx;
+  const WuPalmerSimilarity fn;
+  std::vector<PositionMatcher> matchers;
+  matchers.emplace_back(fx.graph, fx.forest, fn,
+                        CategoryPredicate::Single(fx.asian),
+                        MultiCategoryMode::kMaxSimilarity);
+  matchers.emplace_back(fx.graph, fx.forest, fn,
+                        CategoryPredicate::Single(fx.gift),
+                        MultiCategoryMode::kMaxSimilarity);
+  SearchStats stats;
+  const LowerBounds lb =
+      ComputeLowerBounds(fx.graph, matchers, 0, kInfWeight, &stats);
+  ASSERT_EQ(lb.ls_leg.size(), 1u);
+  // Nearest Food-tree PoI to the Gift PoI is Asian@3 -> distance 1.
+  EXPECT_DOUBLE_EQ(lb.ls_leg[0], 1.0);
+  EXPECT_DOUBLE_EQ(lb.lp_leg[0], 1.0);
+  ASSERT_EQ(lb.ls_remaining.size(), 3u);
+  EXPECT_DOUBLE_EQ(lb.ls_remaining[1], 1.0);
+  EXPECT_DOUBLE_EQ(lb.ls_remaining[2], 0.0);
+}
+
+TEST(ThresholdPolicyTest, PruningLogic) {
+  SkylineSet skyline;
+  skyline.Update({10.0, 0.0}, {1});  // perfect route of length 10
+  skyline.Update({4.0, 0.5}, {2});
+  const SemanticAggregator agg;
+  LowerBounds lb;
+  lb.ls_remaining = {2.0, 2.0, 0.0};
+  lb.lp_remaining = {3.0, 3.0, 0.0};
+  lb.ls_leg = {2.0};
+  lb.lp_leg = {3.0};
+  const ThresholdPolicy policy(skyline, agg, &lb, {0.8, 0.8, 0.0}, 2);
+
+  // Size-1 partial with semantic 0 (acc=1): threshold is 10.
+  EXPECT_FALSE(policy.ShouldPrunePartial(1.0, 7.9, 1));  // 7.9+2 < 10
+  EXPECT_TRUE(policy.ShouldPrunePartial(1.0, 8.0, 1));   // 8+2 >= 10
+  // Lemma 5.8: with acc=1, delta = 1-0.8 = 0.2 => bumped threshold uses
+  // semantic 0.2 -> Th = 10... entry (4,0.5) needs sem >= 0.5.
+  // With acc such that sem=0.5: Th(0.5)=4.
+  EXPECT_TRUE(policy.ShouldPrunePartial(0.5, 4.0, 1));  // plain: 4+2 >= 4
+  // Complete-route pruning is plain dominance.
+  EXPECT_TRUE(policy.ShouldPruneComplete({11.0, 0.0}));
+  EXPECT_FALSE(policy.ShouldPruneComplete({9.0, 0.0}));
+  // Budget: Th(0)=10, len=3, next leg m+1=2 -> remaining 0.
+  EXPECT_DOUBLE_EQ(policy.ExpansionBudget(1.0, 3.0, 1), 7.0);
+  // For m=0 -> candidate size 1, remaining ls_remaining[1]=2.
+  EXPECT_DOUBLE_EQ(policy.ExpansionBudget(1.0, 0.0, 0), 8.0);
+}
+
+TEST(ThresholdPolicyTest, EmptySkylineNeverPrunes) {
+  SkylineSet skyline;
+  const SemanticAggregator agg;
+  const ThresholdPolicy policy(skyline, agg, nullptr, {0.0, 0.0}, 1);
+  EXPECT_FALSE(policy.ShouldPrunePartial(1.0, 1e12, 1));
+  EXPECT_EQ(policy.ExpansionBudget(1.0, 0.0, 0), kInfWeight);
+}
+
+}  // namespace
+}  // namespace skysr

@@ -1,0 +1,238 @@
+// End-to-end integration on generated mid-size datasets: BSSR vs the naive
+// baselines on real workloads, cache/optimization effects on statistics,
+// and the paper's qualitative claims at scale.
+
+#include <gtest/gtest.h>
+
+#include "baseline/naive_skysr.h"
+#include "core/bssr_engine.h"
+#include "tests/test_util.h"
+#include "workload/dataset.h"
+#include "workload/query_gen.h"
+
+namespace skysr {
+namespace {
+
+using ::skysr::testing::ScoreVectorsNear;
+using ::skysr::testing::SkylinesEquivalent;
+
+class MidScaleFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DatasetSpec spec = CalLikeSpec(0.05);  // ~1k road vertices, ~4.4k PoIs
+    spec.seed = 31;
+    dataset_ = new Dataset(MakeDataset(spec));
+    QueryGenParams qp;
+    qp.count = 8;
+    qp.sequence_size = 3;
+    qp.seed = 32;
+    queries_ = new std::vector<Query>(GenerateQueries(*dataset_, qp));
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    delete queries_;
+    dataset_ = nullptr;
+    queries_ = nullptr;
+  }
+  static Dataset* dataset_;
+  static std::vector<Query>* queries_;
+};
+
+Dataset* MidScaleFixture::dataset_ = nullptr;
+std::vector<Query>* MidScaleFixture::queries_ = nullptr;
+
+TEST_F(MidScaleFixture, BssrAgreesWithNaivePneOnGeneratedWorkload) {
+  BssrEngine engine(dataset_->graph, dataset_->forest);
+  QueryOptions opts;
+  opts.time_budget_seconds = 30.0;
+  for (const Query& q : *queries_) {
+    auto bssr = engine.Run(q, opts);
+    ASSERT_TRUE(bssr.ok());
+    ASSERT_FALSE(bssr->stats.timed_out);
+    auto naive =
+        RunNaiveSkySr(dataset_->graph, dataset_->forest, q, opts,
+                      OsrEngineKind::kPne);
+    ASSERT_TRUE(naive.ok());
+    ASSERT_FALSE(naive->stats.timed_out);
+    EXPECT_TRUE(SkylinesEquivalent(bssr->routes, naive->routes))
+        << "start=" << q.start;
+  }
+}
+
+TEST_F(MidScaleFixture, CachingReducesDijkstraRuns) {
+  BssrEngine engine(dataset_->graph, dataset_->forest);
+  int64_t with_cache = 0, without_cache = 0;
+  for (const Query& q : *queries_) {
+    QueryOptions opts;
+    opts.use_cache = true;
+    auto a = engine.Run(q, opts);
+    ASSERT_TRUE(a.ok());
+    with_cache += a->stats.mdijkstra_runs;
+    opts.use_cache = false;
+    auto b = engine.Run(q, opts);
+    ASSERT_TRUE(b.ok());
+    without_cache += b->stats.mdijkstra_runs;
+    // Results identical regardless of caching.
+    EXPECT_TRUE(ScoreVectorsNear(a->routes, b->routes));
+  }
+  EXPECT_LE(with_cache, without_cache);
+}
+
+TEST_F(MidScaleFixture, InitialSearchShrinksFirstSearchSpace) {
+  BssrEngine engine(dataset_->graph, dataset_->forest);
+  double with_init = 0, without_init = 0;
+  for (const Query& q : *queries_) {
+    QueryOptions opts;
+    auto a = engine.Run(q, opts);
+    ASSERT_TRUE(a.ok());
+    with_init += a->stats.first_search_weight_sum;
+    opts.use_initial_search = false;
+    opts.use_lower_bounds = false;
+    auto b = engine.Run(q, opts);
+    ASSERT_TRUE(b.ok());
+    without_init += b->stats.first_search_weight_sum;
+  }
+  // Table 7's effect: the first modified Dijkstra explores far less with
+  // the initial search seeding the threshold.
+  EXPECT_LT(with_init, without_init * 0.8);
+}
+
+TEST_F(MidScaleFixture, ProposedQueueVisitsFewerVerticesThanDistanceBased) {
+  BssrEngine engine(dataset_->graph, dataset_->forest);
+  int64_t proposed = 0, distance = 0;
+  for (const Query& q : *queries_) {
+    QueryOptions opts;
+    opts.queue_discipline = QueueDiscipline::kProposed;
+    auto a = engine.Run(q, opts);
+    ASSERT_TRUE(a.ok());
+    proposed += a->stats.vertices_settled;
+    opts.queue_discipline = QueueDiscipline::kDistanceBased;
+    auto b = engine.Run(q, opts);
+    ASSERT_TRUE(b.ok());
+    distance += b->stats.vertices_settled;
+    EXPECT_TRUE(ScoreVectorsNear(a->routes, b->routes));
+  }
+  // Table 8's effect, aggregated over the workload.
+  EXPECT_LT(proposed, distance);
+}
+
+TEST_F(MidScaleFixture, StatsAreInternallyConsistent) {
+  BssrEngine engine(dataset_->graph, dataset_->forest);
+  for (const Query& q : *queries_) {
+    auto r = engine.Run(q);
+    ASSERT_TRUE(r.ok());
+    const SearchStats& s = r->stats;
+    EXPECT_EQ(s.skyline_size, static_cast<int64_t>(r->routes.size()));
+    EXPECT_GE(s.routes_enqueued, s.routes_dequeued - 1);
+    EXPECT_GT(s.mdijkstra_runs, 0);
+    EXPECT_GT(s.vertices_settled, 0);
+    EXPECT_GE(s.elapsed_ms, 0);
+    EXPECT_GT(s.logical_peak_bytes, 0);
+    // Small skylines, as the paper reports (Figure 6: up to ~8).
+    EXPECT_LE(s.skyline_size, 64);
+    EXPECT_GE(s.skyline_size, 1);
+  }
+}
+
+TEST_F(MidScaleFixture, ReusedEngineGivesIdenticalResults) {
+  BssrEngine engine(dataset_->graph, dataset_->forest);
+  const Query& q = (*queries_)[0];
+  auto first = engine.Run(q);
+  ASSERT_TRUE(first.ok());
+  for (int rep = 0; rep < 3; ++rep) {
+    auto again = engine.Run(q);
+    ASSERT_TRUE(again.ok());
+    ASSERT_EQ(again->routes.size(), first->routes.size());
+    for (size_t i = 0; i < first->routes.size(); ++i) {
+      EXPECT_EQ(again->routes[i].pois, first->routes[i].pois);
+      EXPECT_EQ(again->routes[i].scores.length,
+                first->routes[i].scores.length);
+    }
+  }
+}
+
+TEST_F(MidScaleFixture, LargerSequencesStayExact) {
+  // |S_q| = 4 and 5: BSSR vs the naive PNE baseline (exact for the
+  // distinct-tree workload the generator emits). Larger sizes stress the
+  // branch-and-bound depth, δ pruning and the cache's rerun path.
+  BssrEngine engine(dataset_->graph, dataset_->forest);
+  QueryOptions opts;
+  opts.time_budget_seconds = 60.0;
+  for (int size = 4; size <= 5; ++size) {
+    QueryGenParams qp;
+    qp.count = 3;
+    qp.sequence_size = size;
+    qp.seed = 777 + static_cast<uint64_t>(size);
+    const auto queries = GenerateQueries(*dataset_, qp);
+    for (const Query& q : queries) {
+      auto bssr = engine.Run(q, opts);
+      ASSERT_TRUE(bssr.ok());
+      ASSERT_FALSE(bssr->stats.timed_out);
+      auto naive = RunNaiveSkySr(dataset_->graph, dataset_->forest, q, opts,
+                                 OsrEngineKind::kPne);
+      ASSERT_TRUE(naive.ok());
+      if (naive->stats.timed_out) continue;  // budget hit: skip comparison
+      EXPECT_TRUE(SkylinesEquivalent(bssr->routes, naive->routes))
+          << "size=" << size << " start=" << q.start;
+    }
+  }
+}
+
+TEST(OneWayWorkload, BssrMatchesNaivePneOnDirectedCity) {
+  // §6 directed support at workload scale: a city with 40% one-way streets.
+  DatasetSpec spec = CalLikeSpec(0.04);
+  spec.one_way_fraction = 0.4;
+  spec.seed = 91;
+  const Dataset ds = MakeDataset(spec);
+  ASSERT_TRUE(ds.graph.directed());
+  QueryGenParams qp;
+  qp.count = 5;
+  qp.sequence_size = 3;
+  qp.seed = 92;
+  const auto queries = GenerateQueries(ds, qp);
+  BssrEngine engine(ds.graph, ds.forest);
+  QueryOptions opts;
+  opts.time_budget_seconds = 60.0;
+  for (const Query& q : queries) {
+    auto bssr = engine.Run(q, opts);
+    ASSERT_TRUE(bssr.ok());
+    auto naive =
+        RunNaiveSkySr(ds.graph, ds.forest, q, opts, OsrEngineKind::kPne);
+    ASSERT_TRUE(naive.ok());
+    if (naive->stats.timed_out) continue;
+    EXPECT_TRUE(SkylinesEquivalent(bssr->routes, naive->routes))
+        << "start=" << q.start;
+  }
+}
+
+TEST(FoursquareScenario, PaperExampleOneShapes) {
+  // Example 1.1's shape on a generated Tokyo-like city: querying
+  // <Asian Restaurant, Arts & Entertainment, Gift Shop> yields a skyline
+  // whose shortest route is at least as short as the perfect-match route.
+  DatasetSpec spec = TokyoLikeSpec(0.004);  // ~1.6k road vertices
+  spec.seed = 41;
+  const Dataset ds = MakeDataset(spec);
+  BssrEngine engine(ds.graph, ds.forest);
+  const CategoryId asian = ds.forest.FindByName("Asian Restaurant");
+  const CategoryId arts = ds.forest.FindByName("Arts & Entertainment");
+  const CategoryId gift = ds.forest.FindByName("Gift Shop");
+  ASSERT_NE(asian, kInvalidCategory);
+  int nonempty = 0;
+  for (VertexId start = 0; start < ds.graph.num_vertices();
+       start += ds.graph.num_vertices() / 5) {
+    auto r = engine.Run(MakeSimpleQuery(start, {asian, arts, gift}));
+    ASSERT_TRUE(r.ok());
+    if (r->routes.empty()) continue;
+    ++nonempty;
+    // Longest route should be the (near-)perfect one; shortest the most
+    // semantically relaxed.
+    EXPECT_LE(r->routes.front().scores.length,
+              r->routes.back().scores.length);
+    EXPECT_GE(r->routes.front().scores.semantic,
+              r->routes.back().scores.semantic);
+  }
+  EXPECT_GT(nonempty, 0);
+}
+
+}  // namespace
+}  // namespace skysr

@@ -1,0 +1,181 @@
+// A hand-crafted instance in the style of the paper's running example
+// (Figures 1 & 2, §5.5): every score is computed by hand with Eq. (6) and
+// Eq. (7), so this test pins exact semantics, not just cross-implementation
+// agreement.
+
+#include <gtest/gtest.h>
+
+#include "baseline/naive_skysr.h"
+#include "core/bssr_engine.h"
+#include "graph/graph_builder.h"
+
+namespace skysr {
+namespace {
+
+// Figure-2-like forest:
+//   Food { Asian, Italian, Bakery }          depths: 1 / 2
+//   Shop & Service { Gift, Hobby }           depths: 1 / 2
+//   Arts & Entertainment (a lone root)       depth: 1
+struct PaperFixture {
+  CategoryForest forest;
+  CategoryId food, asian, italian, bakery, shop, gift, hobby, arts;
+  Graph graph;
+  // Vertices: vq=0, I=1 (Italian), A=2 (Asian), E=3 (A&E), H=4 (Hobby),
+  // G=5 (Gift).
+  static constexpr VertexId kVq = 0, kI = 1, kA = 2, kE = 3, kH = 4, kG = 5;
+
+  PaperFixture() {
+    CategoryForestBuilder fb;
+    food = fb.AddRoot("Food");
+    asian = fb.AddChild(food, "Asian");
+    italian = fb.AddChild(food, "Italian");
+    bakery = fb.AddChild(food, "Bakery");
+    shop = fb.AddRoot("Shop & Service");
+    gift = fb.AddChild(shop, "Gift");
+    hobby = fb.AddChild(shop, "Hobby");
+    arts = fb.AddRoot("Arts & Entertainment");
+    forest = std::move(fb.Build()).ValueOrDie();
+
+    GraphBuilder gb;
+    for (int i = 0; i < 6; ++i) gb.AddVertex();
+    gb.AddEdge(kVq, kI, 1.0);
+    gb.AddEdge(kVq, kA, 4.0);
+    gb.AddEdge(kI, kE, 2.0);
+    gb.AddEdge(kA, kE, 1.0);
+    gb.AddEdge(kE, kH, 2.0);
+    gb.AddEdge(kE, kG, 3.0);
+    gb.AddPoi(kI, {italian}, "Italian");
+    gb.AddPoi(kA, {asian}, "Asian");
+    gb.AddPoi(kE, {arts}, "A&E");
+    gb.AddPoi(kH, {hobby}, "Hobby");
+    gb.AddPoi(kG, {gift}, "Gift");
+    graph = std::move(gb.Build()).ValueOrDie();
+  }
+};
+
+// Hand-computed expectation for the query <Asian, A&E, Gift> from vq:
+//   sim(Asian, Italian) = 2*d(Food)/(d(Asian)+d(Food)) = 2/3
+//   sim(Gift,  Hobby)   = 2/3
+// Candidate sequenced routes (D = shortest network distances):
+//   <A, E, G>: 4 + 1 + 3 = 8,  s = 0                     (perfect)
+//   <I, E, G>: 1 + 2 + 3 = 6,  s = 1 - 2/3      = 1/3
+//   <A, E, H>: 4 + 1 + 2 = 7,  s = 1/3                   (dominated by ^)
+//   <I, E, H>: 1 + 2 + 2 = 5,  s = 1 - 4/9      = 5/9
+// Skyline: (5, 5/9), (6, 1/3), (8, 0).
+TEST(PaperExample, HandComputedSkyline) {
+  const PaperFixture fx;
+  BssrEngine engine(fx.graph, fx.forest);
+  const Query q =
+      MakeSimpleQuery(PaperFixture::kVq, {fx.asian, fx.arts, fx.gift});
+  auto r = engine.Run(q);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->routes.size(), 3u);
+
+  EXPECT_DOUBLE_EQ(r->routes[0].scores.length, 5.0);
+  EXPECT_NEAR(r->routes[0].scores.semantic, 5.0 / 9.0, 1e-12);
+  EXPECT_EQ(r->routes[0].pois,
+            (std::vector<PoiId>{fx.graph.PoiAtVertex(PaperFixture::kI),
+                                fx.graph.PoiAtVertex(PaperFixture::kE),
+                                fx.graph.PoiAtVertex(PaperFixture::kH)}));
+
+  EXPECT_DOUBLE_EQ(r->routes[1].scores.length, 6.0);
+  EXPECT_NEAR(r->routes[1].scores.semantic, 1.0 / 3.0, 1e-12);
+
+  EXPECT_DOUBLE_EQ(r->routes[2].scores.length, 8.0);
+  EXPECT_DOUBLE_EQ(r->routes[2].scores.semantic, 0.0);
+  EXPECT_EQ(r->routes[2].pois,
+            (std::vector<PoiId>{fx.graph.PoiAtVertex(PaperFixture::kA),
+                                fx.graph.PoiAtVertex(PaperFixture::kE),
+                                fx.graph.PoiAtVertex(PaperFixture::kG)}));
+}
+
+TEST(PaperExample, EveryToggleComboFindsTheSameHandComputedSkyline) {
+  const PaperFixture fx;
+  BssrEngine engine(fx.graph, fx.forest);
+  const Query q =
+      MakeSimpleQuery(PaperFixture::kVq, {fx.asian, fx.arts, fx.gift});
+  for (int bits = 0; bits < 8; ++bits) {
+    for (const auto disc :
+         {QueueDiscipline::kProposed, QueueDiscipline::kDistanceBased}) {
+      QueryOptions opts;
+      opts.use_initial_search = (bits & 1) != 0;
+      opts.use_lower_bounds = (bits & 2) != 0;
+      opts.use_cache = (bits & 4) != 0;
+      opts.queue_discipline = disc;
+      auto r = engine.Run(q, opts);
+      ASSERT_TRUE(r.ok());
+      ASSERT_EQ(r->routes.size(), 3u) << "bits=" << bits;
+      EXPECT_DOUBLE_EQ(r->routes[0].scores.length, 5.0);
+      EXPECT_DOUBLE_EQ(r->routes[1].scores.length, 6.0);
+      EXPECT_DOUBLE_EQ(r->routes[2].scores.length, 8.0);
+    }
+  }
+}
+
+TEST(PaperExample, NaiveBaselinesAgreeOnTheHandComputedSkyline) {
+  const PaperFixture fx;
+  const Query q =
+      MakeSimpleQuery(PaperFixture::kVq, {fx.asian, fx.arts, fx.gift});
+  for (const auto kind :
+       {OsrEngineKind::kDijkstraBased, OsrEngineKind::kPne}) {
+    auto r = RunNaiveSkySr(fx.graph, fx.forest, q, QueryOptions(), kind);
+    ASSERT_TRUE(r.ok());
+    ASSERT_EQ(r->routes.size(), 3u);
+    EXPECT_DOUBLE_EQ(r->routes[0].scores.length, 5.0);
+    EXPECT_NEAR(r->routes[0].scores.semantic, 5.0 / 9.0, 1e-12);
+    EXPECT_DOUBLE_EQ(r->routes[2].scores.length, 8.0);
+  }
+}
+
+// Querying the ROOT category accepts every PoI of the tree perfectly
+// (Eq. (6): descendants are perfect matches), so the skyline collapses to
+// the single shortest perfect route.
+TEST(PaperExample, RootQueryCollapsesToShortestRoute) {
+  const PaperFixture fx;
+  BssrEngine engine(fx.graph, fx.forest);
+  auto r = engine.Run(MakeSimpleQuery(PaperFixture::kVq, {fx.food}));
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->routes.size(), 1u);
+  EXPECT_DOUBLE_EQ(r->routes[0].scores.length, 1.0);  // Italian at dist 1
+  EXPECT_DOUBLE_EQ(r->routes[0].scores.semantic, 0.0);
+}
+
+// Destination variant, hand-computed: same query, trip must end at H.
+//   <I, E, G> + D(G, H) = 6 + 5 = 11   s = 1/3
+//   <A, E, G> + 5       = 13           s = 0
+//   <I, E, H> + 0       = 5            s = 5/9
+//   <A, E, H> + 0       = 7            s = 1/3   -> dominates (11, 1/3)
+// Skyline: (5, 5/9), (7, 1/3), (13, 0).
+TEST(PaperExample, DestinationHandComputed) {
+  const PaperFixture fx;
+  BssrEngine engine(fx.graph, fx.forest);
+  Query q = MakeSimpleQuery(PaperFixture::kVq, {fx.asian, fx.arts, fx.gift});
+  q.destination = PaperFixture::kH;
+  auto r = engine.Run(q);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->routes.size(), 3u);
+  EXPECT_DOUBLE_EQ(r->routes[0].scores.length, 5.0);
+  EXPECT_NEAR(r->routes[0].scores.semantic, 5.0 / 9.0, 1e-12);
+  EXPECT_DOUBLE_EQ(r->routes[1].scores.length, 7.0);
+  EXPECT_NEAR(r->routes[1].scores.semantic, 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(r->routes[2].scores.length, 13.0);
+  EXPECT_DOUBLE_EQ(r->routes[2].scores.semantic, 0.0);
+}
+
+// The NNinit seeding on this instance: the perfect chain is A (nearest
+// perfect Asian at 4) -> E (1) -> G (3), and the last hop also discovers the
+// Hobby shop at distance 2, seeding (7, 1/3) — both recorded by stats.
+TEST(PaperExample, NnInitStats) {
+  const PaperFixture fx;
+  BssrEngine engine(fx.graph, fx.forest);
+  const Query q =
+      MakeSimpleQuery(PaperFixture::kVq, {fx.asian, fx.arts, fx.gift});
+  auto r = engine.Run(q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->stats.nninit_perfect_length, 8.0);
+  EXPECT_EQ(r->stats.nninit_routes, 2);
+  EXPECT_DOUBLE_EQ(r->stats.nninit_max_semantic_length, 7.0);
+}
+
+}  // namespace
+}  // namespace skysr

@@ -1,0 +1,164 @@
+// SkylineSet: dominance semantics (Definitions 4.1/4.2), threshold queries
+// (Definition 5.4), staircase invariant — including a randomized comparison
+// against a naive O(n^2) skyline.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/skyline_set.h"
+#include "util/rng.h"
+
+namespace skysr {
+namespace {
+
+TEST(DominanceTest, Definition41) {
+  const RouteScores a{5, 0.2};
+  EXPECT_TRUE(Dominates(a, {6, 0.2}));   // shorter, equal semantic
+  EXPECT_TRUE(Dominates(a, {5, 0.3}));   // equal length, better semantic
+  EXPECT_TRUE(Dominates(a, {6, 0.3}));   // better in both
+  EXPECT_FALSE(Dominates(a, {5, 0.2}));  // equivalent, not dominated
+  EXPECT_FALSE(Dominates(a, {4, 0.3}));  // incomparable
+  EXPECT_TRUE(Equivalent(a, {5, 0.2}));
+  EXPECT_TRUE(DominatesOrEquals(a, {5, 0.2}));
+}
+
+TEST(SkylineSetTest, InsertEvictsDominated) {
+  SkylineSet s;
+  EXPECT_TRUE(s.Update({10, 0.5}, {1}));
+  EXPECT_TRUE(s.Update({20, 0.1}, {2}));
+  EXPECT_TRUE(s.Update({5, 0.9}, {3}));
+  EXPECT_EQ(s.size(), 3);
+  // Dominates the (10, 0.5) and (5, 0.9) entries.
+  EXPECT_TRUE(s.Update({5, 0.5}, {4}));
+  EXPECT_EQ(s.size(), 2);
+  EXPECT_TRUE(s.DominatedOrEqual({10, 0.5}));
+  EXPECT_FALSE(s.DominatedOrEqual({4, 0.95}));
+  EXPECT_EQ(s.num_evictions(), 2);
+}
+
+TEST(SkylineSetTest, EquivalentRoutesKeepOneRepresentative) {
+  SkylineSet s;
+  EXPECT_TRUE(s.Update({10, 0.5}, {1}));
+  EXPECT_FALSE(s.Update({10, 0.5}, {2}));  // equivalent: rejected
+  EXPECT_EQ(s.size(), 1);
+  EXPECT_EQ(s.routes()[0].pois[0], 1);
+}
+
+TEST(SkylineSetTest, ThresholdDefinition54) {
+  SkylineSet s;
+  s.Update({5, 0.9}, {1});
+  s.Update({10, 0.5}, {2});
+  s.Update({20, 0.0}, {3});
+  // Threshold(s) = min length among entries with semantic <= s.
+  EXPECT_EQ(s.Threshold(1.0), 5);
+  EXPECT_EQ(s.Threshold(0.9), 5);
+  EXPECT_EQ(s.Threshold(0.89), 10);
+  EXPECT_EQ(s.Threshold(0.5), 10);
+  EXPECT_EQ(s.Threshold(0.49), 20);
+  EXPECT_EQ(s.Threshold(0.0), 20);
+  SkylineSet empty;
+  EXPECT_EQ(empty.Threshold(1.0), kInfWeight);
+}
+
+TEST(SkylineSetTest, StaircaseInvariantMaintained) {
+  Rng rng(13);
+  SkylineSet s;
+  for (int i = 0; i < 1000; ++i) {
+    s.Update({rng.UniformDouble(0, 100), rng.UniformDouble()}, {i});
+  }
+  const auto& routes = s.routes();
+  for (size_t i = 1; i < routes.size(); ++i) {
+    EXPECT_GT(routes[i].scores.length, routes[i - 1].scores.length);
+    EXPECT_LT(routes[i].scores.semantic, routes[i - 1].scores.semantic);
+  }
+}
+
+// Randomized equivalence with a naive O(n^2) skyline filter.
+class SkylineVsNaive : public ::testing::TestWithParam<int> {};
+
+TEST_P(SkylineVsNaive, MatchesNaiveFilter) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  std::vector<RouteScores> points;
+  SkylineSet s;
+  for (int i = 0; i < 400; ++i) {
+    // Coarse grid so that equivalences and exact ties actually occur.
+    const RouteScores p{static_cast<Weight>(rng.UniformU64(30)),
+                        static_cast<double>(rng.UniformU64(10)) / 10.0};
+    points.push_back(p);
+    s.Update(p, {i});
+  }
+  // Naive skyline: keep points not dominated by any other; dedup
+  // equivalents.
+  std::vector<RouteScores> naive;
+  for (const RouteScores& p : points) {
+    bool dominated = false;
+    for (const RouteScores& q : points) {
+      if (Dominates(q, p)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (dominated) continue;
+    bool dup = false;
+    for (const RouteScores& q : naive) dup = dup || Equivalent(p, q);
+    if (!dup) naive.push_back(p);
+  }
+  std::sort(naive.begin(), naive.end(),
+            [](const RouteScores& a, const RouteScores& b) {
+              return a.length < b.length;
+            });
+  ASSERT_EQ(s.size(), static_cast<int64_t>(naive.size()));
+  for (size_t i = 0; i < naive.size(); ++i) {
+    EXPECT_EQ(s.routes()[i].scores.length, naive[i].length);
+    EXPECT_EQ(s.routes()[i].scores.semantic, naive[i].semantic);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SkylineVsNaive, ::testing::Range(0, 10));
+
+TEST(SkylineSetTest, ThresholdConsistentWithDominatedOrEqual) {
+  Rng rng(14);
+  SkylineSet s;
+  for (int i = 0; i < 200; ++i) {
+    s.Update({rng.UniformDouble(0, 50), rng.UniformDouble()}, {i});
+  }
+  for (int i = 0; i < 500; ++i) {
+    const RouteScores p{rng.UniformDouble(0, 50), rng.UniformDouble()};
+    // p is dominated-or-equal iff some entry has len<=p.len and sem<=p.sem
+    // iff Threshold(p.sem) <= p.len.
+    EXPECT_EQ(s.DominatedOrEqual(p), s.Threshold(p.semantic) <= p.length);
+  }
+}
+
+TEST(SkylineSetTest, ClearResets) {
+  SkylineSet s;
+  s.Update({1, 0.5}, {1});
+  s.Clear();
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.Threshold(1.0), kInfWeight);
+  EXPECT_EQ(s.num_updates(), 0);
+}
+
+TEST(RouteArenaTest, ParentChainsMaterializeInOrder) {
+  RouteArena arena;
+  const int32_t a = arena.Add(RouteArena::kEmpty, 5, 50, 1.0, 1.0);
+  const int32_t b = arena.Add(a, 7, 70, 2.0, 0.9);
+  const int32_t c = arena.Add(b, 9, 90, 3.5, 0.8);
+  EXPECT_EQ(arena.SizeOf(c), 3);
+  EXPECT_EQ(arena.SizeOf(RouteArena::kEmpty), 0);
+  EXPECT_EQ(arena.Materialize(c), (std::vector<PoiId>{5, 7, 9}));
+  EXPECT_TRUE(arena.Contains(c, 7));
+  EXPECT_FALSE(arena.Contains(c, 8));
+  EXPECT_FALSE(arena.Contains(RouteArena::kEmpty, 5));
+  // Shared prefixes: a second branch off `a` does not disturb the first.
+  const int32_t d = arena.Add(a, 8, 80, 2.5, 0.7);
+  EXPECT_EQ(arena.Materialize(d), (std::vector<PoiId>{5, 8}));
+  EXPECT_EQ(arena.Materialize(c), (std::vector<PoiId>{5, 7, 9}));
+  EXPECT_EQ(arena.num_nodes(), 4);
+  EXPECT_GT(arena.MemoryBytes(), 0);
+}
+
+}  // namespace
+}  // namespace skysr

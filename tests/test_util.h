@@ -1,0 +1,176 @@
+// Shared fixtures for the test suites: tiny deterministic random datasets
+// small enough for brute-force ground truth.
+
+#ifndef SKYSR_TESTS_TEST_UTIL_H_
+#define SKYSR_TESTS_TEST_UTIL_H_
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "category/taxonomy_factory.h"
+#include "core/query.h"
+#include "graph/graph_builder.h"
+#include "util/rng.h"
+
+namespace skysr::testing {
+
+/// A small random connected graph with PoIs, suitable for brute force.
+struct TinyDataset {
+  Graph graph;
+  CategoryForest forest;
+};
+
+/// Builds a random connected undirected graph: `n` vertices in a ring (which
+/// guarantees connectivity) plus `extra_edges` random chords, then turns
+/// `num_pois` random distinct vertices into PoIs with random leaf
+/// categories. Deterministic per seed.
+inline TinyDataset MakeTinyDataset(uint64_t seed, int n = 24,
+                                   int extra_edges = 20, int num_pois = 12,
+                                   int num_trees = 3, int branching = 2,
+                                   int levels = 2,
+                                   double multi_cat_fraction = 0.0) {
+  Rng rng(seed);
+  TinyDataset ds;
+  ds.forest = MakeSyntheticForest(num_trees, branching, levels);
+
+  std::vector<CategoryId> leaves;
+  for (TreeId t = 0; t < ds.forest.num_trees(); ++t) {
+    const auto tl = ds.forest.LeavesOfTree(t);
+    leaves.insert(leaves.end(), tl.begin(), tl.end());
+  }
+
+  GraphBuilder b(/*directed=*/false);
+  for (int i = 0; i < n; ++i) b.AddVertex();
+  for (int i = 0; i < n; ++i) {
+    b.AddEdge(i, (i + 1) % n, 1.0 + rng.UniformDouble() * 4.0);
+  }
+  for (int e = 0; e < extra_edges; ++e) {
+    const auto u = static_cast<VertexId>(rng.UniformU64(n));
+    const auto v = static_cast<VertexId>(rng.UniformU64(n));
+    if (u != v) b.AddEdge(u, v, 1.0 + rng.UniformDouble() * 6.0);
+  }
+  // Distinct random PoI vertices.
+  std::vector<char> is_poi(static_cast<size_t>(n), 0);
+  int placed = 0;
+  while (placed < num_pois) {
+    const auto v = static_cast<VertexId>(rng.UniformU64(n));
+    if (is_poi[static_cast<size_t>(v)]) continue;
+    is_poi[static_cast<size_t>(v)] = 1;
+    std::vector<CategoryId> cats = {
+        leaves[rng.UniformU64(leaves.size())]};
+    if (multi_cat_fraction > 0 && rng.Bernoulli(multi_cat_fraction)) {
+      const CategoryId extra = leaves[rng.UniformU64(leaves.size())];
+      if (ds.forest.TreeOf(extra) != ds.forest.TreeOf(cats[0])) {
+        cats.push_back(extra);
+      }
+    }
+    b.AddPoi(v, std::span<const CategoryId>(cats));
+    ++placed;
+  }
+  auto built = b.Build();
+  ds.graph = std::move(built).ValueOrDie();
+  return ds;
+}
+
+/// Sorts routes by (length, semantic, pois) for order-insensitive equality.
+inline void NormalizeRoutes(std::vector<Route>* routes) {
+  std::sort(routes->begin(), routes->end(),
+            [](const Route& a, const Route& b) {
+              if (a.scores.length != b.scores.length) {
+                return a.scores.length < b.scores.length;
+              }
+              if (a.scores.semantic != b.scores.semantic) {
+                return a.scores.semantic < b.scores.semantic;
+              }
+              return a.pois < b.pois;
+            });
+}
+
+/// Score-vector equality: two route sets agree as skylines if their
+/// (length, semantic) multisets match (route identity may differ between
+/// equivalent routes).
+inline std::vector<std::pair<Weight, double>> ScoreVector(
+    const std::vector<Route>& routes) {
+  std::vector<std::pair<Weight, double>> out;
+  out.reserve(routes.size());
+  for (const Route& r : routes) {
+    out.emplace_back(r.scores.length, r.scores.semantic);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Approximate multiset equality of score vectors. Different algorithms sum
+/// the same distances in different orders, so lengths may differ by a few
+/// ULPs; anything beyond `tol` (relative) is a real mismatch.
+inline ::testing::AssertionResult ScoreVectorsNear(
+    const std::vector<Route>& a, const std::vector<Route>& b,
+    double tol = 1e-9) {
+  const auto va = ScoreVector(a);
+  const auto vb = ScoreVector(b);
+  const auto render = [](const std::vector<std::pair<Weight, double>>& v) {
+    std::string s = "{";
+    for (const auto& [l, sem] : v) {
+      s += " (" + std::to_string(l) + ", " + std::to_string(sem) + ")";
+    }
+    return s + " }";
+  };
+  if (va.size() != vb.size()) {
+    return ::testing::AssertionFailure()
+           << "sizes differ: " << render(va) << " vs " << render(vb);
+  }
+  for (size_t i = 0; i < va.size(); ++i) {
+    const double lscale = std::max({1.0, std::abs(va[i].first),
+                                    std::abs(vb[i].first)});
+    if (std::abs(va[i].first - vb[i].first) > tol * lscale ||
+        std::abs(va[i].second - vb[i].second) > tol) {
+      return ::testing::AssertionFailure()
+             << "entry " << i << " differs: " << render(va) << " vs "
+             << render(vb);
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+/// Skyline equivalence modulo floating-point noise: algorithms that compute
+/// the same route's length via different summation orders can disagree by a
+/// few ULPs, which lets one implementation keep a point the other (rightly)
+/// saw as dominated. Two skylines are equivalent when every point of each is
+/// dominated-or-equal (within `tol`) by some point of the other.
+inline ::testing::AssertionResult SkylinesEquivalent(
+    const std::vector<Route>& a, const std::vector<Route>& b,
+    double tol = 1e-9) {
+  const auto covered = [tol](const Route& r, const std::vector<Route>& set) {
+    for (const Route& q : set) {
+      const double lscale =
+          std::max({1.0, std::abs(r.scores.length), std::abs(q.scores.length)});
+      if (q.scores.length <= r.scores.length + tol * lscale &&
+          q.scores.semantic <= r.scores.semantic + tol) {
+        return true;
+      }
+    }
+    return false;
+  };
+  for (const Route& r : a) {
+    if (!covered(r, b)) {
+      return ::testing::AssertionFailure()
+             << "route (" << r.scores.length << ", " << r.scores.semantic
+             << ") from the first set is not covered by the second";
+    }
+  }
+  for (const Route& r : b) {
+    if (!covered(r, a)) {
+      return ::testing::AssertionFailure()
+             << "route (" << r.scores.length << ", " << r.scores.semantic
+             << ") from the second set is not covered by the first";
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+}  // namespace skysr::testing
+
+#endif  // SKYSR_TESTS_TEST_UTIL_H_

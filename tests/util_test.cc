@@ -1,0 +1,226 @@
+// Unit tests for the util substrate: Status/Result, heap, RNG, Zipf,
+// stamped arrays, string parsing, memory introspection.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "util/dary_heap.h"
+#include "util/memory.h"
+#include "util/rng.h"
+#include "util/stamped_array.h"
+#include "util/status.h"
+#include "util/string_util.h"
+#include "util/zipf.h"
+
+namespace skysr {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad weight");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad weight");
+  EXPECT_EQ(s.ToString(), "Invalid argument: bad weight");
+}
+
+TEST(StatusTest, CopyAndMovePreserveState) {
+  Status s = Status::NotFound("x");
+  Status copy = s;
+  EXPECT_EQ(copy.code(), StatusCode::kNotFound);
+  Status moved = std::move(s);
+  EXPECT_EQ(moved.message(), "x");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 7);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::IOError("gone"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  SKYSR_ASSIGN_OR_RETURN(const int h, Half(x));
+  return Half(h);
+}
+
+TEST(ResultTest, AssignOrReturnMacroPropagates) {
+  EXPECT_EQ(*Quarter(8), 2);
+  EXPECT_FALSE(Quarter(6).ok());  // 6/2 = 3 is odd
+}
+
+TEST(DaryHeapTest, PopsInSortedOrder) {
+  Rng rng(1);
+  DaryHeap<int> heap;
+  std::vector<int> values;
+  for (int i = 0; i < 1000; ++i) {
+    const int v = static_cast<int>(rng.UniformU64(10000));
+    values.push_back(v);
+    heap.push(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (int v : values) {
+    EXPECT_EQ(heap.top(), v);
+    EXPECT_EQ(heap.pop(), v);
+  }
+  EXPECT_TRUE(heap.empty());
+}
+
+TEST(DaryHeapTest, MatchesStdPriorityQueueUnderMixedOps) {
+  Rng rng(2);
+  DaryHeap<int> heap;
+  std::priority_queue<int, std::vector<int>, std::greater<>> reference;
+  for (int step = 0; step < 5000; ++step) {
+    if (reference.empty() || rng.Bernoulli(0.6)) {
+      const int v = static_cast<int>(rng.UniformU64(1 << 20));
+      heap.push(v);
+      reference.push(v);
+    } else {
+      ASSERT_EQ(heap.pop(), reference.top());
+      reference.pop();
+    }
+    ASSERT_EQ(heap.size(), reference.size());
+  }
+}
+
+TEST(DaryHeapTest, PeakSizeTracksHighWater) {
+  DaryHeap<int> heap;
+  for (int i = 0; i < 10; ++i) heap.push(i);
+  for (int i = 0; i < 5; ++i) heap.pop();
+  heap.push(1);
+  EXPECT_EQ(heap.peak_size(), 10u);
+}
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(123), b(123), c(124);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(RngTest, UniformBoundsRespected) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t v = rng.UniformU64(17);
+    EXPECT_LT(v, 17u);
+    const double d = rng.UniformDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    const int64_t j = rng.UniformInt(-5, 5);
+    EXPECT_GE(j, -5);
+    EXPECT_LE(j, 5);
+  }
+}
+
+TEST(RngTest, UniformCoversRange) {
+  Rng rng(4);
+  std::vector<int> hits(10, 0);
+  for (int i = 0; i < 10000; ++i) ++hits[rng.UniformU64(10)];
+  for (int h : hits) EXPECT_GT(h, 700);  // ~1000 each
+}
+
+TEST(ZipfTest, Theta0IsUniform) {
+  ZipfDistribution z(4, 0.0);
+  for (int64_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(z.Pmf(i), 0.25, 1e-12);
+  }
+}
+
+TEST(ZipfTest, PmfDecreasesWithRankAndSumsToOne) {
+  ZipfDistribution z(50, 0.9);
+  double sum = 0;
+  for (int64_t i = 0; i < 50; ++i) {
+    sum += z.Pmf(i);
+    if (i > 0) {
+      EXPECT_LT(z.Pmf(i), z.Pmf(i - 1));
+    }
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, SamplingMatchesPmf) {
+  ZipfDistribution z(10, 1.0);
+  Rng rng(5);
+  std::vector<int> hits(10, 0);
+  const int kN = 50000;
+  for (int i = 0; i < kN; ++i) ++hits[z.Sample(rng)];
+  for (int64_t i = 0; i < 10; ++i) {
+    EXPECT_NEAR(static_cast<double>(hits[i]) / kN, z.Pmf(i), 0.02);
+  }
+}
+
+TEST(StampedArrayTest, ResetsLogicallyInO1) {
+  StampedArray<int> arr;
+  arr.Prepare(4, -1);
+  arr.Set(2, 42);
+  EXPECT_EQ(arr.Get(2), 42);
+  EXPECT_EQ(arr.Get(0), -1);
+  arr.Prepare(4, -7);
+  EXPECT_EQ(arr.Get(2), -7);  // previous epoch invisible
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  const auto parts = Split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(StringUtilTest, SplitWhitespaceDropsRuns) {
+  const auto parts = SplitWhitespace("  a \t b\n c  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringUtilTest, TrimAndStartsWith) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_TRUE(StartsWith("skyline", "sky"));
+  EXPECT_FALSE(StartsWith("sky", "skyline"));
+}
+
+TEST(StringUtilTest, ParseNumbersRejectTrailingJunk) {
+  double d;
+  int64_t i;
+  EXPECT_TRUE(ParseDouble("3.5", &d));
+  EXPECT_DOUBLE_EQ(d, 3.5);
+  EXPECT_FALSE(ParseDouble("3.5x", &d));
+  EXPECT_FALSE(ParseDouble("", &d));
+  EXPECT_TRUE(ParseInt64("-42", &i));
+  EXPECT_EQ(i, -42);
+  EXPECT_FALSE(ParseInt64("42.0", &i));
+}
+
+TEST(MemoryTest, RssReadersReturnPlausibleValues) {
+  const int64_t peak = PeakRssBytes();
+  const int64_t cur = CurrentRssBytes();
+  EXPECT_GT(peak, 0);  // falls back to VmRSS when VmHWM is unavailable
+  EXPECT_GT(cur, 0);
+  char buf[32];
+  EXPECT_STREQ(FormatBytes(512, buf, sizeof(buf)), "512 B");
+  FormatBytes(3 << 20, buf, sizeof(buf));
+  EXPECT_EQ(std::string(buf), "3.0 MB");
+}
+
+}  // namespace
+}  // namespace skysr

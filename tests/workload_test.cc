@@ -1,0 +1,214 @@
+// Workload substrate: road-network generation, PoI assignment, dataset
+// descriptors, query generation — determinism, connectivity, skew shapes.
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "category/taxonomy_factory.h"
+#include "workload/dataset.h"
+#include "workload/poi_assignment.h"
+#include "workload/query_gen.h"
+#include "graph/dijkstra.h"
+#include "graph/graph_builder.h"
+#include "workload/road_network_gen.h"
+
+namespace skysr {
+namespace {
+
+TEST(RoadNetworkGenTest, ConnectedAndRoadLike) {
+  RoadNetworkParams params;
+  params.target_vertices = 2000;
+  params.seed = 11;
+  const Graph g = MakeRoadNetwork(params);
+  EXPECT_GT(g.num_vertices(), 1200);  // holes trim some
+  EXPECT_LE(g.num_vertices(), 2100);
+  EXPECT_TRUE(g.IsConnected());
+  EXPECT_TRUE(g.has_coordinates());
+  // Road networks have low average degree (2..4 per direction).
+  const double avg_degree =
+      2.0 * static_cast<double>(g.num_edges()) /
+      static_cast<double>(g.num_vertices());
+  EXPECT_GT(avg_degree, 2.0);
+  EXPECT_LT(avg_degree, 5.0);
+  // Weights are positive and roughly Euclidean-scaled.
+  for (const Neighbor& nb : g.OutEdges(0)) EXPECT_GT(nb.weight, 0);
+}
+
+TEST(RoadNetworkGenTest, DeterministicPerSeed) {
+  RoadNetworkParams params;
+  params.target_vertices = 500;
+  params.seed = 21;
+  const Graph a = MakeRoadNetwork(params);
+  const Graph b = MakeRoadNetwork(params);
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (VertexId v = 0; v < a.num_vertices(); v += 37) {
+    EXPECT_DOUBLE_EQ(a.X(v), b.X(v));
+    ASSERT_EQ(a.OutDegree(v), b.OutDegree(v));
+  }
+  params.seed = 22;
+  const Graph c = MakeRoadNetwork(params);
+  EXPECT_NE(a.num_vertices(), c.num_vertices());
+}
+
+TEST(PoiAssignmentTest, ZipfBiasShowsInCategoryCounts) {
+  RoadNetworkParams rp;
+  rp.target_vertices = 900;
+  const Graph base = MakeRoadNetwork(rp);
+  const CategoryForest forest = MakeCalLikeForest();
+  PoiAssignmentParams pp;
+  pp.num_pois = 4000;
+  pp.zipf_theta = 1.0;
+  const auto pois = GeneratePoiPoints(base, forest, pp);
+  ASSERT_EQ(pois.size(), 4000u);
+  std::unordered_map<CategoryId, int> counts;
+  for (const auto& p : pois) ++counts[p.categories[0]];
+  int max_count = 0;
+  for (const auto& [c, n] : counts) max_count = std::max(max_count, n);
+  // Heavily biased: the most popular leaf holds far more than 1/63.
+  EXPECT_GT(max_count, 4000 / 63 * 4);
+  // All categories are leaves of the forest.
+  for (const auto& p : pois) {
+    EXPECT_TRUE(forest.IsLeaf(p.categories[0]));
+    EXPECT_FALSE(p.name.empty());
+  }
+}
+
+TEST(PoiAssignmentTest, MultiCategoryFractionRespected) {
+  RoadNetworkParams rp;
+  rp.target_vertices = 400;
+  const Graph base = MakeRoadNetwork(rp);
+  const CategoryForest forest = MakeCalLikeForest();
+  PoiAssignmentParams pp;
+  pp.num_pois = 1000;
+  pp.multi_category_fraction = 0.4;
+  const auto pois = GeneratePoiPoints(base, forest, pp);
+  int multi = 0;
+  for (const auto& p : pois) {
+    if (p.categories.size() > 1) {
+      ++multi;
+      EXPECT_NE(forest.TreeOf(p.categories[0]),
+                forest.TreeOf(p.categories[1]));
+    }
+  }
+  EXPECT_GT(multi, 250);
+  EXPECT_LT(multi, 550);
+}
+
+TEST(DatasetTest, SpecsPreservePaperRatios) {
+  const DatasetSpec tokyo = TokyoLikeSpec(0.01);
+  EXPECT_NEAR(static_cast<double>(tokyo.num_pois) /
+                  static_cast<double>(tokyo.road_vertices),
+              174421.0 / 401893.0, 0.01);
+  const DatasetSpec cal = CalLikeSpec(0.1);
+  EXPECT_NEAR(static_cast<double>(cal.num_pois) /
+                  static_cast<double>(cal.road_vertices),
+              87365.0 / 21048.0, 0.05);
+  EXPECT_EQ(cal.forest, ForestKind::kCalLike);
+  // Tokyo spreads PoIs; NYC/Cal concentrate them (Figure 4 narrative).
+  EXPECT_LT(TokyoLikeSpec().cluster_fraction, NycLikeSpec().cluster_fraction);
+}
+
+TEST(DatasetTest, MakeDatasetProducesQueryableBundle) {
+  DatasetSpec spec = CalLikeSpec(0.02);  // ~420 road vertices, ~1.7k PoIs
+  spec.seed = 77;
+  const Dataset ds = MakeDataset(spec);
+  EXPECT_TRUE(ds.graph.IsConnected());
+  EXPECT_GT(ds.graph.num_pois(), 1000);
+  EXPECT_EQ(ds.forest.num_trees(), 7);
+  // Every PoI has a valid leaf category.
+  for (PoiId p = 0; p < ds.graph.num_pois(); p += 97) {
+    EXPECT_TRUE(ds.forest.Valid(ds.graph.PoiPrimaryCategory(p)));
+  }
+}
+
+TEST(OneWayStreetsTest, StaysStronglyConnected) {
+  RoadNetworkParams rp;
+  rp.target_vertices = 600;
+  rp.seed = 55;
+  const Graph undirected = MakeRoadNetwork(rp);
+  const Graph g = ApplyOneWayStreets(undirected, 0.5, 77);
+  EXPECT_TRUE(g.directed());
+  EXPECT_EQ(g.num_vertices(), undirected.num_vertices());
+  // Some streets became one-way (fewer stored arcs than 2x streets)...
+  EXPECT_LT(g.num_edges(), 2 * undirected.num_edges());
+  EXPECT_GT(g.num_edges(), undirected.num_edges());
+  // ...yet every vertex is reachable in BOTH directions.
+  const Graph rev = ReverseOf(g);
+  const auto fwd = SingleSourceDistances(g, 0);
+  const auto bwd = SingleSourceDistances(rev, 0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_NE(fwd.dist[static_cast<size_t>(v)], kInfWeight) << v;
+    EXPECT_NE(bwd.dist[static_cast<size_t>(v)], kInfWeight) << v;
+  }
+}
+
+TEST(OneWayStreetsTest, DatasetSpecProducesDirectedDataset) {
+  DatasetSpec spec = CalLikeSpec(0.02);
+  spec.one_way_fraction = 0.4;
+  spec.seed = 56;
+  const Dataset ds = MakeDataset(spec);
+  EXPECT_TRUE(ds.graph.directed());
+  EXPECT_GT(ds.graph.num_pois(), 1000);
+}
+
+TEST(QueryGenTest, RespectsConstraints) {
+  DatasetSpec spec = CalLikeSpec(0.02);
+  spec.seed = 78;
+  const Dataset ds = MakeDataset(spec);
+  QueryGenParams qp;
+  qp.count = 50;
+  qp.sequence_size = 3;
+  qp.seed = 5;
+  const auto queries = GenerateQueries(ds, qp);
+  ASSERT_EQ(queries.size(), 50u);
+  for (const Query& q : queries) {
+    ASSERT_EQ(q.size(), 3);
+    EXPECT_GE(q.start, 0);
+    EXPECT_LT(q.start, ds.graph.num_vertices());
+    std::vector<TreeId> trees;
+    for (const auto& pred : q.sequence) {
+      ASSERT_EQ(pred.any_of.size(), 1u);
+      const TreeId t = ds.forest.TreeOf(pred.any_of[0]);
+      for (TreeId u : trees) EXPECT_NE(t, u);
+      trees.push_back(t);
+    }
+  }
+  // Determinism.
+  const auto again = GenerateQueries(ds, qp);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(queries[i].start, again[i].start);
+    for (int j = 0; j < queries[i].size(); ++j) {
+      EXPECT_EQ(queries[i].sequence[static_cast<size_t>(j)].any_of[0],
+                again[i].sequence[static_cast<size_t>(j)].any_of[0]);
+    }
+  }
+}
+
+TEST(QueryGenTest, PopularPoolDrawsFrequentCategories) {
+  DatasetSpec spec = CalLikeSpec(0.02);
+  spec.seed = 79;
+  const Dataset ds = MakeDataset(spec);
+  // Count PoIs per category.
+  std::unordered_map<CategoryId, int64_t> counts;
+  for (PoiId p = 0; p < ds.graph.num_pois(); ++p) {
+    ++counts[ds.graph.PoiPrimaryCategory(p)];
+  }
+  QueryGenParams qp;
+  qp.count = 30;
+  qp.sequence_size = 2;
+  qp.popular_pool = 10;
+  const auto queries = GenerateQueries(ds, qp);
+  // Every drawn category should have a healthy number of PoIs.
+  const int64_t median_count =
+      static_cast<int64_t>(ds.graph.num_pois()) / 63;
+  for (const Query& q : queries) {
+    for (const auto& pred : q.sequence) {
+      EXPECT_GE(counts[pred.any_of[0]], median_count);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace skysr

@@ -1,0 +1,244 @@
+// skysr_cli — command-line interface to the SkySR library.
+//
+//   skysr_cli generate --kind tokyo|nyc|cal --scale 0.02 --out DIR
+//       Generates a dataset and writes DIR/graph.bin + DIR/taxonomy.txt.
+//
+//   skysr_cli info --data DIR
+//       Prints dataset statistics.
+//
+//   skysr_cli query --data DIR --start V --categories "A;B;C"
+//             [--dest V] [--no-init] [--no-lb] [--no-cache]
+//             [--queue distance] [--budget SECONDS]
+//       Runs one SkySR query (category names as in taxonomy.txt) and prints
+//       the skyline plus search statistics.
+//
+//   skysr_cli workload --data DIR --size K --count N [--seed S]
+//       Generates N random queries of size K and reports aggregate timing.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "skysr.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace skysr {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: skysr_cli <generate|info|query|workload> [flags]\n"
+               "run with a command and no flags for its flag list\n");
+  return 2;
+}
+
+std::map<std::string, std::string> ParseFlags(int argc, char** argv,
+                                              int first) {
+  std::map<std::string, std::string> flags;
+  for (int i = first; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    arg = arg.substr(2);
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      flags[arg] = argv[++i];
+    } else {
+      flags[arg] = "true";
+    }
+  }
+  return flags;
+}
+
+Result<Dataset> LoadDataDir(const std::string& dir) {
+  SKYSR_ASSIGN_OR_RETURN(Graph graph, Graph::LoadBinary(dir + "/graph.bin"));
+  SKYSR_ASSIGN_OR_RETURN(CategoryForest forest,
+                         LoadForestFile(dir + "/taxonomy.txt"));
+  Dataset ds;
+  ds.name = dir;
+  ds.graph = std::move(graph);
+  ds.forest = std::move(forest);
+  return ds;
+}
+
+int CmdGenerate(const std::map<std::string, std::string>& flags) {
+  const std::string kind =
+      flags.count("kind") ? flags.at("kind") : std::string("cal");
+  const double scale =
+      flags.count("scale") ? std::atof(flags.at("scale").c_str()) : 0.05;
+  const std::string out =
+      flags.count("out") ? flags.at("out") : std::string("skysr_data");
+
+  DatasetSpec spec;
+  if (kind == "tokyo") {
+    spec = TokyoLikeSpec(scale);
+  } else if (kind == "nyc") {
+    spec = NycLikeSpec(scale);
+  } else if (kind == "cal") {
+    spec = CalLikeSpec(scale);
+  } else {
+    std::fprintf(stderr, "unknown --kind %s (tokyo|nyc|cal)\n", kind.c_str());
+    return 2;
+  }
+  if (flags.count("seed")) {
+    spec.seed = static_cast<uint64_t>(std::atoll(flags.at("seed").c_str()));
+  }
+
+  std::printf("generating %s (scale %.4f)...\n", spec.name.c_str(), scale);
+  const Dataset ds = MakeDataset(spec);
+  (void)std::system(("mkdir -p " + out).c_str());
+  if (Status st = ds.graph.SaveBinary(out + "/graph.bin"); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::ofstream(out + "/taxonomy.txt") << ForestToText(ds.forest);
+  std::printf("wrote %s/graph.bin (|V|=%lld |P|=%lld |E|=%lld) and "
+              "%s/taxonomy.txt (%lld categories)\n",
+              out.c_str(), static_cast<long long>(ds.graph.num_vertices()),
+              static_cast<long long>(ds.graph.num_pois()),
+              static_cast<long long>(ds.graph.num_edges()), out.c_str(),
+              static_cast<long long>(ds.forest.num_categories()));
+  return 0;
+}
+
+int CmdInfo(const std::map<std::string, std::string>& flags) {
+  if (!flags.count("data")) {
+    std::fprintf(stderr, "info needs --data DIR\n");
+    return 2;
+  }
+  auto ds = LoadDataDir(flags.at("data"));
+  if (!ds.ok()) {
+    std::fprintf(stderr, "%s\n", ds.status().ToString().c_str());
+    return 1;
+  }
+  const Graph& g = ds->graph;
+  std::printf("vertices: %lld\npois: %lld\nedges: %lld\n",
+              static_cast<long long>(g.num_vertices()),
+              static_cast<long long>(g.num_pois()),
+              static_cast<long long>(g.num_edges()));
+  std::printf("directed: %s\nconnected: %s\ntotal edge weight: %.3f\n",
+              g.directed() ? "yes" : "no", g.IsConnected() ? "yes" : "no",
+              g.TotalEdgeWeight());
+  std::printf("category trees: %lld (%lld categories)\n",
+              static_cast<long long>(ds->forest.num_trees()),
+              static_cast<long long>(ds->forest.num_categories()));
+  // Top-10 categories by PoI count.
+  std::map<CategoryId, int64_t> counts;
+  for (PoiId p = 0; p < g.num_pois(); ++p) ++counts[g.PoiPrimaryCategory(p)];
+  std::vector<std::pair<int64_t, CategoryId>> ranked;
+  for (const auto& [c, n] : counts) ranked.emplace_back(n, c);
+  std::sort(ranked.rbegin(), ranked.rend());
+  std::printf("top categories:\n");
+  for (size_t i = 0; i < ranked.size() && i < 10; ++i) {
+    std::printf("  %6lld  %s\n", static_cast<long long>(ranked[i].first),
+                ds->forest.Name(ranked[i].second).c_str());
+  }
+  return 0;
+}
+
+int CmdQuery(const std::map<std::string, std::string>& flags) {
+  if (!flags.count("data") || !flags.count("start") ||
+      !flags.count("categories")) {
+    std::fprintf(stderr,
+                 "query needs --data DIR --start V --categories \"A;B;C\"\n");
+    return 2;
+  }
+  auto ds = LoadDataDir(flags.at("data"));
+  if (!ds.ok()) {
+    std::fprintf(stderr, "%s\n", ds.status().ToString().c_str());
+    return 1;
+  }
+  Query q;
+  q.start = static_cast<VertexId>(std::atoi(flags.at("start").c_str()));
+  for (const auto name : Split(flags.at("categories"), ';')) {
+    const CategoryId c = ds->forest.FindByName(Trim(name));
+    if (c == kInvalidCategory) {
+      std::fprintf(stderr, "unknown category '%.*s'\n",
+                   static_cast<int>(name.size()), name.data());
+      return 2;
+    }
+    q.sequence.push_back(CategoryPredicate::Single(c));
+  }
+  if (flags.count("dest")) {
+    q.destination =
+        static_cast<VertexId>(std::atoi(flags.at("dest").c_str()));
+  }
+
+  QueryOptions opts;
+  if (flags.count("no-init")) opts.use_initial_search = false;
+  if (flags.count("no-lb")) opts.use_lower_bounds = false;
+  if (flags.count("no-cache")) opts.use_cache = false;
+  if (flags.count("queue") && flags.at("queue") == "distance") {
+    opts.queue_discipline = QueueDiscipline::kDistanceBased;
+  }
+  if (flags.count("budget")) {
+    opts.time_budget_seconds = std::atof(flags.at("budget").c_str());
+  }
+
+  BssrEngine engine(ds->graph, ds->forest);
+  auto result = engine.Run(q, opts);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  for (const Route& r : result->routes) {
+    std::printf("%s\n", RouteToString(ds->graph, r).c_str());
+  }
+  std::printf("\n%s\n", result->stats.ToString().c_str());
+  return 0;
+}
+
+int CmdWorkload(const std::map<std::string, std::string>& flags) {
+  if (!flags.count("data")) {
+    std::fprintf(stderr, "workload needs --data DIR\n");
+    return 2;
+  }
+  auto ds = LoadDataDir(flags.at("data"));
+  if (!ds.ok()) {
+    std::fprintf(stderr, "%s\n", ds.status().ToString().c_str());
+    return 1;
+  }
+  QueryGenParams qp;
+  qp.sequence_size =
+      flags.count("size") ? std::atoi(flags.at("size").c_str()) : 3;
+  qp.count = flags.count("count") ? std::atoi(flags.at("count").c_str()) : 20;
+  qp.seed = flags.count("seed")
+                ? static_cast<uint64_t>(std::atoll(flags.at("seed").c_str()))
+                : 99;
+  const auto queries = GenerateQueries(*ds, qp);
+
+  BssrEngine engine(ds->graph, ds->forest);
+  double total_ms = 0, max_ms = 0;
+  int64_t total_routes = 0;
+  for (const Query& q : queries) {
+    WallTimer t;
+    auto r = engine.Run(q);
+    if (!r.ok()) continue;
+    const double ms = t.ElapsedMillis();
+    total_ms += ms;
+    max_ms = std::max(max_ms, ms);
+    total_routes += static_cast<int64_t>(r->routes.size());
+  }
+  std::printf("%d queries of size %d: mean %.2f ms, max %.2f ms, "
+              "mean skyline size %.2f\n",
+              qp.count, qp.sequence_size, total_ms / qp.count, max_ms,
+              static_cast<double>(total_routes) / qp.count);
+  return 0;
+}
+
+}  // namespace
+}  // namespace skysr
+
+int main(int argc, char** argv) {
+  if (argc < 2) return skysr::Usage();
+  const std::string cmd = argv[1];
+  const auto flags = skysr::ParseFlags(argc, argv, 2);
+  if (cmd == "generate") return skysr::CmdGenerate(flags);
+  if (cmd == "info") return skysr::CmdInfo(flags);
+  if (cmd == "query") return skysr::CmdQuery(flags);
+  if (cmd == "workload") return skysr::CmdWorkload(flags);
+  return skysr::Usage();
+}
