@@ -1,0 +1,128 @@
+// Service-layer scaling: aggregate QPS of QueryService at 1..N worker
+// threads against the single-engine sequential baseline, on the default
+// synthetic workload. Also reports the effect of the shared LRU result
+// cache when the workload repeats (a Zipf-like skew of popular queries).
+//
+// Environment knobs (see bench_common.h):
+//   SKYSR_BENCH_SCALE    dataset scale     (default 1.0)
+//   SKYSR_BENCH_QUERIES  queries per batch (default 64)
+//   SKYSR_BENCH_THREADS  max thread count  (default max(4, hw concurrency))
+
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/bssr_engine.h"
+#include "service/query_service.h"
+#include "util/timer.h"
+
+namespace skysr {
+namespace {
+
+using bench::EnvDouble;
+using bench::EnvInt;
+using bench::Fmt;
+using bench::FmtInt;
+using bench::TablePrinter;
+
+double SequentialQps(const Dataset& ds, const std::vector<Query>& queries) {
+  BssrEngine engine(ds.graph, ds.forest);
+  WallTimer t;
+  int64_t ok = 0;
+  for (const Query& q : queries) {
+    auto r = engine.Run(q);
+    if (r.ok()) ++ok;
+  }
+  const double s = t.ElapsedSeconds();
+  return s > 0 ? static_cast<double>(ok) / s : 0;
+}
+
+struct ServiceRun {
+  double qps = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  double hit_rate = 0;
+};
+
+ServiceRun ServiceQps(const Dataset& ds, const std::vector<Query>& queries,
+                      int threads, size_t cache_capacity, int repeat) {
+  ServiceConfig cfg;
+  cfg.num_threads = threads;
+  cfg.cache_capacity = cache_capacity;
+  QueryService service(ds.graph, ds.forest, cfg);
+  WallTimer t;
+  for (int r = 0; r < repeat; ++r) {
+    const auto results = service.RunBatch(queries);
+    (void)results;
+  }
+  const double s = t.ElapsedSeconds();
+  const MetricsSnapshot m = service.Metrics();
+  ServiceRun run;
+  run.qps = s > 0 ? static_cast<double>(m.completed) / s : 0;
+  run.p50_ms = m.latency_p50_ms;
+  run.p99_ms = m.latency_p99_ms;
+  run.hit_rate = m.cache_hit_rate;
+  return run;
+}
+
+int Main() {
+  DatasetSpec spec = CalLikeSpec(0.10 * EnvDouble("SKYSR_BENCH_SCALE", 1.0));
+  spec.seed = 7;
+  const Dataset ds = MakeDataset(spec);
+  const int num_queries = EnvInt("SKYSR_BENCH_QUERIES", 64);
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  const int max_threads =
+      EnvInt("SKYSR_BENCH_THREADS", std::max(4, hw > 0 ? hw : 4));
+  const auto queries = bench::MakeBenchQueries(ds, 3, num_queries);
+
+  // Powers of two up to the limit, always ending on the limit itself so a
+  // 6- or 12-thread machine still gets its max-concurrency data point.
+  std::vector<int> thread_counts;
+  for (int t = 1; t < max_threads; t *= 2) thread_counts.push_back(t);
+  thread_counts.push_back(max_threads);
+
+  std::printf("dataset %s: |V|=%lld |P|=%lld, %zu queries of size 3, "
+              "hardware threads: %d\n\n",
+              ds.name.c_str(),
+              static_cast<long long>(ds.graph.num_vertices()),
+              static_cast<long long>(ds.graph.num_pois()), queries.size(),
+              hw);
+
+  const double seq_qps = SequentialQps(ds, queries);
+  std::printf("sequential BssrEngine baseline: %.1f qps\n\n", seq_qps);
+
+  // --- Cold scaling: every query distinct, cache disabled. ----------------
+  std::printf("cold scaling (cache off)\n");
+  TablePrinter cold({"threads", "qps", "speedup vs 1T", "p50 ms", "p99 ms"});
+  double one_thread_qps = 0;
+  for (const int threads : thread_counts) {
+    const ServiceRun run =
+        ServiceQps(ds, queries, threads, /*cache_capacity=*/0, /*repeat=*/1);
+    if (threads == 1) one_thread_qps = run.qps;
+    cold.AddRow({FmtInt(threads), Fmt("%.1f", run.qps),
+                 Fmt("%.2fx", one_thread_qps > 0 ? run.qps / one_thread_qps
+                                                 : 0),
+                 Fmt("%.2f", run.p50_ms), Fmt("%.2f", run.p99_ms)});
+  }
+  cold.Print();
+
+  // --- Hot replay: the same batch repeated, shared LRU cache on. ----------
+  std::printf("\nhot replay x4 (shared LRU cache)\n");
+  TablePrinter hot({"threads", "qps", "hit rate", "p50 ms", "p99 ms"});
+  for (const int threads : thread_counts) {
+    const ServiceRun run = ServiceQps(ds, queries, threads,
+                                      /*cache_capacity=*/4096, /*repeat=*/4);
+    hot.AddRow({FmtInt(threads), Fmt("%.1f", run.qps),
+                Fmt("%.1f%%", run.hit_rate * 100.0), Fmt("%.2f", run.p50_ms),
+                Fmt("%.2f", run.p99_ms)});
+  }
+  hot.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace skysr
+
+int main() { return skysr::Main(); }

@@ -1,0 +1,153 @@
+#include "service/query_service.h"
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+
+namespace skysr {
+
+namespace {
+
+int ResolveThreads(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+std::future<Result<QueryResult>> ImmediateError(Status status) {
+  std::promise<Result<QueryResult>> p;
+  auto f = p.get_future();
+  p.set_value(Result<QueryResult>(std::move(status)));
+  return f;
+}
+
+}  // namespace
+
+QueryService::QueryService(const Graph& graph, const CategoryForest& forest,
+                           ServiceConfig config)
+    : graph_(&graph),
+      forest_(&forest),
+      num_threads_(ResolveThreads(config.num_threads)),
+      config_(std::move(config)),
+      queue_(config_.queue_capacity),
+      cache_(config_.cache_capacity) {
+  pool_.Start(num_threads_, [this](int i) { WorkerLoop(i); });
+}
+
+QueryService::~QueryService() { Shutdown(); }
+
+void QueryService::Shutdown() {
+  shutdown_.store(true, std::memory_order_release);
+  queue_.Close();
+  pool_.Join();
+}
+
+void QueryService::WorkerLoop(int /*thread_index*/) {
+  // One engine per worker: the whole point of the service layer. The engine
+  // reuses its scratch and on-the-fly Dijkstra cache across the queries this
+  // worker happens to draw.
+  BssrEngine engine(*graph_, *forest_);
+  while (auto task = queue_.Pop()) {
+    Execute(engine, *task);
+  }
+}
+
+void QueryService::Execute(BssrEngine& engine, Task& task) {
+  const std::string key = CanonicalQueryKey(task.query, task.options);
+  if (!key.empty()) {
+    if (std::shared_ptr<const QueryResult> hit = cache_.Get(key)) {
+      metrics_.RecordCacheHit();
+      metrics_.RecordCompleted(task.enqueued.ElapsedMillis(),
+                               /*vertices_settled=*/0, /*edges_relaxed=*/0,
+                               static_cast<int64_t>(hit->routes.size()));
+      task.promise.set_value(QueryResult(*hit));
+      return;
+    }
+    metrics_.RecordCacheMiss();
+  }
+
+  Result<QueryResult> result = engine.Run(task.query, task.options);
+  if (result.ok()) {
+    if (!key.empty() && !result->stats.timed_out) {
+      cache_.Put(key, std::make_shared<const QueryResult>(*result));
+    }
+    metrics_.RecordCompleted(task.enqueued.ElapsedMillis(),
+                             result->stats.vertices_settled,
+                             result->stats.edges_relaxed,
+                             static_cast<int64_t>(result->routes.size()));
+  } else {
+    metrics_.RecordError();
+  }
+  task.promise.set_value(std::move(result));
+}
+
+std::future<Result<QueryResult>> QueryService::SubmitInternal(
+    Query query, QueryOptions options, bool blocking, bool* accepted) {
+  Task task;
+  task.query = std::move(query);
+  task.options = std::move(options);
+  std::future<Result<QueryResult>> future = task.promise.get_future();
+
+  bool pushed = false;
+  if (!shutdown_.load(std::memory_order_acquire)) {
+    pushed = blocking ? queue_.Push(std::move(task))
+                      : queue_.TryPush(std::move(task));
+  }
+  if (accepted != nullptr) *accepted = pushed;
+  if (!pushed) {
+    metrics_.RecordRejected();
+    // The rejected task's promise dies unfulfilled; hand the caller a fresh
+    // future that already carries the error instead.
+    return ImmediateError(Status::Internal(
+        "QueryService not accepting work (queue full or shut down)"));
+  }
+  metrics_.RecordSubmitted();
+  return future;
+}
+
+std::future<Result<QueryResult>> QueryService::Submit(Query query) {
+  return Submit(std::move(query), config_.default_options);
+}
+
+std::future<Result<QueryResult>> QueryService::Submit(Query query,
+                                                      QueryOptions options) {
+  return SubmitInternal(std::move(query), std::move(options),
+                        /*blocking=*/true, nullptr);
+}
+
+std::optional<std::future<Result<QueryResult>>> QueryService::TrySubmit(
+    Query query) {
+  return TrySubmit(std::move(query), config_.default_options);
+}
+
+std::optional<std::future<Result<QueryResult>>> QueryService::TrySubmit(
+    Query query, QueryOptions options) {
+  bool accepted = false;
+  auto future = SubmitInternal(std::move(query), std::move(options),
+                               /*blocking=*/false, &accepted);
+  if (!accepted) return std::nullopt;
+  return future;
+}
+
+std::vector<Result<QueryResult>> QueryService::RunBatch(
+    std::span<const Query> queries) {
+  return RunBatch(queries, config_.default_options);
+}
+
+std::vector<Result<QueryResult>> QueryService::RunBatch(
+    std::span<const Query> queries, const QueryOptions& options) {
+  std::vector<std::future<Result<QueryResult>>> futures;
+  futures.reserve(queries.size());
+  for (const Query& q : queries) {
+    futures.push_back(Submit(q, options));
+  }
+  std::vector<Result<QueryResult>> results;
+  results.reserve(queries.size());
+  for (auto& f : futures) {
+    results.push_back(f.get());
+  }
+  return results;
+}
+
+}  // namespace skysr

@@ -1,0 +1,131 @@
+// QueryService — the concurrent query-execution layer over BssrEngine.
+//
+// The engine itself is single-threaded by design (it owns scratch buffers;
+// "use one engine per thread"). The service turns that contract into a
+// multi-client system: it owns the shared immutable Graph + CategoryForest,
+// a fixed pool of workers each wrapping a private BssrEngine, a bounded
+// MPMC submission queue providing backpressure, a shared LRU result cache
+// over canonicalized queries, and aggregate metrics (QPS, latency
+// percentiles, cache hit rate).
+//
+//   QueryService service(ds.graph, ds.forest, {.num_threads = 8});
+//   auto future = service.Submit(MakeSimpleQuery(start, {cafe, museum}));
+//   ...
+//   Result<QueryResult> r = future.get();
+//
+// Batches fan out across the pool and return in input order:
+//
+//   std::vector<Result<QueryResult>> rs = service.RunBatch(queries);
+//
+// Thread safety: every public method may be called from any thread.
+// Results are deterministic — a query returns the same skyline whether it
+// ran on one thread, sixteen, or out of the cache.
+
+#ifndef SKYSR_SERVICE_QUERY_SERVICE_H_
+#define SKYSR_SERVICE_QUERY_SERVICE_H_
+
+#include <atomic>
+#include <future>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "category/category_forest.h"
+#include "core/bssr_engine.h"
+#include "core/query.h"
+#include "graph/graph.h"
+#include "service/bounded_queue.h"
+#include "service/result_cache.h"
+#include "service/service_metrics.h"
+#include "service/worker_pool.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace skysr {
+
+/// Service sizing and defaults.
+struct ServiceConfig {
+  /// Worker threads (one BssrEngine each); <= 0 uses hardware concurrency.
+  int num_threads = 0;
+  /// Bounded submission queue length. Submit() blocks when full.
+  size_t queue_capacity = 1024;
+  /// LRU result-cache entries; 0 disables the shared result cache.
+  size_t cache_capacity = 512;
+  /// Options applied when Submit/RunBatch are called without options.
+  QueryOptions default_options;
+};
+
+/// A concurrent, cached front-end over per-thread BssrEngines.
+class QueryService {
+ public:
+  /// The graph and forest must outlive the service. Workers start
+  /// immediately.
+  QueryService(const Graph& graph, const CategoryForest& forest,
+               ServiceConfig config = ServiceConfig());
+
+  /// Drains in-flight work, then joins the pool.
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Enqueues one query; blocks while the submission queue is full. The
+  /// future resolves to the skyline or an error status. After Shutdown()
+  /// the future resolves immediately to an Internal error.
+  std::future<Result<QueryResult>> Submit(Query query);
+  std::future<Result<QueryResult>> Submit(Query query, QueryOptions options);
+
+  /// Non-blocking submission; std::nullopt when the queue is full or the
+  /// service is shut down (counted in MetricsSnapshot::rejected).
+  std::optional<std::future<Result<QueryResult>>> TrySubmit(Query query);
+  std::optional<std::future<Result<QueryResult>>> TrySubmit(
+      Query query, QueryOptions options);
+
+  /// Fans the batch out across the pool and blocks for all results, which
+  /// are returned in input order.
+  std::vector<Result<QueryResult>> RunBatch(std::span<const Query> queries);
+  std::vector<Result<QueryResult>> RunBatch(std::span<const Query> queries,
+                                            const QueryOptions& options);
+
+  /// Aggregate counters since construction (or the last ResetMetrics).
+  MetricsSnapshot Metrics() const { return metrics_.Snapshot(); }
+  void ResetMetrics() { metrics_.Reset(); }
+
+  /// Stops accepting work, drains the queue, joins workers. Idempotent.
+  void Shutdown();
+
+  int num_threads() const { return num_threads_; }
+  size_t cache_size() const { return cache_.size(); }
+  const Graph& graph() const { return *graph_; }
+  const CategoryForest& forest() const { return *forest_; }
+
+ private:
+  struct Task {
+    Query query;
+    QueryOptions options;
+    std::promise<Result<QueryResult>> promise;
+    WallTimer enqueued;  // measures end-to-end (queue + execute) latency
+  };
+
+  void WorkerLoop(int thread_index);
+  void Execute(BssrEngine& engine, Task& task);
+  std::future<Result<QueryResult>> SubmitInternal(Query query,
+                                                  QueryOptions options,
+                                                  bool blocking,
+                                                  bool* accepted);
+
+  const Graph* graph_;
+  const CategoryForest* forest_;
+  const int num_threads_;
+  ServiceConfig config_;
+
+  BoundedQueue<Task> queue_;
+  LruResultCache cache_;
+  ServiceMetrics metrics_;
+  WorkerPool pool_;
+  std::atomic<bool> shutdown_{false};
+};
+
+}  // namespace skysr
+
+#endif  // SKYSR_SERVICE_QUERY_SERVICE_H_

@@ -1,0 +1,80 @@
+#include "service/result_cache.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace skysr {
+
+namespace {
+
+void AppendInt(std::string* out, int64_t v) {
+  *out += std::to_string(v);
+  *out += ',';
+}
+
+void AppendSorted(std::string* out, const std::vector<CategoryId>& ids,
+                  char tag) {
+  std::vector<CategoryId> sorted(ids);
+  std::sort(sorted.begin(), sorted.end());
+  *out += tag;
+  for (CategoryId c : sorted) AppendInt(out, c);
+}
+
+}  // namespace
+
+std::string CanonicalQueryKey(const Query& query,
+                              const QueryOptions& options) {
+  if (options.similarity != nullptr) return {};
+  if (std::isfinite(options.time_budget_seconds)) return {};
+
+  std::string key;
+  key.reserve(16 + query.sequence.size() * 12);
+  AppendInt(&key, query.start);
+  AppendInt(&key, query.destination.value_or(kInvalidVertex));
+  AppendInt(&key, static_cast<int64_t>(options.aggregation));
+  AppendInt(&key, static_cast<int64_t>(options.multi_category));
+  for (const CategoryPredicate& p : query.sequence) {
+    AppendSorted(&key, p.any_of, 'a');
+    AppendSorted(&key, p.all_of, 'c');
+    AppendSorted(&key, p.none_of, 'n');
+    key += ';';
+  }
+  return key;
+}
+
+std::shared_ptr<const QueryResult> LruResultCache::Get(
+    const std::string& key) {
+  if (key.empty()) return nullptr;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->result;
+}
+
+void LruResultCache::Put(const std::string& key,
+                         std::shared_ptr<const QueryResult> result) {
+  if (key.empty() || capacity_ == 0 || result == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second->result = std::move(result);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{key, std::move(result)});
+  entries_[key] = lru_.begin();
+  if (entries_.size() > capacity_) {
+    entries_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+}
+
+void LruResultCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  lru_.clear();
+}
+
+}  // namespace skysr

@@ -1,0 +1,70 @@
+// Thread-safe LRU cache of query results, keyed on a canonical encoding of
+// the query plus the result-affecting options. Distinct clients frequently
+// ask popular queries (same start PoI cluster, same category sequence); the
+// service answers repeats without touching an engine.
+//
+// Canonicalization: predicate category lists are order-insensitive
+// (`any_of = {a, b}` and `{b, a}` ask the same thing), so each list is
+// sorted before encoding. Only options that change the skyline participate
+// in the key (aggregation and multi-category modes); pure performance
+// toggles (NNinit, lower bounds, caching, queue discipline) do not, since
+// BSSR is exact under all of them.
+
+#ifndef SKYSR_SERVICE_RESULT_CACHE_H_
+#define SKYSR_SERVICE_RESULT_CACHE_H_
+
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "core/bssr_engine.h"
+#include "core/query.h"
+
+namespace skysr {
+
+/// Canonical cache key for (query, options). Returns the empty string when
+/// the pair is not cacheable (a custom similarity function cannot be keyed,
+/// and a finite time budget can yield partial results).
+std::string CanonicalQueryKey(const Query& query, const QueryOptions& options);
+
+/// Fixed-capacity LRU map from canonical key to an immutable shared result.
+/// All operations take one short critical section; results are handed out as
+/// shared_ptr so eviction never invalidates an outstanding reference.
+class LruResultCache {
+ public:
+  explicit LruResultCache(size_t capacity) : capacity_(capacity) {}
+
+  /// Returns the cached result and refreshes its recency, or null.
+  std::shared_ptr<const QueryResult> Get(const std::string& key);
+
+  /// Inserts (or refreshes) the result. No-op for empty keys or when the
+  /// cache was constructed with capacity 0.
+  void Put(const std::string& key, std::shared_ptr<const QueryResult> result);
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
+  size_t capacity() const { return capacity_; }
+
+  void Clear();
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const QueryResult> result;
+  };
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> entries_;
+};
+
+}  // namespace skysr
+
+#endif  // SKYSR_SERVICE_RESULT_CACHE_H_

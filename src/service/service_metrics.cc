@@ -1,0 +1,143 @@
+#include "service/service_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace skysr {
+
+namespace {
+
+std::string FormatLine(const char* label, double value, const char* unit) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%-18s %10.3f %s\n", label, value, unit);
+  return buf;
+}
+
+std::string FormatLine(const char* label, int64_t value) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%-18s %10lld\n", label,
+                static_cast<long long>(value));
+  return buf;
+}
+
+}  // namespace
+
+ServiceMetrics::ServiceMetrics() {
+  for (auto& b : latency_buckets_) b.store(0, kRelaxed);
+}
+
+int ServiceMetrics::BucketOf(double latency_ms) {
+  if (!(latency_ms > kBaseMs)) return 0;
+  const int b =
+      static_cast<int>(std::log(latency_ms / kBaseMs) / std::log(kGrowth));
+  return std::clamp(b, 0, kNumBuckets - 1);
+}
+
+double ServiceMetrics::BucketMidpoint(int bucket) {
+  // Geometric midpoint of the bucket's range.
+  return kBaseMs * std::pow(kGrowth, bucket + 0.5);
+}
+
+void ServiceMetrics::RecordCompleted(double latency_ms,
+                                     int64_t vertices_settled,
+                                     int64_t edges_relaxed,
+                                     int64_t routes_found) {
+  completed_.fetch_add(1, kRelaxed);
+  latency_buckets_[static_cast<size_t>(BucketOf(latency_ms))].fetch_add(
+      1, kRelaxed);
+  latency_sum_ms_.fetch_add(latency_ms, kRelaxed);
+  // CAS loop: atomic max for doubles.
+  double prev = latency_max_ms_.load(kRelaxed);
+  while (latency_ms > prev &&
+         !latency_max_ms_.compare_exchange_weak(prev, latency_ms, kRelaxed)) {
+  }
+  vertices_settled_.fetch_add(vertices_settled, kRelaxed);
+  edges_relaxed_.fetch_add(edges_relaxed, kRelaxed);
+  routes_found_.fetch_add(routes_found, kRelaxed);
+}
+
+double ServiceMetrics::PercentileLocked(
+    double p, int64_t total,
+    const std::array<int64_t, kNumBuckets>& counts) const {
+  if (total == 0) return 0;
+  const auto rank = static_cast<int64_t>(std::ceil(p * total));
+  int64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += counts[static_cast<size_t>(i)];
+    if (seen >= rank) return BucketMidpoint(i);
+  }
+  return BucketMidpoint(kNumBuckets - 1);
+}
+
+MetricsSnapshot ServiceMetrics::Snapshot() const {
+  MetricsSnapshot s;
+  s.submitted = submitted_.load(kRelaxed);
+  s.completed = completed_.load(kRelaxed);
+  s.errors = errors_.load(kRelaxed);
+  s.rejected = rejected_.load(kRelaxed);
+  s.cache_hits = cache_hits_.load(kRelaxed);
+  s.cache_misses = cache_misses_.load(kRelaxed);
+  s.vertices_settled = vertices_settled_.load(kRelaxed);
+  s.edges_relaxed = edges_relaxed_.load(kRelaxed);
+  s.routes_found = routes_found_.load(kRelaxed);
+
+  s.uptime_seconds = uptime_.ElapsedSeconds();
+  s.qps = s.uptime_seconds > 0 ? s.completed / s.uptime_seconds : 0;
+  const int64_t lookups = s.cache_hits + s.cache_misses;
+  s.cache_hit_rate =
+      lookups > 0 ? static_cast<double>(s.cache_hits) / lookups : 0;
+
+  std::array<int64_t, kNumBuckets> counts;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    counts[static_cast<size_t>(i)] =
+        latency_buckets_[static_cast<size_t>(i)].load(kRelaxed);
+  }
+  s.latency_p50_ms = PercentileLocked(0.50, s.completed, counts);
+  s.latency_p90_ms = PercentileLocked(0.90, s.completed, counts);
+  s.latency_p99_ms = PercentileLocked(0.99, s.completed, counts);
+  s.latency_mean_ms =
+      s.completed > 0 ? latency_sum_ms_.load(kRelaxed) / s.completed : 0;
+  s.latency_max_ms = latency_max_ms_.load(kRelaxed);
+  return s;
+}
+
+void ServiceMetrics::Reset() {
+  submitted_.store(0, kRelaxed);
+  completed_.store(0, kRelaxed);
+  errors_.store(0, kRelaxed);
+  rejected_.store(0, kRelaxed);
+  cache_hits_.store(0, kRelaxed);
+  cache_misses_.store(0, kRelaxed);
+  vertices_settled_.store(0, kRelaxed);
+  edges_relaxed_.store(0, kRelaxed);
+  routes_found_.store(0, kRelaxed);
+  for (auto& b : latency_buckets_) b.store(0, kRelaxed);
+  latency_sum_ms_.store(0, kRelaxed);
+  latency_max_ms_.store(0, kRelaxed);
+  uptime_.Reset();
+}
+
+std::string MetricsSnapshot::ToString() const {
+  std::string out;
+  out += FormatLine("submitted", submitted);
+  out += FormatLine("completed", completed);
+  out += FormatLine("errors", errors);
+  out += FormatLine("rejected", rejected);
+  out += FormatLine("uptime", uptime_seconds, "s");
+  out += FormatLine("throughput", qps, "qps");
+  out += FormatLine("cache hits", cache_hits);
+  out += FormatLine("cache misses", cache_misses);
+  out += FormatLine("cache hit rate", cache_hit_rate * 100.0, "%");
+  out += FormatLine("latency p50", latency_p50_ms, "ms");
+  out += FormatLine("latency p90", latency_p90_ms, "ms");
+  out += FormatLine("latency p99", latency_p99_ms, "ms");
+  out += FormatLine("latency mean", latency_mean_ms, "ms");
+  out += FormatLine("latency max", latency_max_ms, "ms");
+  out += FormatLine("vertices settled", vertices_settled);
+  out += FormatLine("edges relaxed", edges_relaxed);
+  out += FormatLine("routes found", routes_found);
+  return out;
+}
+
+}  // namespace skysr

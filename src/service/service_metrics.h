@@ -1,0 +1,104 @@
+// Aggregate service-level metrics for QueryService: query/error/cache
+// counters, throughput, and latency percentiles from a lock-free
+// log-bucketed histogram. Built on top of the per-query SearchStats that
+// every engine already emits.
+
+#ifndef SKYSR_SERVICE_SERVICE_METRICS_H_
+#define SKYSR_SERVICE_SERVICE_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "util/timer.h"
+
+namespace skysr {
+
+/// Point-in-time view of the service counters, with derived rates.
+struct MetricsSnapshot {
+  int64_t submitted = 0;       // queries accepted into the service
+  int64_t completed = 0;       // queries answered OK (engine or cache)
+  int64_t errors = 0;          // queries answered with a non-OK status
+  int64_t rejected = 0;        // TrySubmit refused: queue full or shut down
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+
+  double uptime_seconds = 0;
+  double qps = 0;              // completed / uptime
+  double cache_hit_rate = 0;   // hits / (hits + misses); 0 when no lookups
+
+  // Latency of completed queries (submission to completion), milliseconds.
+  double latency_p50_ms = 0;
+  double latency_p90_ms = 0;
+  double latency_p99_ms = 0;
+  double latency_mean_ms = 0;
+  double latency_max_ms = 0;
+
+  // Aggregated engine effort across all executed (non-cached) queries.
+  int64_t vertices_settled = 0;
+  int64_t edges_relaxed = 0;
+  int64_t routes_found = 0;
+
+  /// Multi-line human-readable dump.
+  std::string ToString() const;
+};
+
+/// Thread-safe metrics sink. All mutators are wait-free atomic updates so
+/// worker threads never serialize on instrumentation.
+class ServiceMetrics {
+ public:
+  ServiceMetrics();
+
+  void RecordSubmitted() { submitted_.fetch_add(1, kRelaxed); }
+  void RecordRejected() { rejected_.fetch_add(1, kRelaxed); }
+  void RecordError() { errors_.fetch_add(1, kRelaxed); }
+  void RecordCacheHit() { cache_hits_.fetch_add(1, kRelaxed); }
+  void RecordCacheMiss() { cache_misses_.fetch_add(1, kRelaxed); }
+
+  /// Records a successfully answered query with its end-to-end latency and
+  /// the engine effort spent on it (zeros when served from cache).
+  void RecordCompleted(double latency_ms, int64_t vertices_settled,
+                       int64_t edges_relaxed, int64_t routes_found);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every counter and restarts the uptime clock.
+  void Reset();
+
+ private:
+  static constexpr auto kRelaxed = std::memory_order_relaxed;
+
+  // Latency histogram: bucket i covers [kBase * kGrowth^i, kBase *
+  // kGrowth^(i+1)) milliseconds. 96 geometric buckets at 1.25x growth span
+  // ~0.001 ms to ~2e6 ms, which is plenty for a query service.
+  static constexpr int kNumBuckets = 96;
+  static constexpr double kBaseMs = 1e-3;
+  static constexpr double kGrowth = 1.25;
+
+  static int BucketOf(double latency_ms);
+  static double BucketMidpoint(int bucket);
+  double PercentileLocked(double p, int64_t total,
+                          const std::array<int64_t, kNumBuckets>& counts) const;
+
+  std::atomic<int64_t> submitted_{0};
+  std::atomic<int64_t> completed_{0};
+  std::atomic<int64_t> errors_{0};
+  std::atomic<int64_t> rejected_{0};
+  std::atomic<int64_t> cache_hits_{0};
+  std::atomic<int64_t> cache_misses_{0};
+
+  std::atomic<int64_t> vertices_settled_{0};
+  std::atomic<int64_t> edges_relaxed_{0};
+  std::atomic<int64_t> routes_found_{0};
+
+  std::array<std::atomic<int64_t>, kNumBuckets> latency_buckets_;
+  std::atomic<double> latency_sum_ms_{0};
+  std::atomic<double> latency_max_ms_{0};
+
+  WallTimer uptime_;
+};
+
+}  // namespace skysr
+
+#endif  // SKYSR_SERVICE_SERVICE_METRICS_H_

@@ -1,0 +1,59 @@
+// A fixed-size pool of named worker threads. Each worker runs the same body
+// with its thread index, so per-thread state (a BssrEngine, scratch buffers,
+// an RNG) is owned by the body's stack frame — no sharing, no locks.
+
+#ifndef SKYSR_SERVICE_WORKER_POOL_H_
+#define SKYSR_SERVICE_WORKER_POOL_H_
+
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace skysr {
+
+/// Owns N threads between Start() and Join(). Join() is idempotent and is
+/// called from the destructor; the body must return on its own (typically
+/// when its work queue closes) for Join() to complete.
+class WorkerPool {
+ public:
+  WorkerPool() = default;
+  ~WorkerPool() { Join(); }
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Spawns `num_threads` workers, each running `body(thread_index)`.
+  void Start(int num_threads, std::function<void(int)> body) {
+    SKYSR_CHECK_MSG(threads_.empty(), "pool already started");
+    SKYSR_CHECK_MSG(num_threads > 0, "pool needs at least one thread");
+    threads_.reserve(static_cast<size_t>(num_threads));
+    for (int i = 0; i < num_threads; ++i) {
+      threads_.emplace_back(body, i);
+    }
+  }
+
+  /// Waits for every worker to return. Safe to call repeatedly and from
+  /// several threads at once (e.g. an explicit Shutdown racing the owner's
+  /// destructor).
+  void Join() {
+    std::lock_guard<std::mutex> lock(join_mu_);
+    for (std::thread& t : threads_) {
+      if (t.joinable()) t.join();
+    }
+    threads_.clear();
+  }
+
+  int size() const { return static_cast<int>(threads_.size()); }
+
+ private:
+  std::mutex join_mu_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace skysr
+
+#endif  // SKYSR_SERVICE_WORKER_POOL_H_

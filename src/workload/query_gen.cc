@@ -1,10 +1,13 @@
 #include "workload/query_gen.h"
 
 #include <algorithm>
+#include <fstream>
+#include <sstream>
 #include <unordered_map>
 
 #include "util/logging.h"
 #include "util/rng.h"
+#include "util/string_util.h"
 
 namespace skysr {
 
@@ -73,6 +76,76 @@ std::vector<Query> GenerateQueries(const Dataset& dataset,
         static_cast<VertexId>(rng.UniformU64(
             static_cast<uint64_t>(g.num_vertices()))),
         cats);
+    queries.push_back(std::move(q));
+  }
+  return queries;
+}
+
+Status WriteWorkloadFile(const std::string& path, const Dataset& dataset,
+                         std::span<const Query> queries) {
+  std::ostringstream out;
+  out << "# skysr workload: " << queries.size() << " queries over "
+      << dataset.name << "\n";
+  for (const Query& q : queries) {
+    out << q.start << '|';
+    if (q.destination.has_value()) {
+      out << *q.destination;
+    } else {
+      out << '-';
+    }
+    out << '|';
+    for (size_t i = 0; i < q.sequence.size(); ++i) {
+      const CategoryPredicate& p = q.sequence[i];
+      if (!p.all_of.empty() || !p.none_of.empty() || p.any_of.size() != 1) {
+        return Status::InvalidArgument(
+            "workload files only represent simple single-category queries");
+      }
+      if (i > 0) out << ';';
+      out << dataset.forest.Name(p.any_of[0]);
+    }
+    out << '\n';
+  }
+  std::ofstream file(path);
+  if (!file) return Status::IOError("cannot open " + path + " for writing");
+  file << out.str();
+  if (!file.flush()) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+Result<std::vector<Query>> LoadWorkloadFile(const std::string& path,
+                                            const Dataset& dataset) {
+  std::ifstream file(path);
+  if (!file) return Status::IOError("cannot open " + path);
+  std::vector<Query> queries;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(file, line)) {
+    ++lineno;
+    const std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    const auto err = [&](const std::string& what) {
+      return Status::InvalidArgument(path + ":" + std::to_string(lineno) +
+                                     ": " + what);
+    };
+    const auto fields = Split(trimmed, '|');
+    if (fields.size() != 3) return err("expected start|dest|categories");
+    Query q;
+    int64_t start = 0;
+    if (!ParseInt64(Trim(fields[0]), &start)) return err("bad start vertex");
+    q.start = static_cast<VertexId>(start);
+    if (Trim(fields[1]) != "-") {
+      int64_t dest = 0;
+      if (!ParseInt64(Trim(fields[1]), &dest)) return err("bad destination");
+      q.destination = static_cast<VertexId>(dest);
+    }
+    for (const auto name : Split(fields[2], ';')) {
+      const CategoryId c = dataset.forest.FindByName(Trim(name));
+      if (c == kInvalidCategory) {
+        return err("unknown category '" + std::string(Trim(name)) + "'");
+      }
+      q.sequence.push_back(CategoryPredicate::Single(c));
+    }
+    if (q.sequence.empty()) return err("empty category sequence");
     queries.push_back(std::move(q));
   }
   return queries;

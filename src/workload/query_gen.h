@@ -6,9 +6,12 @@
 #define SKYSR_WORKLOAD_QUERY_GEN_H_
 
 #include <cstdint>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "core/query.h"
+#include "util/status.h"
 #include "workload/dataset.h"
 
 namespace skysr {
@@ -26,6 +29,25 @@ struct QueryGenParams {
 /// Generates `count` queries over the dataset.
 std::vector<Query> GenerateQueries(const Dataset& dataset,
                                    const QueryGenParams& params);
+
+// --- Batch workload files -------------------------------------------------
+//
+// A workload file is the replayable form of a query batch: one query per
+// line, `start|dest|CatA;CatB;...` with category names as in taxonomy.txt
+// and `-` for "no destination". Blank lines and `#` comments are ignored.
+// Together with the deterministic generator above this makes a benchmark
+// run fully reproducible: generate once with a seed, replay anywhere
+// (skysr_cli batch, bench_service_throughput, tests).
+
+/// Serializes simple (any_of-only) queries. Returns InvalidArgument for
+/// queries with all_of/none_of predicates, which the text format does not
+/// represent.
+Status WriteWorkloadFile(const std::string& path, const Dataset& dataset,
+                         std::span<const Query> queries);
+
+/// Parses a workload file written by WriteWorkloadFile.
+Result<std::vector<Query>> LoadWorkloadFile(const std::string& path,
+                                            const Dataset& dataset);
 
 }  // namespace skysr
 

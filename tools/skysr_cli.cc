@@ -12,8 +12,15 @@
 //       Runs one SkySR query (category names as in taxonomy.txt) and prints
 //       the skyline plus search statistics.
 //
-//   skysr_cli workload --data DIR --size K --count N [--seed S]
-//       Generates N random queries of size K and reports aggregate timing.
+//   skysr_cli workload --data DIR --size K --count N [--seed S] [--out FILE]
+//       Generates N random queries of size K and reports aggregate timing;
+//       with --out, also writes the batch to a replayable workload file.
+//
+//   skysr_cli batch --data DIR --queries FILE [--threads N] [--repeat R]
+//             [--cache N] [--queue N]
+//       (alias: serve) Replays a workload file through the concurrent
+//       QueryService with N worker threads and prints service metrics
+//       (QPS, latency percentiles, cache hit rate).
 
 #include <cstdio>
 #include <cstdlib>
@@ -32,7 +39,7 @@ namespace {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: skysr_cli <generate|info|query|workload> [flags]\n"
+               "usage: skysr_cli <generate|info|query|workload|batch> [flags]\n"
                "run with a command and no flags for its flag list\n");
   return 2;
 }
@@ -209,6 +216,15 @@ int CmdWorkload(const std::map<std::string, std::string>& flags) {
                 ? static_cast<uint64_t>(std::atoll(flags.at("seed").c_str()))
                 : 99;
   const auto queries = GenerateQueries(*ds, qp);
+  if (flags.count("out")) {
+    if (Status st = WriteWorkloadFile(flags.at("out"), *ds, queries);
+        !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %zu queries to %s\n", queries.size(),
+                flags.at("out").c_str());
+  }
 
   BssrEngine engine(ds->graph, ds->forest);
   double total_ms = 0, max_ms = 0;
@@ -229,6 +245,63 @@ int CmdWorkload(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+int CmdBatch(const std::map<std::string, std::string>& flags) {
+  if (!flags.count("data") || !flags.count("queries")) {
+    std::fprintf(stderr, "batch needs --data DIR --queries FILE "
+                         "[--threads N] [--repeat R] [--cache N] [--queue N]\n");
+    return 2;
+  }
+  auto ds = LoadDataDir(flags.at("data"));
+  if (!ds.ok()) {
+    std::fprintf(stderr, "%s\n", ds.status().ToString().c_str());
+    return 1;
+  }
+  auto queries = LoadWorkloadFile(flags.at("queries"), *ds);
+  if (!queries.ok()) {
+    std::fprintf(stderr, "%s\n", queries.status().ToString().c_str());
+    return 1;
+  }
+
+  ServiceConfig cfg;
+  cfg.num_threads =
+      flags.count("threads") ? std::atoi(flags.at("threads").c_str()) : 0;
+  if (flags.count("cache")) {
+    cfg.cache_capacity =
+        static_cast<size_t>(std::atoll(flags.at("cache").c_str()));
+  }
+  if (flags.count("queue")) {
+    cfg.queue_capacity =
+        static_cast<size_t>(std::atoll(flags.at("queue").c_str()));
+  }
+  const int repeat =
+      flags.count("repeat") ? std::atoi(flags.at("repeat").c_str()) : 1;
+
+  QueryService service(ds->graph, ds->forest, cfg);
+  std::printf("replaying %zu queries x%d through %d worker thread(s)...\n",
+              queries->size(), repeat, service.num_threads());
+  int64_t failed = 0;
+  WallTimer timer;
+  for (int r = 0; r < repeat; ++r) {
+    const auto results = service.RunBatch(*queries);
+    for (const auto& res : results) {
+      if (!res.ok()) ++failed;
+    }
+  }
+  const double wall_s = timer.ElapsedSeconds();
+
+  const MetricsSnapshot m = service.Metrics();
+  std::printf("\n%s\n", m.ToString().c_str());
+  std::printf("wall time          %10.3f s\n", wall_s);
+  std::printf("batch throughput   %10.3f qps\n",
+              wall_s > 0 ? static_cast<double>(m.completed) / wall_s : 0.0);
+  if (failed > 0) {
+    std::fprintf(stderr, "%lld queries failed\n",
+                 static_cast<long long>(failed));
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace skysr
 
@@ -240,5 +313,6 @@ int main(int argc, char** argv) {
   if (cmd == "info") return skysr::CmdInfo(flags);
   if (cmd == "query") return skysr::CmdQuery(flags);
   if (cmd == "workload") return skysr::CmdWorkload(flags);
+  if (cmd == "batch" || cmd == "serve") return skysr::CmdBatch(flags);
   return skysr::Usage();
 }
