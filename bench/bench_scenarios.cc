@@ -1,0 +1,86 @@
+// Response-time sweep over the scenario generator's graph families
+// (bench_fig3-style, but on synthetic grid / cluster / small-world networks
+// instead of the Tokyo/NYC/Cal-like datasets): BSSR with all optimizations
+// across sequence sizes, plus the skyline-size profile of each family.
+//
+// Knobs: SKYSR_BENCH_SCALE (vertex-count multiplier), SKYSR_BENCH_QUERIES.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/bssr_engine.h"
+#include "scenario/scenario.h"
+#include "util/timer.h"
+
+namespace skysr {
+namespace {
+
+ScenarioSpec BenchSpec(GraphFamily family, int64_t vertices, uint64_t seed) {
+  ScenarioSpec spec;
+  spec.name = GraphFamilyName(family);
+  spec.graph.family = family;
+  spec.graph.target_vertices = vertices;
+  spec.graph.weights = WeightModel::kEuclidean;
+  spec.graph.num_clusters = 8;
+  spec.taxonomy.num_trees = 6;
+  spec.taxonomy.max_fanout = 3;
+  spec.taxonomy.max_levels = 3;
+  spec.pois.num_pois = vertices / 4;
+  spec.pois.zipf_theta = 0.8;
+  SeedScenarioSpec(&spec, seed);
+  return spec;
+}
+
+void Run() {
+  const double scale = bench::EnvDouble("SKYSR_BENCH_SCALE", 1.0);
+  const int queries = bench::EnvInt("SKYSR_BENCH_QUERIES", 5);
+  const auto vertices = static_cast<int64_t>(4000 * scale);
+
+  bench::TablePrinter table({"family", "|V|", "|P|", "size", "mean ms",
+                             "max ms", "skyline"});
+  for (GraphFamily family : {GraphFamily::kGrid, GraphFamily::kCluster,
+                             GraphFamily::kSmallWorld}) {
+    const Scenario sc = MakeScenario(BenchSpec(family, vertices,
+                                               /*seed=*/2026));
+    BssrEngine engine(sc.dataset.graph, sc.dataset.forest);
+    for (int size = 2; size <= 4; ++size) {
+      ScenarioWorkloadParams wl = sc.spec.workload;
+      wl.num_queries = queries;
+      wl.min_sequence = size;
+      wl.max_sequence = size;
+      const std::vector<Query> batch = MakeScenarioQueries(sc.dataset, wl);
+      double total_ms = 0, max_ms = 0;
+      int64_t total_routes = 0;
+      int ok = 0;
+      for (const Query& q : batch) {
+        WallTimer t;
+        auto r = engine.Run(q);
+        if (!r.ok()) continue;
+        const double ms = t.ElapsedMillis();
+        total_ms += ms;
+        max_ms = ms > max_ms ? ms : max_ms;
+        total_routes += static_cast<int64_t>(r->routes.size());
+        ++ok;
+      }
+      if (ok == 0) continue;
+      table.AddRow({GraphFamilyName(family),
+                    bench::FmtInt(sc.dataset.graph.num_vertices()),
+                    bench::FmtInt(sc.dataset.graph.num_pois()),
+                    bench::FmtInt(size), bench::Fmt("%.2f", total_ms / ok),
+                    bench::Fmt("%.2f", max_ms),
+                    bench::Fmt("%.2f", static_cast<double>(total_routes) /
+                                           ok)});
+    }
+  }
+  std::printf("BSSR response time on scenario graph families "
+              "(all optimizations on)\n\n");
+  table.Print();
+}
+
+}  // namespace
+}  // namespace skysr
+
+int main() {
+  skysr::Run();
+  return 0;
+}

@@ -5,11 +5,16 @@
 // queue makes its memory footprint balloon — the effect Table 6 of the
 // paper reports.
 //
-// Contract: exact when the perfect-match PoI sets of the positions are
-// pairwise disjoint (the paper's experimental setting — categories from
-// distinct trees). With overlapping positions the (vertex, progress) state
-// dedup can hide the PoI-distinctness constraint of Definition 3.4(iii);
-// use PNE (which is exact in general) or brute force there.
+// Contract: exact in general. When the perfect-match PoI sets of the
+// positions are pairwise disjoint (the paper's experimental setting —
+// categories from distinct trees) the classic flat (vertex, progress)
+// settling applies. PoIs shared by several positions make that state space
+// unsound under the PoI-distinctness constraint of Definition 3.4(iii)
+// — a disagreement the differential scenario harness surfaced — so such
+// PoIs are tracked in a per-route bitmask and states are settled on
+// (used-shared-set, progress, vertex) instead; beyond 64 shared PoIs the
+// settling key becomes the exact used-PoI set (slower, still exact, and a
+// finite state space, so the search always terminates).
 
 #ifndef SKYSR_BASELINE_OSR_DIJKSTRA_H_
 #define SKYSR_BASELINE_OSR_DIJKSTRA_H_

@@ -81,6 +81,11 @@ struct PneItem {
   int32_t node;
   int32_t size;
   int32_t rank;  // NN rank of the last PoI w.r.t. its predecessor
+  // Complete routes under a destination pop twice: first as a candidate
+  // keyed by the tail-free length (a lower bound of the total, preserving
+  // heap order and lazy NN advancement), then re-pushed with the true
+  // start-to-destination total.
+  bool tailed;
   bool operator<(const PneItem& o) const {
     if (len != o.len) return len < o.len;
     return node < o.node;
@@ -109,7 +114,9 @@ OsrResult RunOsrPne(const Graph& g,
   DaryHeap<PneItem> heap;
 
   // Extends `parent` (route of size `position`) with its rank>=`from_rank`
-  // nearest neighbor that is not already used; pushes the result.
+  // nearest neighbor that is not already used; pushes the result. All keys
+  // are tail-free, so pushes stay in NN rank order and the incremental NN
+  // stream is advanced one rank at a time.
   const auto spawn = [&](int32_t parent, int position, int from_rank) {
     const VertexId src = parent == RouteArena::kEmpty
                              ? start
@@ -121,19 +128,10 @@ OsrResult RunOsrPne(const Graph& g,
       const auto hit = nn.Get(src, position, rank);
       if (!hit) return;
       if (!arena.Contains(parent, hit->poi)) {
-        Weight len = base_len + hit->dist;
-        if (position + 1 == k && dest) {
-          const Weight tail = dest_dist[static_cast<size_t>(hit->vertex)];
-          if (tail == kInfWeight) {
-            ++rank;  // cannot finish from here; try the next neighbor
-            continue;
-          }
-          len += tail;
-        }
-        const int32_t node =
-            arena.Add(parent, hit->poi, hit->vertex, base_len + hit->dist,
-                      1.0);
-        heap.push(PneItem{len, node, position + 1, rank});
+        const int32_t node = arena.Add(parent, hit->poi, hit->vertex,
+                                       base_len + hit->dist, 1.0);
+        heap.push(PneItem{base_len + hit->dist, node, position + 1, rank,
+                          /*tailed=*/false});
         return;
       }
       ++rank;
@@ -150,17 +148,27 @@ OsrResult RunOsrPne(const Graph& g,
       break;
     }
     const PneItem item = heap.pop();
-    // Partial keys omit the destination tail, so they lower-bound every
-    // descendant's total; once the frontier passes the best known total the
-    // best is final.
-    if (item.len >= best_total) break;
     if (item.size == k) {
-      best_total = item.len;
-      best_node = item.node;
-      // The sibling could still be shorter overall when a destination tail
-      // is involved; keep exploring.
+      // NN rank order (leg distance) does NOT order completed totals once a
+      // destination tail is added — the tail varies per PoI — so a complete
+      // route first pops as a tail-free candidate (a lower bound of its
+      // total): it advances its sibling chain and re-enters the heap with
+      // the true total. Every unexplored completion is therefore covered by
+      // a heap entry lower-bounding it, and the first TOTAL that pops is
+      // the optimum. Without a destination the tail-free length is already
+      // the total.
+      if (!dest || item.tailed) {
+        best_total = item.len;
+        best_node = item.node;
+        break;
+      }
       spawn(arena.node(item.node).parent, item.size - 1, item.rank + 1);
-      if (!dest) break;  // without a tail the first complete pop is optimal
+      const Weight tail =
+          dest_dist[static_cast<size_t>(arena.node(item.node).vertex)];
+      if (tail != kInfWeight) {
+        heap.push(PneItem{item.len + tail, item.node, item.size, item.rank,
+                          /*tailed=*/true});
+      }
       continue;
     }
     // Child: greedy extension with the nearest next-position PoI.

@@ -6,6 +6,14 @@
 // nearest PoI in place of the last one. Incremental nearest-neighbor
 // queries are served by resumable Dijkstras memoized per (source vertex,
 // position).
+//
+// With a destination, NN rank order — leg distance — does not order
+// completed totals once the per-PoI destination tail is added, so naive
+// lazy sibling chaining returned suboptimal routes (a bug the differential
+// scenario harness surfaced). Complete routes therefore pop twice: first
+// as a candidate keyed by the tail-free length (a lower bound that keeps
+// the NN stream advancing one rank at a time), which re-enters the heap
+// with its true total; the first true total popped is the optimum.
 
 #ifndef SKYSR_BASELINE_OSR_PNE_H_
 #define SKYSR_BASELINE_OSR_PNE_H_

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "util/logging.h"
+#include "util/rng.h"
 
 namespace skysr {
 namespace {
@@ -140,6 +141,34 @@ CategoryForest MakeSyntheticForest(int num_trees, int branching, int levels) {
       };
   for (int t = 0; t < num_trees; ++t) {
     const std::string root_name = "T" + std::to_string(t);
+    grow(b.AddRoot(root_name), root_name, 0);
+  }
+  return BuildOrDie(b);
+}
+
+CategoryForest MakeRandomForest(const RandomForestParams& params) {
+  SKYSR_CHECK(params.num_trees > 0);
+  SKYSR_CHECK(params.max_fanout > 0);
+  SKYSR_CHECK(params.max_levels >= 0);
+  Rng rng(params.seed);
+  CategoryForestBuilder b;
+  // Preorder ids, as in MakeSyntheticForest, so taxonomy.txt round-trips
+  // with identical category ids.
+  const std::function<void(CategoryId, const std::string&, int)> grow =
+      [&](CategoryId parent, const std::string& name, int level) {
+        if (level >= params.max_levels) return;
+        // Roots always grow (a forest of bare roots makes every similarity
+        // 0 or 1 and exercises nothing); deeper nodes may stop early.
+        if (level > 0 && rng.Bernoulli(params.stop_probability)) return;
+        const int fanout = static_cast<int>(
+            rng.UniformInt(1, params.max_fanout));
+        for (int c = 0; c < fanout; ++c) {
+          const std::string child_name = name + "." + std::to_string(c);
+          grow(b.AddChild(parent, child_name), child_name, level + 1);
+        }
+      };
+  for (int t = 0; t < params.num_trees; ++t) {
+    const std::string root_name = "R" + std::to_string(t);
     grow(b.AddRoot(root_name), root_name, 0);
   }
   return BuildOrDie(b);

@@ -11,6 +11,8 @@
 #ifndef SKYSR_CATEGORY_TAXONOMY_FACTORY_H_
 #define SKYSR_CATEGORY_TAXONOMY_FACTORY_H_
 
+#include <cstdint>
+
 #include "category/category_forest.h"
 
 namespace skysr {
@@ -31,6 +33,25 @@ CategoryForest MakeCalLikeForest();
 /// `branching` and `levels` levels below each root (levels = 0 gives
 /// root-only trees). Node names are "T<i>", "T<i>.<j>", ...
 CategoryForest MakeSyntheticForest(int num_trees, int branching, int levels);
+
+/// Shape parameters for randomized taxonomy families (the scenario
+/// generator's counterpart to the fixed synthetic forests above).
+struct RandomForestParams {
+  int num_trees = 3;
+  /// Children of an internal node are drawn uniformly from [1, max_fanout].
+  int max_fanout = 3;
+  /// Maximum levels below each root (0 gives root-only trees).
+  int max_levels = 3;
+  /// Probability that a non-root node stops growing before max_levels,
+  /// yielding ragged trees of varying depth.
+  double stop_probability = 0.25;
+  uint64_t seed = 1;
+};
+
+/// Random category forest with ragged depth/fanout, deterministic per seed.
+/// Ids are assigned in preorder (text-format round-trip safe) and names are
+/// unique across the forest ("R<i>", "R<i>.<j>", ...).
+CategoryForest MakeRandomForest(const RandomForestParams& params);
 
 }  // namespace skysr
 

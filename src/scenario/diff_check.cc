@@ -1,0 +1,241 @@
+#include "scenario/diff_check.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+#include "baseline/brute_force.h"
+#include "baseline/naive_skysr.h"
+#include "core/bssr_engine.h"
+#include "service/query_service.h"
+#include "util/rng.h"
+
+namespace skysr {
+namespace {
+
+bool IsPlainQuery(const Query& q) {
+  for (const CategoryPredicate& p : q.sequence) {
+    if (p.any_of.size() != 1 || !p.all_of.empty() || !p.none_of.empty()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string RenderConfig(bool init, bool lb, bool cache,
+                         QueueDiscipline disc) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "init=%d lb=%d cache=%d queue=%s", init,
+                lb, cache,
+                disc == QueueDiscipline::kProposed ? "proposed" : "distance");
+  return buf;
+}
+
+/// Score staircase sorted by (length, semantic); engine outputs are already
+/// staircases, but sorting copies makes the comparison independent of that.
+std::vector<RouteScores> SortedScores(const std::vector<Route>& routes) {
+  std::vector<RouteScores> out;
+  out.reserve(routes.size());
+  for (const Route& r : routes) out.push_back(r.scores);
+  std::sort(out.begin(), out.end(),
+            [](const RouteScores& a, const RouteScores& b) {
+              if (a.length != b.length) return a.length < b.length;
+              return a.semantic < b.semantic;
+            });
+  return out;
+}
+
+/// Near-equality for the naive baseline (summation-order ULP drift).
+bool SkylinesNear(const std::vector<Route>& a, const std::vector<Route>& b,
+                  double tol) {
+  const auto va = SortedScores(a);
+  const auto vb = SortedScores(b);
+  if (va.size() != vb.size()) return false;
+  for (size_t i = 0; i < va.size(); ++i) {
+    const double lscale = std::max(
+        {1.0, std::abs(va[i].length), std::abs(vb[i].length)});
+    if (std::abs(va[i].length - vb[i].length) > tol * lscale) return false;
+    if (std::abs(va[i].semantic - vb[i].semantic) > tol) return false;
+  }
+  return true;
+}
+
+void MixInto(uint64_t* digest, uint64_t v) {
+  uint64_t s = *digest ^ (v + 0x9E3779B97F4A7C15ULL);
+  *digest = SplitMix64(s);
+}
+
+void MixSkyline(uint64_t* digest, const std::vector<Route>& routes) {
+  MixInto(digest, routes.size());
+  for (const Route& r : routes) {
+    MixInto(digest, std::bit_cast<uint64_t>(r.scores.length));
+    MixInto(digest, std::bit_cast<uint64_t>(r.scores.semantic));
+  }
+}
+
+}  // namespace
+
+bool BitIdenticalSkylines(const std::vector<Route>& a,
+                          const std::vector<Route>& b) {
+  const auto va = SortedScores(a);
+  const auto vb = SortedScores(b);
+  if (va.size() != vb.size()) return false;
+  for (size_t i = 0; i < va.size(); ++i) {
+    if (va[i].length != vb[i].length) return false;
+    if (va[i].semantic != vb[i].semantic) return false;
+  }
+  return true;
+}
+
+std::string RenderSkyline(const std::vector<Route>& routes) {
+  std::string out = "{";
+  for (const RouteScores& s : SortedScores(routes)) {
+    char buf[80];
+    std::snprintf(buf, sizeof(buf), " (%.17g, %.17g)", s.length, s.semantic);
+    out += buf;
+  }
+  return out + " }";
+}
+
+std::string DiffReport::Summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "differential check: %d scenarios, %d instances, "
+                "%lld engine runs, %lld baseline runs, digest=%016llx, "
+                "%zu mismatches",
+                scenarios_run, instances_checked,
+                static_cast<long long>(engine_runs),
+                static_cast<long long>(baseline_runs),
+                static_cast<unsigned long long>(result_digest),
+                mismatches.size());
+  std::string out = buf;
+  const size_t shown = std::min<size_t>(mismatches.size(), 10);
+  for (size_t i = 0; i < shown; ++i) {
+    const DiffMismatch& m = mismatches[i];
+    std::snprintf(buf, sizeof(buf),
+                  "\n  [%s query %d, suite index %d, master seed %llu, %s] ",
+                  m.scenario.c_str(), m.query_index, m.suite_index,
+                  static_cast<unsigned long long>(m.master_seed),
+                  m.config.c_str());
+    out += buf;
+    out += m.detail;
+  }
+  if (mismatches.size() > shown) out += "\n  ...";
+  return out;
+}
+
+DiffReport RunDifferentialCheck(const DiffCheckParams& params) {
+  DiffReport report;
+  for (int idx = 0; report.instances_checked < params.num_instances; ++idx) {
+    const ScenarioSpec spec = ScenarioSuiteSpec(idx, params.master_seed);
+    const Scenario sc = MakeScenario(spec);
+    ++report.scenarios_run;
+    BssrEngine engine(sc.dataset.graph, sc.dataset.forest);
+
+    const auto record = [&](int query_index, std::string config,
+                            std::string detail) {
+      report.mismatches.push_back(DiffMismatch{
+          idx, params.master_seed, spec.name, query_index, std::move(config),
+          std::move(detail)});
+    };
+
+    // Default-option engine results, kept for the service replay check.
+    std::vector<std::vector<Route>> default_results(sc.queries.size());
+    std::vector<char> have_default(sc.queries.size(), 0);
+
+    for (size_t qi = 0; qi < sc.queries.size(); ++qi) {
+      const Query& q = sc.queries[qi];
+      ++report.instances_checked;
+
+      const QueryOptions defaults;
+      auto brute = BruteForceSkySr(sc.dataset.graph, sc.dataset.forest, q,
+                                   defaults);
+      ++report.baseline_runs;
+      if (!brute.ok()) {
+        record(static_cast<int>(qi), "brute-force",
+               brute.status().ToString());
+        continue;
+      }
+      MixSkyline(&report.result_digest, *brute);
+
+      // Every ablation combination must reproduce the exact skyline.
+      for (int bits = 0; bits < 8; ++bits) {
+        for (QueueDiscipline disc :
+             {QueueDiscipline::kProposed, QueueDiscipline::kDistanceBased}) {
+          QueryOptions opts;
+          opts.use_initial_search = (bits & 1) != 0;
+          opts.use_lower_bounds = (bits & 2) != 0;
+          opts.use_cache = (bits & 4) != 0;
+          opts.queue_discipline = disc;
+          auto got = engine.Run(q, opts);
+          ++report.engine_runs;
+          if (!got.ok()) {
+            record(static_cast<int>(qi),
+                   RenderConfig(opts.use_initial_search, opts.use_lower_bounds,
+                                opts.use_cache, disc),
+                   got.status().ToString());
+            continue;
+          }
+          if (!BitIdenticalSkylines(got->routes, *brute)) {
+            record(static_cast<int>(qi),
+                   RenderConfig(opts.use_initial_search, opts.use_lower_bounds,
+                                opts.use_cache, disc),
+                   "expected " + RenderSkyline(*brute) + " got " +
+                       RenderSkyline(got->routes));
+          }
+          if (bits == 7 && disc == QueueDiscipline::kProposed) {
+            default_results[qi] = got->routes;
+            have_default[qi] = 1;
+          }
+        }
+      }
+
+      if (params.check_naive_baseline && IsPlainQuery(q)) {
+        for (OsrEngineKind kind :
+             {OsrEngineKind::kDijkstraBased, OsrEngineKind::kPne}) {
+          auto naive = RunNaiveSkySr(sc.dataset.graph, sc.dataset.forest, q,
+                                     defaults, kind);
+          ++report.baseline_runs;
+          const char* name = kind == OsrEngineKind::kDijkstraBased
+                                 ? "naive-dijkstra"
+                                 : "naive-pne";
+          if (!naive.ok()) {
+            record(static_cast<int>(qi), name, naive.status().ToString());
+          } else if (!SkylinesNear(naive->routes, *brute,
+                                   params.naive_tolerance)) {
+            record(static_cast<int>(qi), name,
+                   "expected " + RenderSkyline(*brute) + " got " +
+                       RenderSkyline(naive->routes));
+          }
+        }
+      }
+    }
+
+    if (params.check_service && !sc.queries.empty()) {
+      ServiceConfig cfg;
+      cfg.num_threads = 2;
+      cfg.queue_capacity = 64;
+      cfg.cache_capacity = 16;
+      QueryService service(sc.dataset.graph, sc.dataset.forest, cfg);
+      const auto results = service.RunBatch(sc.queries);
+      for (size_t qi = 0; qi < results.size(); ++qi) {
+        // A failed baseline/engine run already produced a mismatch above;
+        // comparing against the missing reference would only add noise.
+        if (!have_default[qi]) continue;
+        if (!results[qi].ok()) {
+          record(static_cast<int>(qi), "service",
+                 results[qi].status().ToString());
+        } else if (!BitIdenticalSkylines(results[qi].ValueOrDie().routes,
+                                         default_results[qi])) {
+          record(static_cast<int>(qi), "service",
+                 "expected " + RenderSkyline(default_results[qi]) + " got " +
+                     RenderSkyline(results[qi].ValueOrDie().routes));
+        }
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace skysr

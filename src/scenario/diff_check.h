@@ -1,0 +1,86 @@
+// Differential verification harness: BssrEngine against the exact baselines
+// on generated scenarios.
+//
+// For every (graph, taxonomy, query) instance of the deterministic scenario
+// suite it runs BssrEngine under EVERY QueryOptions ablation combination
+// (initial search x lower bounds x cache x queue discipline — Theorem 3
+// says none of them may change the answer) and demands a bit-identical
+// skyline against BruteForceSkySr. Plain single-category queries are
+// additionally cross-checked against the naive SkySR baseline (both OSR
+// engines), and each scenario's workload is replayed through a concurrent
+// QueryService, which must reproduce the sequential engine bit-for-bit.
+//
+// The harness is a library function (not test-framework bound) so the gtest
+// suite, the CLI and future fuzz drivers can all share it:
+//
+//   DiffReport report = RunDifferentialCheck({.num_instances = 216});
+//   if (!report.ok()) puts(report.Summary().c_str());
+
+#ifndef SKYSR_SCENARIO_DIFF_CHECK_H_
+#define SKYSR_SCENARIO_DIFF_CHECK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/route.h"
+#include "scenario/scenario.h"
+
+namespace skysr {
+
+struct DiffCheckParams {
+  /// (graph, taxonomy, query) triples to verify. Scenarios contribute their
+  /// whole workload, so ~3 instances per suite index.
+  int num_instances = 216;
+  /// Master seed of the scenario suite (ScenarioSuiteSpec).
+  uint64_t master_seed = 2026;
+  /// Cross-check plain queries against the naive SkySR baseline.
+  bool check_naive_baseline = true;
+  /// Replay each scenario's workload through a 2-thread QueryService and
+  /// compare with the sequential engine (bit-identical).
+  bool check_service = true;
+  /// Tolerance for the naive baseline only: its OSR engines sum leg
+  /// distances in different orders, so a few ULPs of drift are legitimate.
+  /// Engine-vs-brute-force comparisons are always exact (tolerance 0).
+  double naive_tolerance = 1e-9;
+};
+
+/// One disagreement, with everything needed to reproduce it.
+struct DiffMismatch {
+  int suite_index = 0;       // ScenarioSuiteSpec index
+  uint64_t master_seed = 0;  // suite master seed
+  std::string scenario;      // spec name, e.g. "cluster-17"
+  int query_index = 0;       // position in the scenario's workload
+  std::string config;        // e.g. "init=0 lb=1 cache=1 queue=proposed"
+  std::string detail;        // rendered expected-vs-actual staircases
+};
+
+struct DiffReport {
+  int scenarios_run = 0;
+  int instances_checked = 0;  // (graph, taxonomy, query) triples
+  int64_t engine_runs = 0;    // BssrEngine::Run invocations
+  int64_t baseline_runs = 0;  // brute-force + naive invocations
+  /// SplitMix digest over every verified skyline's score bits, in suite
+  /// order; equal seeds must yield equal digests (determinism proof).
+  uint64_t result_digest = 0;
+  std::vector<DiffMismatch> mismatches;
+
+  bool ok() const { return mismatches.empty(); }
+  std::string Summary() const;
+};
+
+/// Runs the harness over the scenario suite. Deterministic per params.
+DiffReport RunDifferentialCheck(const DiffCheckParams& params);
+
+/// Exact (bitwise) equality of two skylines as score staircases: same size
+/// and identical (length, semantic) doubles position by position. Route
+/// identity is NOT compared — equal-score representatives may differ.
+bool BitIdenticalSkylines(const std::vector<Route>& a,
+                          const std::vector<Route>& b);
+
+/// Renders "{(length, semantic) ...}" with full double precision.
+std::string RenderSkyline(const std::vector<Route>& routes);
+
+}  // namespace skysr
+
+#endif  // SKYSR_SCENARIO_DIFF_CHECK_H_

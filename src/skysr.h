@@ -32,6 +32,8 @@
 #include "graph/graph.h"               // IWYU pragma: export
 #include "graph/graph_builder.h"       // IWYU pragma: export
 #include "graph/io.h"                  // IWYU pragma: export
+#include "scenario/diff_check.h"       // IWYU pragma: export
+#include "scenario/scenario.h"         // IWYU pragma: export
 #include "service/query_service.h"     // IWYU pragma: export
 #include "util/rng.h"                  // IWYU pragma: export
 #include "workload/dataset.h"          // IWYU pragma: export

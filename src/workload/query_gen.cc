@@ -81,6 +81,35 @@ std::vector<Query> GenerateQueries(const Dataset& dataset,
   return queries;
 }
 
+namespace {
+
+/// A name is representable when the grammar's separators and prefixes
+/// cannot be confused with it and the loader's Trim gives it back intact.
+Status CheckRepresentable(const std::string& name) {
+  if (name.empty()) {
+    return Status::InvalidArgument("empty category name");
+  }
+  if (name.find(',') != std::string::npos ||
+      name.find(';') != std::string::npos ||
+      name.find('|') != std::string::npos ||
+      name.find('\n') != std::string::npos ||
+      name.find('\r') != std::string::npos) {
+    return Status::InvalidArgument("category name '" + name +
+                                   "' contains a workload-file separator");
+  }
+  if (name.front() == '+' || name.front() == '!') {
+    return Status::InvalidArgument("category name '" + name +
+                                   "' starts with a predicate prefix");
+  }
+  if (Trim(name) != name) {
+    return Status::InvalidArgument("category name '" + name +
+                                   "' has leading/trailing whitespace");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 Status WriteWorkloadFile(const std::string& path, const Dataset& dataset,
                          std::span<const Query> queries) {
   std::ostringstream out;
@@ -96,12 +125,25 @@ Status WriteWorkloadFile(const std::string& path, const Dataset& dataset,
     out << '|';
     for (size_t i = 0; i < q.sequence.size(); ++i) {
       const CategoryPredicate& p = q.sequence[i];
-      if (!p.all_of.empty() || !p.none_of.empty() || p.any_of.size() != 1) {
+      if (p.any_of.empty()) {
+        // The loader (and ValidateQuery) require at least one any_of term;
+        // refuse to write a file the library itself cannot read back.
         return Status::InvalidArgument(
-            "workload files only represent simple single-category queries");
+            "position without any_of categories is not representable");
       }
       if (i > 0) out << ';';
-      out << dataset.forest.Name(p.any_of[0]);
+      bool first_term = true;
+      const auto term = [&](const char* prefix, CategoryId c) -> Status {
+        const std::string& name = dataset.forest.Name(c);
+        SKYSR_RETURN_NOT_OK(CheckRepresentable(name));
+        if (!first_term) out << ',';
+        first_term = false;
+        out << prefix << name;
+        return Status::OK();
+      };
+      for (CategoryId c : p.any_of) SKYSR_RETURN_NOT_OK(term("", c));
+      for (CategoryId c : p.all_of) SKYSR_RETURN_NOT_OK(term("+", c));
+      for (CategoryId c : p.none_of) SKYSR_RETURN_NOT_OK(term("!", c));
     }
     out << '\n';
   }
@@ -138,12 +180,29 @@ Result<std::vector<Query>> LoadWorkloadFile(const std::string& path,
       if (!ParseInt64(Trim(fields[1]), &dest)) return err("bad destination");
       q.destination = static_cast<VertexId>(dest);
     }
-    for (const auto name : Split(fields[2], ';')) {
-      const CategoryId c = dataset.forest.FindByName(Trim(name));
-      if (c == kInvalidCategory) {
-        return err("unknown category '" + std::string(Trim(name)) + "'");
+    for (const auto pos : Split(fields[2], ';')) {
+      CategoryPredicate pred;
+      for (const auto raw_term : Split(pos, ',')) {
+        std::string_view term = Trim(raw_term);
+        if (term.empty()) return err("empty predicate term");
+        std::vector<CategoryId>* target = &pred.any_of;
+        if (term.front() == '+') {
+          target = &pred.all_of;
+          term = Trim(term.substr(1));
+        } else if (term.front() == '!') {
+          target = &pred.none_of;
+          term = Trim(term.substr(1));
+        }
+        const CategoryId c = dataset.forest.FindByName(term);
+        if (c == kInvalidCategory) {
+          return err("unknown category '" + std::string(term) + "'");
+        }
+        target->push_back(c);
       }
-      q.sequence.push_back(CategoryPredicate::Single(c));
+      if (pred.any_of.empty()) {
+        return err("position needs at least one any_of category");
+      }
+      q.sequence.push_back(std::move(pred));
     }
     if (q.sequence.empty()) return err("empty category sequence");
     queries.push_back(std::move(q));

@@ -33,15 +33,29 @@ std::vector<Query> GenerateQueries(const Dataset& dataset,
 // --- Batch workload files -------------------------------------------------
 //
 // A workload file is the replayable form of a query batch: one query per
-// line, `start|dest|CatA;CatB;...` with category names as in taxonomy.txt
-// and `-` for "no destination". Blank lines and `#` comments are ignored.
-// Together with the deterministic generator above this makes a benchmark
-// run fully reproducible: generate once with a seed, replay anywhere
-// (skysr_cli batch, bench_service_throughput, tests).
+// line, `start|dest|POS;POS;...` with `-` for "no destination". Blank lines
+// and `#` comments are ignored. Each position POS is a comma-separated list
+// of predicate terms using category names as in taxonomy.txt:
+//
+//   Cafe                          single any_of category (the common case)
+//   Cafe,Bar                      any_of disjunction (§6)
+//   Cafe,+Food                    ...with an all_of constraint
+//   Cafe,!Fast Food               ...with a none_of constraint
+//
+// A term prefixed `+` joins the position's all_of list, `!` its none_of
+// list; unprefixed terms are any_of (at least one is required). Together
+// with the deterministic generators (GenerateQueries, MakeScenarioQueries)
+// this makes a benchmark run fully reproducible: generate once with a seed,
+// replay anywhere (skysr_cli batch, bench_service_throughput, tests).
+//
+// Format note: ',' became a term separator when complex predicates were
+// added, so category names may no longer contain it (the writer rejects
+// them; no built-in taxonomy uses one). Files written by the earlier
+// simple-only format load unchanged as long as names are comma-free.
 
-/// Serializes simple (any_of-only) queries. Returns InvalidArgument for
-/// queries with all_of/none_of predicates, which the text format does not
-/// represent.
+/// Serializes queries, including complex all_of/none_of predicates. Returns
+/// InvalidArgument for category names the text format cannot represent
+/// (names containing ',', ';' or '|', or starting with '+' or '!').
 Status WriteWorkloadFile(const std::string& path, const Dataset& dataset,
                          std::span<const Query> queries);
 

@@ -1,6 +1,8 @@
 // Baseline engines: OSR-Dijkstra and OSR-PNE against brute-force OSR, the
 // super-sequence enumerator, and the naive SkySR baselines against BSSR.
 
+#include <limits>
+
 #include <gtest/gtest.h>
 
 #include "baseline/brute_force.h"
@@ -41,8 +43,8 @@ TEST_P(OsrEnginesVsBruteForce, BothEnginesFindTheOptimum) {
   const WuPalmerSimilarity fn;
 
   for (int rep = 0; rep < 4; ++rep) {
-    // Categories from pairwise-distinct trees: the Dij baseline's exactness
-    // contract (PNE is exact in general; see OsrPneHandlesOverlap below).
+    // Categories from pairwise-distinct trees: the paper's experimental
+    // setting (overlapping positions are covered by OsrOverlap below).
     const int k = 2 + static_cast<int>(rng.UniformU64(2));
     std::vector<CategoryId> cats;
     std::vector<TreeId> used;
@@ -93,7 +95,7 @@ TEST_P(OsrWithDestination, EnginesHandleDestinationTails) {
   TinyDataset ds = MakeTinyDataset(seed, 24, 20, 12);
   Rng rng(seed);
   const WuPalmerSimilarity fn;
-  // Distinct trees: the Dij engine's exactness contract (see osr_dijkstra.h).
+  // Distinct trees; overlap + destination is covered by OsrOverlap below.
   std::vector<CategoryId> cats;
   {
     std::vector<TreeId> used;
@@ -225,15 +227,20 @@ TEST(NaiveSkySrTest, TimeBudgetProducesTimedOutFlag) {
   EXPECT_TRUE(r->stats.timed_out);
 }
 
-class PneOverlap : public ::testing::TestWithParam<int> {};
+// Regression coverage for the two inexactness bugs the differential
+// scenario harness surfaced (see osr_dijkstra.h / osr_pne.h): same-tree
+// positions make the distinct-PoI constraint bind, so BOTH engines — with
+// and without a destination — must match brute force.
+class OsrOverlap : public ::testing::TestWithParam<int> {};
 
-TEST_P(PneOverlap, PneIsExactEvenWithOverlappingPositions) {
+TEST_P(OsrOverlap, BothEnginesExactWithOverlappingPositions) {
   const uint64_t seed = 5500 + static_cast<uint64_t>(GetParam());
   TinyDataset ds = MakeTinyDataset(seed, 24, 20, 12, /*num_trees=*/1,
                                    /*branching=*/3, /*levels=*/1);
   Rng rng(seed);
   const WuPalmerSimilarity fn;
-  // Both positions draw from the SAME tree: distinctness binds.
+  // Both positions draw from the SAME tree (possibly the same category):
+  // one PoI can perfectly match both, so route distinctness binds.
   std::vector<CategoryId> cats = {
       static_cast<CategoryId>(
           rng.UniformU64(static_cast<uint64_t>(ds.forest.num_categories()))),
@@ -242,20 +249,87 @@ TEST_P(PneOverlap, PneIsExactEvenWithOverlappingPositions) {
   const auto start = static_cast<VertexId>(
       rng.UniformU64(static_cast<uint64_t>(ds.graph.num_vertices())));
   const auto matchers = MakeMatchers(ds, fn, cats);
-  const OsrResult pne =
-      RunOsrPne(ds.graph, matchers, start, std::nullopt, 10.0);
-  auto brute = BruteForceOsr(ds.graph, ds.forest,
-                             MakeSimpleQuery(start, cats), QueryOptions());
-  ASSERT_TRUE(brute.ok());
-  if (brute->empty()) {
-    EXPECT_FALSE(pne.pois.has_value());
-  } else {
-    ASSERT_TRUE(pne.pois.has_value()) << "seed=" << seed;
-    EXPECT_NEAR(pne.length, (*brute)[0].scores.length, 1e-9);
+  for (const std::optional<VertexId> dest :
+       {std::optional<VertexId>(), std::optional<VertexId>(
+            static_cast<VertexId>(rng.UniformU64(
+                static_cast<uint64_t>(ds.graph.num_vertices()))))}) {
+    Query q = MakeSimpleQuery(start, cats);
+    q.destination = dest;
+    auto brute = BruteForceOsr(ds.graph, ds.forest, q, QueryOptions());
+    ASSERT_TRUE(brute.ok());
+    const OsrResult dij = RunOsrDijkstra(ds.graph, matchers, start, dest,
+                                         10.0);
+    const OsrResult pne = RunOsrPne(ds.graph, matchers, start, dest, 10.0);
+    if (brute->empty()) {
+      EXPECT_FALSE(dij.pois.has_value()) << "seed=" << seed;
+      EXPECT_FALSE(pne.pois.has_value()) << "seed=" << seed;
+    } else {
+      ASSERT_TRUE(dij.pois.has_value()) << "seed=" << seed;
+      ASSERT_TRUE(pne.pois.has_value()) << "seed=" << seed;
+      EXPECT_NEAR(dij.length, (*brute)[0].scores.length, 1e-9)
+          << "seed=" << seed;
+      EXPECT_NEAR(pne.length, (*brute)[0].scores.length, 1e-9)
+          << "seed=" << seed;
+    }
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, PneOverlap, ::testing::Range(0, 12));
+INSTANTIATE_TEST_SUITE_P(Seeds, OsrOverlap, ::testing::Range(0, 20));
+
+// More than 64 PoIs perfectly matching both positions drives OSR-Dijkstra
+// past the bitmask regime into exact used-set settling, which must stay
+// exact AND terminate under the default infinite time budget.
+TEST(OsrOverlapTest, DijkstraExactBeyondSixtyFourSharedPois) {
+  TinyDataset ds = MakeTinyDataset(8123, /*n=*/90, /*extra_edges=*/60,
+                                   /*num_pois=*/70, /*num_trees=*/1,
+                                   /*branching=*/2, /*levels=*/1);
+  const WuPalmerSimilarity fn;
+  // Both positions ask for the ROOT: every PoI matches both perfectly.
+  const CategoryId root = ds.forest.RootOf(0);
+  const auto matchers =
+      MakeMatchers(ds, fn, std::vector<CategoryId>{root, root});
+  const OsrResult dij = RunOsrDijkstra(
+      ds.graph, matchers, 0, std::nullopt,
+      std::numeric_limits<double>::infinity());
+  auto brute = BruteForceOsr(ds.graph, ds.forest,
+                             MakeSimpleQuery(0, {root, root}),
+                             QueryOptions());
+  ASSERT_TRUE(brute.ok());
+  ASSERT_FALSE(brute->empty());
+  ASSERT_TRUE(dij.pois.has_value());
+  EXPECT_NEAR(dij.length, (*brute)[0].scores.length, 1e-9);
+}
+
+// The naive SkySR baseline inherits exactness from the OSR engines even on
+// same-tree workloads (where the pre-fix engines went wrong): brute force
+// remains the arbiter.
+class NaiveSameTree : public ::testing::TestWithParam<int> {};
+
+TEST_P(NaiveSameTree, NaiveMatchesBruteForceOnSameTreeQueries) {
+  const uint64_t seed = 7700 + static_cast<uint64_t>(GetParam());
+  TinyDataset ds = MakeTinyDataset(seed, 22, 18, 10, /*num_trees=*/1,
+                                   /*branching=*/2, /*levels=*/2);
+  Rng rng(seed);
+  std::vector<CategoryId> cats = {
+      static_cast<CategoryId>(
+          rng.UniformU64(static_cast<uint64_t>(ds.forest.num_categories()))),
+      static_cast<CategoryId>(
+          rng.UniformU64(static_cast<uint64_t>(ds.forest.num_categories())))};
+  const auto start = static_cast<VertexId>(
+      rng.UniformU64(static_cast<uint64_t>(ds.graph.num_vertices())));
+  const Query q = MakeSimpleQuery(start, cats);
+  const QueryOptions opts;
+  auto brute = BruteForceSkySr(ds.graph, ds.forest, q, opts);
+  ASSERT_TRUE(brute.ok());
+  for (OsrEngineKind kind :
+       {OsrEngineKind::kDijkstraBased, OsrEngineKind::kPne}) {
+    auto naive = RunNaiveSkySr(ds.graph, ds.forest, q, opts, kind);
+    ASSERT_TRUE(naive.ok());
+    EXPECT_TRUE(SkylinesEquivalent(naive->routes, *brute)) << "seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NaiveSameTree, ::testing::Range(0, 15));
 
 TEST(OsrDijkstraTest, ReportsMemoryAndEffort) {
   TinyDataset ds = MakeTinyDataset(3);

@@ -1,0 +1,255 @@
+// Scenario generator subsystem: graph families (connectivity, shape,
+// determinism), random taxonomies, workload mixes (predicate complexity,
+// validity), suite enumeration, and round-trip through dataset files.
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "category/taxonomy_factory.h"
+#include "core/query.h"
+#include "scenario/scenario.h"
+
+namespace skysr {
+namespace {
+
+class GraphFamilyTest : public ::testing::TestWithParam<GraphFamily> {};
+
+TEST_P(GraphFamilyTest, ConnectedSizedAndDeterministic) {
+  ScenarioGraphParams p;
+  p.family = GetParam();
+  p.target_vertices = 200;
+  p.seed = 99;
+  const Graph g = MakeScenarioGraph(p);
+  EXPECT_EQ(g.num_vertices(), 200);
+  EXPECT_TRUE(g.IsConnected());
+  EXPECT_TRUE(g.has_coordinates());
+  EXPECT_FALSE(g.directed());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (const Neighbor& nb : g.OutEdges(v)) EXPECT_GT(nb.weight, 0);
+  }
+  // Deterministic per seed, different across seeds.
+  const Graph h = MakeScenarioGraph(p);
+  ASSERT_EQ(g.num_edges(), h.num_edges());
+  for (VertexId v = 0; v < g.num_vertices(); v += 17) {
+    EXPECT_DOUBLE_EQ(g.X(v), h.X(v));
+    ASSERT_EQ(g.OutDegree(v), h.OutDegree(v));
+  }
+  p.seed = 100;
+  const Graph k = MakeScenarioGraph(p);
+  EXPECT_NE(g.TotalEdgeWeight(), k.TotalEdgeWeight());
+}
+
+TEST_P(GraphFamilyTest, WeightModelsBehave) {
+  ScenarioGraphParams p;
+  p.family = GetParam();
+  p.target_vertices = 80;
+  p.weights = WeightModel::kUnit;
+  const Graph unit = MakeScenarioGraph(p);
+  for (VertexId v = 0; v < unit.num_vertices(); ++v) {
+    for (const Neighbor& nb : unit.OutEdges(v)) EXPECT_EQ(nb.weight, 1.0);
+  }
+  p.weights = WeightModel::kUniform;
+  p.weight_min = 2.0;
+  p.weight_max = 3.0;
+  const Graph uni = MakeScenarioGraph(p);
+  for (VertexId v = 0; v < uni.num_vertices(); ++v) {
+    for (const Neighbor& nb : uni.OutEdges(v)) {
+      EXPECT_GE(nb.weight, 2.0);
+      EXPECT_LT(nb.weight, 3.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, GraphFamilyTest,
+                         ::testing::Values(GraphFamily::kGrid,
+                                           GraphFamily::kCluster,
+                                           GraphFamily::kSmallWorld));
+
+TEST(GraphFamilyNameTest, RoundTrips) {
+  for (GraphFamily f : {GraphFamily::kGrid, GraphFamily::kCluster,
+                        GraphFamily::kSmallWorld}) {
+    EXPECT_EQ(ParseGraphFamily(GraphFamilyName(f)), f);
+  }
+  EXPECT_EQ(ParseGraphFamily("small-world"), GraphFamily::kSmallWorld);
+  EXPECT_FALSE(ParseGraphFamily("hex").has_value());
+}
+
+TEST(GraphFamilyTest, ExtraEdgeFractionIsADegreeKnob) {
+  ScenarioGraphParams sparse;
+  sparse.family = GraphFamily::kGrid;
+  sparse.target_vertices = 400;
+  sparse.extra_edge_fraction = 0.0;
+  ScenarioGraphParams dense = sparse;
+  dense.extra_edge_fraction = 0.9;
+  EXPECT_GT(MakeScenarioGraph(dense).num_edges(),
+            MakeScenarioGraph(sparse).num_edges());
+}
+
+TEST(RandomForestTest, ShapeBoundsAndDeterminism) {
+  RandomForestParams p;
+  p.num_trees = 4;
+  p.max_fanout = 3;
+  p.max_levels = 3;
+  p.seed = 7;
+  const CategoryForest f = MakeRandomForest(p);
+  EXPECT_EQ(f.num_trees(), 4);
+  for (CategoryId c = 0; c < f.num_categories(); ++c) {
+    EXPECT_LE(f.Depth(c), p.max_levels + 1);  // roots have depth 1
+    EXPECT_LE(static_cast<int>(f.Children(c).size()), p.max_fanout);
+  }
+  // Roots always grow when max_levels > 0.
+  for (TreeId t = 0; t < f.num_trees(); ++t) {
+    EXPECT_FALSE(f.IsLeaf(f.RootOf(t)));
+  }
+  const CategoryForest g = MakeRandomForest(p);
+  ASSERT_EQ(f.num_categories(), g.num_categories());
+  for (CategoryId c = 0; c < f.num_categories(); ++c) {
+    EXPECT_EQ(f.Name(c), g.Name(c));
+    EXPECT_EQ(f.Parent(c), g.Parent(c));
+  }
+  p.seed = 8;
+  const CategoryForest h = MakeRandomForest(p);
+  bool differs = f.num_categories() != h.num_categories();
+  for (CategoryId c = 0; !differs && c < f.num_categories(); ++c) {
+    differs = f.Parent(c) != h.Parent(c);
+  }
+  EXPECT_TRUE(differs) << "different seeds produced identical forests";
+  // Names are unique (required for taxonomy.txt / workload round-trips).
+  for (CategoryId c = 0; c < f.num_categories(); ++c) {
+    EXPECT_EQ(f.FindByName(f.Name(c)), c);
+  }
+}
+
+TEST(RandomForestTest, RootOnlyAndRaggedShapes) {
+  RandomForestParams p;
+  p.num_trees = 2;
+  p.max_levels = 0;
+  const CategoryForest roots = MakeRandomForest(p);
+  EXPECT_EQ(roots.num_categories(), 2);
+  p.max_levels = 4;
+  p.stop_probability = 0.6;
+  p.seed = 123;
+  const CategoryForest ragged = MakeRandomForest(p);
+  // With aggressive early stopping some leaves sit above max depth.
+  int32_t min_leaf_depth = 100, max_leaf_depth = 0;
+  for (CategoryId c = 0; c < ragged.num_categories(); ++c) {
+    if (!ragged.IsLeaf(c)) continue;
+    min_leaf_depth = std::min(min_leaf_depth, ragged.Depth(c));
+    max_leaf_depth = std::max(max_leaf_depth, ragged.Depth(c));
+  }
+  EXPECT_LT(min_leaf_depth, max_leaf_depth);
+}
+
+TEST(ScenarioWorkloadTest, QueriesAreValidAndMixesShowUp) {
+  ScenarioSpec spec;
+  spec.graph.target_vertices = 120;
+  spec.taxonomy.num_trees = 4;
+  spec.pois.num_pois = 40;
+  spec.pois.multi_category_rate = 0.3;
+  spec.workload.num_queries = 200;
+  spec.workload.min_sequence = 1;
+  spec.workload.max_sequence = 4;
+  spec.workload.multi_any_rate = 0.4;
+  spec.workload.all_of_rate = 0.3;
+  spec.workload.none_of_rate = 0.3;
+  spec.workload.destination_rate = 0.3;
+  const Scenario sc = MakeScenario(spec);
+  ASSERT_EQ(sc.queries.size(), 200u);
+  int multi_any = 0, all_of = 0, none_of = 0, dest = 0;
+  for (const Query& q : sc.queries) {
+    EXPECT_TRUE(
+        ValidateQuery(sc.dataset.graph, sc.dataset.forest, q).ok());
+    EXPECT_GE(q.size(), 1);
+    EXPECT_LE(q.size(), 4);
+    if (q.destination) ++dest;
+    for (const CategoryPredicate& p : q.sequence) {
+      if (p.any_of.size() > 1) ++multi_any;
+      if (!p.all_of.empty()) ++all_of;
+      if (!p.none_of.empty()) ++none_of;
+    }
+  }
+  EXPECT_GT(multi_any, 0);
+  EXPECT_GT(all_of, 0);
+  EXPECT_GT(none_of, 0);
+  EXPECT_GT(dest, 0);
+}
+
+TEST(ScenarioWorkloadTest, DistinctTreesRespected) {
+  ScenarioSpec spec;
+  spec.graph.target_vertices = 60;
+  spec.taxonomy.num_trees = 3;
+  spec.pois.num_pois = 20;
+  spec.workload.num_queries = 50;
+  spec.workload.min_sequence = 2;
+  spec.workload.max_sequence = 5;  // > num_trees: must clamp
+  spec.workload.distinct_trees = true;
+  const Scenario sc = MakeScenario(spec);
+  for (const Query& q : sc.queries) {
+    ASSERT_LE(q.size(), 3);
+    std::vector<TreeId> trees;
+    for (const CategoryPredicate& p : q.sequence) {
+      const TreeId t = sc.dataset.forest.TreeOf(p.any_of[0]);
+      EXPECT_EQ(std::count(trees.begin(), trees.end(), t), 0);
+      trees.push_back(t);
+    }
+  }
+}
+
+TEST(ScenarioTest, DeterministicEndToEnd) {
+  const ScenarioSpec spec = ScenarioSuiteSpec(11, 42);
+  const Scenario a = MakeScenario(spec);
+  const Scenario b = MakeScenario(spec);
+  ASSERT_EQ(a.queries.size(), b.queries.size());
+  ASSERT_EQ(a.dataset.graph.num_edges(), b.dataset.graph.num_edges());
+  EXPECT_EQ(a.dataset.graph.TotalEdgeWeight(),
+            b.dataset.graph.TotalEdgeWeight());
+  for (size_t i = 0; i < a.queries.size(); ++i) {
+    EXPECT_EQ(a.queries[i].start, b.queries[i].start);
+    ASSERT_EQ(a.queries[i].size(), b.queries[i].size());
+    for (int j = 0; j < a.queries[i].size(); ++j) {
+      EXPECT_EQ(a.queries[i].sequence[static_cast<size_t>(j)].any_of,
+                b.queries[i].sequence[static_cast<size_t>(j)].any_of);
+      EXPECT_EQ(a.queries[i].sequence[static_cast<size_t>(j)].all_of,
+                b.queries[i].sequence[static_cast<size_t>(j)].all_of);
+      EXPECT_EQ(a.queries[i].sequence[static_cast<size_t>(j)].none_of,
+                b.queries[i].sequence[static_cast<size_t>(j)].none_of);
+    }
+  }
+}
+
+TEST(ScenarioTest, PoisAreDistinctVerticesWithLeafCategories) {
+  ScenarioSpec spec;
+  spec.graph.target_vertices = 50;
+  spec.pois.num_pois = 50;  // as many PoIs as vertices: full Fisher-Yates
+  spec.pois.multi_category_rate = 0.5;
+  const Scenario sc = MakeScenario(spec);
+  EXPECT_EQ(sc.dataset.graph.num_pois(), 50);
+  std::vector<VertexId> hosts;
+  for (PoiId p = 0; p < sc.dataset.graph.num_pois(); ++p) {
+    hosts.push_back(sc.dataset.graph.VertexOfPoi(p));
+    for (CategoryId c : sc.dataset.graph.PoiCategories(p)) {
+      EXPECT_TRUE(sc.dataset.forest.IsLeaf(c));
+    }
+  }
+  std::sort(hosts.begin(), hosts.end());
+  EXPECT_EQ(std::adjacent_find(hosts.begin(), hosts.end()), hosts.end());
+}
+
+TEST(ScenarioSuiteTest, SpecsAreReproducibleAndSeedSensitive) {
+  for (int idx : {0, 1, 2, 7, 23}) {
+    const ScenarioSpec a = ScenarioSuiteSpec(idx, 1);
+    const ScenarioSpec b = ScenarioSuiteSpec(idx, 1);
+    EXPECT_EQ(a.graph.seed, b.graph.seed);
+    EXPECT_EQ(a.workload.seed, b.workload.seed);
+    EXPECT_EQ(a.name, b.name);
+    const ScenarioSpec c = ScenarioSuiteSpec(idx, 2);
+    EXPECT_NE(a.graph.seed, c.graph.seed);
+    EXPECT_EQ(a.graph.family, c.graph.family);  // shape is seed-independent
+  }
+}
+
+}  // namespace
+}  // namespace skysr

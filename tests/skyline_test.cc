@@ -132,6 +132,77 @@ TEST(SkylineSetTest, ThresholdConsistentWithDominatedOrEqual) {
   }
 }
 
+// --- Property tests on randomized route sets ------------------------------
+//
+// For arbitrary insertion orders mixing continuous scores (no ties) with
+// coarse-grid scores (many exact ties and equivalences), after EVERY insert:
+//   * staircase order: length strictly ascending, semantic strictly
+//     descending;
+//   * no retained route is dominated by (or equivalent to) another;
+//   * Update() accepted the route iff it was not dominated-or-equal;
+//   * size bookkeeping: |S| = updates - evictions.
+// And at the end every inserted point is covered by the skyline, which
+// equals the naive O(n^2) filter.
+class SkylinePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SkylinePropertyTest, InvariantsHoldAfterEveryInsert) {
+  Rng rng(0xA11CE + static_cast<uint64_t>(GetParam()));
+  SkylineSet s;
+  std::vector<RouteScores> inserted;
+  for (int i = 0; i < 250; ++i) {
+    RouteScores p;
+    if (i % 2 == 0) {
+      p = {rng.UniformDouble(0, 100), rng.UniformDouble()};
+    } else {
+      p = {static_cast<Weight>(rng.UniformU64(12)),
+           static_cast<double>(rng.UniformU64(8)) / 8.0};
+    }
+    const bool expect_reject = s.DominatedOrEqual(p);
+    const bool accepted = s.Update(p, {static_cast<PoiId>(i)});
+    EXPECT_NE(accepted, expect_reject) << "insert " << i;
+    inserted.push_back(p);
+
+    const auto& routes = s.routes();
+    ASSERT_GT(routes.size(), 0u);
+    for (size_t j = 1; j < routes.size(); ++j) {
+      EXPECT_GT(routes[j].scores.length, routes[j - 1].scores.length);
+      EXPECT_LT(routes[j].scores.semantic, routes[j - 1].scores.semantic);
+    }
+    EXPECT_EQ(s.size(), s.num_updates() - s.num_evictions());
+  }
+  // No dominated route retained; no duplicates.
+  const auto& routes = s.routes();
+  for (size_t i = 0; i < routes.size(); ++i) {
+    for (size_t j = 0; j < routes.size(); ++j) {
+      if (i == j) continue;
+      EXPECT_FALSE(Dominates(routes[i].scores, routes[j].scores));
+      EXPECT_FALSE(Equivalent(routes[i].scores, routes[j].scores));
+    }
+  }
+  // Completeness: every inserted point is dominated-or-equal by the set,
+  // and the set matches the naive filter.
+  for (const RouteScores& p : inserted) {
+    EXPECT_TRUE(s.DominatedOrEqual(p));
+  }
+  std::vector<RouteScores> naive;
+  for (const RouteScores& p : inserted) {
+    bool dominated = false;
+    for (const RouteScores& q : inserted) {
+      if (Dominates(q, p)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (dominated) continue;
+    bool dup = false;
+    for (const RouteScores& q : naive) dup = dup || Equivalent(p, q);
+    if (!dup) naive.push_back(p);
+  }
+  EXPECT_EQ(s.size(), static_cast<int64_t>(naive.size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SkylinePropertyTest, ::testing::Range(0, 16));
+
 TEST(SkylineSetTest, ClearResets) {
   SkylineSet s;
   s.Update({1, 0.5}, {1});

@@ -3,9 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <unordered_map>
 
 #include "category/taxonomy_factory.h"
+#include "scenario/scenario.h"
 #include "workload/dataset.h"
 #include "workload/poi_assignment.h"
 #include "workload/query_gen.h"
@@ -184,6 +186,161 @@ TEST(QueryGenTest, RespectsConstraints) {
                 again[i].sequence[static_cast<size_t>(j)].any_of[0]);
     }
   }
+}
+
+// --- Workload file round-trips -------------------------------------------
+
+void ExpectSameQueries(const std::vector<Query>& a,
+                       const std::vector<Query>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].start, b[i].start) << "query " << i;
+    EXPECT_EQ(a[i].destination, b[i].destination) << "query " << i;
+    ASSERT_EQ(a[i].size(), b[i].size()) << "query " << i;
+    for (size_t j = 0; j < a[i].sequence.size(); ++j) {
+      EXPECT_EQ(a[i].sequence[j].any_of, b[i].sequence[j].any_of);
+      EXPECT_EQ(a[i].sequence[j].all_of, b[i].sequence[j].all_of);
+      EXPECT_EQ(a[i].sequence[j].none_of, b[i].sequence[j].none_of);
+    }
+  }
+}
+
+TEST(WorkloadFileTest, ComplexPredicatesRoundTripOnGeneratedWorkloads) {
+  // A scenario workload with every predicate feature enabled: multi-any_of
+  // disjunctions, all_of conjunctions, none_of exclusions, destinations.
+  ScenarioSpec spec;
+  spec.graph.target_vertices = 80;
+  spec.taxonomy.num_trees = 4;
+  spec.pois.num_pois = 30;
+  spec.pois.multi_category_rate = 0.4;
+  spec.workload.num_queries = 120;
+  spec.workload.max_sequence = 4;
+  spec.workload.multi_any_rate = 0.5;
+  spec.workload.all_of_rate = 0.4;
+  spec.workload.none_of_rate = 0.4;
+  spec.workload.destination_rate = 0.4;
+  const Scenario sc = MakeScenario(spec);
+  // The mix must actually contain complex predicates, or this test is vacuous.
+  int complex = 0;
+  for (const Query& q : sc.queries) {
+    for (const CategoryPredicate& p : q.sequence) {
+      if (p.any_of.size() > 1 || !p.all_of.empty() || !p.none_of.empty()) {
+        ++complex;
+      }
+    }
+  }
+  ASSERT_GT(complex, 20);
+
+  const std::string path = ::testing::TempDir() + "complex_workload.txt";
+  ASSERT_TRUE(WriteWorkloadFile(path, sc.dataset, sc.queries).ok());
+  auto loaded = LoadWorkloadFile(path, sc.dataset);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectSameQueries(sc.queries, *loaded);
+}
+
+TEST(WorkloadFileTest, HandwrittenComplexPositionsParse) {
+  ScenarioSpec spec;
+  spec.graph.target_vertices = 20;
+  spec.taxonomy.num_trees = 3;
+  spec.taxonomy.max_levels = 2;
+  const Scenario sc = MakeScenario(spec);
+  const CategoryForest& forest = sc.dataset.forest;
+  const std::string a = forest.Name(forest.RootOf(0));
+  const std::string b = forest.Name(forest.RootOf(1));
+  const std::string c = forest.Name(forest.RootOf(2));
+
+  const std::string path = ::testing::TempDir() + "handwritten_workload.txt";
+  {
+    std::ofstream out(path);
+    out << "# comment\n\n";
+    // Whitespace around terms and prefixes must be tolerated.
+    out << "3|7| " << a << " , +" << b << " , ! " << c << " ;" << b << "\n";
+  }
+  auto loaded = LoadWorkloadFile(path, sc.dataset);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), 1u);
+  const Query& q = (*loaded)[0];
+  EXPECT_EQ(q.start, 3);
+  EXPECT_EQ(q.destination, std::optional<VertexId>(7));
+  ASSERT_EQ(q.size(), 2);
+  EXPECT_EQ(q.sequence[0].any_of,
+            std::vector<CategoryId>{forest.RootOf(0)});
+  EXPECT_EQ(q.sequence[0].all_of,
+            std::vector<CategoryId>{forest.RootOf(1)});
+  EXPECT_EQ(q.sequence[0].none_of,
+            std::vector<CategoryId>{forest.RootOf(2)});
+  EXPECT_EQ(q.sequence[1].any_of,
+            std::vector<CategoryId>{forest.RootOf(1)});
+}
+
+TEST(WorkloadFileTest, RejectsPositionsWithoutAnyOf) {
+  ScenarioSpec spec;
+  spec.graph.target_vertices = 20;
+  const Scenario sc = MakeScenario(spec);
+  const std::string name =
+      sc.dataset.forest.Name(sc.dataset.forest.RootOf(0));
+  const std::string path = ::testing::TempDir() + "bad_workload.txt";
+  std::ofstream(path) << "0|-|+" << name << "\n";
+  const auto loaded = LoadWorkloadFile(path, sc.dataset);
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST(WorkloadFileTest, WriterRejectsUnrepresentableNames) {
+  CategoryForestBuilder fb;
+  fb.AddRoot("Food, Drink");  // ',' collides with the term separator
+  auto forest = fb.Build();
+  ASSERT_TRUE(forest.ok());
+  GraphBuilder gb;
+  const VertexId u = gb.AddVertex();
+  const VertexId v = gb.AddVertex();
+  gb.AddEdge(u, v, 1.0);
+  auto graph = gb.Build();
+  ASSERT_TRUE(graph.ok());
+  Dataset ds;
+  ds.name = "bad-names";
+  ds.graph = std::move(*graph);
+  ds.forest = std::move(*forest);
+  const std::vector<Query> queries = {MakeSimpleQuery(0, {CategoryId{0}})};
+  const std::string path = ::testing::TempDir() + "unrepresentable.txt";
+  const Status st = WriteWorkloadFile(path, ds, queries);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+
+  // A position without any_of cannot be loaded back, so the writer refuses
+  // it up front.
+  Query no_any;
+  no_any.start = 0;
+  no_any.sequence.emplace_back();
+  no_any.sequence[0].all_of.push_back(0);
+  const Status st2 =
+      WriteWorkloadFile(path, ds, std::vector<Query>{no_any});
+  EXPECT_FALSE(st2.ok());
+  EXPECT_EQ(st2.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WorkloadFileTest, SimpleQueriesKeepTheLegacyFormat) {
+  DatasetSpec spec = CalLikeSpec(0.02);
+  spec.seed = 91;
+  const Dataset ds = MakeDataset(spec);
+  QueryGenParams qp;
+  qp.count = 10;
+  qp.sequence_size = 3;
+  const auto queries = GenerateQueries(ds, qp);
+  const std::string path = ::testing::TempDir() + "legacy_workload.txt";
+  ASSERT_TRUE(WriteWorkloadFile(path, ds, queries).ok());
+  // No grammar extensions leak into plain files: every data line is the
+  // original start|dest|A;B;C shape.
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    EXPECT_EQ(line.find(','), std::string::npos) << line;
+    EXPECT_EQ(line.find('+'), std::string::npos) << line;
+    EXPECT_EQ(line.find('!'), std::string::npos) << line;
+  }
+  auto loaded = LoadWorkloadFile(path, ds);
+  ASSERT_TRUE(loaded.ok());
+  ExpectSameQueries(queries, *loaded);
 }
 
 TEST(QueryGenTest, PopularPoolDrawsFrequentCategories) {

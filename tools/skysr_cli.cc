@@ -3,6 +3,17 @@
 //   skysr_cli generate --kind tokyo|nyc|cal --scale 0.02 --out DIR
 //       Generates a dataset and writes DIR/graph.bin + DIR/taxonomy.txt.
 //
+//   skysr_cli gen --family grid|cluster|smallworld [--vertices N] [--pois P]
+//             [--trees T] [--fanout F] [--levels L] [--multicat R]
+//             [--queries N] [--min-seq A] [--max-seq B] [--complex]
+//             [--seed S] --out DIR
+//       Scenario generator: builds a synthetic (graph family, random
+//       taxonomy, workload mix) instance and writes DIR/graph.bin,
+//       DIR/taxonomy.txt and DIR/workload.txt. Fully deterministic per
+//       seed; --complex adds any_of/all_of/none_of predicate mixes and
+//       destinations to the workload. Replay with `skysr_cli batch --data
+//       DIR --queries DIR/workload.txt`.
+//
 //   skysr_cli info --data DIR
 //       Prints dataset statistics.
 //
@@ -38,9 +49,10 @@ namespace skysr {
 namespace {
 
 int Usage() {
-  std::fprintf(stderr,
-               "usage: skysr_cli <generate|info|query|workload|batch> [flags]\n"
-               "run with a command and no flags for its flag list\n");
+  std::fprintf(
+      stderr,
+      "usage: skysr_cli <generate|gen|info|query|workload|batch> [flags]\n"
+      "run with a command and no flags for its flag list\n");
   return 2;
 }
 
@@ -108,6 +120,76 @@ int CmdGenerate(const std::map<std::string, std::string>& flags) {
               static_cast<long long>(ds.graph.num_pois()),
               static_cast<long long>(ds.graph.num_edges()), out.c_str(),
               static_cast<long long>(ds.forest.num_categories()));
+  return 0;
+}
+
+int CmdGen(const std::map<std::string, std::string>& flags) {
+  const auto intflag = [&](const char* name, int64_t def) {
+    return flags.count(name) ? std::atoll(flags.at(name).c_str()) : def;
+  };
+  const std::string family_name =
+      flags.count("family") ? flags.at("family") : std::string("grid");
+  const auto family = ParseGraphFamily(family_name);
+  if (!family) {
+    std::fprintf(stderr, "unknown --family %s (grid|cluster|smallworld)\n",
+                 family_name.c_str());
+    return 2;
+  }
+  const std::string out =
+      flags.count("out") ? flags.at("out") : std::string("scenario_data");
+  const auto seed = static_cast<uint64_t>(intflag("seed", 42));
+
+  ScenarioSpec spec;
+  spec.name = family_name + "-cli";
+  spec.graph.family = *family;
+  spec.graph.target_vertices = intflag("vertices", 2000);
+  spec.taxonomy.num_trees = static_cast<int>(intflag("trees", 5));
+  spec.taxonomy.max_fanout = static_cast<int>(intflag("fanout", 3));
+  spec.taxonomy.max_levels = static_cast<int>(intflag("levels", 3));
+  spec.pois.num_pois = intflag("pois", spec.graph.target_vertices / 4);
+  if (flags.count("multicat")) {
+    spec.pois.multi_category_rate = std::atof(flags.at("multicat").c_str());
+  }
+  spec.workload.num_queries = static_cast<int>(intflag("queries", 50));
+  spec.workload.min_sequence = static_cast<int>(intflag("min-seq", 2));
+  spec.workload.max_sequence = static_cast<int>(intflag("max-seq", 3));
+  if (flags.count("complex")) {
+    spec.workload.multi_any_rate = 0.3;
+    spec.workload.all_of_rate = 0.25;
+    spec.workload.none_of_rate = 0.25;
+    spec.workload.destination_rate = 0.25;
+  }
+  SeedScenarioSpec(&spec, seed);
+
+  std::printf("generating %s scenario (|V|~%lld, |P|=%lld, seed %llu)...\n",
+              family_name.c_str(),
+              static_cast<long long>(spec.graph.target_vertices),
+              static_cast<long long>(spec.pois.num_pois),
+              static_cast<unsigned long long>(seed));
+  const Scenario sc = MakeScenario(spec);
+  (void)std::system(("mkdir -p " + out).c_str());
+  if (Status st = sc.dataset.graph.SaveBinary(out + "/graph.bin"); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::ofstream(out + "/taxonomy.txt") << ForestToText(sc.dataset.forest);
+  if (Status st = WriteWorkloadFile(out + "/workload.txt", sc.dataset,
+                                    sc.queries);
+      !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "wrote %s/graph.bin (|V|=%lld |P|=%lld |E|=%lld), %s/taxonomy.txt "
+      "(%lld categories in %lld trees), %s/workload.txt (%zu queries)\n",
+      out.c_str(), static_cast<long long>(sc.dataset.graph.num_vertices()),
+      static_cast<long long>(sc.dataset.graph.num_pois()),
+      static_cast<long long>(sc.dataset.graph.num_edges()), out.c_str(),
+      static_cast<long long>(sc.dataset.forest.num_categories()),
+      static_cast<long long>(sc.dataset.forest.num_trees()), out.c_str(),
+      sc.queries.size());
+  std::printf("replay: skysr_cli batch --data %s --queries %s/workload.txt\n",
+              out.c_str(), out.c_str());
   return 0;
 }
 
@@ -310,6 +392,7 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   const auto flags = skysr::ParseFlags(argc, argv, 2);
   if (cmd == "generate") return skysr::CmdGenerate(flags);
+  if (cmd == "gen") return skysr::CmdGen(flags);
   if (cmd == "info") return skysr::CmdInfo(flags);
   if (cmd == "query") return skysr::CmdQuery(flags);
   if (cmd == "workload") return skysr::CmdWorkload(flags);
