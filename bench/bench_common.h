@@ -11,9 +11,11 @@
 #ifndef SKYSR_BENCH_BENCH_COMMON_H_
 #define SKYSR_BENCH_BENCH_COMMON_H_
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "workload/dataset.h"
@@ -96,6 +98,86 @@ inline std::string Fmt(const char* fmt, double v) {
 }
 
 inline std::string FmtInt(int64_t v) { return std::to_string(v); }
+
+/// Minimal streaming JSON emitter so benches can drop machine-readable
+/// BENCH_*.json files next to their human tables (perf-trajectory
+/// tracking). Keys are emitted as given; string values get quote escaping
+/// only — bench identifiers need no more.
+class JsonWriter {
+ public:
+  void BeginObject(std::string_view key = {}) {
+    Prefix(key);
+    out_ += '{';
+    stack_.push_back(false);
+  }
+  void EndObject() { Close('}'); }
+  void BeginArray(std::string_view key = {}) {
+    Prefix(key);
+    out_ += '[';
+    stack_.push_back(false);
+  }
+  void EndArray() { Close(']'); }
+
+  void Field(std::string_view key, double v) {
+    Prefix(key);
+    if (std::isfinite(v)) {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.6g", v);
+      out_ += buf;
+    } else {
+      out_ += "null";  // bare nan/inf is not JSON
+    }
+    MarkHave();
+  }
+  void Field(std::string_view key, int64_t v) {
+    Prefix(key);
+    out_ += std::to_string(v);
+    MarkHave();
+  }
+  void Field(std::string_view key, std::string_view v) {
+    Prefix(key);
+    out_ += '"';
+    for (char c : v) {
+      if (c == '"' || c == '\\') out_ += '\\';
+      out_ += c;
+    }
+    out_ += '"';
+    MarkHave();
+  }
+
+  const std::string& str() const { return out_; }
+
+  bool WriteFile(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    const bool ok =
+        std::fwrite(out_.data(), 1, out_.size(), f) == out_.size() &&
+        std::fputc('\n', f) != EOF;
+    std::fclose(f);
+    return ok;
+  }
+
+ private:
+  void Prefix(std::string_view key) {
+    if (!stack_.empty() && stack_.back()) out_ += ',';
+    if (!key.empty()) {
+      out_ += '"';
+      out_.append(key);
+      out_ += "\":";
+    }
+  }
+  void MarkHave() {
+    if (!stack_.empty()) stack_.back() = true;
+  }
+  void Close(char c) {
+    out_ += c;
+    stack_.pop_back();
+    MarkHave();
+  }
+
+  std::string out_;
+  std::vector<bool> stack_;
+};
 
 }  // namespace skysr::bench
 

@@ -3,12 +3,17 @@
 // instead of the Tokyo/NYC/Cal-like datasets): BSSR with all optimizations
 // across sequence sizes, plus the skyline-size profile of each family.
 //
-// Knobs: SKYSR_BENCH_SCALE (vertex-count multiplier), SKYSR_BENCH_QUERIES.
+// Knobs: SKYSR_BENCH_SCALE (vertex-count multiplier), SKYSR_BENCH_QUERIES,
+//        SKYSR_ORACLE (flat|ch|alt — back the engine with an index-layer
+//        distance oracle). Emits BENCH_scenarios.json (override the path
+//        with SKYSR_BENCH_JSON_OUT) for perf-trajectory tracking.
 
 #include <cstdio>
+#include <memory>
 
 #include "bench/bench_common.h"
 #include "core/bssr_engine.h"
+#include "index/oracle_factory.h"
 #include "scenario/scenario.h"
 #include "util/timer.h"
 
@@ -36,13 +41,26 @@ void Run() {
   const int queries = bench::EnvInt("SKYSR_BENCH_QUERIES", 5);
   const auto vertices = static_cast<int64_t>(4000 * scale);
 
+  const OracleKind oracle_kind =
+      OracleKindFromEnv(OracleKind::kFlat).value_or(OracleKind::kFlat);
+
   bench::TablePrinter table({"family", "|V|", "|P|", "size", "mean ms",
                              "max ms", "skyline"});
+  bench::JsonWriter json;
+  json.BeginObject();
+  json.Field("bench", "scenarios");
+  json.Field("oracle", OracleKindName(oracle_kind));
+  json.Field("queries_per_config", static_cast<int64_t>(queries));
+  json.BeginArray("configs");
   for (GraphFamily family : {GraphFamily::kGrid, GraphFamily::kCluster,
                              GraphFamily::kSmallWorld}) {
     const Scenario sc = MakeScenario(BenchSpec(family, vertices,
                                                /*seed=*/2026));
-    BssrEngine engine(sc.dataset.graph, sc.dataset.forest);
+    const std::unique_ptr<DistanceOracle> oracle =
+        oracle_kind == OracleKind::kFlat
+            ? nullptr
+            : MakeOracle(oracle_kind, sc.dataset.graph);
+    BssrEngine engine(sc.dataset.graph, sc.dataset.forest, oracle.get());
     for (int size = 2; size <= 4; ++size) {
       ScenarioWorkloadParams wl = sc.spec.workload;
       wl.num_queries = queries;
@@ -70,11 +88,27 @@ void Run() {
                     bench::Fmt("%.2f", max_ms),
                     bench::Fmt("%.2f", static_cast<double>(total_routes) /
                                            ok)});
+      json.BeginObject();
+      json.Field("family", GraphFamilyName(family));
+      json.Field("vertices", sc.dataset.graph.num_vertices());
+      json.Field("pois", sc.dataset.graph.num_pois());
+      json.Field("sequence_size", static_cast<int64_t>(size));
+      json.Field("mean_ms", total_ms / ok);
+      json.Field("max_ms", max_ms);
+      json.Field("mean_skyline", static_cast<double>(total_routes) / ok);
+      json.EndObject();
     }
   }
+  json.EndArray();
+  json.EndObject();
   std::printf("BSSR response time on scenario graph families "
-              "(all optimizations on)\n\n");
+              "(all optimizations on, oracle=%s)\n\n",
+              OracleKindName(oracle_kind));
   table.Print();
+  const char* json_out = std::getenv("SKYSR_BENCH_JSON_OUT");
+  const std::string out_path =
+      json_out != nullptr ? json_out : "BENCH_scenarios.json";
+  if (json.WriteFile(out_path)) std::printf("\nwrote %s\n", out_path.c_str());
 }
 
 }  // namespace

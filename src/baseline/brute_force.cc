@@ -12,9 +12,9 @@ namespace skysr {
 namespace {
 
 /// Caches full single-source distance fields per source vertex.
-class DistanceOracle {
+class MemoSsspOracle {
  public:
-  explicit DistanceOracle(const Graph& g) : g_(g) {}
+  explicit MemoSsspOracle(const Graph& g) : g_(g) {}
 
   Weight Distance(VertexId from, VertexId to) {
     auto [it, inserted] = fields_.try_emplace(from);
@@ -31,7 +31,7 @@ struct Enumerator {
   const Graph& g;
   const std::vector<PositionMatcher>& matchers;
   const SemanticAggregator& agg;
-  DistanceOracle& oracle;
+  MemoSsspOracle& oracle;
   const std::vector<Weight>* dest_dist;  // null when no destination
   bool unordered;
   int k;
@@ -109,7 +109,7 @@ Result<std::vector<Route>> BruteForceSkySr(const Graph& g,
     dest_dist = &dest_storage;
   }
 
-  DistanceOracle oracle(g);
+  MemoSsspOracle oracle(g);
   Enumerator e{g,     matchers, agg, oracle, dest_dist,
                unordered, k,        {},  {},     {}};
   e.used_positions.assign(static_cast<size_t>(k), 0);
@@ -140,7 +140,7 @@ Result<std::vector<Route>> BruteForceOsr(const Graph& g,
                        : SingleSourceDistances(g, *query.destination).dist;
   }
 
-  DistanceOracle oracle(g);
+  MemoSsspOracle oracle(g);
   std::vector<PoiId> best;
   Weight best_len = kInfWeight;
   std::vector<PoiId> pois;

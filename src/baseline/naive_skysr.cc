@@ -13,7 +13,8 @@ namespace skysr {
 Result<QueryResult> RunNaiveSkySr(const Graph& g, const CategoryForest& forest,
                                   const Query& query,
                                   const QueryOptions& options,
-                                  OsrEngineKind engine, NaiveRunInfo* info) {
+                                  OsrEngineKind engine, NaiveRunInfo* info,
+                                  const DistanceOracle* oracle) {
   SKYSR_RETURN_NOT_OK(ValidateQuery(g, forest, query));
   std::vector<CategoryId> base;
   for (const CategoryPredicate& p : query.sequence) {
@@ -61,9 +62,9 @@ Result<QueryResult> RunNaiveSkySr(const Graph& g, const CategoryForest& forest,
     const OsrResult osr =
         engine == OsrEngineKind::kDijkstraBased
             ? RunOsrDijkstra(g, osr_matchers, query.start, query.destination,
-                             remaining)
+                             remaining, oracle)
             : RunOsrPne(g, osr_matchers, query.start, query.destination,
-                        remaining);
+                        remaining, oracle);
     if (info != nullptr) {
       ++info->osr_queries;
       info->vertices_settled += osr.vertices_settled;

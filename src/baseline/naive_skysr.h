@@ -29,12 +29,15 @@ struct NaiveRunInfo {
 
 /// Runs the naive baseline. Requires a plain query (single category per
 /// position, no all_of/none_of). Returns the same QueryResult shape as
-/// BssrEngine::Run; stats fields that do not apply stay zero.
+/// BssrEngine::Run; stats fields that do not apply stay zero. `oracle`
+/// (optional) is forwarded to the OSR engines for index-backed destination
+/// tails.
 Result<QueryResult> RunNaiveSkySr(const Graph& g, const CategoryForest& forest,
                                   const Query& query,
                                   const QueryOptions& options,
                                   OsrEngineKind engine,
-                                  NaiveRunInfo* info = nullptr);
+                                  NaiveRunInfo* info = nullptr,
+                                  const DistanceOracle* oracle = nullptr);
 
 }  // namespace skysr
 

@@ -32,10 +32,18 @@ namespace skysr {
 /// Runs one Dijkstra-based OSR query. `matchers` define the per-position
 /// perfect-match sets; `dest` optionally appends a fixed destination. The
 /// search aborts (timed_out) after `time_budget_seconds`.
+///
+/// With a non-flat `oracle` and a destination, completed (progress = k)
+/// states stop walking the graph toward the destination: each settles once,
+/// adds its exact oracle tail D(v, dest), and the search ends when the
+/// popped tail-free length can no longer beat the best total — same answer,
+/// a fraction of the settles. Null (the default) keeps the paper-faithful
+/// walk.
 OsrResult RunOsrDijkstra(const Graph& g,
                          const std::vector<PositionMatcher>& matchers,
                          VertexId start, std::optional<VertexId> dest,
-                         double time_budget_seconds);
+                         double time_budget_seconds,
+                         const DistanceOracle* oracle = nullptr);
 
 }  // namespace skysr
 

@@ -97,17 +97,13 @@ struct PneItem {
 OsrResult RunOsrPne(const Graph& g,
                     const std::vector<PositionMatcher>& matchers,
                     VertexId start, std::optional<VertexId> dest,
-                    double time_budget_seconds) {
+                    double time_budget_seconds,
+                    const DistanceOracle* oracle) {
   WallTimer timer;
   OsrResult result;
   const int k = static_cast<int>(matchers.size());
 
-  std::vector<Weight> dest_dist;
-  if (dest) {
-    dest_dist = g.directed()
-                    ? SingleSourceDistances(ReverseOf(g), *dest).dist
-                    : SingleSourceDistances(g, *dest).dist;
-  }
+  DestTail dest_tail(g, dest, oracle);
 
   IncrementalNn nn(g, matchers);
   RouteArena arena;
@@ -163,8 +159,7 @@ OsrResult RunOsrPne(const Graph& g,
         break;
       }
       spawn(arena.node(item.node).parent, item.size - 1, item.rank + 1);
-      const Weight tail =
-          dest_dist[static_cast<size_t>(arena.node(item.node).vertex)];
+      const Weight tail = dest_tail.Get(arena.node(item.node).vertex);
       if (tail != kInfWeight) {
         heap.push(PneItem{item.len + tail, item.node, item.size, item.rank,
                           /*tailed=*/true});

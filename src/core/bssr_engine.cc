@@ -41,8 +41,10 @@ struct QbLess {
 
 }  // namespace
 
-BssrEngine::BssrEngine(const Graph& graph, const CategoryForest& forest)
-    : g_(&graph), forest_(&forest) {
+BssrEngine::BssrEngine(const Graph& graph, const CategoryForest& forest,
+                       const DistanceOracle* oracle)
+    : g_(&graph), forest_(&forest), oracle_(oracle) {
+  SKYSR_DCHECK(oracle == nullptr || &oracle->graph() == &graph);
   for (PoiId p = 0; p < g_->num_pois(); ++p) {
     if (g_->PoiCategories(p).size() > 1) {
       has_multi_category_poi_ = true;
@@ -107,15 +109,22 @@ Result<QueryResult> BssrEngine::Run(const Query& query,
   // --- Optimization 1: initial search (§5.3.1). ---
   if (options.use_initial_search) {
     RunNnInit(*g_, matchers, query.start, agg, dest_dist, nn_ws_, &skyline,
-              &stats);
+              &stats, oracle_, &oracle_ws_, options.oracle_candidate_cap);
   }
 
   // --- Optimization 3: minimum-distance lower bounds (§5.3.3). ---
   LowerBounds lb;
   const LowerBounds* lb_ptr = nullptr;
   if (options.use_lower_bounds && k >= 2) {
-    lb = ComputeLowerBounds(*g_, matchers, query.start,
-                            skyline.Threshold(0.0), &stats);
+    if (oracle_ != nullptr && oracle_->kind() != OracleKind::kFlat &&
+        options.oracle_candidate_cap != 0) {
+      lb = ComputeLowerBoundsWithOracle(
+          *g_, matchers, query.start, skyline.Threshold(0.0), *oracle_,
+          oracle_ws_, &stats, options.oracle_candidate_cap);
+    } else {
+      lb = ComputeLowerBounds(*g_, matchers, query.start,
+                              skyline.Threshold(0.0), &stats);
+    }
     lb_ptr = &lb;
   }
 

@@ -23,6 +23,7 @@
 #include "core/query.h"
 #include "core/route.h"
 #include "core/search_stats.h"
+#include "index/distance_oracle.h"
 #include "util/status.h"
 
 namespace skysr {
@@ -37,8 +38,15 @@ struct QueryResult {
 /// The SkySR query engine.
 class BssrEngine {
  public:
-  /// The graph and forest must outlive the engine.
-  BssrEngine(const Graph& graph, const CategoryForest& forest);
+  /// The graph and forest must outlive the engine. `oracle` (optional, must
+  /// also outlive the engine and be built over the same graph) accelerates
+  /// the pure-distance work — NNinit seeding and the §5.3.3 leg bounds —
+  /// through the index layer; a null or flat oracle reproduces the classic
+  /// Dijkstra code paths. The oracle is shared and immutable; the engine
+  /// owns the per-thread query workspace, preserving the one-engine-per-
+  /// thread contract.
+  BssrEngine(const Graph& graph, const CategoryForest& forest,
+             const DistanceOracle* oracle = nullptr);
 
   /// Executes a SkySR query. Returns InvalidArgument for malformed queries.
   Result<QueryResult> Run(const Query& query,
@@ -46,15 +54,18 @@ class BssrEngine {
 
   const Graph& graph() const { return *g_; }
   const CategoryForest& forest() const { return *forest_; }
+  const DistanceOracle* oracle() const { return oracle_; }
 
  private:
   const Graph* g_;
   const CategoryForest* forest_;
+  const DistanceOracle* oracle_;  // may be null (flat behavior)
   bool has_multi_category_poi_ = false;
 
   // Reusable scratch (engine is single-threaded by design).
   ExpansionScratch scratch_;
   DijkstraWorkspace nn_ws_;
+  OracleWorkspace oracle_ws_;
   MdijkstraCache cache_;
 };
 

@@ -5,6 +5,62 @@
 #include "util/timer.h"
 
 namespace skysr {
+namespace {
+
+/// Classic leg bound, shared by both variants: a ball-restricted
+/// multi-source Dijkstra from the leg's sources to the nearest semantic /
+/// perfect match of `next`. `in_ball` gates targets AND traversal.
+void DenseLegBounds(const Graph& g, const PositionMatcher& next,
+                    std::span<const SourceSeed> seeds,
+                    const std::function<bool(VertexId)>& in_ball,
+                    DijkstraRunStats* leg_stats, Weight* ls, Weight* lp) {
+  const auto semantic_target = [&](VertexId v) {
+    return in_ball(v) && next.SimOfVertex(v) > 0;
+  };
+  const auto perfect_target = [&](VertexId v) {
+    if (!in_ball(v)) return false;
+    const PoiId p = g.PoiAtVertex(v);
+    return p != kInvalidPoi && next.IsPerfect(p);
+  };
+  if (auto hit =
+          MultiSourceNearest(g, seeds, semantic_target, in_ball, leg_stats)) {
+    *ls = hit->dist;
+  }
+  if (auto hit =
+          MultiSourceNearest(g, seeds, perfect_target, in_ball, leg_stats)) {
+    *lp = hit->dist;
+  }
+}
+
+/// Shared tail of both variants: suffix sums plus stats accounting.
+void FinishBounds(LowerBounds* lb, int k, WallTimer* timer,
+                  SearchStats* stats) {
+  lb->ls_remaining.assign(static_cast<size_t>(k) + 1, 0);
+  lb->lp_remaining.assign(static_cast<size_t>(k) + 1, 0);
+  for (int m = k - 1; m >= 1; --m) {
+    // Completing a size-m route still needs legs m-1 .. k-2.
+    lb->ls_remaining[static_cast<size_t>(m)] =
+        lb->ls_remaining[static_cast<size_t>(m) + 1] +
+        lb->ls_leg[static_cast<size_t>(m) - 1];
+    lb->lp_remaining[static_cast<size_t>(m)] =
+        lb->lp_remaining[static_cast<size_t>(m) + 1] +
+        lb->lp_leg[static_cast<size_t>(m) - 1];
+  }
+  lb->ls_remaining[0] = lb->ls_remaining[1];
+  lb->lp_remaining[0] = lb->lp_remaining[1];
+
+  if (stats != nullptr) {
+    stats->lb_ms = timer->ElapsedMillis();
+    for (Weight w : lb->ls_leg) {
+      if (w != kInfWeight) stats->ls_total += w;
+    }
+    for (Weight w : lb->lp_leg) {
+      if (w != kInfWeight) stats->lp_total += w;
+    }
+  }
+}
+
+}  // namespace
 
 LowerBounds ComputeLowerBounds(const Graph& g,
                                const std::vector<PositionMatcher>& matchers,
@@ -55,50 +111,158 @@ LowerBounds ComputeLowerBounds(const Graph& g,
     }
     if (seeds.empty()) continue;  // leg stays +inf: nothing can cross it
 
-    const PositionMatcher& next = matchers[static_cast<size_t>(i) + 1];
-    const auto semantic_target = [&](VertexId v) {
-      return in_ball(v) && next.SimOfVertex(v) > 0;
-    };
-    const auto perfect_target = [&](VertexId v) {
-      if (!in_ball(v)) return false;
-      const PoiId p = g.PoiAtVertex(v);
-      return p != kInvalidPoi && next.IsPerfect(p);
-    };
-    const auto filter = [&](VertexId v) { return in_ball(v); };
-
-    if (auto hit = MultiSourceNearest(g, seeds, semantic_target, filter,
-                                      &leg_stats)) {
-      lb.ls_leg[static_cast<size_t>(i)] = hit->dist;
-    }
-    if (auto hit =
-            MultiSourceNearest(g, seeds, perfect_target, filter, &leg_stats)) {
-      lb.lp_leg[static_cast<size_t>(i)] = hit->dist;
-    }
+    DenseLegBounds(g, matchers[static_cast<size_t>(i) + 1], seeds, in_ball,
+                   &leg_stats, &lb.ls_leg[static_cast<size_t>(i)],
+                   &lb.lp_leg[static_cast<size_t>(i)]);
   }
 
-  // Suffix sums; +inf saturates naturally in IEEE arithmetic.
-  lb.ls_remaining.assign(static_cast<size_t>(k) + 1, 0);
-  lb.lp_remaining.assign(static_cast<size_t>(k) + 1, 0);
-  for (int m = k - 1; m >= 1; --m) {
-    // Completing a size-m route still needs legs m-1 .. k-2.
-    lb.ls_remaining[static_cast<size_t>(m)] =
-        lb.ls_remaining[static_cast<size_t>(m) + 1] +
-        lb.ls_leg[static_cast<size_t>(m) - 1];
-    lb.lp_remaining[static_cast<size_t>(m)] =
-        lb.lp_remaining[static_cast<size_t>(m) + 1] +
-        lb.lp_leg[static_cast<size_t>(m) - 1];
-  }
-  lb.ls_remaining[0] = lb.ls_remaining[1];
-  lb.lp_remaining[0] = lb.lp_remaining[1];
-
+  // Suffix sums (+inf saturates naturally in IEEE arithmetic) and timing.
+  FinishBounds(&lb, k, &timer, stats);
   if (stats != nullptr) {
-    stats->lb_ms = timer.ElapsedMillis();
-    for (Weight w : lb.ls_leg) {
-      if (w != kInfWeight) stats->ls_total += w;
+    stats->vertices_settled += ball_stats.settled + leg_stats.settled;
+    stats->edges_relaxed += ball_stats.relaxed + leg_stats.relaxed;
+    stats->weight_sum += ball_stats.weight_sum + leg_stats.weight_sum;
+  }
+  return lb;
+}
+
+LowerBounds ComputeLowerBoundsWithOracle(
+    const Graph& g, const std::vector<PositionMatcher>& matchers,
+    VertexId start, Weight radius, const DistanceOracle& oracle,
+    OracleWorkspace& oracle_ws, SearchStats* stats,
+    int64_t oracle_candidate_cap) {
+  WallTimer timer;
+  const int k = static_cast<int>(matchers.size());
+  LowerBounds lb;
+  if (k < 2) {
+    lb.ls_remaining.assign(static_cast<size_t>(k) + 1, 0);
+    lb.lp_remaining.assign(static_cast<size_t>(k) + 1, 0);
+    if (stats != nullptr) stats->lb_ms = timer.ElapsedMillis();
+    return lb;
+  }
+  const bool table_based = oracle.SupportsFastTable();
+
+  // Ball membership D(v_q, v) < radius via one radius-truncated Dijkstra —
+  // it settles only the ball, and the flat fallback legs additionally need
+  // it as a whole-vertex traversal filter. radius == +inf (no threshold
+  // yet) means everything is in the ball and no search is needed.
+  DijkstraWorkspace ws;
+  DijkstraRunStats ball_stats;
+  std::vector<Weight> ball_dist;
+  if (radius != kInfWeight) {
+    ball_stats =
+        RunDijkstra(g, start, ws, [&](VertexId, Weight d, VertexId) {
+          return d < radius ? VisitAction::kContinue : VisitAction::kStop;
+        });
+    ball_dist.assign(static_cast<size_t>(g.num_vertices()), kInfWeight);
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      if (ws.Settled(v)) ball_dist[static_cast<size_t>(v)] = ws.Dist(v);
     }
-    for (Weight w : lb.lp_leg) {
-      if (w != kInfWeight) stats->lp_total += w;
+  }
+  const auto in_ball = [&](VertexId v) {
+    return ball_dist.empty() || ball_dist[static_cast<size_t>(v)] < radius;
+  };
+
+  // Oracle legs pay per endpoint (CH: one upward search of its
+  // self-measured ApproxSearchSettles() size) or per pair (ALT: landmark
+  // lookups), while the classic alternative — a ball-restricted
+  // multi-source Dijkstra — costs one pass over the ball, whose size the
+  // truncated search above just measured. So the oracle only gets a leg
+  // when its cost undercuts that pass; dense legs (or tiny balls) use the
+  // classic search. Every flavor yields valid bounds, so the switch (and
+  // the QueryOptions::oracle_candidate_cap override) is purely a matter of
+  // speed.
+  const auto ball_vertices = static_cast<size_t>(
+      ball_dist.empty() ? g.num_vertices() : ball_stats.settled);
+  const size_t max_table_endpoints =  // CH: |S| + |T| per leg
+      oracle_candidate_cap < 0
+          ? ball_vertices /
+                (2 * static_cast<size_t>(std::max<int64_t>(
+                         1, oracle.ApproxSearchSettles())))
+          : static_cast<size_t>(oracle_candidate_cap);
+  const size_t max_bound_pairs =  // ALT: |S| * |T| per leg
+      oracle_candidate_cap < 0
+          ? std::max<size_t>(256, 16 * ball_vertices)
+          : static_cast<size_t>(oracle_candidate_cap);
+
+  DijkstraRunStats leg_stats;
+  lb.ls_leg.assign(static_cast<size_t>(k) - 1, kInfWeight);
+  lb.lp_leg.assign(static_cast<size_t>(k) - 1, kInfWeight);
+  std::vector<VertexId> sources, sem_targets, perf_targets;
+  std::vector<SourceSeed> seeds;
+  std::vector<Weight> table;
+  for (int i = 0; i + 1 < k; ++i) {
+    sources.clear();
+    for (PoiId p = 0; p < g.num_pois(); ++p) {
+      if (matchers[static_cast<size_t>(i)].SimOfPoi(p) > 0 &&
+          in_ball(g.VertexOfPoi(p))) {
+        sources.push_back(g.VertexOfPoi(p));
+      }
     }
+    if (sources.empty()) continue;  // leg stays +inf: nothing can cross it
+
+    // Gather the target sets only while the leg still qualifies for the
+    // oracle — the scan aborts the moment the budget is blown, so dense
+    // legs pay (almost) nothing extra over the classic path.
+    const PositionMatcher& next = matchers[static_cast<size_t>(i) + 1];
+    sem_targets.clear();
+    perf_targets.clear();
+    bool oracle_leg =
+        table_based ? sources.size() < max_table_endpoints
+                    : sources.size() <= max_bound_pairs;
+    const size_t target_budget =
+        !oracle_leg ? 0
+        : table_based
+            ? max_table_endpoints - sources.size()
+            : std::max<size_t>(1, max_bound_pairs / sources.size());
+    for (PoiId p = 0; oracle_leg && p < g.num_pois(); ++p) {
+      const VertexId v = g.VertexOfPoi(p);
+      if (!in_ball(v)) continue;
+      if (next.SimOfPoi(p) > 0) sem_targets.push_back(v);
+      if (next.IsPerfect(p)) perf_targets.push_back(v);
+      if (table_based
+              ? sem_targets.size() + perf_targets.size() > target_budget
+              : std::max(sem_targets.size(), perf_targets.size()) >
+                    target_budget) {
+        oracle_leg = false;
+      }
+    }
+
+    if (oracle_leg) {
+      // CH: exact minima over the in-ball pairs (unrestricted distances,
+      // <= the ball-restricted flat values). ALT: pure landmark triangle
+      // bounds — no graph search at all.
+      const auto min_pair =
+          [&](std::span<const VertexId> targets) -> Weight {
+        if (targets.empty()) return kInfWeight;
+        Weight best = kInfWeight;
+        if (table_based) {
+          table.assign(sources.size() * targets.size(), kInfWeight);
+          oracle.Table(sources, targets, oracle_ws, table.data());
+          for (const Weight w : table) best = std::min(best, w);
+        } else {
+          for (const VertexId s : sources) {
+            for (const VertexId t : targets) {
+              best = std::min(best, oracle.LowerBound(s, t));
+            }
+          }
+        }
+        return best;
+      };
+      lb.ls_leg[static_cast<size_t>(i)] = min_pair(sem_targets);
+      lb.lp_leg[static_cast<size_t>(i)] = min_pair(perf_targets);
+    } else {
+      // Dense leg: the classic ball-restricted multi-source search.
+      seeds.clear();
+      for (const VertexId v : sources) seeds.push_back(SourceSeed{v, 0});
+      DenseLegBounds(g, next, seeds, in_ball, &leg_stats,
+                     &lb.ls_leg[static_cast<size_t>(i)],
+                     &lb.lp_leg[static_cast<size_t>(i)]);
+    }
+  }
+
+  FinishBounds(&lb, k, &timer, stats);
+  if (stats != nullptr) {
     stats->vertices_settled += ball_stats.settled + leg_stats.settled;
     stats->edges_relaxed += ball_stats.relaxed + leg_stats.relaxed;
     stats->weight_sum += ball_stats.weight_sum + leg_stats.weight_sum;

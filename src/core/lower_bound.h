@@ -17,6 +17,7 @@
 #include "core/search_stats.h"
 #include "graph/dijkstra.h"
 #include "graph/graph.h"
+#include "index/distance_oracle.h"
 
 namespace skysr {
 
@@ -47,6 +48,23 @@ LowerBounds ComputeLowerBounds(const Graph& g,
                                const std::vector<PositionMatcher>& matchers,
                                VertexId start, Weight radius,
                                SearchStats* stats);
+
+/// Index-backed variant. Sparse legs are answered by the oracle — CH: an
+/// exact many-to-many minimum over the in-ball PoI pairs (unrestricted
+/// distances, so <= the ball-restricted flat values); ALT: pure landmark
+/// triangle bounds, no graph search at all — while dense legs fall back to
+/// the classic ball-restricted multi-source Dijkstra, which is cheaper
+/// there. Every flavor produces provable leg lower bounds, possibly weaker
+/// than the flat ones, and any admissible bound leaves the skyline
+/// bit-identical — the property the no-lower-bound ablation already
+/// certifies and the differential harness re-verifies per oracle.
+/// `oracle_candidate_cap` follows QueryOptions::oracle_candidate_cap
+/// (-1 = graph-size heuristic; 0 behaves like ComputeLowerBounds).
+LowerBounds ComputeLowerBoundsWithOracle(
+    const Graph& g, const std::vector<PositionMatcher>& matchers,
+    VertexId start, Weight radius, const DistanceOracle& oracle,
+    OracleWorkspace& oracle_ws, SearchStats* stats,
+    int64_t oracle_candidate_cap = -1);
 
 }  // namespace skysr
 

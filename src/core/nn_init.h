@@ -15,16 +15,30 @@
 #include "core/search_stats.h"
 #include "core/skyline_set.h"
 #include "graph/dijkstra.h"
+#include "index/distance_oracle.h"
 
 namespace skysr {
 
 /// Seeds `skyline` with the routes found by NNinit. `dest_dist` (optional)
 /// holds D(v, destination) for every vertex, for the §6 destination variant.
 /// Updates the nninit_* fields of `stats` and the global search counters.
+///
+/// When `oracle` provides a fast many-to-many table (the CH oracle), a hop
+/// with a small candidate set is answered by one 1 x candidates distance
+/// table instead of a graph Dijkstra; candidates are then replayed in
+/// (distance, vertex) order — the Dijkstra settle order — so the seeded
+/// routes are bit-identical either way. Dense-candidate hops, a null, flat
+/// or ALT oracle keep the classic early-exit Dijkstra chain, which is
+/// cheaper there.
+/// `oracle_candidate_cap` follows QueryOptions::oracle_candidate_cap
+/// (-1 = graph-size heuristic).
 void RunNnInit(const Graph& g, const std::vector<PositionMatcher>& matchers,
                VertexId start, const SemanticAggregator& agg,
                const std::vector<Weight>* dest_dist, DijkstraWorkspace& ws,
-               SkylineSet* skyline, SearchStats* stats);
+               SkylineSet* skyline, SearchStats* stats,
+               const DistanceOracle* oracle = nullptr,
+               OracleWorkspace* oracle_ws = nullptr,
+               int64_t oracle_candidate_cap = -1);
 
 }  // namespace skysr
 

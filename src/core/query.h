@@ -83,6 +83,15 @@ struct QueryOptions {
   /// Wall-clock budget; exceeded runs return partial results flagged
   /// timed_out (used to reproduce the paper's "did not finish" bars).
   double time_budget_seconds = std::numeric_limits<double>::infinity();
+  /// Index-layer tuning (only meaningful when the engine holds a non-flat
+  /// DistanceOracle): largest candidate/endpoint set NNinit hops and
+  /// lower-bound legs may answer through the oracle instead of a graph
+  /// search. -1 picks a graph-size heuristic (oracle for sparse sets, the
+  /// classic searches for dense ones), 0 disables oracle-backed distance
+  /// work, a large value forces it everywhere (the differential harness
+  /// does this so the oracle paths are always exercised). Every setting is
+  /// exact — the knob trades nothing but speed.
+  int64_t oracle_candidate_cap = -1;
 };
 
 /// Resolves one sequence position against PoIs: similarity (0 = no match),

@@ -1,0 +1,79 @@
+// ALT landmark distance oracle (Goldberg & Harrelson, SODA'05: A*, Landmarks
+// and Triangle inequality).
+//
+// Build: landmarks are chosen by farthest-point selection (each next
+// landmark maximizes its minimum distance to those already chosen) and a
+// full Dijkstra per landmark stores d(L, v) for every vertex (plus d(v, L)
+// via the reversed graph when the graph is directed).
+//
+// LowerBound(s, t) = max over landmarks of the triangle bounds
+// d(L, t) - d(L, s) and d(s, L) - d(t, L) — an O(#landmarks) admissible
+// lower bound with no search at all. The §5.3.3 leg bounds consume this
+// directly: a minimum over PoI-pair lower bounds is itself a valid leg lower
+// bound, so threshold pruning gets fed without any graph traversal. To keep
+// admissibility robust against last-ulp rounding of the stored distance
+// vectors, positive bounds are shrunk by a relative 1e-12 — vastly more
+// than rounding can inflate them, vastly less than could matter for pruning
+// strength.
+//
+// Distance(s, t) runs A* guided by LowerBound(., t). The shrunk bound stays
+// consistent, so the first settle of t is optimal, and A* accumulates
+// g-values source->target in path order — the same association order (and
+// therefore the same double) as a flat Dijkstra.
+
+#ifndef SKYSR_INDEX_ALT_ORACLE_H_
+#define SKYSR_INDEX_ALT_ORACLE_H_
+
+#include <cstdio>
+#include <vector>
+
+#include "index/distance_oracle.h"
+#include "util/status.h"
+
+namespace skysr {
+
+class AltOracle final : public DistanceOracle {
+ public:
+  struct BuildStats {
+    double build_ms = 0;
+    int num_landmarks = 0;
+  };
+
+  /// Preprocesses the graph (which must outlive the oracle).
+  /// `num_landmarks` is clamped to the vertex count; selection stops early
+  /// when every vertex is within distance 0 of a chosen landmark.
+  static AltOracle Build(const Graph& g, int num_landmarks = 8);
+
+  OracleKind kind() const override { return OracleKind::kAlt; }
+  const Graph& graph() const override { return *g_; }
+
+  Weight Distance(VertexId source, VertexId target,
+                  OracleWorkspace& ws) const override;
+
+  Weight LowerBound(VertexId source, VertexId target) const override;
+
+  int64_t MemoryBytes() const override;
+
+  const BuildStats& build_stats() const { return build_stats_; }
+  const std::vector<VertexId>& landmarks() const { return landmarks_; }
+
+  /// Index payload IO (headers handled by index_io; `g` must be
+  /// checksum-verified by the caller).
+  Status SavePayload(std::FILE* f) const;
+  static Result<AltOracle> LoadPayload(std::FILE* f, const Graph& g);
+
+ private:
+  explicit AltOracle(const Graph& g) : g_(&g) {}
+
+  const Graph* g_;
+  std::vector<VertexId> landmarks_;
+  /// from_[l][v] = d(landmark_l, v); to_[l][v] = d(v, landmark_l). For
+  /// undirected graphs to_ is left empty and from_ serves both roles.
+  std::vector<std::vector<Weight>> from_;
+  std::vector<std::vector<Weight>> to_;
+  BuildStats build_stats_;
+};
+
+}  // namespace skysr
+
+#endif  // SKYSR_INDEX_ALT_ORACLE_H_

@@ -1,0 +1,139 @@
+// Contraction-hierarchies distance oracle (Geisberger et al., WEA'08).
+//
+// Build: vertices are contracted one by one in ascending importance —
+// priority = edge difference (shortcuts a contraction would add minus edges
+// it removes) plus the count of already-contracted neighbors, maintained
+// lazily. Contracting v inserts a shortcut (u, w) for every in/out neighbor
+// pair whose shortest u->w path runs through v (decided by a bounded local
+// witness search; an inconclusive search conservatively adds the shortcut,
+// which never hurts correctness). Each vertex's final edge set — to
+// higher-ranked neighbors only — is frozen at its contraction into upward
+// forward/backward CSRs.
+//
+// Query: a bidirectional Dijkstra over the upward graphs; every vertex
+// settled by both sides is a meeting candidate and the best up-down path is
+// the shortest path. To honor the oracle exactness contract
+// (distance_oracle.h), the winner is not returned as the rounded sum of
+// shortcut weights: all candidates within a relative epsilon of the best are
+// unpacked into original edges and re-summed source->target in path order,
+// and the minimum re-summed value is returned — the same double a flat
+// Dijkstra computes.
+//
+// Table() implements the classic bucket many-to-many: one backward upward
+// search per target deposits (target, dist) entries at every settled vertex;
+// one forward upward search per source then scans the buckets, so the
+// backward work is shared by all sources. NNinit's per-hop 1 x N PoI tables
+// and the lower-bound PoI-set tables ride on this.
+//
+// Topology caveat: contraction hierarchies assume road-like graphs (low
+// highway dimension). Grid/cluster families preprocess in about a second
+// per 20k vertices with tiny upward search spaces; expander-like graphs
+// (the small-world family) grow dense hub shortcuts, build one to two
+// orders of magnitude slower and answer queries with much larger upward
+// spaces — ApproxSearchSettles() reports the measured size so consumers
+// can fall back to plain searches where the index would lose.
+
+#ifndef SKYSR_INDEX_CH_ORACLE_H_
+#define SKYSR_INDEX_CH_ORACLE_H_
+
+#include <cstdio>
+#include <span>
+#include <vector>
+
+#include "index/distance_oracle.h"
+#include "util/status.h"
+
+namespace skysr {
+
+/// One upward edge. `mid` is the contracted middle vertex a shortcut
+/// bypasses (kInvalidVertex for original graph edges); unpacking recurses
+/// through it. Field order keeps the struct padding-free for binary IO.
+struct ChEdge {
+  Weight weight;
+  VertexId to;
+  VertexId mid;
+};
+
+class ChOracle final : public DistanceOracle {
+ public:
+  struct BuildStats {
+    double build_ms = 0;
+    int64_t shortcuts_added = 0;
+    int64_t witness_settled = 0;  // witness-search effort during build
+  };
+
+  /// Preprocesses the graph (which must outlive the oracle).
+  static ChOracle Build(const Graph& g);
+
+  OracleKind kind() const override { return OracleKind::kCh; }
+  const Graph& graph() const override { return *g_; }
+
+  Weight Distance(VertexId source, VertexId target,
+                  OracleWorkspace& ws) const override;
+
+  void Table(std::span<const VertexId> sources,
+             std::span<const VertexId> targets, OracleWorkspace& ws,
+             Weight* out) const override;
+
+  bool SupportsFastTable() const override { return true; }
+
+  /// Mean settles of an upward search, measured over a deterministic
+  /// sample of sources right after Build/Load.
+  int64_t ApproxSearchSettles() const override { return avg_up_settles_; }
+
+  int64_t MemoryBytes() const override;
+
+  const BuildStats& build_stats() const { return build_stats_; }
+  int64_t num_shortcuts() const { return num_shortcuts_; }
+  /// Upward edges stored over both directions (original + shortcuts).
+  int64_t num_upward_edges() const {
+    return static_cast<int64_t>(up_fwd_edges_.size() + up_bwd_edges_.size());
+  }
+
+  /// Index payload IO (headers handled by index_io). The loaded oracle is
+  /// bound to `g`, which the caller must have checksum-verified.
+  Status SavePayload(std::FILE* f) const;
+  static Result<ChOracle> LoadPayload(std::FILE* f, const Graph& g);
+
+ private:
+  explicit ChOracle(const Graph& g) : g_(&g) {}
+
+  std::span<const ChEdge> UpFwd(VertexId v) const {
+    return {up_fwd_edges_.data() + up_fwd_offsets_[static_cast<size_t>(v)],
+            static_cast<size_t>(up_fwd_offsets_[static_cast<size_t>(v) + 1] -
+                                up_fwd_offsets_[static_cast<size_t>(v)])};
+  }
+  std::span<const ChEdge> UpBwd(VertexId v) const {
+    return {up_bwd_edges_.data() + up_bwd_offsets_[static_cast<size_t>(v)],
+            static_cast<size_t>(up_bwd_offsets_[static_cast<size_t>(v) + 1] -
+                                up_bwd_offsets_[static_cast<size_t>(v)])};
+  }
+
+  /// Appends the original-edge weights underlying `e` in travel order.
+  /// UnpackFwd: e lives in up_fwd[owner], path owner -> e.to.
+  /// UnpackBwd: e lives in up_bwd[owner], path e.to -> owner.
+  void UnpackFwd(VertexId owner, const ChEdge& e,
+                 std::vector<Weight>* weights) const;
+  void UnpackBwd(VertexId owner, const ChEdge& e,
+                 std::vector<Weight>* weights) const;
+  /// The frozen edge with the given head in `mid`'s upward list (guaranteed
+  /// to exist for any shortcut middle).
+  const ChEdge& FrozenEdge(VertexId mid, VertexId to, bool fwd) const;
+
+  /// Samples upward searches to estimate the per-endpoint query cost.
+  void MeasureSearchCost();
+
+  const Graph* g_;
+  std::vector<int32_t> rank_;  // vertex -> contraction order (0 = first)
+  std::vector<int64_t> up_fwd_offsets_;
+  std::vector<ChEdge> up_fwd_edges_;
+  std::vector<int64_t> up_bwd_offsets_;
+  std::vector<ChEdge> up_bwd_edges_;
+  int64_t num_shortcuts_ = 0;
+  int64_t avg_up_settles_ = 1;
+  BuildStats build_stats_;
+};
+
+}  // namespace skysr
+
+#endif  // SKYSR_INDEX_CH_ORACLE_H_

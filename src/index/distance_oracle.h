@@ -1,0 +1,123 @@
+// Pluggable distance-oracle API: the index layer's contract with every
+// distance consumer (NNinit seeding, §5.3.3 lower bounds, OSR destination
+// tails, the CLI and the QueryService).
+//
+// An oracle is an immutable, preprocessed view of one Graph that answers
+// exact point-to-point shortest-path distances and many-to-many distance
+// tables, plus (optionally) cheap admissible lower bounds. Three
+// implementations exist:
+//
+//   FlatOracle  graph Dijkstra, no preprocessing (the default; identical to
+//               the pre-index code paths)
+//   ChOracle    contraction hierarchies: edge-difference node ordering,
+//               shortcut insertion, bidirectional upward query, bucket-based
+//               many-to-many
+//   AltOracle   ALT landmarks: farthest-selection landmarks whose distance
+//               vectors give triangle-inequality lower bounds and an exact
+//               A* distance query
+//
+// Exactness contract (load-bearing — the differential harness demands
+// bit-identical skylines across oracles): Distance() and Table() return the
+// SAME double a reference graph Dijkstra would return, not merely a value
+// within floating-point noise of it. ChOracle achieves this by unpacking the
+// winning up-down path into original edges and re-summing source->target in
+// path order (the association order Dijkstra's relaxations use); AltOracle's
+// A* accumulates g-values in path order by construction. When several
+// distinct shortest paths exist, their path-order sums coincide for exact
+// (integer-valued) weights and differ with probability zero for continuously
+// distributed weights; randomized tests in tests/index_test.cc assert the
+// equality across all scenario graph families. LowerBound() is merely
+// admissible (<= the true distance), never exact.
+//
+// Thread safety: oracles are immutable after construction; all query methods
+// are const and take a caller-owned OracleWorkspace. Share one oracle across
+// threads, give each thread its own workspace (the QueryService does exactly
+// that).
+
+#ifndef SKYSR_INDEX_DISTANCE_ORACLE_H_
+#define SKYSR_INDEX_DISTANCE_ORACLE_H_
+
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "graph/dijkstra_workspace.h"
+#include "graph/graph.h"
+#include "graph/types.h"
+#include "util/stamped_array.h"
+
+namespace skysr {
+
+/// Which oracle implementation backs a DistanceOracle.
+enum class OracleKind {
+  kFlat,
+  kCh,
+  kAlt,
+};
+
+/// "flat" / "ch" / "alt".
+const char* OracleKindName(OracleKind kind);
+/// Inverse of OracleKindName; nullopt for unknown names.
+std::optional<OracleKind> ParseOracleKind(std::string_view name);
+
+/// Per-thread scratch for oracle queries, reusable across calls. The members
+/// cover the needs of every implementation (flat keeps a plain Dijkstra
+/// workspace; CH runs two upward searches and remembers the relaxed CSR edge
+/// per vertex for path unpacking; ALT uses `fwd` for its A*).
+struct OracleWorkspace {
+  DijkstraWorkspace fwd;
+  DijkstraWorkspace bwd;
+  StampedArray<int32_t> fwd_edge;  // CSR edge index that set fwd dist
+  StampedArray<int32_t> bwd_edge;
+  StampedArray<Weight> heur;  // per-target heuristic cache (ALT's A*)
+};
+
+/// Immutable exact distance index over one Graph.
+class DistanceOracle {
+ public:
+  virtual ~DistanceOracle() = default;
+
+  virtual OracleKind kind() const = 0;
+  virtual const Graph& graph() const = 0;
+
+  /// Exact shortest-path distance (kInfWeight when unreachable), bit-equal
+  /// to a reference graph Dijkstra (see the exactness contract above).
+  virtual Weight Distance(VertexId source, VertexId target,
+                          OracleWorkspace& ws) const = 0;
+
+  /// Exact many-to-many table: out[i * targets.size() + j] =
+  /// Distance(sources[i], targets[j]). `out` must hold
+  /// sources.size() * targets.size() entries. The base implementation loops
+  /// Distance(); ChOracle overrides it with a bucket search that amortizes
+  /// the backward work across sources.
+  virtual void Table(std::span<const VertexId> sources,
+                     std::span<const VertexId> targets, OracleWorkspace& ws,
+                     Weight* out) const;
+
+  /// Admissible lower bound on Distance(source, target), O(1), no workspace.
+  /// The default 0 is always sound; AltOracle returns landmark triangle
+  /// bounds. Consumers may prune with it but must never treat it as exact.
+  virtual Weight LowerBound(VertexId source, VertexId target) const;
+
+  /// True when Table() beats looping Distance() (ChOracle's bucket search).
+  /// Consumers with a cheaper specialized plan for flat oracles (e.g.
+  /// NNinit's single-Dijkstra chain) use this to pick a code path.
+  virtual bool SupportsFastTable() const { return false; }
+
+  /// Rough settles one Table() endpoint (or one Distance() side) costs —
+  /// the oracle's self-measured search-space size. Consumers weigh it
+  /// against the cost of a plain graph search when choosing a code path:
+  /// CH upward spaces are tiny on road-like graphs but can approach the
+  /// whole graph on expander-like ones. Defaults to the whole graph.
+  virtual int64_t ApproxSearchSettles() const {
+    return graph().num_vertices();
+  }
+
+  /// Heap footprint of the index structures in bytes.
+  virtual int64_t MemoryBytes() const = 0;
+};
+
+}  // namespace skysr
+
+#endif  // SKYSR_INDEX_DISTANCE_ORACLE_H_

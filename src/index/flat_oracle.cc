@@ -1,0 +1,54 @@
+#include "index/flat_oracle.h"
+
+#include "graph/dijkstra_runner.h"
+
+namespace skysr {
+
+Weight FlatOracle::Distance(VertexId source, VertexId target,
+                            OracleWorkspace& ws) const {
+  Weight found = kInfWeight;
+  RunDijkstra(*g_, source, ws.fwd, [&](VertexId v, Weight d, VertexId) {
+    if (v == target) {
+      found = d;
+      return VisitAction::kStop;
+    }
+    return VisitAction::kContinue;
+  });
+  return found;
+}
+
+void FlatOracle::Table(std::span<const VertexId> sources,
+                       std::span<const VertexId> targets, OracleWorkspace& ws,
+                       Weight* out) const {
+  // Mark targets once per call; bwd_edge doubles as the marker array.
+  ws.bwd_edge.Prepare(g_->num_vertices(), -1);
+  size_t unique_targets = 0;
+  for (size_t j = 0; j < targets.size(); ++j) {
+    if (ws.bwd_edge.Get(targets[j]) < 0) ++unique_targets;
+    ws.bwd_edge.Set(targets[j], static_cast<int32_t>(j));
+  }
+  for (size_t i = 0; i < sources.size(); ++i) {
+    Weight* row = out + i * targets.size();
+    for (size_t j = 0; j < targets.size(); ++j) row[j] = kInfWeight;
+    size_t remaining = unique_targets;
+    RunDijkstra(*g_, sources[i], ws.fwd, [&](VertexId v, Weight d, VertexId) {
+      const int32_t j = ws.bwd_edge.Get(v);
+      if (j >= 0 && row[j] == kInfWeight) {
+        row[j] = d;
+        if (--remaining == 0) return VisitAction::kStop;
+      }
+      return VisitAction::kContinue;
+    });
+  }
+  // Duplicate target vertices share one marker slot; fill the copies.
+  for (size_t j = 0; j < targets.size(); ++j) {
+    const auto first = static_cast<size_t>(ws.bwd_edge.Get(targets[j]));
+    if (first != j) {
+      for (size_t i = 0; i < sources.size(); ++i) {
+        out[i * targets.size() + j] = out[i * targets.size() + first];
+      }
+    }
+  }
+}
+
+}  // namespace skysr

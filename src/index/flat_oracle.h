@@ -1,0 +1,40 @@
+// FlatOracle: the no-preprocessing distance oracle — every query is a plain
+// graph Dijkstra. This is the pre-index behavior extracted behind the
+// DistanceOracle API and the reference the other oracles are verified
+// against. Zero build cost, zero memory overhead, O(|V| log |V|) per query.
+
+#ifndef SKYSR_INDEX_FLAT_ORACLE_H_
+#define SKYSR_INDEX_FLAT_ORACLE_H_
+
+#include <span>
+
+#include "index/distance_oracle.h"
+
+namespace skysr {
+
+class FlatOracle final : public DistanceOracle {
+ public:
+  /// The graph must outlive the oracle.
+  explicit FlatOracle(const Graph& g) : g_(&g) {}
+
+  OracleKind kind() const override { return OracleKind::kFlat; }
+  const Graph& graph() const override { return *g_; }
+
+  Weight Distance(VertexId source, VertexId target,
+                  OracleWorkspace& ws) const override;
+
+  /// One truncated Dijkstra per source (stops once every target is settled)
+  /// instead of one per pair.
+  void Table(std::span<const VertexId> sources,
+             std::span<const VertexId> targets, OracleWorkspace& ws,
+             Weight* out) const override;
+
+  int64_t MemoryBytes() const override { return 0; }
+
+ private:
+  const Graph* g_;
+};
+
+}  // namespace skysr
+
+#endif  // SKYSR_INDEX_FLAT_ORACLE_H_

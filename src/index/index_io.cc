@@ -1,0 +1,118 @@
+#include "index/index_io.h"
+
+#include <bit>
+#include <cstring>
+
+#include "index/alt_oracle.h"
+#include "index/ch_oracle.h"
+#include "util/rng.h"
+
+namespace skysr {
+namespace {
+
+constexpr char kIndexMagic[8] = {'S', 'K', 'Y', 'I', 'D', 'X', '1', '\0'};
+
+void Mix(uint64_t* digest, uint64_t v) {
+  uint64_t s = *digest ^ (v + 0x9E3779B97F4A7C15ULL);
+  *digest = SplitMix64(s);
+}
+
+}  // namespace
+
+uint64_t GraphChecksum(const Graph& g) {
+  uint64_t d = 0xC4C3'5157'5352'1D18ULL;
+  Mix(&d, static_cast<uint64_t>(g.num_vertices()));
+  Mix(&d, static_cast<uint64_t>(g.num_edges()));
+  Mix(&d, g.directed() ? 1 : 0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (const Neighbor& nb : g.OutEdges(v)) {
+      Mix(&d, static_cast<uint64_t>(static_cast<uint32_t>(nb.to)));
+      Mix(&d, std::bit_cast<uint64_t>(nb.weight));
+    }
+  }
+  // PoI placement matters to oracle consumers (NNinit tables, leg bounds),
+  // so fold it in too.
+  for (PoiId p = 0; p < g.num_pois(); ++p) {
+    Mix(&d, static_cast<uint64_t>(static_cast<uint32_t>(g.VertexOfPoi(p))));
+  }
+  return d;
+}
+
+Status SaveOracleIndex(const DistanceOracle& oracle,
+                       const std::string& path) {
+  if (oracle.kind() == OracleKind::kFlat) {
+    return Status::InvalidArgument(
+        "the flat oracle has no index to save; build one with --oracle ch "
+        "or --oracle alt");
+  }
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot open for write: " + path);
+  const uint8_t kind = static_cast<uint8_t>(oracle.kind());
+  const uint64_t checksum = GraphChecksum(oracle.graph());
+  bool ok = std::fwrite(kIndexMagic, sizeof(kIndexMagic), 1, f) == 1 &&
+            index_io::WritePod(f, kind) && index_io::WritePod(f, checksum);
+  Status payload = Status::OK();
+  if (ok) {
+    if (oracle.kind() == OracleKind::kCh) {
+      payload = static_cast<const ChOracle&>(oracle).SavePayload(f);
+    } else {
+      payload = static_cast<const AltOracle&>(oracle).SavePayload(f);
+    }
+  }
+  std::fclose(f);
+  if (!ok) return Status::IOError("short write: " + path);
+  return payload;
+}
+
+Result<std::unique_ptr<DistanceOracle>> LoadOracleIndex(
+    const std::string& path, const Graph& g) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open for read: " + path);
+  char magic[8];
+  uint8_t kind_byte = 0;
+  uint64_t checksum = 0;
+  const bool header_ok =
+      std::fread(magic, sizeof(magic), 1, f) == 1 &&
+      std::memcmp(magic, kIndexMagic, sizeof(kIndexMagic)) == 0 &&
+      index_io::ReadPod(f, &kind_byte) && index_io::ReadPod(f, &checksum) &&
+      (kind_byte == static_cast<uint8_t>(OracleKind::kCh) ||
+       kind_byte == static_cast<uint8_t>(OracleKind::kAlt));
+  if (!header_ok) {
+    std::fclose(f);
+    return Status::IOError("not an oracle index file: " + path);
+  }
+  if (checksum != GraphChecksum(g)) {
+    std::fclose(f);
+    return Status::IOError(
+        "index file " + path +
+        " was built for a different graph (checksum mismatch); rebuild it "
+        "against this dataset with `skysr_cli index build`");
+  }
+  const auto kind = static_cast<OracleKind>(kind_byte);
+  if (kind == OracleKind::kCh) {
+    auto loaded = ChOracle::LoadPayload(f, g);
+    std::fclose(f);
+    if (!loaded.ok()) return loaded.status();
+    return std::unique_ptr<DistanceOracle>(
+        new ChOracle(std::move(loaded).ValueOrDie()));
+  }
+  auto loaded = AltOracle::LoadPayload(f, g);
+  std::fclose(f);
+  if (!loaded.ok()) return loaded.status();
+  return std::unique_ptr<DistanceOracle>(
+      new AltOracle(std::move(loaded).ValueOrDie()));
+}
+
+const char* OracleIndexExtension(OracleKind kind) {
+  switch (kind) {
+    case OracleKind::kCh:
+      return "chidx";
+    case OracleKind::kAlt:
+      return "altidx";
+    case OracleKind::kFlat:
+      break;
+  }
+  return "idx";
+}
+
+}  // namespace skysr

@@ -1,0 +1,80 @@
+// Binary persistence for built distance-oracle indexes, in the style of
+// Graph::SaveBinary (graph/io): a magic + kind + graph-checksum header
+// followed by an oracle-specific payload. Files conventionally carry the
+// `.chidx` (CH) / `.altidx` (ALT) extension; both are covered by
+// LoadOracleIndex, which sniffs the kind from the header.
+//
+// The header embeds a checksum of the graph the index was built for;
+// loading against any other graph fails with an explicit "rebuild the
+// index" error instead of silently answering wrong distances.
+
+#ifndef SKYSR_INDEX_INDEX_IO_H_
+#define SKYSR_INDEX_INDEX_IO_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "index/distance_oracle.h"
+#include "util/status.h"
+
+namespace skysr {
+
+/// Order-sensitive digest of the graph's structure and weights (vertex
+/// count, adjacency, weight bit patterns, directedness, PoI placement).
+/// Equal graphs hash equal; any structural edit a rebuilt index would
+/// notice changes the sum.
+uint64_t GraphChecksum(const Graph& g);
+
+/// Writes the oracle's index to `path`. FlatOracle has no index to save and
+/// returns InvalidArgument.
+Status SaveOracleIndex(const DistanceOracle& oracle, const std::string& path);
+
+/// Loads an index built by SaveOracleIndex and binds it to `g`. Fails with
+/// a descriptive IOError when the file was built for a different graph
+/// (checksum mismatch) or is corrupt.
+Result<std::unique_ptr<DistanceOracle>> LoadOracleIndex(
+    const std::string& path, const Graph& g);
+
+/// Conventional file extension for an oracle kind ("chidx" / "altidx").
+const char* OracleIndexExtension(OracleKind kind);
+
+namespace index_io {
+
+// Low-level POD/vector framing shared by the oracle payload serializers.
+
+template <typename T>
+bool WritePod(std::FILE* f, const T& v) {
+  return std::fwrite(&v, sizeof(T), 1, f) == 1;
+}
+
+template <typename T>
+bool ReadPod(std::FILE* f, T* v) {
+  return std::fread(v, sizeof(T), 1, f) == 1;
+}
+
+template <typename T>
+bool WriteVec(std::FILE* f, const std::vector<T>& v) {
+  const uint64_t n = v.size();
+  if (!WritePod(f, n)) return false;
+  if (n == 0) return true;
+  return std::fwrite(v.data(), sizeof(T), n, f) == n;
+}
+
+template <typename T>
+bool ReadVec(std::FILE* f, std::vector<T>* v) {
+  uint64_t n = 0;
+  if (!ReadPod(f, &n)) return false;
+  v->resize(n);
+  if (n == 0) return true;
+  return std::fread(v->data(), sizeof(T), n, f) == n;
+}
+
+}  // namespace index_io
+
+}  // namespace skysr
+
+#endif  // SKYSR_INDEX_INDEX_IO_H_

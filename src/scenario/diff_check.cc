@@ -5,9 +5,12 @@
 #include <cmath>
 #include <cstdio>
 
+#include <memory>
+
 #include "baseline/brute_force.h"
 #include "baseline/naive_skysr.h"
 #include "core/bssr_engine.h"
+#include "index/oracle_factory.h"
 #include "service/query_service.h"
 #include "util/rng.h"
 
@@ -23,12 +26,13 @@ bool IsPlainQuery(const Query& q) {
   return true;
 }
 
-std::string RenderConfig(bool init, bool lb, bool cache,
-                         QueueDiscipline disc) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "init=%d lb=%d cache=%d queue=%s", init,
-                lb, cache,
-                disc == QueueDiscipline::kProposed ? "proposed" : "distance");
+std::string RenderConfig(bool init, bool lb, bool cache, QueueDiscipline disc,
+                         OracleKind oracle) {
+  char buf[80];
+  std::snprintf(buf, sizeof(buf), "init=%d lb=%d cache=%d queue=%s oracle=%s",
+                init, lb, cache,
+                disc == QueueDiscipline::kProposed ? "proposed" : "distance",
+                OracleKindName(oracle));
   return buf;
 }
 
@@ -127,11 +131,30 @@ std::string DiffReport::Summary() const {
 
 DiffReport RunDifferentialCheck(const DiffCheckParams& params) {
   DiffReport report;
+  const std::vector<OracleKind> kinds =
+      params.oracle_kinds.empty()
+          ? std::vector<OracleKind>{OracleKind::kFlat}
+          : params.oracle_kinds;
   for (int idx = 0; report.instances_checked < params.num_instances; ++idx) {
     const ScenarioSpec spec = ScenarioSuiteSpec(idx, params.master_seed);
     const Scenario sc = MakeScenario(spec);
     ++report.scenarios_run;
-    BssrEngine engine(sc.dataset.graph, sc.dataset.forest);
+
+    // One engine per oracle kind, all over the same scenario dataset. The
+    // indexes are built fresh per scenario graph; the flat kind maps to the
+    // classic oracle-less engine.
+    std::vector<std::unique_ptr<DistanceOracle>> oracles;
+    std::vector<BssrEngine> engines;
+    const DistanceOracle* service_oracle = nullptr;
+    engines.reserve(kinds.size());
+    for (const OracleKind kind : kinds) {
+      oracles.push_back(kind == OracleKind::kFlat
+                            ? nullptr
+                            : MakeOracle(kind, sc.dataset.graph));
+      engines.emplace_back(sc.dataset.graph, sc.dataset.forest,
+                           oracles.back().get());
+      if (oracles.back() != nullptr) service_oracle = oracles.back().get();
+    }
 
     const auto record = [&](int query_index, std::string config,
                             std::string detail) {
@@ -159,34 +182,48 @@ DiffReport RunDifferentialCheck(const DiffCheckParams& params) {
       }
       MixSkyline(&report.result_digest, *brute);
 
-      // Every ablation combination must reproduce the exact skyline.
-      for (int bits = 0; bits < 8; ++bits) {
-        for (QueueDiscipline disc :
-             {QueueDiscipline::kProposed, QueueDiscipline::kDistanceBased}) {
-          QueryOptions opts;
-          opts.use_initial_search = (bits & 1) != 0;
-          opts.use_lower_bounds = (bits & 2) != 0;
-          opts.use_cache = (bits & 4) != 0;
-          opts.queue_discipline = disc;
-          auto got = engine.Run(q, opts);
-          ++report.engine_runs;
-          if (!got.ok()) {
-            record(static_cast<int>(qi),
-                   RenderConfig(opts.use_initial_search, opts.use_lower_bounds,
-                                opts.use_cache, disc),
-                   got.status().ToString());
-            continue;
-          }
-          if (!BitIdenticalSkylines(got->routes, *brute)) {
-            record(static_cast<int>(qi),
-                   RenderConfig(opts.use_initial_search, opts.use_lower_bounds,
-                                opts.use_cache, disc),
-                   "expected " + RenderSkyline(*brute) + " got " +
-                       RenderSkyline(got->routes));
-          }
-          if (bits == 7 && disc == QueueDiscipline::kProposed) {
-            default_results[qi] = got->routes;
-            have_default[qi] = 1;
+      // Every (ablation combination x oracle kind) must reproduce the exact
+      // skyline: Theorem 3 for the toggles, the oracle exactness contract
+      // for the index layer.
+      for (size_t ki = 0; ki < kinds.size(); ++ki) {
+        for (int bits = 0; bits < 8; ++bits) {
+          for (QueueDiscipline disc :
+               {QueueDiscipline::kProposed,
+                QueueDiscipline::kDistanceBased}) {
+            QueryOptions opts;
+            opts.use_initial_search = (bits & 1) != 0;
+            opts.use_lower_bounds = (bits & 2) != 0;
+            opts.use_cache = (bits & 4) != 0;
+            opts.queue_discipline = disc;
+            if (kinds[ki] != OracleKind::kFlat) {
+              // Force the oracle-backed NNinit/lower-bound paths (the
+              // production default falls back to graph searches for dense
+              // candidate sets — a pure speed choice, and the point here
+              // is to verify the oracle paths themselves).
+              opts.oracle_candidate_cap = 1 << 30;
+            }
+            auto got = engines[ki].Run(q, opts);
+            ++report.engine_runs;
+            if (!got.ok()) {
+              record(static_cast<int>(qi),
+                     RenderConfig(opts.use_initial_search,
+                                  opts.use_lower_bounds, opts.use_cache, disc,
+                                  kinds[ki]),
+                     got.status().ToString());
+              continue;
+            }
+            if (!BitIdenticalSkylines(got->routes, *brute)) {
+              record(static_cast<int>(qi),
+                     RenderConfig(opts.use_initial_search,
+                                  opts.use_lower_bounds, opts.use_cache, disc,
+                                  kinds[ki]),
+                     "expected " + RenderSkyline(*brute) + " got " +
+                         RenderSkyline(got->routes));
+            }
+            if (ki == 0 && bits == 7 && disc == QueueDiscipline::kProposed) {
+              default_results[qi] = got->routes;
+              have_default[qi] = 1;
+            }
           }
         }
       }
@@ -194,8 +231,11 @@ DiffReport RunDifferentialCheck(const DiffCheckParams& params) {
       if (params.check_naive_baseline && IsPlainQuery(q)) {
         for (OsrEngineKind kind :
              {OsrEngineKind::kDijkstraBased, OsrEngineKind::kPne}) {
+          // The shared oracle rides along, covering the index-backed OSR
+          // destination tails; the tolerance absorbs their summation-order
+          // drift.
           auto naive = RunNaiveSkySr(sc.dataset.graph, sc.dataset.forest, q,
-                                     defaults, kind);
+                                     defaults, kind, nullptr, service_oracle);
           ++report.baseline_runs;
           const char* name = kind == OsrEngineKind::kDijkstraBased
                                  ? "naive-dijkstra"
@@ -217,6 +257,7 @@ DiffReport RunDifferentialCheck(const DiffCheckParams& params) {
       cfg.num_threads = 2;
       cfg.queue_capacity = 64;
       cfg.cache_capacity = 16;
+      cfg.oracle = service_oracle;  // shared index, per-worker workspaces
       QueryService service(sc.dataset.graph, sc.dataset.forest, cfg);
       const auto results = service.RunBatch(sc.queries);
       for (size_t qi = 0; qi < results.size(); ++qi) {

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/route.h"
+#include "index/distance_oracle.h"
 #include "scenario/scenario.h"
 
 namespace skysr {
@@ -37,12 +38,20 @@ struct DiffCheckParams {
   /// Cross-check plain queries against the naive SkySR baseline.
   bool check_naive_baseline = true;
   /// Replay each scenario's workload through a 2-thread QueryService and
-  /// compare with the sequential engine (bit-identical).
+  /// compare with the sequential engine (bit-identical). The service shares
+  /// the last non-flat oracle of `oracle_kinds` (if any), exercising the
+  /// one-index-many-workspaces threading.
   bool check_service = true;
   /// Tolerance for the naive baseline only: its OSR engines sum leg
   /// distances in different orders, so a few ULPs of drift are legitimate.
   /// Engine-vs-brute-force comparisons are always exact (tolerance 0).
   double naive_tolerance = 1e-9;
+  /// Distance-oracle sweep: the full 16-combination ablation grid runs once
+  /// per kind (indexes built per scenario graph) and every skyline must be
+  /// bit-identical to brute force regardless of the oracle answering the
+  /// NNinit / lower-bound distance work.
+  std::vector<OracleKind> oracle_kinds = {OracleKind::kFlat, OracleKind::kCh,
+                                          OracleKind::kAlt};
 };
 
 /// One disagreement, with everything needed to reproduce it.

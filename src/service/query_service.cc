@@ -46,8 +46,9 @@ void QueryService::Shutdown() {
 void QueryService::WorkerLoop(int /*thread_index*/) {
   // One engine per worker: the whole point of the service layer. The engine
   // reuses its scratch and on-the-fly Dijkstra cache across the queries this
-  // worker happens to draw.
-  BssrEngine engine(*graph_, *forest_);
+  // worker happens to draw; the distance oracle (if any) is shared and
+  // immutable, with each engine owning its private oracle workspace.
+  BssrEngine engine(*graph_, *forest_, config_.oracle);
   while (auto task = queue_.Pop()) {
     Execute(engine, *task);
   }

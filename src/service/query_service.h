@@ -53,6 +53,11 @@ struct ServiceConfig {
   size_t cache_capacity = 512;
   /// Options applied when Submit/RunBatch are called without options.
   QueryOptions default_options;
+  /// Shared immutable distance oracle (index layer). Non-owning: it must be
+  /// built over the same graph and outlive the service. Every worker's
+  /// engine queries the one index through its own per-thread workspace;
+  /// null keeps the flat Dijkstra paths.
+  const DistanceOracle* oracle = nullptr;
 };
 
 /// A concurrent, cached front-end over per-thread BssrEngines.

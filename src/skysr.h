@@ -32,6 +32,7 @@
 #include "graph/graph.h"               // IWYU pragma: export
 #include "graph/graph_builder.h"       // IWYU pragma: export
 #include "graph/io.h"                  // IWYU pragma: export
+#include "index/oracle_factory.h"      // IWYU pragma: export
 #include "scenario/diff_check.h"       // IWYU pragma: export
 #include "scenario/scenario.h"         // IWYU pragma: export
 #include "service/query_service.h"     // IWYU pragma: export

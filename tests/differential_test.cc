@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include "index/oracle_factory.h"
 #include "scenario/diff_check.h"
 #include "scenario/scenario.h"
 
@@ -23,15 +24,34 @@ int EnvInstances(int def) {
   return n > 0 ? n : def;
 }
 
+// SKYSR_ORACLE=ch|alt restricts the sweep to {flat, that kind} (the CI
+// index-enabled job variant) and SKYSR_ORACLE=flat to the classic
+// flat-only run; unset (or an unknown name) keeps the full flat/ch/alt
+// sweep.
+std::vector<OracleKind> EnvOracleSweep() {
+  const std::vector<OracleKind> all = {OracleKind::kFlat, OracleKind::kCh,
+                                       OracleKind::kAlt};
+  const char* v = std::getenv("SKYSR_ORACLE");
+  if (v == nullptr || *v == '\0') return all;
+  const auto kind = ParseOracleKind(v);
+  if (!kind.has_value()) return all;
+  if (*kind == OracleKind::kFlat) return {OracleKind::kFlat};
+  return {OracleKind::kFlat, *kind};
+}
+
 // The acceptance bar: >= 200 instances, every ablation combo bit-identical
-// to brute force, naive baseline and QueryService replay agreeing too.
+// to brute force under EVERY oracle kind, naive baseline and QueryService
+// replay (sharing the index) agreeing too.
 TEST(DifferentialTest, EngineMatchesBaselinesOnGeneratedScenarios) {
   DiffCheckParams params;
   params.num_instances = EnvInstances(216);
+  params.oracle_kinds = EnvOracleSweep();
   const DiffReport report = RunDifferentialCheck(params);
   EXPECT_GE(report.instances_checked, params.num_instances);
-  // 8 toggle combos x 2 queue disciplines per instance.
-  EXPECT_GE(report.engine_runs, 16 * report.instances_checked);
+  // 8 toggle combos x 2 queue disciplines per instance and oracle kind.
+  EXPECT_GE(report.engine_runs,
+            16 * static_cast<int64_t>(params.oracle_kinds.size()) *
+                report.instances_checked);
   for (const DiffMismatch& m : report.mismatches) {
     ADD_FAILURE() << m.scenario << " query " << m.query_index
                   << " (suite index " << m.suite_index << ", master seed "

@@ -1,0 +1,323 @@
+// Distance-oracle index layer tests (tier1): randomized CH/ALT correctness
+// against plain Dijkstra over all three scenario graph families, the
+// bit-equality contract of distance_oracle.h, many-to-many tables, landmark
+// lower-bound admissibility, index save/load round-trips, the
+// graph-checksum mismatch guard, and oracle-backed engine / service /
+// OSR-baseline integration (kind selectable via SKYSR_ORACLE).
+
+#include <algorithm>
+#include <cstdio>
+#include <optional>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "baseline/osr_dijkstra.h"
+#include "baseline/osr_pne.h"
+#include "core/bssr_engine.h"
+#include "graph/dijkstra.h"
+#include "graph/graph_builder.h"
+#include "index/oracle_factory.h"
+#include "scenario/diff_check.h"
+#include "scenario/scenario.h"
+#include "service/query_service.h"
+#include "util/rng.h"
+
+namespace skysr {
+namespace {
+
+ScenarioGraphParams FamilyParams(GraphFamily family, int64_t vertices,
+                                 WeightModel weights, uint64_t seed) {
+  ScenarioGraphParams p;
+  p.family = family;
+  p.target_vertices = vertices;
+  p.weights = weights;
+  p.seed = seed;
+  return p;
+}
+
+/// Random vertex pairs, deterministic per seed.
+std::vector<std::pair<VertexId, VertexId>> RandomPairs(int64_t n, int count,
+                                                       uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  pairs.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    pairs.emplace_back(static_cast<VertexId>(rng.UniformInt(0, n - 1)),
+                       static_cast<VertexId>(rng.UniformInt(0, n - 1)));
+  }
+  return pairs;
+}
+
+class IndexFamilyTest
+    : public ::testing::TestWithParam<std::tuple<GraphFamily, WeightModel>> {
+};
+
+// The exactness contract: CH and ALT return the very double a reference
+// Dijkstra computes, across every scenario graph family and weight model
+// (unit weights maximize ties, continuous weights exercise rounding).
+TEST_P(IndexFamilyTest, ChAndAltMatchDijkstraBitwise) {
+  const auto [family, weights] = GetParam();
+  const Graph g = MakeScenarioGraph(
+      FamilyParams(family, 400, weights, 7 + static_cast<uint64_t>(family)));
+  const ChOracle ch = ChOracle::Build(g);
+  const AltOracle alt = AltOracle::Build(g);
+  OracleWorkspace ws;
+
+  for (const auto& [s, t] : RandomPairs(g.num_vertices(), 120, 99)) {
+    const DistanceField ref = SingleSourceDistances(g, s);
+    const Weight want = ref.dist[static_cast<size_t>(t)];
+    EXPECT_EQ(ch.Distance(s, t, ws), want)
+        << GraphFamilyName(family) << " CH mismatch " << s << "->" << t;
+    EXPECT_EQ(alt.Distance(s, t, ws), want)
+        << GraphFamilyName(family) << " ALT mismatch " << s << "->" << t;
+    EXPECT_LE(alt.LowerBound(s, t), want)
+        << GraphFamilyName(family) << " inadmissible ALT bound " << s << "->"
+        << t;
+  }
+}
+
+// The CH bucket table must agree entry-for-entry with per-pair queries and
+// with Dijkstra, including duplicate targets and source==target cells.
+TEST_P(IndexFamilyTest, ChTableMatchesDijkstra) {
+  const auto [family, weights] = GetParam();
+  const Graph g = MakeScenarioGraph(FamilyParams(family, 300, weights, 21));
+  const ChOracle ch = ChOracle::Build(g);
+  OracleWorkspace ws;
+
+  Rng rng(5);
+  std::vector<VertexId> sources, targets;
+  for (int i = 0; i < 6; ++i) {
+    sources.push_back(static_cast<VertexId>(rng.UniformInt(0, g.num_vertices() - 1)));
+  }
+  for (int j = 0; j < 17; ++j) {
+    targets.push_back(static_cast<VertexId>(rng.UniformInt(0, g.num_vertices() - 1)));
+  }
+  targets.push_back(targets.front());  // duplicate target column
+  targets.push_back(sources.front());  // source==target cell
+
+  std::vector<Weight> table(sources.size() * targets.size());
+  ch.Table(sources, targets, ws, table.data());
+  for (size_t i = 0; i < sources.size(); ++i) {
+    const DistanceField ref = SingleSourceDistances(g, sources[i]);
+    for (size_t j = 0; j < targets.size(); ++j) {
+      EXPECT_EQ(table[i * targets.size() + j],
+                ref.dist[static_cast<size_t>(targets[j])])
+          << GraphFamilyName(family) << " table cell (" << i << "," << j
+          << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, IndexFamilyTest,
+    ::testing::Combine(::testing::Values(GraphFamily::kGrid,
+                                         GraphFamily::kCluster,
+                                         GraphFamily::kSmallWorld),
+                       ::testing::Values(WeightModel::kUnit,
+                                         WeightModel::kUniform,
+                                         WeightModel::kEuclidean)));
+
+TEST(FlatOracleTest, MatchesDijkstraAndTableHandlesDuplicates) {
+  const Graph g = MakeScenarioGraph(
+      FamilyParams(GraphFamily::kGrid, 200, WeightModel::kUniform, 3));
+  const FlatOracle flat(g);
+  OracleWorkspace ws;
+  const DistanceField ref = SingleSourceDistances(g, 0);
+  EXPECT_EQ(flat.Distance(0, 57, ws), ref.dist[57]);
+
+  const std::vector<VertexId> sources = {0, 5};
+  const std::vector<VertexId> targets = {57, 3, 57, 0};
+  std::vector<Weight> table(sources.size() * targets.size());
+  flat.Table(sources, targets, ws, table.data());
+  for (size_t i = 0; i < sources.size(); ++i) {
+    const DistanceField row = SingleSourceDistances(g, sources[i]);
+    for (size_t j = 0; j < targets.size(); ++j) {
+      EXPECT_EQ(table[i * targets.size() + j],
+                row.dist[static_cast<size_t>(targets[j])]);
+    }
+  }
+}
+
+TEST(ChOracleTest, DisconnectedAndDirectedGraphs) {
+  // Two components: 0-1-2 and 3-4; plus a directed variant with a one-way
+  // shortcut that only helps one direction.
+  GraphBuilder b(/*directed=*/false);
+  for (int i = 0; i < 5; ++i) b.AddVertex();
+  b.AddEdge(0, 1, 1.5);
+  b.AddEdge(1, 2, 2.25);
+  b.AddEdge(3, 4, 4.0);
+  const Graph g = b.Build().ValueOrDie();
+  const ChOracle ch = ChOracle::Build(g);
+  OracleWorkspace ws;
+  EXPECT_EQ(ch.Distance(0, 2, ws), 3.75);
+  EXPECT_EQ(ch.Distance(0, 3, ws), kInfWeight);
+  EXPECT_EQ(ch.Distance(4, 3, ws), 4.0);
+
+  GraphBuilder db(/*directed=*/true);
+  for (int i = 0; i < 4; ++i) db.AddVertex();
+  db.AddEdge(0, 1, 1.0);
+  db.AddEdge(1, 2, 1.0);
+  db.AddEdge(2, 3, 1.0);
+  db.AddEdge(3, 0, 10.0);
+  db.AddEdge(0, 3, 1.25);
+  const Graph dg = db.Build().ValueOrDie();
+  const ChOracle dch = ChOracle::Build(dg);
+  const AltOracle dalt = AltOracle::Build(dg, 3);
+  for (VertexId s = 0; s < 4; ++s) {
+    const DistanceField ref = SingleSourceDistances(dg, s);
+    for (VertexId t = 0; t < 4; ++t) {
+      EXPECT_EQ(dch.Distance(s, t, ws), ref.dist[static_cast<size_t>(t)])
+          << "directed CH " << s << "->" << t;
+      EXPECT_EQ(dalt.Distance(s, t, ws), ref.dist[static_cast<size_t>(t)])
+          << "directed ALT " << s << "->" << t;
+    }
+  }
+}
+
+TEST(IndexIoTest, SaveLoadRoundTripsBothOracles) {
+  const Graph g = MakeScenarioGraph(
+      FamilyParams(GraphFamily::kCluster, 250, WeightModel::kUniform, 11));
+  const std::string ch_path = ::testing::TempDir() + "/roundtrip.chidx";
+  const std::string alt_path = ::testing::TempDir() + "/roundtrip.altidx";
+
+  const ChOracle built_ch = ChOracle::Build(g);
+  ASSERT_TRUE(SaveOracleIndex(built_ch, ch_path).ok());
+  const AltOracle built_alt = AltOracle::Build(g);
+  ASSERT_TRUE(SaveOracleIndex(built_alt, alt_path).ok());
+
+  auto ch = LoadOracleIndex(ch_path, g);
+  ASSERT_TRUE(ch.ok()) << ch.status().ToString();
+  EXPECT_EQ((*ch)->kind(), OracleKind::kCh);
+  auto alt = LoadOracleIndex(alt_path, g);
+  ASSERT_TRUE(alt.ok()) << alt.status().ToString();
+  EXPECT_EQ((*alt)->kind(), OracleKind::kAlt);
+
+  OracleWorkspace ws;
+  for (const auto& [s, t] : RandomPairs(g.num_vertices(), 40, 17)) {
+    const Weight want = (*ch)->Distance(s, t, ws);
+    EXPECT_EQ(built_ch.Distance(s, t, ws), want);
+    EXPECT_EQ((*alt)->Distance(s, t, ws), want);
+  }
+
+  EXPECT_FALSE(SaveOracleIndex(FlatOracle(g), ch_path).ok());
+}
+
+TEST(IndexIoTest, ChecksumMismatchIsRejectedWithClearMessage) {
+  const Graph g = MakeScenarioGraph(
+      FamilyParams(GraphFamily::kGrid, 120, WeightModel::kUniform, 1));
+  const std::string path = ::testing::TempDir() + "/mismatch.chidx";
+  ASSERT_TRUE(SaveOracleIndex(ChOracle::Build(g), path).ok());
+
+  // Same family, different seed: a structurally different graph.
+  const Graph other = MakeScenarioGraph(
+      FamilyParams(GraphFamily::kGrid, 120, WeightModel::kUniform, 2));
+  auto loaded = LoadOracleIndex(path, other);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().ToString().find("different graph"),
+            std::string::npos)
+      << loaded.status().ToString();
+  EXPECT_NE(loaded.status().ToString().find("rebuild"), std::string::npos);
+
+  EXPECT_NE(GraphChecksum(g), GraphChecksum(other));
+  EXPECT_EQ(GraphChecksum(g), GraphChecksum(g));
+}
+
+// Engine-level integration: an oracle-backed BssrEngine (and a QueryService
+// sharing the index across workers) must reproduce the classic engine's
+// skylines bit for bit on a generated scenario workload. The oracle kind
+// honors SKYSR_ORACLE (default ch), so the CI index job re-runs this whole
+// suite against the CH paths.
+TEST(OracleEngineTest, OracleBackedEngineMatchesFlatEngine) {
+  const OracleKind kind =
+      OracleKindFromEnv(OracleKind::kCh).value_or(OracleKind::kCh);
+  for (int suite_index : {1, 3, 5}) {  // one spec per graph family
+    const Scenario sc = MakeScenario(ScenarioSuiteSpec(suite_index, 404));
+    const auto oracle = MakeOracle(kind, sc.dataset.graph);
+    BssrEngine flat_engine(sc.dataset.graph, sc.dataset.forest);
+    BssrEngine oracle_engine(sc.dataset.graph, sc.dataset.forest,
+                             oracle.get());
+
+    ServiceConfig cfg;
+    cfg.num_threads = 2;
+    cfg.oracle = oracle.get();
+    QueryService service(sc.dataset.graph, sc.dataset.forest, cfg);
+    const auto service_results = service.RunBatch(sc.queries);
+
+    for (size_t qi = 0; qi < sc.queries.size(); ++qi) {
+      auto want = flat_engine.Run(sc.queries[qi]);
+      auto got = oracle_engine.Run(sc.queries[qi]);
+      ASSERT_TRUE(want.ok() && got.ok());
+      EXPECT_TRUE(BitIdenticalSkylines(got->routes, want->routes))
+          << sc.spec.name << " query " << qi << " oracle "
+          << OracleKindName(kind) << ": expected "
+          << RenderSkyline(want->routes) << " got "
+          << RenderSkyline(got->routes);
+      ASSERT_TRUE(service_results[qi].ok());
+      EXPECT_TRUE(BitIdenticalSkylines(
+          service_results[qi].ValueOrDie().routes, want->routes))
+          << sc.spec.name << " service query " << qi;
+    }
+  }
+}
+
+// The OSR baselines accept the oracle for destination tails; totals agree
+// with the classic whole-graph sweep up to summation order.
+TEST(OracleEngineTest, OsrDestinationTailsMatchWithOracle) {
+  const Scenario sc = MakeScenario(ScenarioSuiteSpec(2, 77));
+  const Graph& g = sc.dataset.graph;
+  const auto ch = MakeOracle(OracleKind::kCh, g);
+  const SimilarityFunction& sim = *DefaultSimilarity();
+
+  std::vector<PositionMatcher> matchers;
+  std::vector<CategoryId> cats;
+  for (PoiId p = 0; p < std::min<PoiId>(2, static_cast<PoiId>(g.num_pois()));
+       ++p) {
+    cats.push_back(g.PoiPrimaryCategory(p));
+  }
+  ASSERT_FALSE(cats.empty());
+  for (const CategoryId c : cats) {
+    matchers.emplace_back(g, sc.dataset.forest, sim,
+                          CategoryPredicate::Single(c),
+                          MultiCategoryMode::kMaxSimilarity);
+  }
+
+  const VertexId start = 0;
+  const auto dest = std::optional<VertexId>(g.num_vertices() - 1);
+  const OsrResult dij = RunOsrDijkstra(g, matchers, start, dest, 30.0);
+  const OsrResult dij_ch =
+      RunOsrDijkstra(g, matchers, start, dest, 30.0, ch.get());
+  const OsrResult pne = RunOsrPne(g, matchers, start, dest, 30.0);
+  const OsrResult pne_ch = RunOsrPne(g, matchers, start, dest, 30.0, ch.get());
+  ASSERT_EQ(dij.pois.has_value(), dij_ch.pois.has_value());
+  ASSERT_EQ(pne.pois.has_value(), pne_ch.pois.has_value());
+  if (dij.pois) {
+    EXPECT_NEAR(dij_ch.length, dij.length, 1e-9 * std::max(1.0, dij.length));
+    EXPECT_NEAR(pne_ch.length, pne.length, 1e-9 * std::max(1.0, pne.length));
+    // The oracle mode settles strictly less of the (vertex, progress) space.
+    EXPECT_LE(dij_ch.vertices_settled, dij.vertices_settled);
+  }
+}
+
+TEST(OracleFactoryTest, KindsParseAndBuild) {
+  EXPECT_EQ(ParseOracleKind("flat"), OracleKind::kFlat);
+  EXPECT_EQ(ParseOracleKind("ch"), OracleKind::kCh);
+  EXPECT_EQ(ParseOracleKind("alt"), OracleKind::kAlt);
+  EXPECT_FALSE(ParseOracleKind("dijkstra").has_value());
+  EXPECT_STREQ(OracleKindName(OracleKind::kCh), "ch");
+
+  const Graph g = MakeScenarioGraph(
+      FamilyParams(GraphFamily::kSmallWorld, 100, WeightModel::kUnit, 4));
+  for (const OracleKind kind :
+       {OracleKind::kFlat, OracleKind::kCh, OracleKind::kAlt}) {
+    const auto oracle = MakeOracle(kind, g);
+    ASSERT_NE(oracle, nullptr);
+    EXPECT_EQ(oracle->kind(), kind);
+    OracleWorkspace ws;
+    const DistanceField ref = SingleSourceDistances(g, 1);
+    EXPECT_EQ(oracle->Distance(1, 42, ws), ref.dist[42]);
+  }
+}
+
+}  // namespace
+}  // namespace skysr

@@ -17,27 +17,43 @@
 //   skysr_cli info --data DIR
 //       Prints dataset statistics.
 //
+//   skysr_cli index build --data DIR [--oracle ch|alt] [--landmarks N]
+//             [--out FILE]
+//       Preprocesses the dataset's graph into a distance-oracle index
+//       (contraction hierarchies by default, ALT landmarks with
+//       --oracle alt) and saves it (default DIR/index.chidx|.altidx). The
+//       index embeds a checksum of the graph; loading it against any other
+//       graph is rejected.
+//
+//   skysr_cli index stats --data DIR --index FILE
+//       Loads a saved index (verifying the graph checksum) and prints its
+//       statistics.
+//
 //   skysr_cli query --data DIR --start V --categories "A;B;C"
 //             [--dest V] [--no-init] [--no-lb] [--no-cache]
 //             [--queue distance] [--budget SECONDS]
+//             [--oracle flat|ch|alt] [--index FILE]
 //       Runs one SkySR query (category names as in taxonomy.txt) and prints
-//       the skyline plus search statistics.
+//       the skyline plus search statistics. --oracle builds (or --index
+//       loads) a distance oracle backing NNinit and the lower bounds.
 //
 //   skysr_cli workload --data DIR --size K --count N [--seed S] [--out FILE]
 //       Generates N random queries of size K and reports aggregate timing;
 //       with --out, also writes the batch to a replayable workload file.
 //
 //   skysr_cli batch --data DIR --queries FILE [--threads N] [--repeat R]
-//             [--cache N] [--queue N]
+//             [--cache N] [--queue N] [--oracle flat|ch|alt] [--index FILE]
 //       (alias: serve) Replays a workload file through the concurrent
 //       QueryService with N worker threads and prints service metrics
-//       (QPS, latency percentiles, cache hit rate).
+//       (QPS, latency percentiles, cache hit rate). With --oracle/--index
+//       all workers share one immutable distance oracle.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -51,7 +67,8 @@ namespace {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: skysr_cli <generate|gen|info|query|workload|batch> [flags]\n"
+      "usage: skysr_cli <generate|gen|info|index|query|workload|batch> "
+      "[flags]\n"
       "run with a command and no flags for its flag list\n");
   return 2;
 }
@@ -81,6 +98,128 @@ Result<Dataset> LoadDataDir(const std::string& dir) {
   ds.graph = std::move(graph);
   ds.forest = std::move(forest);
   return ds;
+}
+
+/// Resolves --oracle/--index into a ready oracle over `graph` (null for the
+/// default flat behavior): --index loads a saved file (checksum-verified),
+/// --oracle ch|alt builds the index in memory.
+Result<std::unique_ptr<DistanceOracle>> ResolveOracle(
+    const std::map<std::string, std::string>& flags, const Graph& graph) {
+  if (flags.count("index")) {
+    WallTimer timer;
+    SKYSR_ASSIGN_OR_RETURN(std::unique_ptr<DistanceOracle> oracle,
+                           LoadOracleIndex(flags.at("index"), graph));
+    if (flags.count("oracle")) {
+      const auto want = ParseOracleKind(flags.at("oracle"));
+      if (want.has_value() && *want != oracle->kind()) {
+        return Status::InvalidArgument(
+            "--index holds a " + std::string(OracleKindName(oracle->kind())) +
+            " oracle but --oracle asked for " + flags.at("oracle"));
+      }
+    }
+    std::printf("loaded %s oracle from %s in %.1f ms (%.2f MiB)\n",
+                OracleKindName(oracle->kind()), flags.at("index").c_str(),
+                timer.ElapsedMillis(),
+                static_cast<double>(oracle->MemoryBytes()) / (1 << 20));
+    return oracle;
+  }
+  if (!flags.count("oracle")) {
+    return std::unique_ptr<DistanceOracle>();
+  }
+  const auto kind = ParseOracleKind(flags.at("oracle"));
+  if (!kind.has_value()) {
+    return Status::InvalidArgument("unknown --oracle " + flags.at("oracle") +
+                                   " (flat|ch|alt)");
+  }
+  if (*kind == OracleKind::kFlat) return std::unique_ptr<DistanceOracle>();
+  WallTimer timer;
+  std::unique_ptr<DistanceOracle> oracle = MakeOracle(*kind, graph);
+  std::printf("built %s oracle in %.1f ms (%.2f MiB)\n",
+              OracleKindName(*kind), timer.ElapsedMillis(),
+              static_cast<double>(oracle->MemoryBytes()) / (1 << 20));
+  return oracle;
+}
+
+void PrintOracleStats(const DistanceOracle& oracle) {
+  std::printf("oracle kind: %s\n", OracleKindName(oracle.kind()));
+  std::printf("memory: %.2f MiB\n",
+              static_cast<double>(oracle.MemoryBytes()) / (1 << 20));
+  if (oracle.kind() == OracleKind::kCh) {
+    const auto& ch = static_cast<const ChOracle&>(oracle);
+    std::printf("shortcuts: %lld\nupward edges: %lld\n",
+                static_cast<long long>(ch.num_shortcuts()),
+                static_cast<long long>(ch.num_upward_edges()));
+  } else if (oracle.kind() == OracleKind::kAlt) {
+    const auto& alt = static_cast<const AltOracle&>(oracle);
+    std::printf("landmarks: %zu\n", alt.landmarks().size());
+  }
+}
+
+int CmdIndex(int argc, char** argv,
+             const std::map<std::string, std::string>& flags) {
+  const std::string sub = argc > 2 ? argv[2] : "";
+  if (sub != "build" && sub != "stats") {
+    std::fprintf(stderr,
+                 "usage: skysr_cli index build --data DIR [--oracle ch|alt] "
+                 "[--landmarks N] [--out FILE]\n"
+                 "       skysr_cli index stats --data DIR --index FILE\n");
+    return 2;
+  }
+  if (!flags.count("data")) {
+    std::fprintf(stderr, "index %s needs --data DIR\n", sub.c_str());
+    return 2;
+  }
+  auto ds = LoadDataDir(flags.at("data"));
+  if (!ds.ok()) {
+    std::fprintf(stderr, "%s\n", ds.status().ToString().c_str());
+    return 1;
+  }
+
+  if (sub == "stats") {
+    if (!flags.count("index")) {
+      std::fprintf(stderr, "index stats needs --index FILE\n");
+      return 2;
+    }
+    auto oracle = LoadOracleIndex(flags.at("index"), ds->graph);
+    if (!oracle.ok()) {
+      std::fprintf(stderr, "%s\n", oracle.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("index file: %s\n", flags.at("index").c_str());
+    std::printf("graph checksum: %016llx (verified)\n",
+                static_cast<unsigned long long>(GraphChecksum(ds->graph)));
+    PrintOracleStats(**oracle);
+    return 0;
+  }
+
+  const std::string kind_name =
+      flags.count("oracle") ? flags.at("oracle") : std::string("ch");
+  const auto kind = ParseOracleKind(kind_name);
+  if (!kind.has_value() || *kind == OracleKind::kFlat) {
+    std::fprintf(stderr, "index build needs --oracle ch or --oracle alt\n");
+    return 2;
+  }
+  WallTimer timer;
+  std::unique_ptr<DistanceOracle> oracle;
+  if (*kind == OracleKind::kAlt && flags.count("landmarks")) {
+    oracle = std::make_unique<AltOracle>(AltOracle::Build(
+        ds->graph, std::atoi(flags.at("landmarks").c_str())));
+  } else {
+    oracle = MakeOracle(*kind, ds->graph);
+  }
+  const double build_ms = timer.ElapsedMillis();
+  const std::string out =
+      flags.count("out") ? flags.at("out")
+                         : flags.at("data") + "/index." +
+                               OracleIndexExtension(*kind);
+  if (Status st = SaveOracleIndex(*oracle, out); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("built %s index in %.1f ms, wrote %s\n", kind_name.c_str(),
+              build_ms, out.c_str());
+  PrintOracleStats(*oracle);
+  return 0;
 }
 
 int CmdGenerate(const std::map<std::string, std::string>& flags) {
@@ -188,8 +327,10 @@ int CmdGen(const std::map<std::string, std::string>& flags) {
       static_cast<long long>(sc.dataset.forest.num_categories()),
       static_cast<long long>(sc.dataset.forest.num_trees()), out.c_str(),
       sc.queries.size());
-  std::printf("replay: skysr_cli batch --data %s --queries %s/workload.txt\n",
-              out.c_str(), out.c_str());
+  std::printf(
+      "replay: skysr_cli batch --data %s --queries %s/workload.txt "
+      "[--oracle ch|alt]\n",
+      out.c_str(), out.c_str());
   return 0;
 }
 
@@ -267,7 +408,12 @@ int CmdQuery(const std::map<std::string, std::string>& flags) {
     opts.time_budget_seconds = std::atof(flags.at("budget").c_str());
   }
 
-  BssrEngine engine(ds->graph, ds->forest);
+  auto oracle = ResolveOracle(flags, ds->graph);
+  if (!oracle.ok()) {
+    std::fprintf(stderr, "%s\n", oracle.status().ToString().c_str());
+    return 1;
+  }
+  BssrEngine engine(ds->graph, ds->forest, oracle->get());
   auto result = engine.Run(q, opts);
   if (!result.ok()) {
     std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
@@ -358,6 +504,13 @@ int CmdBatch(const std::map<std::string, std::string>& flags) {
   const int repeat =
       flags.count("repeat") ? std::atoi(flags.at("repeat").c_str()) : 1;
 
+  auto oracle = ResolveOracle(flags, ds->graph);
+  if (!oracle.ok()) {
+    std::fprintf(stderr, "%s\n", oracle.status().ToString().c_str());
+    return 1;
+  }
+  cfg.oracle = oracle->get();
+
   QueryService service(ds->graph, ds->forest, cfg);
   std::printf("replaying %zu queries x%d through %d worker thread(s)...\n",
               queries->size(), repeat, service.num_threads());
@@ -390,6 +543,11 @@ int CmdBatch(const std::map<std::string, std::string>& flags) {
 int main(int argc, char** argv) {
   if (argc < 2) return skysr::Usage();
   const std::string cmd = argv[1];
+  if (cmd == "index") {
+    // `index <build|stats>` carries a subcommand before the flags.
+    const auto flags = skysr::ParseFlags(argc, argv, 3);
+    return skysr::CmdIndex(argc, argv, flags);
+  }
   const auto flags = skysr::ParseFlags(argc, argv, 2);
   if (cmd == "generate") return skysr::CmdGenerate(flags);
   if (cmd == "gen") return skysr::CmdGen(flags);
