@@ -1,0 +1,391 @@
+// Core-engine hot-path benchmark: single-thread query throughput,
+// settles/sec, expansions/sec, allocations per query and latency
+// percentiles across the three scenario graph families, emitted both as a
+// human table and as BENCH_core.json so the perf trajectory is tracked
+// PR-over-PR.
+//
+// The same binary doubles as the CI perf-smoke gate: the algorithm's work
+// counters (settles, relaxations, enqueues, ...) are deterministic per
+// (suite, seed) regardless of machine speed, so `--write-golden FILE`
+// records them and `--check-golden FILE` fails loudly when they drift —
+// a counter regression gate with no flaky wall-time threshold. The golden
+// suite uses a fixed small configuration independent of the SKYSR_BENCH_*
+// environment knobs.
+//
+// Env knobs (bench suite only):
+//   SKYSR_BENCH_SCALE    multiplies graph sizes   (default 1.0)
+//   SKYSR_BENCH_QUERIES  queries per family       (default 60)
+//   SKYSR_BENCH_REPS     timed repetitions        (default 3)
+//   SKYSR_BENCH_JSON     output path              (default BENCH_core.json)
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/bssr_engine.h"
+#include "scenario/scenario.h"
+#include "util/timer.h"
+
+// ---------------------------------------------------------------------------
+// Allocation counting hook: the bench overrides global operator new/delete
+// (binary-local, zero cost for the library elsewhere) so "allocations per
+// query" is measured, not estimated.
+namespace {
+std::atomic<int64_t> g_alloc_count{0};
+
+void* CountedAlloc(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return CountedAlloc(size); }
+void* operator new[](std::size_t size) { return CountedAlloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                   (size + static_cast<std::size_t>(align) - 1) &
+                                       ~(static_cast<std::size_t>(align) - 1))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace skysr::bench {
+namespace {
+
+/// The mid-size mixed workload of one graph family: sequence sizes 1-4,
+/// complex predicates, destinations and multi-category PoIs all present so
+/// every engine path is exercised.
+ScenarioSpec HotpathSpec(GraphFamily family, int64_t vertices,
+                         int num_queries) {
+  ScenarioSpec spec;
+  spec.name = GraphFamilyName(family);
+  spec.graph.family = family;
+  spec.graph.target_vertices = vertices;
+  spec.graph.extra_edge_fraction = 0.3;
+  spec.graph.weights = WeightModel::kEuclidean;
+  spec.taxonomy.num_trees = 4;
+  spec.taxonomy.max_fanout = 4;
+  spec.taxonomy.max_levels = 3;
+  spec.pois.num_pois = std::max<int64_t>(8, vertices / 5);
+  spec.pois.zipf_theta = 0.5;
+  spec.pois.multi_category_rate = 0.1;
+  spec.workload.num_queries = num_queries;
+  spec.workload.min_sequence = 1;
+  spec.workload.max_sequence = 4;
+  spec.workload.multi_any_rate = 0.15;
+  spec.workload.all_of_rate = 0.1;
+  spec.workload.none_of_rate = 0.1;
+  spec.workload.destination_rate = 0.25;
+  SeedScenarioSpec(&spec, /*master_seed=*/20260730 + static_cast<int>(family));
+  return spec;
+}
+
+/// Deterministic work counters of one pass over a family's workload.
+struct WorkCounters {
+  int64_t settled = 0;
+  int64_t relaxed = 0;
+  int64_t enqueued = 0;
+  int64_t dequeued = 0;
+  int64_t mdijkstra_runs = 0;
+  int64_t cache_hits = 0;
+  int64_t log_replays = 0;
+  int64_t cand_examined = 0;
+  int64_t skyline_routes = 0;
+};
+
+struct FamilyResult {
+  std::string name;
+  int64_t vertices = 0;
+  int64_t pois = 0;
+  int64_t queries = 0;
+  WorkCounters counters;
+  double elapsed_s = 0;       // timed reps total
+  int64_t timed_queries = 0;  // queries x reps
+  int64_t allocs = 0;         // during the timed reps
+  std::vector<double> latencies_ms;
+};
+
+double Percentile(std::vector<double>& v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const size_t idx = static_cast<size_t>(p * static_cast<double>(v.size() - 1));
+  return v[idx];
+}
+
+FamilyResult RunFamily(GraphFamily family, int64_t vertices, int num_queries,
+                       int reps) {
+  const Scenario sc = MakeScenario(HotpathSpec(family, vertices, num_queries));
+  FamilyResult out;
+  out.name = sc.spec.name;
+  out.vertices = sc.dataset.graph.num_vertices();
+  out.pois = sc.dataset.graph.num_pois();
+  out.queries = static_cast<int64_t>(sc.queries.size());
+
+  BssrEngine engine(sc.dataset.graph, sc.dataset.forest);
+  const QueryOptions options;
+
+  // Warm-up pass: brings the engine to steady state (workspace capacities
+  // grown) and collects the deterministic work counters.
+  for (const Query& q : sc.queries) {
+    const auto r = engine.Run(q, options);
+    SKYSR_CHECK_MSG(r.ok(), "hotpath bench query failed");
+    out.counters.settled += r->stats.vertices_settled;
+    out.counters.relaxed += r->stats.edges_relaxed;
+    out.counters.enqueued += r->stats.routes_enqueued;
+    out.counters.dequeued += r->stats.routes_dequeued;
+    out.counters.mdijkstra_runs += r->stats.mdijkstra_runs;
+    out.counters.cache_hits += r->stats.mdijkstra_cache_hits;
+    out.counters.log_replays += r->stats.settle_log_replays;
+    out.counters.cand_examined += r->stats.cand_examined;
+    out.counters.skyline_routes += r->stats.skyline_size;
+  }
+
+  // Timed reps: steady-state throughput, latency and allocation counts.
+  const int64_t allocs_before = g_alloc_count.load(std::memory_order_relaxed);
+  WallTimer timer;
+  for (int rep = 0; rep < reps; ++rep) {
+    for (const Query& q : sc.queries) {
+      WallTimer qt;
+      const auto r = engine.Run(q, options);
+      out.latencies_ms.push_back(qt.ElapsedMillis());
+      SKYSR_CHECK_MSG(r.ok(), "hotpath bench query failed");
+    }
+  }
+  out.elapsed_s = timer.ElapsedSeconds();
+  out.allocs =
+      g_alloc_count.load(std::memory_order_relaxed) - allocs_before;
+  out.timed_queries = static_cast<int64_t>(sc.queries.size()) * reps;
+  return out;
+}
+
+/// Canonical text form of the golden counters; a byte-for-byte comparison is
+/// the whole check.
+std::string GoldenText(const std::vector<FamilyResult>& families) {
+  std::string out = "skysr hotpath golden counters v1\n";
+  for (const FamilyResult& f : families) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%s queries=%lld settled=%lld relaxed=%lld enqueued=%lld "
+                  "dequeued=%lld runs=%lld cache_hits=%lld log_replays=%lld "
+                  "cand_examined=%lld skyline=%lld\n",
+                  f.name.c_str(), static_cast<long long>(f.queries),
+                  static_cast<long long>(f.counters.settled),
+                  static_cast<long long>(f.counters.relaxed),
+                  static_cast<long long>(f.counters.enqueued),
+                  static_cast<long long>(f.counters.dequeued),
+                  static_cast<long long>(f.counters.mdijkstra_runs),
+                  static_cast<long long>(f.counters.cache_hits),
+                  static_cast<long long>(f.counters.log_replays),
+                  static_cast<long long>(f.counters.cand_examined),
+                  static_cast<long long>(f.counters.skyline_routes));
+    out += buf;
+  }
+  return out;
+}
+
+std::string ReadFileOrEmpty(const char* path) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) return {};
+  std::string out;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+bool WriteFile(const char* path, const std::string& text) {
+  std::FILE* f = std::fopen(path, "wb");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  std::fclose(f);
+  return ok;
+}
+
+/// The fixed golden suite: small, env-independent, still covering all three
+/// families and every predicate/destination shape.
+std::vector<FamilyResult> RunGoldenSuite() {
+  std::vector<FamilyResult> out;
+  for (const GraphFamily family :
+       {GraphFamily::kGrid, GraphFamily::kCluster, GraphFamily::kSmallWorld}) {
+    out.push_back(RunFamily(family, /*vertices=*/800, /*num_queries=*/24,
+                            /*reps=*/0));
+  }
+  return out;
+}
+
+int Main(int argc, char** argv) {
+  const char* write_golden = nullptr;
+  const char* check_golden = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--write-golden") == 0 && i + 1 < argc) {
+      write_golden = argv[++i];
+    } else if (std::strcmp(argv[i], "--check-golden") == 0 && i + 1 < argc) {
+      check_golden = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_hotpath [--write-golden FILE | "
+                   "--check-golden FILE]\n");
+      return 2;
+    }
+  }
+
+  const double scale = EnvDouble("SKYSR_BENCH_SCALE", 1.0);
+  const int num_queries = EnvInt("SKYSR_BENCH_QUERIES", 60);
+  const int reps = EnvInt("SKYSR_BENCH_REPS", 3);
+  const char* json_path = std::getenv("SKYSR_BENCH_JSON");
+  if (json_path == nullptr) json_path = "BENCH_core.json";
+  const int64_t vertices =
+      std::max<int64_t>(200, static_cast<int64_t>(2500 * scale));
+
+  std::printf("== hotpath bench: %lld vertices/family, %d queries, %d reps\n",
+              static_cast<long long>(vertices), num_queries, reps);
+
+  std::vector<FamilyResult> families;
+  for (const GraphFamily family :
+       {GraphFamily::kGrid, GraphFamily::kCluster, GraphFamily::kSmallWorld}) {
+    families.push_back(RunFamily(family, vertices, num_queries, reps));
+  }
+
+  TablePrinter table({"family", "V", "PoI", "qps", "p50 ms", "p99 ms",
+                      "settles/s", "expansions/s", "allocs/query"});
+  JsonWriter json;
+  json.BeginObject();
+  json.Field("bench", "hotpath");
+  json.Field("scale", scale);
+  json.Field("reps", static_cast<int64_t>(reps));
+  json.BeginArray("families");
+
+  double total_queries = 0, total_elapsed = 0;
+  for (FamilyResult& f : families) {
+    const double qps =
+        f.elapsed_s > 0 ? static_cast<double>(f.timed_queries) / f.elapsed_s
+                        : 0;
+    // Work rates use the deterministic single-pass counters scaled by reps:
+    // the timed loop does `reps` identical passes.
+    const double settles_per_s =
+        f.elapsed_s > 0 ? static_cast<double>(f.counters.settled * reps) /
+                              f.elapsed_s
+                        : 0;
+    const double expansions = static_cast<double>(
+        f.counters.mdijkstra_runs + f.counters.cache_hits);
+    const double expansions_per_s =
+        f.elapsed_s > 0 ? expansions * reps / f.elapsed_s : 0;
+    const double allocs_per_query =
+        f.timed_queries > 0
+            ? static_cast<double>(f.allocs) / static_cast<double>(f.timed_queries)
+            : 0;
+    const double p50 = Percentile(f.latencies_ms, 0.50);
+    const double p99 = Percentile(f.latencies_ms, 0.99);
+    total_queries += static_cast<double>(f.timed_queries);
+    total_elapsed += f.elapsed_s;
+
+    table.AddRow({f.name, FmtInt(f.vertices), FmtInt(f.pois),
+                  Fmt("%.1f", qps), Fmt("%.3f", p50), Fmt("%.3f", p99),
+                  Fmt("%.0f", settles_per_s), Fmt("%.0f", expansions_per_s),
+                  Fmt("%.1f", allocs_per_query)});
+
+    json.BeginObject();
+    json.Field("family", f.name);
+    json.Field("vertices", f.vertices);
+    json.Field("pois", f.pois);
+    json.Field("queries", f.queries);
+    json.Field("qps", qps);
+    json.Field("p50_ms", p50);
+    json.Field("p99_ms", p99);
+    json.Field("settles_per_sec", settles_per_s);
+    json.Field("expansions_per_sec", expansions_per_s);
+    json.Field("allocs_per_query", allocs_per_query);
+    json.BeginObject("counters");
+    json.Field("settled", f.counters.settled);
+    json.Field("relaxed", f.counters.relaxed);
+    json.Field("enqueued", f.counters.enqueued);
+    json.Field("dequeued", f.counters.dequeued);
+    json.Field("mdijkstra_runs", f.counters.mdijkstra_runs);
+    json.Field("cache_hits", f.counters.cache_hits);
+    json.Field("settle_log_replays", f.counters.log_replays);
+    json.Field("cand_examined", f.counters.cand_examined);
+    json.Field("skyline_routes", f.counters.skyline_routes);
+    json.EndObject();
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Field("total_qps",
+             total_elapsed > 0 ? total_queries / total_elapsed : 0.0);
+  json.EndObject();
+
+  table.Print();
+  const double total_qps = total_elapsed > 0 ? total_queries / total_elapsed : 0;
+  std::printf("\ntotal single-thread throughput: %.1f queries/sec\n",
+              total_qps);
+  if (!json.WriteFile(json_path)) {
+    std::fprintf(stderr, "failed to write %s\n", json_path);
+    return 1;
+  }
+  std::printf("wrote %s\n", json_path);
+
+  if (write_golden != nullptr || check_golden != nullptr) {
+    std::printf("\n== golden counter suite (fixed small configuration)\n");
+    const std::string text = GoldenText(RunGoldenSuite());
+    if (write_golden != nullptr) {
+      if (!WriteFile(write_golden, text)) {
+        std::fprintf(stderr, "failed to write %s\n", write_golden);
+        return 1;
+      }
+      std::printf("wrote golden counters to %s\n%s", write_golden,
+                  text.c_str());
+    }
+    if (check_golden != nullptr) {
+      const std::string expected = ReadFileOrEmpty(check_golden);
+      if (expected.empty()) {
+        std::fprintf(stderr, "golden file %s missing or empty\n",
+                     check_golden);
+        return 1;
+      }
+      if (expected != text) {
+        std::fprintf(
+            stderr,
+            "GOLDEN COUNTER MISMATCH\n-- expected (%s):\n%s"
+            "-- actual:\n%s"
+            "The counters are deterministic per toolchain: a diff means an\n"
+            "algorithmic-work change in the engine, OR a libm/compiler\n"
+            "rounding change (scenario generation uses pow/log/cos). If the\n"
+            "change is intentional or the toolchain moved, regenerate with\n"
+            "  bench_hotpath --write-golden %s\n"
+            "and commit the result alongside an explanation.\n",
+            check_golden, expected.c_str(), text.c_str(), check_golden);
+        return 1;
+      }
+      std::printf("golden counters match %s\n", check_golden);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace skysr::bench
+
+int main(int argc, char** argv) { return skysr::bench::Main(argc, argv); }

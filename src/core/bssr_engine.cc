@@ -1,6 +1,9 @@
 #include "core/bssr_engine.h"
 
 #include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
 
 #include "core/lower_bound.h"
 #include "core/nn_init.h"
@@ -8,34 +11,87 @@
 #include "core/threshold.h"
 #include "graph/dijkstra.h"
 #include "graph/graph_builder.h"
-#include "util/dary_heap.h"
 #include "util/timer.h"
 
 namespace skysr {
 namespace {
 
-/// Queue entry for the bulk priority queue Q_b.
-struct QbEntry {
-  int32_t node;
-  int32_t size;
-  double semantic;
-  Weight length;
+/// The Q_b drain reads the wall clock only this often — a clock read per
+/// dequeue costs more than the dequeue itself. Power of two so the check
+/// compiles to a mask.
+constexpr int64_t kTimeoutCheckInterval = 1024;
+
+/// The exact Lemma 5.5 eligibility scan costs O(|P| * k) similarity
+/// evaluations; above this PoI count a query with tiny search spaces could
+/// pay more for the scan than for its searches, so larger graphs keep the
+/// conservative structural answer (deferred mode) instead.
+constexpr int64_t kExactLemma55ScanMaxPois = 1 << 16;
+
+/// Generation-stamped expansion budget (Lemma 5.3). The budget is a pure
+/// function of the fixed (acc, len, m) of one expansion and the skyline, so
+/// it only needs recomputing when the skyline's generation moves — not per
+/// settled vertex or per replayed cache candidate. Passed by lvalue into the
+/// monomorphized search so the memo spans the whole expansion.
+struct GenStampedBudget {
+  const ThresholdPolicy* policy;
+  double acc;
+  Weight len;
+  int m;
+  uint64_t generation = kNone;
+  Weight value = 0;
+
+  static constexpr uint64_t kNone = ~uint64_t{0};
+
+  Weight operator()() {
+    const uint64_t g = policy->skyline().generation();
+    if (g != generation) {
+      generation = g;
+      value = policy->ExpansionBudget(acc, len, m);
+    }
+    return value;
+  }
 };
 
-/// §5.3.2: the proposed discipline dequeues the largest route first, then the
-/// semantically best, then the shortest; the distance-based baseline orders
-/// purely by length. Node-id tie-breaks keep runs deterministic.
-struct QbLess {
-  QueueDiscipline discipline;
-  bool operator()(const QbEntry& a, const QbEntry& b) const {
-    if (discipline == QueueDiscipline::kProposed) {
-      if (a.size != b.size) return a.size > b.size;
-      if (a.semantic != b.semantic) return a.semantic < b.semantic;
-      if (a.length != b.length) return a.length < b.length;
-    } else {
-      if (a.length != b.length) return a.length < b.length;
-    }
-    return a.node < b.node;
+/// Per-expansion, per-similarity decision memo. For one expansion (fixed
+/// acc, len, m) and one skyline generation, a candidate's accept/prune
+/// decision depends only on (sim, dist [, destination tail]) — and the
+/// sim-dependent ingredients (extended accumulator, semantic score,
+/// staircase thresholds, Lemma 5.8 δ qualification) are identical for every
+/// candidate sharing a similarity value, of which a position has only a
+/// handful (category-tree similarity values). Memoizing them turns the
+/// per-candidate work into a slot scan plus the ORIGINAL threshold
+/// comparisons on the original operands — decisions stay bit-exact, only
+/// the recomputation of their inputs is skipped. Generation moves drop the
+/// memo, so tightened skylines are always honored.
+struct SimDecisionMemo {
+  // Direct-mapped on the similarity's bit pattern: one hash, one integer
+  // compare per lookup. Similarities are positive (+0.0 is never emitted),
+  // so bit pattern 0 doubles as the empty marker; distinct bit patterns are
+  // distinct values for positive doubles.
+  static constexpr int kSlots = 32;  // power of two
+
+  explicit SimDecisionMemo(uint64_t gen) : generation(gen) {}
+
+  uint64_t generation;
+  // Only sim_bits needs zeroing: the other arrays are written on slot
+  // build before any read.
+  uint64_t sim_bits[kSlots] = {};
+  double nacc[kSlots];
+  double nsem[kSlots];
+  Weight th[kSlots];     // Threshold(nsem)
+  Weight th_b[kSlots];   // Lemma 5.8 bumped threshold (when qualified)
+  bool has58[kSlots];    // δ > 0 and th_b finite
+  // Smallest extended length seen pruned for this sim this generation; the
+  // prune decision is monotone in length (for fixed thresholds), so longer
+  // candidates short-circuit on one compare. Exact, not heuristic.
+  Weight pruned_at[kSlots];
+
+  static int SlotOf(uint64_t bits) {
+    return static_cast<int>((bits * 0x9e3779b97f4a7c15ull) >> 59);
+  }
+  void Invalidate(uint64_t gen) {
+    generation = gen;
+    for (uint64_t& b : sim_bits) b = 0;
   }
 };
 
@@ -65,16 +121,36 @@ Result<QueryResult> BssrEngine::Run(const Query& query,
   const SemanticAggregator agg(options.aggregation);
   const int k = query.size();
 
-  std::vector<PositionMatcher> matchers;
+  std::vector<PositionMatcher>& matchers = ws_.matchers;
+  matchers.clear();
   matchers.reserve(static_cast<size_t>(k));
   for (const CategoryPredicate& pred : query.sequence) {
     matchers.emplace_back(*g_, *forest_, sim_fn, pred,
                           options.multi_category);
   }
+  // Per-position similarity memos: a PoI's similarity is evaluated at most
+  // once per query position, then read back as an array hit in the settle
+  // loops and the full-PoI scans. Attached only after the matcher vector is
+  // fully built (emplace_back may reallocate).
+  if (ws_.sim_memo.size() < static_cast<size_t>(k)) {
+    ws_.sim_memo.resize(static_cast<size_t>(k));
+  }
+  for (int m = 0; m < k; ++m) {
+    ws_.sim_memo[static_cast<size_t>(m)].Prepare(g_->num_pois(), -1.0);
+    matchers[static_cast<size_t>(m)].AttachSimCache(
+        &ws_.sim_memo[static_cast<size_t>(m)]);
+  }
 
-  // Lemma 5.5 is sound only when a blocking PoI can never be used at any
-  // other position of the route: single-category PoIs and pairwise-disjoint
-  // position trees (see modified_dijkstra.h). Otherwise emit unfiltered.
+  // Lemma 5.5 is sound exactly when a blocking PoI can never be usable at
+  // any OTHER position of the route (see modified_dijkstra.h): no PoI may
+  // semantically match two positions. The structural pre-check — pairwise-
+  // disjoint position trees and single-category PoIs — proves that for the
+  // common workload without touching PoIs; when it can't, the exact per-PoI
+  // test decides (its memoized similarities are reused by every later
+  // stage, so the scan is mostly prewarming) — except on PoI sets large
+  // enough that the scan itself could dominate a small query, which keep
+  // the conservative answer. A single-position query can never reuse a
+  // blocker elsewhere, so it always keeps the cuts.
   bool needs_deferred_lemma55 = has_multi_category_poi_;
   for (int i = 0; !needs_deferred_lemma55 && i < k; ++i) {
     for (int j = i + 1; !needs_deferred_lemma55 && j < k; ++j) {
@@ -87,61 +163,97 @@ Result<QueryResult> BssrEngine::Run(const Query& query,
       }
     }
   }
-
-  // Destination distances (§6): D(v, destination) for every v.
-  std::vector<Weight> dest_dist_storage;
-  const std::vector<Weight>* dest_dist = nullptr;
-  if (query.destination) {
-    if (g_->directed()) {
-      const Graph reversed = ReverseOf(*g_);
-      dest_dist_storage =
-          SingleSourceDistances(reversed, *query.destination).dist;
-    } else {
-      dest_dist_storage = SingleSourceDistances(*g_, *query.destination).dist;
+  if (needs_deferred_lemma55 &&
+      (k < 2 || g_->num_pois() <= kExactLemma55ScanMaxPois)) {
+    needs_deferred_lemma55 = false;
+    for (PoiId p = 0; k >= 2 && p < g_->num_pois(); ++p) {
+      int matched = 0;
+      for (int m = 0; m < k; ++m) {
+        if (matchers[static_cast<size_t>(m)].SimOfPoi(p) > 0 &&
+            ++matched >= 2) {
+          break;
+        }
+      }
+      if (matched >= 2) {
+        needs_deferred_lemma55 = true;
+        break;
+      }
     }
-    dest_dist = &dest_dist_storage;
   }
 
-  SkylineSet skyline;
-  RouteArena arena;
-  cache_.Clear();
+  // Destination distances (§6): D(v, destination) for every v, computed
+  // into the reused workspace buffer. Directed graphs search the reversed
+  // graph, built lazily once per engine instead of per query.
+  const std::vector<Weight>* dest_dist = nullptr;
+  if (query.destination) {
+    const Graph* search_graph = g_;
+    if (g_->directed()) {
+      if (reversed_ == nullptr) {
+        reversed_ = std::make_unique<const Graph>(ReverseOf(*g_));
+      }
+      search_graph = reversed_.get();
+    }
+    ws_.dest_dist.assign(static_cast<size_t>(g_->num_vertices()),
+                         kInfWeight);
+    RunDijkstra(*search_graph, *query.destination, ws_.dijkstra_ws,
+                [&](VertexId v, Weight d, VertexId) {
+                  ws_.dest_dist[static_cast<size_t>(v)] = d;
+                  return VisitAction::kContinue;
+                });
+    dest_dist = &ws_.dest_dist;
+  }
+
+  SkylineSet& skyline = ws_.skyline;
+  RouteArena& arena = ws_.arena;
+  MdijkstraCache& cache = ws_.cache;
+  SettleLog& slog = ws_.settle_log;
+  skyline.Clear();
+  arena.Clear();
+  cache.Clear();
+  slog.Clear();
+  ws_.qb.Reset(options.queue_discipline, k);
+  QbQueue& qb = ws_.qb;
 
   // --- Optimization 1: initial search (§5.3.1). ---
   if (options.use_initial_search) {
-    RunNnInit(*g_, matchers, query.start, agg, dest_dist, nn_ws_, &skyline,
-              &stats, oracle_, &oracle_ws_, options.oracle_candidate_cap);
+    RunNnInit(*g_, matchers, query.start, agg, dest_dist, ws_.dijkstra_ws,
+              &skyline, &stats, oracle_, &ws_.oracle_ws,
+              options.oracle_candidate_cap, &ws_.nn_init);
   }
 
   // --- Optimization 3: minimum-distance lower bounds (§5.3.3). ---
-  LowerBounds lb;
   const LowerBounds* lb_ptr = nullptr;
   if (options.use_lower_bounds && k >= 2) {
     if (oracle_ != nullptr && oracle_->kind() != OracleKind::kFlat &&
         options.oracle_candidate_cap != 0) {
-      lb = ComputeLowerBoundsWithOracle(
+      ws_.lb = ComputeLowerBoundsWithOracle(
           *g_, matchers, query.start, skyline.Threshold(0.0), *oracle_,
-          oracle_ws_, &stats, options.oracle_candidate_cap);
+          ws_.oracle_ws, &stats, options.oracle_candidate_cap,
+          &ws_.lower_bound);
     } else {
-      lb = ComputeLowerBounds(*g_, matchers, query.start,
-                              skyline.Threshold(0.0), &stats);
+      ws_.lb = ComputeLowerBounds(*g_, matchers, query.start,
+                                  skyline.Threshold(0.0), &stats,
+                                  &ws_.lower_bound);
     }
-    lb_ptr = &lb;
+    lb_ptr = &ws_.lb;
   }
 
   // σ_max over remaining positions, input to Lemma 5.8's δ.
-  std::vector<double> sigma_suffix(static_cast<size_t>(k) + 1, 0.0);
+  std::vector<double>& sigma_suffix = ws_.sigma_suffix;
+  sigma_suffix.assign(static_cast<size_t>(k) + 1, 0.0);
   for (int m = k - 1; m >= 0; --m) {
     sigma_suffix[static_cast<size_t>(m)] =
         std::max(sigma_suffix[static_cast<size_t>(m) + 1],
                  matchers[static_cast<size_t>(m)].max_non_perfect_sim());
   }
-  const ThresholdPolicy policy(skyline, agg, lb_ptr, sigma_suffix, k);
-
-  // --- Optimization 2: queue arrangement (§5.3.2). ---
-  DaryHeap<QbEntry, QbLess> qb(QbLess{options.queue_discipline});
+  const ThresholdPolicy policy(skyline, agg, lb_ptr,
+                               std::span<const double>(sigma_suffix), k);
 
   // Expands the partial route `node_idx` (kEmpty = the empty route at the
-  // start vertex) by one position, via cache or a fresh search.
+  // start vertex) by one position, via cache or a fresh search. The budget
+  // functor and the candidate consumer are passed as template callbacks all
+  // the way into the Dijkstra settle loop — no type-erased call anywhere on
+  // the hot path.
   const auto expand = [&](int32_t node_idx) {
     VertexId src;
     Weight len;
@@ -160,19 +272,54 @@ Result<QueryResult> BssrEngine::Run(const Query& query,
       m = nd.size;
     }
     const PositionMatcher& matcher = matchers[static_cast<size_t>(m)];
-    const auto budget_fn = [&policy, acc, len, m]() {
-      return policy.ExpansionBudget(acc, len, m);
-    };
+    GenStampedBudget budget{&policy, acc, len, m};
+
+    // Expansion-wide constants of the candidate decision (see
+    // SimDecisionMemo): the next position's remaining-leg bounds and σ.
+    const bool last = m + 1 == k;
+    const Weight ls1 =
+        (!last && lb_ptr != nullptr)
+            ? lb_ptr->ls_remaining[static_cast<size_t>(m) + 1]
+            : 0;
+    const Weight lp1 =
+        (!last && lb_ptr != nullptr)
+            ? lb_ptr->lp_remaining[static_cast<size_t>(m) + 1]
+            : 0;
+    const double sigma1 =
+        last ? 0.0 : sigma_suffix[static_cast<size_t>(m) + 1];
+    SimDecisionMemo memo(skyline.generation());
 
     const auto consume = [&](const ExpansionCandidate& cand) {
-      const PoiId poi = g_->PoiAtVertex(cand.vertex);
-      if (node_idx != RouteArena::kEmpty && arena.Contains(node_idx, poi)) {
-        return;  // Definition 3.4(iii): PoIs must be distinct
+      ++stats.cand_examined;
+
+      // Locate (or build) the memo slot of this candidate's similarity.
+      const uint64_t gen = skyline.generation();
+      if (gen != memo.generation) memo.Invalidate(gen);
+      const uint64_t bits = std::bit_cast<uint64_t>(cand.sim);
+      const int slot = SimDecisionMemo::SlotOf(bits);
+      if (memo.sim_bits[slot] != bits) {
+        const double nacc = agg.Extend(acc, cand.sim);
+        const double nsem = agg.Score(nacc);
+        memo.sim_bits[slot] = bits;
+        memo.nacc[slot] = nacc;
+        memo.nsem[slot] = nsem;
+        memo.th[slot] = skyline.Threshold(nsem);
+        memo.has58[slot] = false;
+        memo.pruned_at[slot] = kInfWeight;
+        if (!last && lb_ptr != nullptr && memo.th[slot] != kInfWeight) {
+          const double delta = agg.MinIncrementDelta(nacc, sigma1);
+          if (delta > 0) {
+            const Weight th_b = skyline.Threshold(nsem + delta);
+            if (th_b != kInfWeight) {
+              memo.th_b[slot] = th_b;
+              memo.has58[slot] = true;
+            }
+          }
+        }
       }
-      const double nacc = agg.Extend(acc, cand.sim);
-      const double nsem = agg.Score(nacc);
+
       const Weight nlen = len + cand.dist;
-      if (m + 1 == k) {
+      if (last) {
         Weight flen = nlen;
         if (dest_dist != nullptr) {
           const Weight tail =
@@ -180,53 +327,155 @@ Result<QueryResult> BssrEngine::Run(const Query& query,
           if (tail == kInfWeight) return;
           flen += tail;
         }
-        const RouteScores scores{flen, nsem};
-        if (!policy.ShouldPruneComplete(scores)) {
-          std::vector<PoiId> pois = arena.Materialize(node_idx);
-          pois.push_back(poi);
-          skyline.Update(scores, std::move(pois));
+        // DominatedOrEqual(flen, nsem) == Threshold(nsem) <= flen: the
+        // memoized staircase lookup replaces the binary search, the
+        // comparison is the same.
+        if (memo.th[slot] <= flen) {
+          ++stats.cand_pruned;
+          return;
         }
-      } else if (!policy.ShouldPrunePartial(nacc, nlen, m + 1)) {
-        const int32_t idx = arena.Add(node_idx, poi, cand.vertex, nlen, nacc);
-        qb.push(QbEntry{idx, m + 1, nsem, nlen});
+        const PoiId poi = g_->PoiAtVertex(cand.vertex);
+        if (node_idx != RouteArena::kEmpty && arena.Contains(node_idx, poi)) {
+          ++stats.cand_rejected;
+          return;  // Definition 3.4(iii): PoIs must be distinct
+        }
+        arena.MaterializeInto(node_idx, &ws_.route_buf);
+        ws_.route_buf.push_back(poi);
+        skyline.Update(RouteScores{flen, memo.nsem[slot]},
+                       std::span<const PoiId>(ws_.route_buf));
+      } else {
+        // ShouldPrunePartial(nacc, nlen, m + 1), operand for operand, with
+        // the thresholds read from the memo.
+        if (nlen >= memo.pruned_at[slot]) {
+          ++stats.cand_pruned;
+          return;
+        }
+        const Weight th = memo.th[slot];
+        if (th != kInfWeight &&
+            (nlen + ls1 >= th ||
+             (memo.has58[slot] && memo.th_b[slot] <= nlen &&
+              nlen + lp1 >= th))) {
+          memo.pruned_at[slot] = nlen;
+          ++stats.cand_pruned;
+          return;
+        }
+        const PoiId poi = g_->PoiAtVertex(cand.vertex);
+        if (node_idx != RouteArena::kEmpty && arena.Contains(node_idx, poi)) {
+          ++stats.cand_rejected;
+          return;  // Definition 3.4(iii): PoIs must be distinct
+        }
+        const int32_t idx = arena.Add(node_idx, poi, cand.vertex, nlen,
+                                      memo.nacc[slot]);
+        qb.push(QbEntry{idx, m + 1, memo.nsem[slot], nlen});
         ++stats.routes_enqueued;
       }
     };
 
     if (options.use_cache) {
-      const CandidateList* entry = cache_.Find(src, m);
-      if (entry != nullptr &&
-          (entry->exhausted || entry->covered_radius >= budget_fn())) {
+      const MdijkstraCache::Entry* entry = cache.Find(src, m);
+      if (entry != nullptr && (entry->meta.exhausted ||
+                               entry->meta.covered_radius >= budget())) {
         ++stats.mdijkstra_cache_hits;
-        for (const ExpansionCandidate& cand : entry->candidates) {
-          if (cand.dist >= budget_fn()) break;
+        for (const ExpansionCandidate& cand : cache.CandidatesOf(*entry)) {
+          if (cand.dist >= budget()) break;
           consume(cand);
         }
         return;
       }
       if (entry != nullptr) ++stats.cache_reruns;
+
+      // Cross-position reuse: in deferred-Lemma-5.5 mode the traversal from
+      // `src` is matcher-independent, so a settle sequence recorded by ANY
+      // position's search replays for this one — a linear scan instead of a
+      // Dijkstra (see settle_log.h for the exactness argument).
+      if (needs_deferred_lemma55) {
+        const SettleLog::Entry* log = slog.Find(src);
+        if (log != nullptr && (log->meta.exhausted ||
+                               log->meta.covered_radius >= budget())) {
+          ++stats.settle_log_replays;
+          std::vector<ExpansionCandidate>& pool = cache.pool();
+          const size_t pool_offset = pool.size();
+          Weight break_dist = kInfWeight;
+          bool stopped = false;
+          for (const SettleRecord& rec : slog.RecordsOf(*log)) {
+            if (rec.dist >= budget()) {
+              break_dist = rec.dist;
+              stopped = true;
+              break;
+            }
+            const double sim = matcher.SimOfVertex(rec.vertex);
+            if (sim > 0) {
+              const ExpansionCandidate cand{rec.vertex, rec.dist, sim};
+              pool.push_back(cand);
+              consume(cand);
+            }
+          }
+          // The replay can never prove more coverage than the log itself:
+          // a relax-refusal-capped log has finite coverage with no breaking
+          // record, so consuming it fully is NOT exhaustion.
+          const Weight covered =
+              stopped ? std::min(break_dist, log->meta.covered_radius)
+                      : log->meta.covered_radius;
+          cache.Commit(src, m, pool_offset,
+                       ExpansionOutcome{covered, covered == kInfWeight});
+          return;
+        }
+      }
     }
 
     ++stats.mdijkstra_runs;
     DijkstraRunStats run_stats;
-    CandidateList list =
-        RunExpansion(*g_, matcher, src, budget_fn, !needs_deferred_lemma55,
-                     scratch_, consume, &run_stats);
+    // Candidates stream into the cache's shared pool (no per-expansion
+    // vector); with caching off, nothing is collected at all. The settle
+    // sequence is recorded for cross-position replay in deferred mode.
+    std::vector<ExpansionCandidate>* out =
+        options.use_cache ? &cache.pool() : nullptr;
+    const size_t pool_offset = options.use_cache ? cache.pool().size() : 0;
+    std::vector<SettleRecord>* slog_out =
+        (options.use_cache && needs_deferred_lemma55) ? &slog.pool()
+                                                      : nullptr;
+    const size_t slog_offset = slog_out != nullptr ? slog_out->size() : 0;
+    const ExpansionOutcome outcome =
+        RunExpansionInto(*g_, matcher, src, budget, !needs_deferred_lemma55,
+                         ws_.expansion, out, consume, &run_stats, slog_out);
     stats.vertices_settled += run_stats.settled;
     stats.edges_relaxed += run_stats.relaxed;
     stats.weight_sum += run_stats.weight_sum;
     if (stats.mdijkstra_runs == 1) {
       stats.first_search_weight_sum = run_stats.weight_sum;
     }
-    if (options.use_cache) cache_.Put(src, m, std::move(list));
+    if (options.use_cache) {
+      cache.Commit(src, m, pool_offset, outcome);
+      if (slog_out != nullptr) {
+        // Keep log coverage monotone: a rebuild whose budget collapsed
+        // mid-search (skyline tightened) can cover LESS than the entry it
+        // would replace; the higher-coverage log is still valid for every
+        // future replay, so keep it (the new records stay orphaned in the
+        // pool until Clear, bounded by the search work just done).
+        const SettleLog::Entry* prev = slog.Find(src);
+        const bool improves =
+            prev == nullptr ||
+            (!prev->meta.exhausted &&
+             (outcome.exhausted ||
+              outcome.covered_radius > prev->meta.covered_radius));
+        if (improves) slog.Commit(src, slog_offset, outcome);
+      }
+    }
   };
 
-  // Algorithm 1: seed with the first expansion, then drain Q_b.
+  // Algorithm 1: seed with the first expansion, then drain Q_b. The
+  // wall-clock budget is polled every kTimeoutCheckInterval dequeues (and
+  // not at all for the default infinite budget).
   expand(RouteArena::kEmpty);
+  const bool has_time_budget = std::isfinite(options.time_budget_seconds);
+  int64_t pops_until_timeout_check = 0;
   while (!qb.empty()) {
-    if (timer.ElapsedSeconds() > options.time_budget_seconds) {
-      stats.timed_out = true;
-      break;
+    if (has_time_budget && --pops_until_timeout_check < 0) {
+      pops_until_timeout_check = kTimeoutCheckInterval - 1;
+      if (timer.ElapsedSeconds() > options.time_budget_seconds) {
+        stats.timed_out = true;
+        break;
+      }
     }
     const QbEntry entry = qb.pop();
     ++stats.routes_dequeued;
@@ -243,11 +492,10 @@ Result<QueryResult> BssrEngine::Run(const Query& query,
   stats.logical_peak_bytes =
       arena.MemoryBytes() +
       static_cast<int64_t>(qb.peak_size() * sizeof(QbEntry)) +
-      skyline.MemoryBytes() + cache_.MemoryBytes();
-  cache_.Clear();
+      skyline.MemoryBytes() + cache.MemoryBytes() + slog.MemoryBytes();
 
-  result.routes = skyline.routes();
   stats.skyline_size = skyline.size();
+  result.routes = skyline.TakeRoutes();  // move, not deep copy
   stats.elapsed_ms = timer.ElapsedMillis();
   return result;
 }

@@ -9,18 +9,21 @@
 //   auto result = engine.Run(MakeSimpleQuery(start, {cafe, museum, bar}));
 //   for (const Route& r : result->routes) ...
 //
-// The engine is cheap to construct and reusable across queries; it owns
-// scratch buffers, so use one engine per thread.
+// The engine is cheap to construct and reusable across queries; it owns a
+// QueryWorkspace (skyline, arena, queue, cache, every sub-search scratch),
+// so in steady state a query allocates only its returned routes plus O(k)
+// matcher tables. Results are bit-identical whether the engine is fresh or
+// has served a million queries. Use one engine per thread.
 
 #ifndef SKYSR_CORE_BSSR_ENGINE_H_
 #define SKYSR_CORE_BSSR_ENGINE_H_
 
+#include <memory>
 #include <vector>
 
 #include "category/category_forest.h"
-#include "core/mdijkstra_cache.h"
-#include "core/modified_dijkstra.h"
 #include "core/query.h"
+#include "core/query_workspace.h"
 #include "core/route.h"
 #include "core/search_stats.h"
 #include "index/distance_oracle.h"
@@ -62,11 +65,13 @@ class BssrEngine {
   const DistanceOracle* oracle_;  // may be null (flat behavior)
   bool has_multi_category_poi_ = false;
 
-  // Reusable scratch (engine is single-threaded by design).
-  ExpansionScratch scratch_;
-  DijkstraWorkspace nn_ws_;
-  OracleWorkspace oracle_ws_;
-  MdijkstraCache cache_;
+  // Destination queries on directed graphs need D(v, destination) = forward
+  // distances in the reversed graph; built once on first use instead of per
+  // query.
+  std::unique_ptr<const Graph> reversed_;
+
+  // Reusable per-query state (engine is single-threaded by design).
+  QueryWorkspace ws_;
 };
 
 }  // namespace skysr

@@ -9,11 +9,13 @@ namespace {
 
 /// Classic leg bound, shared by both variants: a ball-restricted
 /// multi-source Dijkstra from the leg's sources to the nearest semantic /
-/// perfect match of `next`. `in_ball` gates targets AND traversal.
+/// perfect match of `next`. `in_ball` gates targets AND traversal; it is a
+/// template parameter so the membership test inlines into the settle loop.
+template <typename InBall>
 void DenseLegBounds(const Graph& g, const PositionMatcher& next,
-                    std::span<const SourceSeed> seeds,
-                    const std::function<bool(VertexId)>& in_ball,
-                    DijkstraRunStats* leg_stats, Weight* ls, Weight* lp) {
+                    std::span<const SourceSeed> seeds, const InBall& in_ball,
+                    DijkstraWorkspace& ws, DijkstraRunStats* leg_stats,
+                    Weight* ls, Weight* lp) {
   const auto semantic_target = [&](VertexId v) {
     return in_ball(v) && next.SimOfVertex(v) > 0;
   };
@@ -22,12 +24,12 @@ void DenseLegBounds(const Graph& g, const PositionMatcher& next,
     const PoiId p = g.PoiAtVertex(v);
     return p != kInvalidPoi && next.IsPerfect(p);
   };
-  if (auto hit =
-          MultiSourceNearest(g, seeds, semantic_target, in_ball, leg_stats)) {
+  if (auto hit = MultiSourceNearestT(g, seeds, ws, semantic_target, in_ball,
+                                     leg_stats)) {
     *ls = hit->dist;
   }
-  if (auto hit =
-          MultiSourceNearest(g, seeds, perfect_target, in_ball, leg_stats)) {
+  if (auto hit = MultiSourceNearestT(g, seeds, ws, perfect_target, in_ball,
+                                     leg_stats)) {
     *lp = hit->dist;
   }
 }
@@ -65,7 +67,8 @@ void FinishBounds(LowerBounds* lb, int k, WallTimer* timer,
 LowerBounds ComputeLowerBounds(const Graph& g,
                                const std::vector<PositionMatcher>& matchers,
                                VertexId start, Weight radius,
-                               SearchStats* stats) {
+                               SearchStats* stats,
+                               LowerBoundScratch* scratch) {
   WallTimer timer;
   const int k = static_cast<int>(matchers.size());
   LowerBounds lb;
@@ -77,30 +80,28 @@ LowerBounds ComputeLowerBounds(const Graph& g,
     if (stats != nullptr) stats->lb_ms = timer.ElapsedMillis();
     return lb;
   }
+  LowerBoundScratch local;
+  if (scratch == nullptr) scratch = &local;
 
   // Ball membership: D(v_q, v) < radius. Every leg of a surviving route lies
   // inside the ball (its prefix length bounds the distance from v_q of every
   // point on the route), so restricting everything to the ball keeps the
-  // bounds valid for surviving routes.
-  DijkstraWorkspace ws;
+  // bounds valid for surviving routes. Distances are recorded at settle time
+  // into the epoch-stamped array — no post-search O(|V|) sweep.
+  StampedArray<Weight>& ball_dist = scratch->ball_dist;
+  ball_dist.Prepare(g.num_vertices(), kInfWeight);
   DijkstraRunStats ball_stats =
-      RunDijkstra(g, start, ws, [&](VertexId, Weight d, VertexId) {
-        return d < radius ? VisitAction::kContinue : VisitAction::kStop;
+      RunDijkstra(g, start, scratch->ws, [&](VertexId v, Weight d, VertexId) {
+        if (d >= radius) return VisitAction::kStop;
+        ball_dist.Set(v, d);
+        return VisitAction::kContinue;
       });
-  std::vector<Weight> ball_dist(static_cast<size_t>(g.num_vertices()),
-                                kInfWeight);
-  // Copy settled distances out of the workspace before it is reused.
-  for (VertexId v = 0; v < g.num_vertices(); ++v) {
-    if (ws.Settled(v)) ball_dist[static_cast<size_t>(v)] = ws.Dist(v);
-  }
-  const auto in_ball = [&](VertexId v) {
-    return ball_dist[static_cast<size_t>(v)] < radius;
-  };
+  const auto in_ball = [&](VertexId v) { return ball_dist.Get(v) < radius; };
 
   DijkstraRunStats leg_stats;
   lb.ls_leg.assign(static_cast<size_t>(k) - 1, kInfWeight);
   lb.lp_leg.assign(static_cast<size_t>(k) - 1, kInfWeight);
-  std::vector<SourceSeed> seeds;
+  std::vector<SourceSeed>& seeds = scratch->seeds;
   for (int i = 0; i + 1 < k; ++i) {
     seeds.clear();
     for (PoiId p = 0; p < g.num_pois(); ++p) {
@@ -112,7 +113,8 @@ LowerBounds ComputeLowerBounds(const Graph& g,
     if (seeds.empty()) continue;  // leg stays +inf: nothing can cross it
 
     DenseLegBounds(g, matchers[static_cast<size_t>(i) + 1], seeds, in_ball,
-                   &leg_stats, &lb.ls_leg[static_cast<size_t>(i)],
+                   scratch->ws, &leg_stats,
+                   &lb.ls_leg[static_cast<size_t>(i)],
                    &lb.lp_leg[static_cast<size_t>(i)]);
   }
 
@@ -130,7 +132,7 @@ LowerBounds ComputeLowerBoundsWithOracle(
     const Graph& g, const std::vector<PositionMatcher>& matchers,
     VertexId start, Weight radius, const DistanceOracle& oracle,
     OracleWorkspace& oracle_ws, SearchStats* stats,
-    int64_t oracle_candidate_cap) {
+    int64_t oracle_candidate_cap, LowerBoundScratch* scratch) {
   WallTimer timer;
   const int k = static_cast<int>(matchers.size());
   LowerBounds lb;
@@ -140,27 +142,28 @@ LowerBounds ComputeLowerBoundsWithOracle(
     if (stats != nullptr) stats->lb_ms = timer.ElapsedMillis();
     return lb;
   }
+  LowerBoundScratch local;
+  if (scratch == nullptr) scratch = &local;
   const bool table_based = oracle.SupportsFastTable();
 
   // Ball membership D(v_q, v) < radius via one radius-truncated Dijkstra —
   // it settles only the ball, and the flat fallback legs additionally need
   // it as a whole-vertex traversal filter. radius == +inf (no threshold
   // yet) means everything is in the ball and no search is needed.
-  DijkstraWorkspace ws;
   DijkstraRunStats ball_stats;
-  std::vector<Weight> ball_dist;
-  if (radius != kInfWeight) {
-    ball_stats =
-        RunDijkstra(g, start, ws, [&](VertexId, Weight d, VertexId) {
-          return d < radius ? VisitAction::kContinue : VisitAction::kStop;
+  const bool have_ball = radius != kInfWeight;
+  StampedArray<Weight>& ball_dist = scratch->ball_dist;
+  if (have_ball) {
+    ball_dist.Prepare(g.num_vertices(), kInfWeight);
+    ball_stats = RunDijkstra(
+        g, start, scratch->ws, [&](VertexId v, Weight d, VertexId) {
+          if (d >= radius) return VisitAction::kStop;
+          ball_dist.Set(v, d);
+          return VisitAction::kContinue;
         });
-    ball_dist.assign(static_cast<size_t>(g.num_vertices()), kInfWeight);
-    for (VertexId v = 0; v < g.num_vertices(); ++v) {
-      if (ws.Settled(v)) ball_dist[static_cast<size_t>(v)] = ws.Dist(v);
-    }
   }
   const auto in_ball = [&](VertexId v) {
-    return ball_dist.empty() || ball_dist[static_cast<size_t>(v)] < radius;
+    return !have_ball || ball_dist.Get(v) < radius;
   };
 
   // Oracle legs pay per endpoint (CH: one upward search of its
@@ -173,7 +176,7 @@ LowerBounds ComputeLowerBoundsWithOracle(
   // the QueryOptions::oracle_candidate_cap override) is purely a matter of
   // speed.
   const auto ball_vertices = static_cast<size_t>(
-      ball_dist.empty() ? g.num_vertices() : ball_stats.settled);
+      have_ball ? ball_stats.settled : g.num_vertices());
   const size_t max_table_endpoints =  // CH: |S| + |T| per leg
       oracle_candidate_cap < 0
           ? ball_vertices /
@@ -188,9 +191,11 @@ LowerBounds ComputeLowerBoundsWithOracle(
   DijkstraRunStats leg_stats;
   lb.ls_leg.assign(static_cast<size_t>(k) - 1, kInfWeight);
   lb.lp_leg.assign(static_cast<size_t>(k) - 1, kInfWeight);
-  std::vector<VertexId> sources, sem_targets, perf_targets;
-  std::vector<SourceSeed> seeds;
-  std::vector<Weight> table;
+  std::vector<VertexId>& sources = scratch->sources;
+  std::vector<VertexId>& sem_targets = scratch->sem_targets;
+  std::vector<VertexId>& perf_targets = scratch->perf_targets;
+  std::vector<SourceSeed>& seeds = scratch->seeds;
+  std::vector<Weight>& table = scratch->table;
   for (int i = 0; i + 1 < k; ++i) {
     sources.clear();
     for (PoiId p = 0; p < g.num_pois(); ++p) {
@@ -255,7 +260,7 @@ LowerBounds ComputeLowerBoundsWithOracle(
       // Dense leg: the classic ball-restricted multi-source search.
       seeds.clear();
       for (const VertexId v : sources) seeds.push_back(SourceSeed{v, 0});
-      DenseLegBounds(g, next, seeds, in_ball, &leg_stats,
+      DenseLegBounds(g, next, seeds, in_ball, scratch->ws, &leg_stats,
                      &lb.ls_leg[static_cast<size_t>(i)],
                      &lb.lp_leg[static_cast<size_t>(i)]);
     }

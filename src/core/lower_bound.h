@@ -18,6 +18,7 @@
 #include "graph/dijkstra.h"
 #include "graph/graph.h"
 #include "index/distance_oracle.h"
+#include "util/stamped_array.h"
 
 namespace skysr {
 
@@ -40,14 +41,31 @@ struct LowerBounds {
   bool empty() const { return ls_remaining.empty(); }
 };
 
+/// Reusable buffers for the lower-bound computation (ball distances, leg
+/// seeds/targets, oracle tables); engine-owned so steady-state queries pay
+/// no O(|V|) allocation here. The ball distances use an epoch-stamped array
+/// — resetting between queries is O(1).
+struct LowerBoundScratch {
+  DijkstraWorkspace ws;
+  StampedArray<Weight> ball_dist;
+  std::vector<SourceSeed> seeds;
+  std::vector<VertexId> sources;
+  std::vector<VertexId> sem_targets;
+  std::vector<VertexId> perf_targets;
+  std::vector<Weight> table;
+};
+
 /// Computes the bounds. `radius` is l̄(∅) — the length of the best
 /// perfect-match route known after the initial search (kInfWeight when
 /// unknown, in which case no ball restriction applies). Updates
 /// stats->lb_ms / ls_total / lp_total and the global search counters.
+/// `scratch` (optional) supplies reusable buffers; null falls back to
+/// function-local storage.
 LowerBounds ComputeLowerBounds(const Graph& g,
                                const std::vector<PositionMatcher>& matchers,
                                VertexId start, Weight radius,
-                               SearchStats* stats);
+                               SearchStats* stats,
+                               LowerBoundScratch* scratch = nullptr);
 
 /// Index-backed variant. Sparse legs are answered by the oracle — CH: an
 /// exact many-to-many minimum over the in-ball PoI pairs (unrestricted
@@ -64,7 +82,7 @@ LowerBounds ComputeLowerBoundsWithOracle(
     const Graph& g, const std::vector<PositionMatcher>& matchers,
     VertexId start, Weight radius, const DistanceOracle& oracle,
     OracleWorkspace& oracle_ws, SearchStats* stats,
-    int64_t oracle_candidate_cap = -1);
+    int64_t oracle_candidate_cap = -1, LowerBoundScratch* scratch = nullptr);
 
 }  // namespace skysr
 

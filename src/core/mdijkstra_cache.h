@@ -1,49 +1,71 @@
 // On-the-fly caching (§5.3.4): memoizes expansion-search results keyed by
 // (source vertex, sequence position) for the duration of ONE query. BSSR
 // frequently re-expands the same PoI vertex for the same next category; the
-// cached CandidateList replaces the whole graph search. Entries whose
-// covered radius is too small for a later, larger budget are rebuilt and
-// replaced. The cache is cleared when the query finishes — the paper notes
-// the search spaces of different queries rarely overlap.
+// cached candidates replace the whole graph search. Entries whose covered
+// radius is too small for a later, larger budget are rebuilt and replaced.
+// The cache is cleared when the query finishes — the paper notes the search
+// spaces of different queries rarely overlap.
+//
+// Storage is allocation-free in steady state: a stamped span table (see
+// util/stamped_span_table.h) holds (offset, count) spans into one shared
+// candidate pool — no owning vector per entry, O(1) clear per query.
 
 #ifndef SKYSR_CORE_MDIJKSTRA_CACHE_H_
 #define SKYSR_CORE_MDIJKSTRA_CACHE_H_
 
 #include <cstdint>
-#include <unordered_map>
+#include <span>
+#include <vector>
 
 #include "core/modified_dijkstra.h"
 #include "graph/types.h"
+#include "util/stamped_span_table.h"
 
 namespace skysr {
 
-/// Per-query memo of expansion searches.
+/// Per-query memo of expansion searches. Entry metadata is the search's
+/// ExpansionOutcome: entry->meta.covered_radius / entry->meta.exhausted.
 class MdijkstraCache {
+  using Table = StampedSpanTable<ExpansionCandidate, ExpansionOutcome>;
+
  public:
-  /// Cached list for (source, position), or nullptr.
-  const CandidateList* Find(VertexId source, int position) const {
-    const auto it = entries_.find(KeyOf(source, position));
-    return it == entries_.end() ? nullptr : &it->second;
+  using Entry = Table::Entry;
+
+  /// Cached entry for (source, position), or nullptr.
+  const Entry* Find(VertexId source, int position) const {
+    return table_.Find(KeyOf(source, position));
   }
 
-  /// Inserts or replaces the entry, returning a stable pointer to it.
-  const CandidateList* Put(VertexId source, int position,
-                           CandidateList&& list) {
-    auto [it, inserted] = entries_.insert_or_assign(KeyOf(source, position),
-                                                    std::move(list));
-    if (!inserted) ++replacements_;
-    return &it->second;
+  /// The candidates of a found entry, in non-decreasing distance order.
+  std::span<const ExpansionCandidate> CandidatesOf(const Entry& e) const {
+    return table_.SpanOf(e);
   }
 
-  void Clear() { entries_.clear(); }
-  int64_t size() const { return static_cast<int64_t>(entries_.size()); }
-  int64_t replacements() const { return replacements_; }
+  /// The shared candidate pool. An expansion search appends its candidates
+  /// here (remember the pool size beforehand), then Commit()s the span.
+  std::vector<ExpansionCandidate>& pool() { return table_.pool(); }
 
-  int64_t MemoryBytes() const {
-    int64_t bytes = 0;
-    for (const auto& [k, v] : entries_) bytes += 64 + v.MemoryBytes();
-    return bytes;
+  /// Inserts or replaces the entry for (source, position), whose candidates
+  /// are pool()[pool_offset..end).
+  void Commit(VertexId source, int position, size_t pool_offset,
+              const ExpansionOutcome& outcome) {
+    table_.Commit(KeyOf(source, position), pool_offset, outcome);
   }
+
+  /// Legacy owning-list insert, kept for tests and non-hot call sites:
+  /// appends the list's candidates to the pool and commits them.
+  void Put(VertexId source, int position, CandidateList&& list) {
+    const size_t offset = pool().size();
+    pool().insert(pool().end(), list.candidates.begin(),
+                  list.candidates.end());
+    Commit(source, position, offset,
+           ExpansionOutcome{list.covered_radius, list.exhausted});
+  }
+
+  void Clear() { table_.Clear(); }
+  int64_t size() const { return table_.size(); }
+  int64_t replacements() const { return table_.replacements(); }
+  int64_t MemoryBytes() const { return table_.MemoryBytes(); }
 
  private:
   static uint64_t KeyOf(VertexId source, int position) {
@@ -51,8 +73,7 @@ class MdijkstraCache {
            static_cast<uint64_t>(static_cast<uint32_t>(position) & 0xffff);
   }
 
-  std::unordered_map<uint64_t, CandidateList> entries_;
-  int64_t replacements_ = 0;
+  Table table_;
 };
 
 }  // namespace skysr

@@ -9,63 +9,11 @@ CandidateList RunExpansion(
     const std::function<void(const ExpansionCandidate&)>& on_candidate,
     DijkstraRunStats* stats_out) {
   CandidateList out;
-  Weight break_dist = kInfWeight;
-  bool stopped = false;
-
-  // Per-vertex Lemma 5.5 state: the maximum similarity of any
-  // semantically-matching PoI on the path from `source` (source excluded,
-  // the vertex itself included). A candidate consults its PARENT's state,
-  // which excludes the candidate itself.
-  if (apply_lemma55) {
-    scratch.max_sim_on_path.Prepare(g.num_vertices(), 0.0);
-  }
-
-  DijkstraRunStats stats = RunDijkstra(
-      g, source, scratch.ws, [&](VertexId v, Weight d, VertexId parent) {
-        // Lemma 5.3: distances are non-decreasing and the budget is
-        // non-increasing, so the first settle past the budget ends the
-        // search.
-        const Weight budget = budget_fn();
-        if (d >= budget) {
-          break_dist = d;
-          stopped = true;
-          return VisitAction::kStop;
-        }
-
-        // The source itself may host a matching PoI (e.g. a query starting
-        // at a PoI vertex); route-membership filtering is the consumer's
-        // job, so no special-case here.
-        const double sim = matcher.SimOfVertex(v);
-
-        if (!apply_lemma55) {
-          if (sim > 0) {
-            const ExpansionCandidate cand{v, d, sim};
-            out.candidates.push_back(cand);
-            on_candidate(cand);
-          }
-          return VisitAction::kContinue;
-        }
-
-        double inherited = 0.0;
-        if (parent != kInvalidVertex) {
-          inherited = scratch.max_sim_on_path.Get(parent);
-        }
-        if (sim > 0 && inherited < sim) {
-          // Lemma 5.5(i): emit only candidates not preceded by a
-          // better-or-equal match.
-          const ExpansionCandidate cand{v, d, sim};
-          out.candidates.push_back(cand);
-          on_candidate(cand);
-        }
-        scratch.max_sim_on_path.Set(v, sim > inherited ? sim : inherited);
-        // Lemma 5.5(ii): nothing useful lies beyond a perfect match.
-        if (sim == 1.0) return VisitAction::kSkipExpand;
-        return VisitAction::kContinue;
-      });
-
-  out.covered_radius = stopped ? break_dist : kInfWeight;
-  out.exhausted = !stopped;
-  if (stats_out != nullptr) *stats_out += stats;
+  const ExpansionOutcome outcome =
+      RunExpansionInto(g, matcher, source, budget_fn, apply_lemma55, scratch,
+                       &out.candidates, on_candidate, stats_out);
+  out.covered_radius = outcome.covered_radius;
+  out.exhausted = outcome.exhausted;
   return out;
 }
 

@@ -3,11 +3,17 @@
 // pruning with Lemma 5.3 (dynamic budget) and Lemma 5.5 (on-path blockers,
 // perfect-match traversal cut).
 //
-// The search produces a CandidateList — (vertex, distance, similarity)
-// triples in non-decreasing distance order — which doubles as the value
-// stored by the on-the-fly cache (§5.3.4). Emission is also streamed to a
-// callback so that complete routes can tighten the skyline threshold while
-// the search is still running (the paper's Algorithm 2 updates S inline).
+// The search emits (vertex, distance, similarity) triples in non-decreasing
+// distance order, streamed to a callback so that complete routes can tighten
+// the skyline threshold while the search is still running (the paper's
+// Algorithm 2 updates S inline), and optionally appended to a caller-owned
+// candidate vector — the storage behind the on-the-fly cache (§5.3.4).
+//
+// RunExpansionInto is a template over both callbacks so the budget check and
+// candidate consumption inline into the Dijkstra loop (no type-erased call
+// per settled vertex). RunExpansion is the thin std::function wrapper kept
+// for call sites that need an ABI boundary (and for unit tests of the
+// wrapper itself); the engine's hot path uses the template directly.
 //
 // Lemma 5.5 soundness (see DESIGN.md): substituting the on-path blocker for
 // the candidate requires the blocker to be usable at this position — it must
@@ -38,7 +44,8 @@ struct ExpansionCandidate {
   double sim;
 };
 
-/// Result of one expansion search; also the cache value type.
+/// Result of one expansion search; also the cache value type of the legacy
+/// owning API.
 struct CandidateList {
   std::vector<ExpansionCandidate> candidates;  // non-decreasing dist
   /// Candidates with dist < covered_radius are complete; a later consumer
@@ -53,6 +60,21 @@ struct CandidateList {
   }
 };
 
+/// Coverage metadata of one expansion search (the candidates themselves go
+/// to the caller's vector / callback).
+struct ExpansionOutcome {
+  Weight covered_radius = 0;
+  bool exhausted = false;
+};
+
+/// One settled vertex of an expansion search, in settle order. Recorded
+/// (including the budget-breaking settle) when the caller wants to replay
+/// the traversal for another sequence position (see core/settle_log.h).
+struct SettleRecord {
+  VertexId vertex;
+  Weight dist;
+};
+
 /// Scratch arrays reusable across expansion searches of one engine.
 struct ExpansionScratch {
   DijkstraWorkspace ws;
@@ -64,7 +86,101 @@ struct ExpansionScratch {
 /// `budget_fn` is re-evaluated at every settle and returns the current
 /// maximum useful distance (Lemma 5.3); it may shrink while the search runs
 /// as the consumer tightens the skyline. `on_candidate` is invoked for each
-/// emitted candidate in non-decreasing distance order.
+/// emitted candidate in non-decreasing distance order. When `out` is
+/// non-null every emitted candidate is also appended to it (cache fill);
+/// null skips collection entirely (cache-off ablations). When `settle_log`
+/// is non-null every settle — including the budget-breaking one — is
+/// appended to it so the traversal can later be replayed for other
+/// positions (sound only without Lemma 5.5 cuts; the engine passes it only
+/// in deferred mode).
+///
+/// Both callbacks are taken by forwarding reference and invoked directly —
+/// a stateful budget functor passed as an lvalue keeps its memo across the
+/// whole search.
+template <typename BudgetFn, typename OnCandidate>
+ExpansionOutcome RunExpansionInto(const Graph& g,
+                                  const PositionMatcher& matcher,
+                                  VertexId source, BudgetFn&& budget_fn,
+                                  bool apply_lemma55,
+                                  ExpansionScratch& scratch,
+                                  std::vector<ExpansionCandidate>* out,
+                                  OnCandidate&& on_candidate,
+                                  DijkstraRunStats* stats_out,
+                                  std::vector<SettleRecord>* settle_log =
+                                      nullptr) {
+  ExpansionOutcome outcome;
+  Weight break_dist = kInfWeight;
+  bool stopped = false;
+
+  // Per-vertex Lemma 5.5 state: the maximum similarity of any
+  // semantically-matching PoI on the path from `source` (source excluded,
+  // the vertex itself included). A candidate consults its PARENT's state,
+  // which excludes the candidate itself.
+  if (apply_lemma55) {
+    scratch.max_sim_on_path.Prepare(g.num_vertices(), 0.0);
+  }
+
+  const auto emit = [&](VertexId v, Weight d, double sim) {
+    const ExpansionCandidate cand{v, d, sim};
+    if (out != nullptr) out->push_back(cand);
+    on_candidate(cand);
+  };
+
+  // The budget also bounds relaxation: tentative distances at or beyond it
+  // are refused instead of enqueued (they could never settle inside the
+  // budget), trading heap traffic for a coverage cap via `min_refused`.
+  Weight min_refused = kInfWeight;
+  const SourceSeed seed{source, 0};
+  DijkstraRunStats stats = RunDijkstraBounded(
+      g, std::span<const SourceSeed>(&seed, 1), scratch.ws,
+      [&](VertexId v, Weight d, VertexId parent) {
+        if (settle_log != nullptr) settle_log->push_back(SettleRecord{v, d});
+        // Lemma 5.3: distances are non-decreasing and the budget is
+        // non-increasing, so the first settle past the budget ends the
+        // search.
+        const Weight budget = budget_fn();
+        if (d >= budget) {
+          break_dist = d;
+          stopped = true;
+          return VisitAction::kStop;
+        }
+
+        // The source itself may host a matching PoI (e.g. a query starting
+        // at a PoI vertex); route-membership filtering is the consumer's
+        // job, so no special-case here.
+        const double sim = matcher.SimOfVertex(v);
+
+        if (!apply_lemma55) {
+          if (sim > 0) emit(v, d, sim);
+          return VisitAction::kContinue;
+        }
+
+        double inherited = 0.0;
+        if (parent != kInvalidVertex) {
+          inherited = scratch.max_sim_on_path.Get(parent);
+        }
+        if (sim > 0 && inherited < sim) {
+          // Lemma 5.5(i): emit only candidates not preceded by a
+          // better-or-equal match.
+          emit(v, d, sim);
+        }
+        scratch.max_sim_on_path.Set(v, sim > inherited ? sim : inherited);
+        // Lemma 5.5(ii): nothing useful lies beyond a perfect match.
+        if (sim == 1.0) return VisitAction::kSkipExpand;
+        return VisitAction::kContinue;
+      },
+      budget_fn, &min_refused);
+
+  Weight covered = stopped ? break_dist : kInfWeight;
+  if (min_refused < covered) covered = min_refused;
+  outcome.covered_radius = covered;
+  outcome.exhausted = covered == kInfWeight;
+  if (stats_out != nullptr) *stats_out += stats;
+  return outcome;
+}
+
+/// Type-erased wrapper returning an owning CandidateList. One std::function
+/// call per settle/candidate — use RunExpansionInto in hot paths.
 CandidateList RunExpansion(
     const Graph& g, const PositionMatcher& matcher, VertexId source,
     const std::function<Weight()>& budget_fn, bool apply_lemma55,

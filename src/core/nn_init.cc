@@ -9,21 +9,29 @@ namespace skysr {
 namespace {
 
 /// Shared per-hop emission/bookkeeping so the Dijkstra and oracle-table
-/// paths update the skyline through literally the same code.
+/// paths update the skyline through literally the same code. Chain state
+/// lives in the caller's NnInitScratch so steady-state queries reuse it.
 struct NnChain {
   const SemanticAggregator& agg;
   const std::vector<Weight>* dest_dist;
   SkylineSet* skyline;
   SearchStats* stats;
 
-  std::vector<PoiId> route;
+  std::vector<PoiId>& route;
+  std::vector<PoiId>& emit_buf;
   Weight length = 0;
   double acc;
   double max_semantic_seen = -1.0;
 
   NnChain(const SemanticAggregator& agg_in, const std::vector<Weight>* dd,
-          SkylineSet* sky, SearchStats* st, int k)
-      : agg(agg_in), dest_dist(dd), skyline(sky), stats(st) {
+          SkylineSet* sky, SearchStats* st, int k, NnInitScratch& scratch)
+      : agg(agg_in),
+        dest_dist(dd),
+        skyline(sky),
+        stats(st),
+        route(scratch.route),
+        emit_buf(scratch.emit_buf) {
+    route.clear();
     route.reserve(static_cast<size_t>(k));
     acc = agg.Identity();
   }
@@ -38,9 +46,10 @@ struct NnChain {
       total_len += tail;
     }
     const double sem = agg.Score(agg.Extend(acc, sim));
-    std::vector<PoiId> pois = route;
-    pois.push_back(poi);
-    skyline->Update(RouteScores{total_len, sem}, std::move(pois));
+    emit_buf.assign(route.begin(), route.end());
+    emit_buf.push_back(poi);
+    skyline->Update(RouteScores{total_len, sem},
+                    std::span<const PoiId>(emit_buf));
     if (stats != nullptr) {
       ++stats->nninit_routes;
       if (sem == 0.0) {
@@ -119,7 +128,8 @@ void RunNnInitAdaptive(const Graph& g,
                        VertexId start, const DistanceOracle* oracle,
                        OracleWorkspace* oracle_ws, DijkstraWorkspace& ws,
                        NnChain& chain, SearchStats* stats,
-                       int64_t oracle_candidate_cap) {
+                       int64_t oracle_candidate_cap,
+                       NnInitScratch& scratch) {
   const int k = static_cast<int>(matchers.size());
   const bool has_fast_table = oracle != nullptr && oracle_ws != nullptr &&
                               oracle->SupportsFastTable();
@@ -132,20 +142,11 @@ void RunNnInitAdaptive(const Graph& g,
   VertexId cursor = start;
   DijkstraRunStats total;
 
-  std::vector<VertexId> cand_vertex;
-  std::vector<PoiId> cand_poi;
-  std::vector<double> cand_sim;
-  std::vector<Weight> dist;
-  struct Hit {
-    Weight dist;
-    VertexId vertex;
-    size_t idx;
-    bool operator<(const Hit& o) const {
-      if (dist != o.dist) return dist < o.dist;
-      return vertex < o.vertex;
-    }
-  };
-  std::vector<Hit> hits;
+  std::vector<VertexId>& cand_vertex = scratch.cand_vertex;
+  std::vector<PoiId>& cand_poi = scratch.cand_poi;
+  std::vector<double>& cand_sim = scratch.cand_sim;
+  std::vector<Weight>& dist = scratch.dist;
+  std::vector<NnInitScratch::Hit>& hits = scratch.hits;
 
   for (int i = 0; i < k; ++i) {
     const PositionMatcher& matcher = matchers[static_cast<size_t>(i)];
@@ -188,11 +189,11 @@ void RunNnInitAdaptive(const Graph& g,
       hits.clear();
       for (size_t c = 0; c < cand_vertex.size(); ++c) {
         if (dist[c] != kInfWeight) {
-          hits.push_back(Hit{dist[c], cand_vertex[c], c});
+          hits.push_back(NnInitScratch::Hit{dist[c], cand_vertex[c], c});
         }
       }
       std::sort(hits.begin(), hits.end());
-      for (const Hit& h : hits) {
+      for (const NnInitScratch::Hit& h : hits) {
         if (last) {
           chain.Emit(h.vertex, cand_poi[h.idx], h.dist, cand_sim[h.idx]);
         }
@@ -224,12 +225,14 @@ void RunNnInit(const Graph& g, const std::vector<PositionMatcher>& matchers,
                const std::vector<Weight>* dest_dist, DijkstraWorkspace& ws,
                SkylineSet* skyline, SearchStats* stats,
                const DistanceOracle* oracle, OracleWorkspace* oracle_ws,
-               int64_t oracle_candidate_cap) {
+               int64_t oracle_candidate_cap, NnInitScratch* scratch) {
   WallTimer timer;
+  NnInitScratch local;
+  if (scratch == nullptr) scratch = &local;
   NnChain chain(agg, dest_dist, skyline, stats,
-                static_cast<int>(matchers.size()));
+                static_cast<int>(matchers.size()), *scratch);
   RunNnInitAdaptive(g, matchers, start, oracle, oracle_ws, ws, chain, stats,
-                    oracle_candidate_cap);
+                    oracle_candidate_cap, *scratch);
   if (stats != nullptr) stats->nninit_ms = timer.ElapsedMillis();
 }
 

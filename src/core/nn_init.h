@@ -19,6 +19,28 @@
 
 namespace skysr {
 
+/// Reusable buffers for RunNnInit (chain state plus the oracle-table hop's
+/// candidate staging); engine-owned so steady-state queries allocate
+/// nothing here.
+struct NnInitScratch {
+  std::vector<PoiId> route;     // the greedy chain's PoIs so far
+  std::vector<PoiId> emit_buf;  // route + last-hop PoI, for skyline updates
+  std::vector<VertexId> cand_vertex;
+  std::vector<PoiId> cand_poi;
+  std::vector<double> cand_sim;
+  std::vector<Weight> dist;
+  struct Hit {
+    Weight dist;
+    VertexId vertex;
+    size_t idx;
+    bool operator<(const Hit& o) const {
+      if (dist != o.dist) return dist < o.dist;
+      return vertex < o.vertex;
+    }
+  };
+  std::vector<Hit> hits;
+};
+
 /// Seeds `skyline` with the routes found by NNinit. `dest_dist` (optional)
 /// holds D(v, destination) for every vertex, for the §6 destination variant.
 /// Updates the nninit_* fields of `stats` and the global search counters.
@@ -31,14 +53,16 @@ namespace skysr {
 /// or ALT oracle keep the classic early-exit Dijkstra chain, which is
 /// cheaper there.
 /// `oracle_candidate_cap` follows QueryOptions::oracle_candidate_cap
-/// (-1 = graph-size heuristic).
+/// (-1 = graph-size heuristic). `scratch` (optional) supplies reusable
+/// buffers; null falls back to function-local storage.
 void RunNnInit(const Graph& g, const std::vector<PositionMatcher>& matchers,
                VertexId start, const SemanticAggregator& agg,
                const std::vector<Weight>* dest_dist, DijkstraWorkspace& ws,
                SkylineSet* skyline, SearchStats* stats,
                const DistanceOracle* oracle = nullptr,
                OracleWorkspace* oracle_ws = nullptr,
-               int64_t oracle_candidate_cap = -1);
+               int64_t oracle_candidate_cap = -1,
+               NnInitScratch* scratch = nullptr);
 
 }  // namespace skysr
 

@@ -47,7 +47,7 @@ PositionMatcher::PositionMatcher(const Graph& g, const CategoryForest& forest,
   }
 }
 
-double PositionMatcher::SimOfPoi(PoiId p) const {
+double PositionMatcher::EvalSimOfPoi(PoiId p) const {
   const std::span<const CategoryId> cats = g_->PoiCategories(p);
 
   // Negation: the PoI must not be associated with any excluded category

@@ -14,6 +14,7 @@
 #include "category/similarity.h"
 #include "graph/graph.h"
 #include "graph/types.h"
+#include "util/stamped_array.h"
 #include "util/status.h"
 
 namespace skysr {
@@ -102,9 +103,25 @@ class PositionMatcher {
                   const SimilarityFunction& fn, const CategoryPredicate& pred,
                   MultiCategoryMode mode);
 
+  /// Attaches an epoch-stamped per-PoI memo (owner must Prepare() it for
+  /// g.num_pois() slots with default -1 and keep it alive). PoI similarity
+  /// is fixed for the matcher's lifetime, so the first evaluation per PoI is
+  /// cached; every later lookup — per-settle in the expansion search, the
+  /// full-PoI scans of NNinit and the lower bounds — is an array read. The
+  /// engine wires its workspace memos here; matchers without one just
+  /// evaluate each time.
+  void AttachSimCache(StampedArray<double>* cache) { sim_cache_ = cache; }
+
   /// Similarity of the PoI for this position; 0 when the PoI does not match
   /// (wrong trees, or all_of / none_of constraints violated).
-  double SimOfPoi(PoiId p) const;
+  double SimOfPoi(PoiId p) const {
+    if (sim_cache_ == nullptr) return EvalSimOfPoi(p);
+    const double cached = sim_cache_->Get(p);
+    if (cached >= 0.0) return cached;
+    const double sim = EvalSimOfPoi(p);
+    sim_cache_->Set(p, sim);
+    return sim;
+  }
 
   /// Similarity of the PoI hosted at `v`; 0 for plain road vertices.
   double SimOfVertex(VertexId v) const {
@@ -124,6 +141,9 @@ class PositionMatcher {
   const std::vector<TreeId>& trees() const { return trees_; }
 
  private:
+  /// Uncached predicate evaluation (none_of / all_of walks + table max).
+  double EvalSimOfPoi(PoiId p) const;
+
   const Graph* g_;
   const CategoryForest* forest_;
   MultiCategoryMode mode_;
@@ -132,6 +152,7 @@ class PositionMatcher {
   std::vector<CategoryId> none_of_;
   std::vector<TreeId> trees_;
   double max_non_perfect_ = 0.0;
+  StampedArray<double>* sim_cache_ = nullptr;  // borrowed, may be null
 };
 
 /// Validates a query against a graph + forest (ranges, non-empty sequence,

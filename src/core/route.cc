@@ -7,12 +7,17 @@ namespace skysr {
 
 std::vector<PoiId> RouteArena::Materialize(int32_t idx) const {
   std::vector<PoiId> pois;
+  MaterializeInto(idx, &pois);
+  return pois;
+}
+
+void RouteArena::MaterializeInto(int32_t idx, std::vector<PoiId>* out) const {
+  out->clear();
   for (int32_t cur = idx; cur != kEmpty;
        cur = nodes_[static_cast<size_t>(cur)].parent) {
-    pois.push_back(nodes_[static_cast<size_t>(cur)].poi);
+    out->push_back(nodes_[static_cast<size_t>(cur)].poi);
   }
-  std::reverse(pois.begin(), pois.end());
-  return pois;
+  std::reverse(out->begin(), out->end());
 }
 
 std::string RouteToString(const Graph& g, const Route& route) {

@@ -65,14 +65,27 @@ class RouteArena {
     Weight length;    // cumulative length score
     double acc;       // semantic accumulator (see SemanticAggregator)
     int32_t size;     // number of PoIs in this partial route
+    // Bloom-style signature of the route's PoI set (one bit per PoI id mod
+    // 64, OR of the parent's): a zero AND answers Contains() without the
+    // parent-chain walk; only hash collisions pay the walk.
+    uint64_t poi_mask;
   };
+
+  static uint64_t PoiBit(PoiId poi) {
+    return uint64_t{1} << (static_cast<uint32_t>(poi) & 63u);
+  }
 
   /// Appends `poi` to the route `parent` (kEmpty to start a new route).
   int32_t Add(int32_t parent, PoiId poi, VertexId vertex, Weight length,
               double acc) {
-    const int32_t size =
-        parent == kEmpty ? 1 : nodes_[static_cast<size_t>(parent)].size + 1;
-    nodes_.push_back(Node{parent, poi, vertex, length, acc, size});
+    int32_t size = 1;
+    uint64_t mask = PoiBit(poi);
+    if (parent != kEmpty) {
+      const Node& p = nodes_[static_cast<size_t>(parent)];
+      size = p.size + 1;
+      mask |= p.poi_mask;
+    }
+    nodes_.push_back(Node{parent, poi, vertex, length, acc, size, mask});
     return static_cast<int32_t>(nodes_.size()) - 1;
   }
 
@@ -88,6 +101,10 @@ class RouteArena {
   /// True when `poi` already occurs in the partial route (Definition 3.4
   /// requires all route PoIs to be distinct).
   bool Contains(int32_t idx, PoiId poi) const {
+    if (idx == kEmpty) return false;
+    if ((nodes_[static_cast<size_t>(idx)].poi_mask & PoiBit(poi)) == 0) {
+      return false;  // signature miss: definitely absent
+    }
     for (int32_t cur = idx; cur != kEmpty;
          cur = nodes_[static_cast<size_t>(cur)].parent) {
       if (nodes_[static_cast<size_t>(cur)].poi == poi) return true;
@@ -97,6 +114,10 @@ class RouteArena {
 
   /// The PoI sequence of the partial route, in visit order.
   std::vector<PoiId> Materialize(int32_t idx) const;
+
+  /// Materializes into a caller-owned buffer (cleared first) so hot loops
+  /// reuse one allocation across routes.
+  void MaterializeInto(int32_t idx, std::vector<PoiId>* out) const;
 
   int64_t num_nodes() const { return static_cast<int64_t>(nodes_.size()); }
   int64_t MemoryBytes() const {

@@ -9,8 +9,9 @@ std::string SearchStats::ToString() const {
   std::snprintf(
       buf, sizeof(buf),
       "elapsed=%.3fms%s skyline=%lld\n"
-      "searches: runs=%lld cache_hits=%lld reruns=%lld settled=%lld "
-      "relaxed=%lld weight_sum=%.4f first_weight_sum=%.4f\n"
+      "searches: runs=%lld cache_hits=%lld reruns=%lld log_replays=%lld "
+      "settled=%lld relaxed=%lld weight_sum=%.4f first_weight_sum=%.4f\n"
+      "candidates: examined=%lld pruned=%lld dup_rejected=%lld\n"
       "nninit: %.3fms routes=%lld weight_sum=%.4f perfect_len=%.4f "
       "max_sem_len=%.4f\n"
       "bounds: %.3fms ls=%.4f lp=%.4f\n"
@@ -21,9 +22,12 @@ std::string SearchStats::ToString() const {
       static_cast<long long>(mdijkstra_runs),
       static_cast<long long>(mdijkstra_cache_hits),
       static_cast<long long>(cache_reruns),
+      static_cast<long long>(settle_log_replays),
       static_cast<long long>(vertices_settled),
       static_cast<long long>(edges_relaxed), weight_sum,
-      first_search_weight_sum, nninit_ms,
+      first_search_weight_sum, static_cast<long long>(cand_examined),
+      static_cast<long long>(cand_pruned),
+      static_cast<long long>(cand_rejected), nninit_ms,
       static_cast<long long>(nninit_routes), nninit_weight_sum,
       nninit_perfect_length, nninit_max_semantic_length, lb_ms, ls_total,
       lp_total, static_cast<long long>(routes_enqueued),

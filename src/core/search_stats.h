@@ -23,6 +23,7 @@ struct SearchStats {
   int64_t mdijkstra_runs = 0;        // expansion searches actually executed
   int64_t mdijkstra_cache_hits = 0;  // expansions served from cache
   int64_t cache_reruns = 0;          // cache entries rebuilt with larger radius
+  int64_t settle_log_replays = 0;    // candidate lists built by log replay
   int64_t vertices_settled = 0;      // all searches of this query
   int64_t edges_relaxed = 0;
   double weight_sum = 0;              // all searches (search-space proxy)
@@ -43,6 +44,9 @@ struct SearchStats {
 
   // Bulk queue (§5.3.2).
   int64_t routes_enqueued = 0;
+  int64_t cand_examined = 0;   // consume() invocations (replay + search)
+  int64_t cand_rejected = 0;   // Definition 3.4(iii) duplicate-PoI rejects
+  int64_t cand_pruned = 0;     // partial-route candidates pruned pre-enqueue
   int64_t routes_dequeued = 0;
   int64_t routes_pruned = 0;  // pruned at dequeue by the threshold
   int64_t peak_queue_size = 0;

@@ -1,0 +1,77 @@
+// Per-source settle log: the cross-position twin of the §5.3.4 candidate
+// cache.
+//
+// When Lemma 5.5 traversal cuts are OFF (the deferred mode: multi-category
+// PoIs or overlapping position trees), the modified Dijkstra's settle
+// sequence from a source depends only on the source and the budget — not on
+// the position's matcher. Expansions of the SAME vertex for DIFFERENT
+// sequence positions therefore redo an identical traversal and differ only
+// in which settled vertices they emit. The settle log records each
+// source's settle sequence (every settled vertex with its distance,
+// including the budget-breaking settle) once; later expansions from that
+// source replay the log linearly — a branch-predictable array scan with no
+// heap, no relaxations — and remain bit-identical to a fresh search because
+// Dijkstra settles are deterministic (distance, vertex-id tie-break) and a
+// log prefix below the covered radius is exactly the set of vertices a
+// fresh search would settle.
+//
+// A log whose covered radius is below the requested budget is insufficient
+// and is rebuilt by a real search with the larger budget (the same protocol
+// as candidate-cache reruns). The engine keeps coverage monotone: a rebuild
+// that ends up covering less (its budget collapsed mid-search as the
+// skyline tightened) does not replace the higher-coverage entry — any valid
+// log yields bit-identical replays for a given budget, so the widest one is
+// strictly more reusable. Cleared per query alongside the candidate cache.
+
+#ifndef SKYSR_CORE_SETTLE_LOG_H_
+#define SKYSR_CORE_SETTLE_LOG_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/modified_dijkstra.h"
+#include "graph/types.h"
+#include "util/stamped_span_table.h"
+
+namespace skysr {
+
+/// Per-query map from source vertex to its recorded settle sequence. Entry
+/// metadata is the recording search's ExpansionOutcome.
+class SettleLog {
+  using Table = StampedSpanTable<SettleRecord, ExpansionOutcome>;
+
+ public:
+  using Entry = Table::Entry;
+
+  const Entry* Find(VertexId source) const {
+    return table_.Find(static_cast<uint64_t>(static_cast<uint32_t>(source)));
+  }
+
+  /// The settles of a found entry, in settle (distance, vertex) order.
+  std::span<const SettleRecord> RecordsOf(const Entry& e) const {
+    return table_.SpanOf(e);
+  }
+
+  /// The shared record pool; a recording search appends here, then
+  /// Commit()s the span.
+  std::vector<SettleRecord>& pool() { return table_.pool(); }
+
+  void Commit(VertexId source, size_t pool_offset,
+              const ExpansionOutcome& outcome) {
+    table_.Commit(static_cast<uint64_t>(static_cast<uint32_t>(source)),
+                  pool_offset, outcome);
+  }
+
+  void Clear() { table_.Clear(); }
+  int64_t size() const { return table_.size(); }
+  int64_t replacements() const { return table_.replacements(); }
+  int64_t MemoryBytes() const { return table_.MemoryBytes(); }
+
+ private:
+  Table table_;
+};
+
+}  // namespace skysr
+
+#endif  // SKYSR_CORE_SETTLE_LOG_H_

@@ -26,9 +26,8 @@ Weight SkylineSet::Threshold(double semantic) const {
   return it->scores.length;
 }
 
-bool SkylineSet::Update(RouteScores scores, std::vector<PoiId> pois) {
-  if (DominatedOrEqual(scores)) return false;
-
+std::vector<Route>::iterator SkylineSet::EvictDominated(
+    const RouteScores& scores) {
   // Routes dominated by the new one: length >= scores.length (a suffix) and
   // semantic >= scores.semantic (a prefix of that suffix).
   auto first = std::lower_bound(
@@ -36,12 +35,38 @@ bool SkylineSet::Update(RouteScores scores, std::vector<PoiId> pois) {
       [](const Route& r, Weight value) { return r.scores.length < value; });
   auto last = first;
   while (last != routes_.end() && last->scores.semantic >= scores.semantic) {
+    spare_pois_.push_back(std::move(last->pois));
     ++last;
   }
   evictions_ += last - first;
-  auto pos = routes_.erase(first, last);
+  return routes_.erase(first, last);
+}
+
+std::vector<PoiId> SkylineSet::AcquirePois(std::span<const PoiId> pois) {
+  if (spare_pois_.empty()) {
+    return std::vector<PoiId>(pois.begin(), pois.end());
+  }
+  std::vector<PoiId> out = std::move(spare_pois_.back());
+  spare_pois_.pop_back();
+  out.assign(pois.begin(), pois.end());
+  return out;
+}
+
+bool SkylineSet::Update(RouteScores scores, std::vector<PoiId> pois) {
+  if (DominatedOrEqual(scores)) return false;
+  auto pos = EvictDominated(scores);
   routes_.insert(pos, Route{std::move(pois), scores});
   ++updates_;
+  ++generation_;
+  return true;
+}
+
+bool SkylineSet::Update(RouteScores scores, std::span<const PoiId> pois) {
+  if (DominatedOrEqual(scores)) return false;
+  auto pos = EvictDominated(scores);
+  routes_.insert(pos, Route{AcquirePois(pois), scores});
+  ++updates_;
+  ++generation_;
   return true;
 }
 

@@ -4,10 +4,18 @@
 // Invariant: entries are sorted by length ascending and semantic strictly
 // descending (a 2-D skyline staircase), which makes dominance tests and
 // threshold lookups O(log |S|) and insertion O(|S|).
+//
+// The set carries a generation counter that advances exactly when its
+// contents change (insertion, eviction, Clear, TakeRoutes). Pruning
+// thresholds derived from the skyline are pure functions of the generation,
+// so hot loops memoize them per generation instead of recomputing per
+// settle/candidate (see ThresholdPolicy and the engine's budget cache).
 
 #ifndef SKYSR_CORE_SKYLINE_SET_H_
 #define SKYSR_CORE_SKYLINE_SET_H_
 
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/route.h"
@@ -30,13 +38,30 @@ class SkylineSet {
   /// dominates. Returns true when inserted.
   bool Update(RouteScores scores, std::vector<PoiId> pois);
 
+  /// Same, but copies the PoIs out of a caller-owned buffer only when the
+  /// route is actually inserted — the allocation-free form for hot loops
+  /// that materialize into a reused scratch vector.
+  bool Update(RouteScores scores, std::span<const PoiId> pois);
+
   const std::vector<Route>& routes() const { return routes_; }
   int64_t size() const { return static_cast<int64_t>(routes_.size()); }
   bool empty() const { return routes_.empty(); }
   void Clear() {
+    if (!routes_.empty()) ++generation_;
     routes_.clear();
     updates_ = evictions_ = 0;
   }
+
+  /// Moves the routes out (no deep copy), leaving the set empty.
+  std::vector<Route> TakeRoutes() {
+    if (!routes_.empty()) ++generation_;
+    std::vector<Route> out = std::move(routes_);
+    routes_.clear();
+    return out;
+  }
+
+  /// Advances on every content change; never repeats within one SkylineSet.
+  uint64_t generation() const { return generation_; }
 
   int64_t num_updates() const { return updates_; }
   int64_t num_evictions() const { return evictions_; }
@@ -44,8 +69,19 @@ class SkylineSet {
   int64_t MemoryBytes() const;
 
  private:
+  /// Shared insertion tail: erases dominated entries (recycling their PoI
+  /// storage) and returns the insert position. Only called once
+  /// DominatedOrEqual has been ruled out.
+  std::vector<Route>::iterator EvictDominated(const RouteScores& scores);
+
+  /// A PoI vector holding `pois`, reusing an evicted route's storage when
+  /// one is spare — steady-state skyline churn allocates nothing.
+  std::vector<PoiId> AcquirePois(std::span<const PoiId> pois);
+
   // Sorted by length asc / semantic strictly desc.
   std::vector<Route> routes_;
+  std::vector<std::vector<PoiId>> spare_pois_;  // recycled storage
+  uint64_t generation_ = 0;
   int64_t updates_ = 0;
   int64_t evictions_ = 0;
 };

@@ -5,7 +5,8 @@
 #ifndef SKYSR_CORE_THRESHOLD_H_
 #define SKYSR_CORE_THRESHOLD_H_
 
-#include <vector>
+#include <cstdint>
+#include <span>
 
 #include "category/similarity.h"
 #include "core/lower_bound.h"
@@ -13,25 +14,36 @@
 
 namespace skysr {
 
-/// Stateless-per-call pruning decisions against a live SkylineSet.
-/// `sigma_max_suffix[m]` must hold the largest non-perfect similarity over
-/// positions m..k-1 (input to δ); `k` is the sequence size.
+/// Pruning decisions against a live SkylineSet. `sigma_max_suffix[m]` must
+/// hold the largest non-perfect similarity over positions m..k-1 (input to
+/// δ); `k` is the sequence size. The span is borrowed — the caller keeps the
+/// storage alive for the policy's lifetime (the engine parks it in its
+/// query workspace).
+///
+/// Threshold lookups are memoized per skyline generation: the staircase
+/// binary search reruns only when the skyline actually changed or a
+/// different semantic score is probed, which removes the dominant per-settle
+/// / per-candidate cost of the expansion loops. The memo is a plain
+/// single-threaded mutable cache — the policy, like the engine, is
+/// one-per-thread.
 class ThresholdPolicy {
  public:
   ThresholdPolicy(const SkylineSet& skyline, const SemanticAggregator& agg,
                   const LowerBounds* lb /* null disables lower bounds */,
-                  std::vector<double> sigma_max_suffix, int k)
+                  std::span<const double> sigma_max_suffix, int k)
       : skyline_(&skyline),
         agg_(agg),
         lb_(lb),
-        sigma_max_suffix_(std::move(sigma_max_suffix)),
+        sigma_max_suffix_(sigma_max_suffix),
         k_(k) {}
+
+  const SkylineSet& skyline() const { return *skyline_; }
 
   /// Break budget for an expansion out of a partial route of size m with
   /// length `len` and semantic accumulator `acc` (Algorithm 2, line 8):
   /// candidates at distance >= budget cannot lead to skyline routes.
   Weight ExpansionBudget(double acc, Weight len, int m) const {
-    const Weight th = skyline_->Threshold(agg_.Score(acc));
+    const Weight th = CachedThreshold(agg_.Score(acc));
     if (th == kInfWeight) return kInfWeight;
     Weight budget = th - len;
     if (lb_ != nullptr && m + 1 < k_) {
@@ -45,7 +57,7 @@ class ThresholdPolicy {
   /// Full pruning test for a partial route of size m (1 <= m < k).
   bool ShouldPrunePartial(double acc, Weight len, int m) const {
     const double sem = agg_.Score(acc);
-    const Weight th = skyline_->Threshold(sem);
+    const Weight th = CachedThreshold(sem);
     if (th == kInfWeight) return false;
 
     // Lemma 5.3 with the unconditional semantic-match bound.
@@ -59,7 +71,7 @@ class ThresholdPolicy {
       const double sigma = sigma_max_suffix_[static_cast<size_t>(m)];
       const double delta = agg_.MinIncrementDelta(acc, sigma);
       if (delta > 0) {
-        const Weight th_bumped = skyline_->Threshold(sem + delta);
+        const Weight th_bumped = CachedThreshold(sem + delta);
         const Weight lp = lb_->lp_remaining[static_cast<size_t>(m)];
         if (th_bumped != kInfWeight && th_bumped <= len && len + lp >= th) {
           return true;
@@ -75,11 +87,42 @@ class ThresholdPolicy {
   }
 
  private:
+  /// Definition 5.4 lookup through a tiny generation-stamped memo. Exact:
+  /// equal (generation, semantic) inputs always yield the memoized value,
+  /// and the memo is dropped the moment the skyline mutates.
+  Weight CachedThreshold(double semantic) const {
+    if (skyline_->generation() != memo_generation_) {
+      memo_generation_ = skyline_->generation();
+      memo_size_ = 0;
+      memo_next_ = 0;
+    }
+    for (int i = 0; i < memo_size_; ++i) {
+      if (memo_sem_[i] == semantic) return memo_th_[i];
+    }
+    const Weight th = skyline_->Threshold(semantic);
+    memo_sem_[memo_next_] = semantic;
+    memo_th_[memo_next_] = th;
+    if (memo_size_ < kMemoSlots) ++memo_size_;
+    memo_next_ = (memo_next_ + 1) % kMemoSlots;
+    return th;
+  }
+
   const SkylineSet* skyline_;
   SemanticAggregator agg_;
   const LowerBounds* lb_;
-  std::vector<double> sigma_max_suffix_;
+  std::span<const double> sigma_max_suffix_;
   int k_;
+
+  // ShouldPrunePartial probes (sem, sem + delta) per route and consecutive
+  // routes frequently share semantic scores (the proposed queue discipline
+  // groups equal-semantic routes together), so a handful of slots catches
+  // the bulk of repeats.
+  static constexpr int kMemoSlots = 4;
+  mutable uint64_t memo_generation_ = ~uint64_t{0};
+  mutable double memo_sem_[kMemoSlots] = {};
+  mutable Weight memo_th_[kMemoSlots] = {};
+  mutable int memo_size_ = 0;
+  mutable int memo_next_ = 0;
 };
 
 }  // namespace skysr

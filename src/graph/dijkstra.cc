@@ -65,21 +65,11 @@ std::optional<NearestHit> MultiSourceNearest(
     const std::function<bool(VertexId)>& is_target,
     const std::function<bool(VertexId)>& traversal_filter,
     DijkstraRunStats* stats_out) {
-  std::optional<NearestHit> hit;
   DijkstraWorkspace ws;
-  DijkstraRunStats stats =
-      RunDijkstra(g, seeds, ws, [&](VertexId v, Weight d, VertexId) {
-        if (is_target(v)) {
-          hit = NearestHit{v, d};
-          return VisitAction::kStop;
-        }
-        if (traversal_filter && !traversal_filter(v)) {
-          return VisitAction::kSkipExpand;
-        }
-        return VisitAction::kContinue;
-      });
-  if (stats_out != nullptr) *stats_out += stats;
-  return hit;
+  return MultiSourceNearestT(
+      g, seeds, ws, is_target,
+      [&](VertexId v) { return !traversal_filter || traversal_filter(v); },
+      stats_out);
 }
 
 std::vector<Weight> BellmanFordDistances(const Graph& g, VertexId source) {

@@ -51,6 +51,29 @@ std::optional<NearestHit> MultiSourceNearest(
     const std::function<bool(VertexId)>& traversal_filter = nullptr,
     DijkstraRunStats* stats_out = nullptr);
 
+/// Monomorphized variant for hot call sites: the predicates inline into the
+/// settle loop and the caller supplies the workspace, so repeated searches
+/// (one per query leg) allocate nothing. `traversal_filter` is always
+/// consulted here — pass `[](VertexId) { return true; }` for no filter.
+template <typename IsTarget, typename TraversalFilter>
+std::optional<NearestHit> MultiSourceNearestT(
+    const Graph& g, std::span<const SourceSeed> seeds, DijkstraWorkspace& ws,
+    IsTarget&& is_target, TraversalFilter&& traversal_filter,
+    DijkstraRunStats* stats_out = nullptr) {
+  std::optional<NearestHit> hit;
+  DijkstraRunStats stats =
+      RunDijkstra(g, seeds, ws, [&](VertexId v, Weight d, VertexId) {
+        if (is_target(v)) {
+          hit = NearestHit{v, d};
+          return VisitAction::kStop;
+        }
+        if (!traversal_filter(v)) return VisitAction::kSkipExpand;
+        return VisitAction::kContinue;
+      });
+  if (stats_out != nullptr) *stats_out += stats;
+  return hit;
+}
+
 /// Reference Bellman-Ford (handles the same non-negative inputs; O(V*E)).
 /// Exists to property-test Dijkstra against an independent implementation.
 std::vector<Weight> BellmanFordDistances(const Graph& g, VertexId source);

@@ -7,6 +7,8 @@
 #ifndef SKYSR_GRAPH_DIJKSTRA_RUNNER_H_
 #define SKYSR_GRAPH_DIJKSTRA_RUNNER_H_
 
+#include <bit>
+#include <cstdint>
 #include <span>
 #include <utility>
 
@@ -54,58 +56,83 @@ struct SourceSeed {
   Weight dist = 0;
 };
 
-/// Runs Dijkstra from the given seeds. The visitor is invoked exactly once
-/// per settled vertex as `VisitAction visitor(VertexId v, Weight dist,
-/// VertexId parent)`; `parent` is kInvalidVertex for seeds. Ties are broken
-/// by vertex id, making traversal order deterministic.
-template <typename Visitor>
-DijkstraRunStats RunDijkstra(const Graph& g, std::span<const SourceSeed> seeds,
-                             DijkstraWorkspace& ws, Visitor&& visitor) {
-  struct HeapItem {
-    Weight dist;
-    VertexId vertex;
-    VertexId parent;
-    bool operator<(const HeapItem& o) const {
-      if (dist != o.dist) return dist < o.dist;
-      return vertex < o.vertex;
-    }
-  };
+/// Runs Dijkstra from the given seeds, refusing to enqueue tentative
+/// distances at or beyond `relax_bound()` (an exclusive, possibly shrinking
+/// bound — the expansion search's Lemma 5.3 budget). The visitor is invoked
+/// exactly once per settled vertex as `VisitAction visitor(VertexId v,
+/// Weight dist, VertexId parent)`; `parent` is kInvalidVertex for seeds.
+/// Ties are broken by vertex id, making traversal order deterministic.
+///
+/// Every vertex whose distance is below min(first kStop settle's distance,
+/// *min_refused_out) is guaranteed settled: a refused push can only hide
+/// vertices at or beyond the smallest refused tentative distance (any
+/// shorter path to them would have been enqueued). Callers deriving a
+/// covered radius must therefore take the min of both.
+template <typename Visitor, typename BoundFn>
+DijkstraRunStats RunDijkstraBounded(const Graph& g,
+                                    std::span<const SourceSeed> seeds,
+                                    DijkstraWorkspace& ws, Visitor&& visitor,
+                                    BoundFn&& relax_bound,
+                                    Weight* min_refused_out) {
+  static_assert(sizeof(Weight) == sizeof(uint64_t));
+  const auto to_bits = [](Weight w) { return std::bit_cast<uint64_t>(w); };
+  const auto to_weight = [](uint64_t b) { return std::bit_cast<Weight>(b); };
 
   DijkstraRunStats stats;
   ws.Prepare(g.num_vertices());
-  DaryHeap<HeapItem> heap;
+  DaryHeap<DijkstraHeapItem>& heap = ws.heap();
+  heap.clear();
   for (const SourceSeed& s : seeds) {
     if (s.dist < ws.Dist(s.vertex)) {
       ws.SetDist(s.vertex, s.dist, kInvalidVertex);
-      heap.push(HeapItem{s.dist, s.vertex, kInvalidVertex});
+      heap.push(DijkstraHeapItem{to_bits(s.dist), s.vertex, kInvalidVertex});
     }
   }
 
   while (!heap.empty()) {
-    const HeapItem item = heap.pop();
+    const DijkstraHeapItem item = heap.pop();
     if (ws.Settled(item.vertex)) continue;  // stale (lazy deletion)
+    const Weight dist = to_weight(item.dist_bits);
     ws.MarkSettled(item.vertex);
     ++stats.settled;
-    if (item.dist > stats.max_settled_dist) {
-      stats.max_settled_dist = item.dist;
+    if (dist > stats.max_settled_dist) {
+      stats.max_settled_dist = dist;
     }
 
-    const VisitAction action = visitor(item.vertex, item.dist, item.parent);
+    const VisitAction action = visitor(item.vertex, dist, item.parent);
     if (action == VisitAction::kStop) break;
     if (action == VisitAction::kSkipExpand) continue;
 
     for (const Neighbor& nb : g.OutEdges(item.vertex)) {
       if (ws.Settled(nb.to)) continue;
-      const Weight nd = item.dist + nb.weight;
+      const Weight nd = dist + nb.weight;
       if (nd < ws.Dist(nb.to)) {
+        if (nd >= relax_bound()) {
+          // Beyond the budget: can never settle inside it (the bound only
+          // shrinks). Skipping the push saves the heap traffic; the refusal
+          // caps the provable coverage.
+          if (min_refused_out != nullptr && nd < *min_refused_out) {
+            *min_refused_out = nd;
+          }
+          continue;
+        }
         ws.SetDist(nb.to, nd, item.vertex);
-        heap.push(HeapItem{nd, nb.to, item.vertex});
+        heap.push(DijkstraHeapItem{to_bits(nd), nb.to, item.vertex});
         ++stats.relaxed;
         stats.weight_sum += nb.weight;
       }
     }
   }
   return stats;
+}
+
+/// Unbounded Dijkstra: the relax bound compiles away.
+template <typename Visitor>
+DijkstraRunStats RunDijkstra(const Graph& g, std::span<const SourceSeed> seeds,
+                             DijkstraWorkspace& ws, Visitor&& visitor) {
+  return RunDijkstraBounded(
+      g, seeds, ws, std::forward<Visitor>(visitor),
+      [] { return kInfWeight; }, nullptr);
 }
 
 /// Single-seed convenience overload.

@@ -45,9 +45,13 @@ void QueryService::Shutdown() {
 
 void QueryService::WorkerLoop(int /*thread_index*/) {
   // One engine per worker: the whole point of the service layer. The engine
-  // reuses its scratch and on-the-fly Dijkstra cache across the queries this
-  // worker happens to draw; the distance oracle (if any) is shared and
-  // immutable, with each engine owning its private oracle workspace.
+  // owns a QueryWorkspace (skyline, arena, bulk queue, flat cache +
+  // candidate pool, settle log, every sub-search scratch) that lives for
+  // this worker's lifetime, so sustained batch/serve traffic runs
+  // allocation-free in steady state — capacities grow to the hardest query
+  // drawn and stay; results are bit-identical to a fresh engine per query.
+  // The distance oracle (if any) is shared and immutable, with each
+  // engine's workspace holding its private oracle scratch.
   BssrEngine engine(*graph_, *forest_, config_.oracle);
   while (auto task = queue_.Pop()) {
     Execute(engine, *task);

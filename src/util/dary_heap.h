@@ -32,6 +32,13 @@ class DaryHeap {
   void clear() { items_.clear(); }
   void reserve(size_t n) { items_.reserve(n); }
 
+  /// Replaces the comparator. Only valid while the heap is empty (otherwise
+  /// the heap property under the new order is not re-established).
+  void set_less(Less less) {
+    SKYSR_DCHECK(items_.empty());
+    less_ = std::move(less);
+  }
+
   /// The minimum element. Requires !empty().
   const T& top() const {
     SKYSR_DCHECK(!items_.empty());
@@ -53,24 +60,30 @@ class DaryHeap {
   T pop() {
     SKYSR_DCHECK(!items_.empty());
     T out = std::move(items_.front());
-    items_.front() = std::move(items_.back());
+    T last = std::move(items_.back());
     items_.pop_back();
-    if (!items_.empty()) SiftDown(0);
+    if (!items_.empty()) SiftDown(std::move(last));
     return out;
   }
 
  private:
+  /// Hole-based percolation: one move per level instead of a three-move
+  /// swap — the heap is the inner loop of every Dijkstra in the library.
   void SiftUp(size_t i) {
+    T value = std::move(items_[i]);
     while (i > 0) {
       const size_t parent = (i - 1) / D;
-      if (!less_(items_[i], items_[parent])) break;
-      std::swap(items_[i], items_[parent]);
+      if (!less_(value, items_[parent])) break;
+      items_[i] = std::move(items_[parent]);
       i = parent;
     }
+    items_[i] = std::move(value);
   }
 
-  void SiftDown(size_t i) {
+  /// Sifts `value` down from the root hole left by pop().
+  void SiftDown(T value) {
     const size_t n = items_.size();
+    size_t i = 0;
     while (true) {
       const size_t first_child = i * D + 1;
       if (first_child >= n) break;
@@ -79,10 +92,11 @@ class DaryHeap {
       for (size_t c = first_child + 1; c < last_child; ++c) {
         if (less_(items_[c], items_[best])) best = c;
       }
-      if (!less_(items_[best], items_[i])) break;
-      std::swap(items_[i], items_[best]);
+      if (!less_(items_[best], value)) break;
+      items_[i] = std::move(items_[best]);
       i = best;
     }
+    items_[i] = std::move(value);
   }
 
   std::vector<T> items_;

@@ -4,16 +4,23 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <utility>
+#include <vector>
+
 #include "category/taxonomy_factory.h"
 #include "core/lower_bound.h"
 #include "core/mdijkstra_cache.h"
 #include "core/modified_dijkstra.h"
 #include "core/nn_init.h"
 #include "core/query.h"
+#include "core/route.h"
+#include "core/settle_log.h"
 #include "core/skyline_set.h"
 #include "core/threshold.h"
 #include "graph/graph_builder.h"
 #include "tests/test_util.h"
+#include "util/rng.h"
 
 namespace skysr {
 namespace {
@@ -217,15 +224,15 @@ TEST(CacheTest, PutFindReplaceAndClear) {
   CandidateList l1;
   l1.covered_radius = 5;
   cache.Put(3, 1, std::move(l1));
-  const CandidateList* hit = cache.Find(3, 1);
+  const MdijkstraCache::Entry* hit = cache.Find(3, 1);
   ASSERT_NE(hit, nullptr);
-  EXPECT_EQ(hit->covered_radius, 5);
+  EXPECT_EQ(hit->meta.covered_radius, 5);
   EXPECT_EQ(cache.Find(3, 2), nullptr);
   EXPECT_EQ(cache.Find(4, 1), nullptr);
   CandidateList l2;
   l2.covered_radius = 9;
   cache.Put(3, 1, std::move(l2));
-  EXPECT_EQ(cache.Find(3, 1)->covered_radius, 9);
+  EXPECT_EQ(cache.Find(3, 1)->meta.covered_radius, 9);
   EXPECT_EQ(cache.replacements(), 1);
   cache.Clear();
   EXPECT_EQ(cache.Find(3, 1), nullptr);
@@ -287,7 +294,8 @@ TEST(ThresholdPolicyTest, PruningLogic) {
   lb.lp_remaining = {3.0, 3.0, 0.0};
   lb.ls_leg = {2.0};
   lb.lp_leg = {3.0};
-  const ThresholdPolicy policy(skyline, agg, &lb, {0.8, 0.8, 0.0}, 2);
+  const std::vector<double> sigma = {0.8, 0.8, 0.0};
+  const ThresholdPolicy policy(skyline, agg, &lb, sigma, 2);
 
   // Size-1 partial with semantic 0 (acc=1): threshold is 10.
   EXPECT_FALSE(policy.ShouldPrunePartial(1.0, 7.9, 1));  // 7.9+2 < 10
@@ -305,10 +313,147 @@ TEST(ThresholdPolicyTest, PruningLogic) {
   EXPECT_DOUBLE_EQ(policy.ExpansionBudget(1.0, 0.0, 0), 8.0);
 }
 
+// The flat stamped-span cache must behave exactly like a plain map from
+// (source, position) to the last committed list — randomized operation
+// sequences against a reference model.
+TEST(CacheTest, FlatTableMatchesMapReferenceModel) {
+  struct RefEntry {
+    std::vector<ExpansionCandidate> candidates;
+    Weight covered_radius;
+    bool exhausted;
+  };
+  Rng rng(4242);
+  MdijkstraCache cache;
+  std::map<std::pair<VertexId, int>, RefEntry> ref;
+  for (int round = 0; round < 5; ++round) {
+    for (int op = 0; op < 400; ++op) {
+      const auto src = static_cast<VertexId>(rng.UniformU64(64));
+      const int pos = static_cast<int>(rng.UniformU64(5));
+      if (rng.UniformU64(3) == 0) {
+        // Lookup: both must agree on presence and contents.
+        const MdijkstraCache::Entry* hit = cache.Find(src, pos);
+        const auto it = ref.find({src, pos});
+        ASSERT_EQ(hit != nullptr, it != ref.end());
+        if (hit != nullptr) {
+          EXPECT_EQ(hit->meta.covered_radius, it->second.covered_radius);
+          EXPECT_EQ(hit->meta.exhausted, it->second.exhausted);
+          const auto got = cache.CandidatesOf(*hit);
+          ASSERT_EQ(got.size(), it->second.candidates.size());
+          for (size_t i = 0; i < got.size(); ++i) {
+            EXPECT_EQ(got[i].vertex, it->second.candidates[i].vertex);
+            EXPECT_EQ(got[i].dist, it->second.candidates[i].dist);
+          }
+        }
+      } else {
+        // Commit through the pool-append protocol.
+        const size_t offset = cache.pool().size();
+        RefEntry entry;
+        entry.covered_radius = static_cast<Weight>(rng.UniformU64(100));
+        entry.exhausted = rng.UniformU64(4) == 0;
+        const int n = static_cast<int>(rng.UniformU64(6));
+        for (int i = 0; i < n; ++i) {
+          const ExpansionCandidate cand{
+              static_cast<VertexId>(rng.UniformU64(1000)),
+              static_cast<Weight>(i), 0.5};
+          cache.pool().push_back(cand);
+          entry.candidates.push_back(cand);
+        }
+        cache.Commit(src, pos, offset,
+                     ExpansionOutcome{entry.covered_radius, entry.exhausted});
+        ref[{src, pos}] = std::move(entry);
+      }
+    }
+    EXPECT_EQ(cache.size(), static_cast<int64_t>(ref.size()));
+    cache.Clear();
+    ref.clear();
+    EXPECT_EQ(cache.Find(0, 0), nullptr);
+  }
+}
+
+TEST(SkylineGenerationTest, AdvancesExactlyOnContentChanges) {
+  SkylineSet s;
+  const uint64_t g0 = s.generation();
+  s.Clear();  // empty: no content change
+  EXPECT_EQ(s.generation(), g0);
+
+  ASSERT_TRUE(s.Update({10.0, 0.5}, {1}));  // insert
+  const uint64_t g1 = s.generation();
+  EXPECT_GT(g1, g0);
+
+  EXPECT_FALSE(s.Update({10.0, 0.5}, {2}));  // equivalent: rejected
+  EXPECT_FALSE(s.Update({12.0, 0.6}, {3}));  // dominated: rejected
+  EXPECT_EQ(s.generation(), g1);
+
+  ASSERT_TRUE(s.Update({5.0, 0.9}, {4}));  // insert, no eviction
+  const uint64_t g2 = s.generation();
+  EXPECT_GT(g2, g1);
+
+  // Dominates both: evicts and inserts — generation moves.
+  ASSERT_TRUE(s.Update({4.0, 0.4}, {5}));
+  const uint64_t g3 = s.generation();
+  EXPECT_GT(g3, g2);
+  EXPECT_EQ(s.size(), 1);
+
+  const std::vector<Route> taken = s.TakeRoutes();
+  EXPECT_EQ(taken.size(), 1u);
+  EXPECT_GT(s.generation(), g3);  // contents changed (emptied)
+  EXPECT_TRUE(s.empty());
+
+  s.Clear();  // already empty again: no bump
+  const uint64_t g4 = s.generation();
+  s.Update({1.0, 0.1}, {6});
+  s.Clear();  // non-empty clear: bump
+  EXPECT_GT(s.generation(), g4 + 1 - 1);
+}
+
+TEST(SkylineGenerationTest, TakeRoutesMovesWithoutCopy) {
+  SkylineSet s;
+  s.Update({3.0, 0.2}, {7, 8, 9});
+  const PoiId* data_before = s.routes()[0].pois.data();
+  const std::vector<Route> taken = s.TakeRoutes();
+  ASSERT_EQ(taken.size(), 1u);
+  EXPECT_EQ(taken[0].pois.data(), data_before);  // moved, not deep-copied
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(RouteArenaTest, ContainsWithSignatureCollisions) {
+  RouteArena arena;
+  // PoIs 3 and 67 collide in the 64-bit signature (67 % 64 == 3).
+  const int32_t a = arena.Add(RouteArena::kEmpty, 3, 0, 1.0, 1.0);
+  const int32_t b = arena.Add(a, 67, 1, 2.0, 1.0);
+  EXPECT_TRUE(arena.Contains(b, 3));
+  EXPECT_TRUE(arena.Contains(b, 67));
+  EXPECT_FALSE(arena.Contains(b, 131));  // collides with both, not present
+  EXPECT_FALSE(arena.Contains(b, 5));
+  EXPECT_FALSE(arena.Contains(RouteArena::kEmpty, 3));
+  std::vector<PoiId> buf;
+  arena.MaterializeInto(b, &buf);
+  EXPECT_EQ(buf, (std::vector<PoiId>{3, 67}));
+}
+
+TEST(SettleLogTest, CommitFindAndStampedClear) {
+  SettleLog log;
+  EXPECT_EQ(log.Find(7), nullptr);
+  const size_t off = log.pool().size();
+  log.pool().push_back(SettleRecord{7, 0.0});
+  log.pool().push_back(SettleRecord{9, 2.5});
+  log.Commit(7, off, ExpansionOutcome{2.5, false});
+  const SettleLog::Entry* e = log.Find(7);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->meta.covered_radius, 2.5);
+  EXPECT_FALSE(e->meta.exhausted);
+  ASSERT_EQ(log.RecordsOf(*e).size(), 2u);
+  EXPECT_EQ(log.RecordsOf(*e)[1].vertex, 9);
+  log.Clear();
+  EXPECT_EQ(log.Find(7), nullptr);
+  EXPECT_EQ(log.size(), 0);
+}
+
 TEST(ThresholdPolicyTest, EmptySkylineNeverPrunes) {
   SkylineSet skyline;
   const SemanticAggregator agg;
-  const ThresholdPolicy policy(skyline, agg, nullptr, {0.0, 0.0}, 1);
+  const std::vector<double> sigma = {0.0, 0.0};
+  const ThresholdPolicy policy(skyline, agg, nullptr, sigma, 1);
   EXPECT_FALSE(policy.ShouldPrunePartial(1.0, 1e12, 1));
   EXPECT_EQ(policy.ExpansionBudget(1.0, 0.0, 0), kInfWeight);
 }

@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/bssr_engine.h"
 #include "index/oracle_factory.h"
 #include "scenario/diff_check.h"
 #include "scenario/scenario.h"
@@ -80,6 +81,44 @@ TEST(DifferentialTest, SuiteCoversAllFamiliesAndWorkloadShapes) {
   EXPECT_TRUE(seen_plain);
   EXPECT_TRUE(seen_complex);
   EXPECT_TRUE(seen_multicat);
+}
+
+// Workspace-reuse determinism: the engine's QueryWorkspace (skyline, arena,
+// Q_b, flat cache + candidate pool, settle log, every scratch) persists
+// across queries; 100 sequential mixed queries on ONE engine must be
+// bit-identical — routes, PoI witnesses AND deterministic work counters —
+// to running each query on a freshly constructed engine.
+TEST(DifferentialTest, WorkspaceReuseIsBitIdenticalToFreshEngines) {
+  int ran = 0;
+  for (int idx = 0; ran < 100; ++idx) {
+    const Scenario sc = MakeScenario(ScenarioSuiteSpec(idx, /*seed=*/777));
+    BssrEngine reused(sc.dataset.graph, sc.dataset.forest);
+    for (size_t qi = 0; qi < sc.queries.size() && ran < 100; ++qi, ++ran) {
+      const Query& q = sc.queries[qi];
+      const auto a = reused.Run(q);
+      BssrEngine fresh(sc.dataset.graph, sc.dataset.forest);
+      const auto b = fresh.Run(q);
+      ASSERT_TRUE(a.ok() && b.ok());
+      ASSERT_EQ(a->routes.size(), b->routes.size())
+          << sc.spec.name << " query " << qi;
+      for (size_t r = 0; r < a->routes.size(); ++r) {
+        EXPECT_EQ(a->routes[r].scores.length, b->routes[r].scores.length);
+        EXPECT_EQ(a->routes[r].scores.semantic, b->routes[r].scores.semantic);
+        EXPECT_EQ(a->routes[r].pois, b->routes[r].pois)
+            << sc.spec.name << " query " << qi << " route " << r;
+      }
+      EXPECT_EQ(a->stats.vertices_settled, b->stats.vertices_settled);
+      EXPECT_EQ(a->stats.edges_relaxed, b->stats.edges_relaxed);
+      EXPECT_EQ(a->stats.routes_enqueued, b->stats.routes_enqueued);
+      EXPECT_EQ(a->stats.routes_dequeued, b->stats.routes_dequeued);
+      EXPECT_EQ(a->stats.mdijkstra_runs, b->stats.mdijkstra_runs);
+      EXPECT_EQ(a->stats.mdijkstra_cache_hits,
+                b->stats.mdijkstra_cache_hits);
+      EXPECT_EQ(a->stats.cand_examined, b->stats.cand_examined);
+      EXPECT_EQ(a->stats.settle_log_replays, b->stats.settle_log_replays);
+    }
+  }
+  EXPECT_EQ(ran, 100);
 }
 
 // Determinism: the same (instance count, master seed) must reproduce the
