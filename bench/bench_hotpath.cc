@@ -22,12 +22,15 @@
 #include <atomic>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <new>
 #include <string>
 #include <vector>
 
 #include "bench/bench_common.h"
 #include "core/bssr_engine.h"
+#include "index/ch_oracle.h"
+#include "retrieval/category_buckets.h"
 #include "scenario/scenario.h"
 #include "util/timer.h"
 
@@ -114,10 +117,31 @@ struct WorkCounters {
   int64_t log_replays = 0;
   int64_t cand_examined = 0;
   int64_t skyline_routes = 0;
+  // Retrieval-subsystem paths (zero in the settle config).
+  int64_t bucket_runs = 0;
+  int64_t resume_runs = 0;
+  int64_t fwd_searches = 0;
+  int64_t fwd_reuses = 0;
+  int64_t bucket_cands = 0;
+};
+
+/// One benched engine configuration. "settle" is the PR 4 baseline path
+/// (no index, classic expansions); "auto" is the production target: CH
+/// oracle + category-bucket tables with the auto retriever.
+struct BenchConfig {
+  const char* label;
+  RetrieverKind retriever;
+  bool with_index;
+};
+
+constexpr BenchConfig kConfigs[] = {
+    {"settle", RetrieverKind::kSettle, false},
+    {"auto", RetrieverKind::kAuto, true},
 };
 
 struct FamilyResult {
   std::string name;
+  std::string config;
   int64_t vertices = 0;
   int64_t pois = 0;
   int64_t queries = 0;
@@ -125,6 +149,7 @@ struct FamilyResult {
   double elapsed_s = 0;       // timed reps total
   int64_t timed_queries = 0;  // queries x reps
   int64_t allocs = 0;         // during the timed reps
+  double index_build_ms = 0;  // CH + bucket preprocessing (auto config)
   std::vector<double> latencies_ms;
 };
 
@@ -135,17 +160,28 @@ double Percentile(std::vector<double>& v, double p) {
   return v[idx];
 }
 
-FamilyResult RunFamily(GraphFamily family, int64_t vertices, int num_queries,
+FamilyResult RunFamily(const Scenario& sc, const BenchConfig& config,
                        int reps) {
-  const Scenario sc = MakeScenario(HotpathSpec(family, vertices, num_queries));
   FamilyResult out;
   out.name = sc.spec.name;
+  out.config = config.label;
   out.vertices = sc.dataset.graph.num_vertices();
   out.pois = sc.dataset.graph.num_pois();
   out.queries = static_cast<int64_t>(sc.queries.size());
 
-  BssrEngine engine(sc.dataset.graph, sc.dataset.forest);
-  const QueryOptions options;
+  std::unique_ptr<ChOracle> ch;
+  std::unique_ptr<CategoryBucketIndex> buckets;
+  if (config.with_index) {
+    WallTimer index_timer;
+    ch = std::make_unique<ChOracle>(ChOracle::Build(sc.dataset.graph));
+    buckets = std::make_unique<CategoryBucketIndex>(
+        CategoryBucketIndex::Build(sc.dataset.graph, *ch));
+    out.index_build_ms = index_timer.ElapsedMillis();
+  }
+  BssrEngine engine(sc.dataset.graph, sc.dataset.forest, ch.get(),
+                    buckets.get());
+  QueryOptions options;
+  options.retriever = config.retriever;
 
   // Warm-up pass: brings the engine to steady state (workspace capacities
   // grown) and collects the deterministic work counters.
@@ -161,6 +197,11 @@ FamilyResult RunFamily(GraphFamily family, int64_t vertices, int num_queries,
     out.counters.log_replays += r->stats.settle_log_replays;
     out.counters.cand_examined += r->stats.cand_examined;
     out.counters.skyline_routes += r->stats.skyline_size;
+    out.counters.bucket_runs += r->stats.retriever_bucket_runs;
+    out.counters.resume_runs += r->stats.retriever_resume_runs;
+    out.counters.fwd_searches += r->stats.bucket_fwd_searches;
+    out.counters.fwd_reuses += r->stats.bucket_fwd_reuses;
+    out.counters.bucket_cands += r->stats.bucket_candidates;
   }
 
   // Timed reps: steady-state throughput, latency and allocation counts.
@@ -184,14 +225,17 @@ FamilyResult RunFamily(GraphFamily family, int64_t vertices, int num_queries,
 /// Canonical text form of the golden counters; a byte-for-byte comparison is
 /// the whole check.
 std::string GoldenText(const std::vector<FamilyResult>& families) {
-  std::string out = "skysr hotpath golden counters v1\n";
+  std::string out = "skysr hotpath golden counters v2\n";
   for (const FamilyResult& f : families) {
-    char buf[256];
+    char buf[384];
     std::snprintf(buf, sizeof(buf),
-                  "%s queries=%lld settled=%lld relaxed=%lld enqueued=%lld "
-                  "dequeued=%lld runs=%lld cache_hits=%lld log_replays=%lld "
-                  "cand_examined=%lld skyline=%lld\n",
-                  f.name.c_str(), static_cast<long long>(f.queries),
+                  "%s/%s queries=%lld settled=%lld relaxed=%lld "
+                  "enqueued=%lld dequeued=%lld runs=%lld cache_hits=%lld "
+                  "log_replays=%lld cand_examined=%lld skyline=%lld "
+                  "bucket_runs=%lld resume_runs=%lld fwd_searches=%lld "
+                  "fwd_reuses=%lld bucket_cands=%lld\n",
+                  f.name.c_str(), f.config.c_str(),
+                  static_cast<long long>(f.queries),
                   static_cast<long long>(f.counters.settled),
                   static_cast<long long>(f.counters.relaxed),
                   static_cast<long long>(f.counters.enqueued),
@@ -200,7 +244,12 @@ std::string GoldenText(const std::vector<FamilyResult>& families) {
                   static_cast<long long>(f.counters.cache_hits),
                   static_cast<long long>(f.counters.log_replays),
                   static_cast<long long>(f.counters.cand_examined),
-                  static_cast<long long>(f.counters.skyline_routes));
+                  static_cast<long long>(f.counters.skyline_routes),
+                  static_cast<long long>(f.counters.bucket_runs),
+                  static_cast<long long>(f.counters.resume_runs),
+                  static_cast<long long>(f.counters.fwd_searches),
+                  static_cast<long long>(f.counters.fwd_reuses),
+                  static_cast<long long>(f.counters.bucket_cands));
     out += buf;
   }
   return out;
@@ -226,13 +275,26 @@ bool WriteFile(const char* path, const std::string& text) {
 }
 
 /// The fixed golden suite: small, env-independent, still covering all three
-/// families and every predicate/destination shape.
+/// families, every predicate/destination shape and every engine
+/// configuration — settle (the classic path), auto (the production cost
+/// model, resume-dominated at this size) and forced bucket (so bucket-scan
+/// work counters are pinned even where the cost model would decline) — so
+/// retriever-path work regressions fail the gate too.
 std::vector<FamilyResult> RunGoldenSuite() {
+  static constexpr BenchConfig kGoldenConfigs[] = {
+      {"settle", RetrieverKind::kSettle, false},
+      {"auto", RetrieverKind::kAuto, true},
+      {"bucket", RetrieverKind::kBucket, true},
+  };
   std::vector<FamilyResult> out;
   for (const GraphFamily family :
        {GraphFamily::kGrid, GraphFamily::kCluster, GraphFamily::kSmallWorld}) {
-    out.push_back(RunFamily(family, /*vertices=*/800, /*num_queries=*/24,
-                            /*reps=*/0));
+    const Scenario sc =
+        MakeScenario(HotpathSpec(family, /*vertices=*/800,
+                                 /*num_queries=*/24));
+    for (const BenchConfig& config : kGoldenConfigs) {
+      out.push_back(RunFamily(sc, config, /*reps=*/0));
+    }
   }
   return out;
 }
@@ -267,11 +329,15 @@ int Main(int argc, char** argv) {
   std::vector<FamilyResult> families;
   for (const GraphFamily family :
        {GraphFamily::kGrid, GraphFamily::kCluster, GraphFamily::kSmallWorld}) {
-    families.push_back(RunFamily(family, vertices, num_queries, reps));
+    const Scenario sc =
+        MakeScenario(HotpathSpec(family, vertices, num_queries));
+    for (const BenchConfig& config : kConfigs) {
+      families.push_back(RunFamily(sc, config, reps));
+    }
   }
 
-  TablePrinter table({"family", "V", "PoI", "qps", "p50 ms", "p99 ms",
-                      "settles/s", "expansions/s", "allocs/query"});
+  TablePrinter table({"family", "config", "V", "PoI", "qps", "p50 ms",
+                      "p99 ms", "settles/s", "expansions/s", "allocs/query"});
   JsonWriter json;
   json.BeginObject();
   json.Field("bench", "hotpath");
@@ -280,6 +346,7 @@ int Main(int argc, char** argv) {
   json.BeginArray("families");
 
   double total_queries = 0, total_elapsed = 0;
+  double config_queries[2] = {0, 0}, config_elapsed[2] = {0, 0};
   for (FamilyResult& f : families) {
     const double qps =
         f.elapsed_s > 0 ? static_cast<double>(f.timed_queries) / f.elapsed_s
@@ -302,14 +369,19 @@ int Main(int argc, char** argv) {
     const double p99 = Percentile(f.latencies_ms, 0.99);
     total_queries += static_cast<double>(f.timed_queries);
     total_elapsed += f.elapsed_s;
+    const int ci = f.config == kConfigs[0].label ? 0 : 1;
+    config_queries[ci] += static_cast<double>(f.timed_queries);
+    config_elapsed[ci] += f.elapsed_s;
 
-    table.AddRow({f.name, FmtInt(f.vertices), FmtInt(f.pois),
+    table.AddRow({f.name, f.config, FmtInt(f.vertices), FmtInt(f.pois),
                   Fmt("%.1f", qps), Fmt("%.3f", p50), Fmt("%.3f", p99),
                   Fmt("%.0f", settles_per_s), Fmt("%.0f", expansions_per_s),
                   Fmt("%.1f", allocs_per_query)});
 
     json.BeginObject();
     json.Field("family", f.name);
+    json.Field("config", f.config);
+    json.Field("index_build_ms", f.index_build_ms);
     json.Field("vertices", f.vertices);
     json.Field("pois", f.pois);
     json.Field("queries", f.queries);
@@ -329,18 +401,32 @@ int Main(int argc, char** argv) {
     json.Field("settle_log_replays", f.counters.log_replays);
     json.Field("cand_examined", f.counters.cand_examined);
     json.Field("skyline_routes", f.counters.skyline_routes);
+    json.Field("bucket_runs", f.counters.bucket_runs);
+    json.Field("resume_runs", f.counters.resume_runs);
+    json.Field("bucket_fwd_searches", f.counters.fwd_searches);
+    json.Field("bucket_fwd_reuses", f.counters.fwd_reuses);
+    json.Field("bucket_candidates", f.counters.bucket_cands);
     json.EndObject();
     json.EndObject();
   }
   json.EndArray();
-  json.Field("total_qps",
-             total_elapsed > 0 ? total_queries / total_elapsed : 0.0);
+  const double settle_qps =
+      config_elapsed[0] > 0 ? config_queries[0] / config_elapsed[0] : 0;
+  const double auto_qps =
+      config_elapsed[1] > 0 ? config_queries[1] / config_elapsed[1] : 0;
+  // `total_qps` tracks the production configuration (auto retriever over
+  // CH + buckets) for trajectory continuity; the settle config is the PR 4
+  // baseline path, kept for PR-over-PR comparability.
+  json.Field("total_qps", auto_qps);
+  json.Field("total_qps_settle", settle_qps);
+  json.Field("total_qps_auto", auto_qps);
   json.EndObject();
 
   table.Print();
-  const double total_qps = total_elapsed > 0 ? total_queries / total_elapsed : 0;
-  std::printf("\ntotal single-thread throughput: %.1f queries/sec\n",
-              total_qps);
+  std::printf(
+      "\ntotal single-thread throughput: settle %.1f qps, auto %.1f qps "
+      "(%.2fx)\n",
+      settle_qps, auto_qps, settle_qps > 0 ? auto_qps / settle_qps : 0.0);
   if (!json.WriteFile(json_path)) {
     std::fprintf(stderr, "failed to write %s\n", json_path);
     return 1;

@@ -4,6 +4,7 @@
 #include <bit>
 #include <cmath>
 #include <cstdint>
+#include <optional>
 
 #include "core/lower_bound.h"
 #include "core/nn_init.h"
@@ -11,6 +12,7 @@
 #include "core/threshold.h"
 #include "graph/dijkstra.h"
 #include "graph/graph_builder.h"
+#include "retrieval/poi_retriever.h"
 #include "util/timer.h"
 
 namespace skysr {
@@ -98,9 +100,18 @@ struct SimDecisionMemo {
 }  // namespace
 
 BssrEngine::BssrEngine(const Graph& graph, const CategoryForest& forest,
-                       const DistanceOracle* oracle)
-    : g_(&graph), forest_(&forest), oracle_(oracle) {
+                       const DistanceOracle* oracle,
+                       const CategoryBucketIndex* buckets)
+    : g_(&graph), forest_(&forest), oracle_(oracle), buckets_(buckets) {
   SKYSR_DCHECK(oracle == nullptr || &oracle->graph() == &graph);
+  // Bucket tables must describe exactly this (graph, oracle); anything else
+  // is silently dropped rather than risking a foreign CH build's CSR
+  // indices.
+  if (buckets_ != nullptr &&
+      (oracle_ == nullptr || &buckets_->graph() != g_ ||
+       static_cast<const DistanceOracle*>(&buckets_->oracle()) != oracle_)) {
+    buckets_ = nullptr;
+  }
   for (PoiId p = 0; p < g_->num_pois(); ++p) {
     if (g_->PoiCategories(p).size() > 1) {
       has_multi_category_poi_ = true;
@@ -181,26 +192,38 @@ Result<QueryResult> BssrEngine::Run(const Query& query,
     }
   }
 
-  // Destination distances (§6): D(v, destination) for every v, computed
-  // into the reused workspace buffer. Directed graphs search the reversed
-  // graph, built lazily once per engine instead of per query.
+  // Destination distances (§6): D(v, destination) for every v. Directed
+  // graphs search the reversed graph, built lazily once per engine instead
+  // of per query. With a shared provider (QueryService's per-destination
+  // LRU) the table is fetched — or computed once and shared — instead of
+  // re-running the full-graph reverse Dijkstra per repeat; the computation
+  // is identical either way, so results are too.
   const std::vector<Weight>* dest_dist = nullptr;
+  std::shared_ptr<const std::vector<Weight>> shared_tails;
   if (query.destination) {
-    const Graph* search_graph = g_;
-    if (g_->directed()) {
-      if (reversed_ == nullptr) {
-        reversed_ = std::make_unique<const Graph>(ReverseOf(*g_));
+    const auto compute_tails = [&](std::vector<Weight>* out) {
+      const Graph* search_graph = g_;
+      if (g_->directed()) {
+        if (reversed_ == nullptr) {
+          reversed_ = std::make_unique<const Graph>(ReverseOf(*g_));
+        }
+        search_graph = reversed_.get();
       }
-      search_graph = reversed_.get();
+      out->assign(static_cast<size_t>(g_->num_vertices()), kInfWeight);
+      RunDijkstra(*search_graph, *query.destination, ws_.dijkstra_ws,
+                  [&](VertexId v, Weight d, VertexId) {
+                    (*out)[static_cast<size_t>(v)] = d;
+                    return VisitAction::kContinue;
+                  });
+    };
+    if (dest_tails_ != nullptr) {
+      shared_tails = dest_tails_->GetOrCompute(*query.destination,
+                                               compute_tails);
+      dest_dist = shared_tails.get();
+    } else {
+      compute_tails(&ws_.dest_dist);
+      dest_dist = &ws_.dest_dist;
     }
-    ws_.dest_dist.assign(static_cast<size_t>(g_->num_vertices()),
-                         kInfWeight);
-    RunDijkstra(*search_graph, *query.destination, ws_.dijkstra_ws,
-                [&](VertexId v, Weight d, VertexId) {
-                  ws_.dest_dist[static_cast<size_t>(v)] = d;
-                  return VisitAction::kContinue;
-                });
-    dest_dist = &ws_.dest_dist;
   }
 
   SkylineSet& skyline = ws_.skyline;
@@ -211,14 +234,48 @@ Result<QueryResult> BssrEngine::Run(const Query& query,
   arena.Clear();
   cache.Clear();
   slog.Clear();
+  ws_.bucket_scan.Clear();
+  ws_.resume.Reset(RetrieverCostModel::ResumableSlots(g_->num_vertices()));
   ws_.qb.Reset(options.queue_discipline, k);
   QbQueue& qb = ws_.qb;
 
+  // --- PoI-retrieval plan (src/retrieval/): which backend answers fresh
+  // expansion searches. Bucket scans and resumable slots apply only in
+  // deferred-Lemma-5.5 mode, where the traversal is matcher-independent and
+  // an expansion is exactly "all matching PoIs within the budget radius, in
+  // (dist, vertex) order" — a query the bucket tables answer without
+  // settling road vertices. Every backend is bit-identical (the
+  // differential harness sweeps them); the plan is purely a speed choice,
+  // and it is a pure function of the query so work counters stay
+  // deterministic.
+  const RetrieverKind rk = options.retriever;
+  const bool bucket_backend =
+      needs_deferred_lemma55 && buckets_ != nullptr &&
+      (rk == RetrieverKind::kBucket ||
+       (rk == RetrieverKind::kAuto &&
+        RetrieverCostModel::PreferBucket(oracle_->ApproxSearchSettles(),
+                                         buckets_->SettleDensity(),
+                                         g_->num_vertices())));
+  const bool resume_backend =
+      needs_deferred_lemma55 &&
+      (rk == RetrieverKind::kResume ||
+       (rk == RetrieverKind::kAuto && buckets_ != nullptr));
+  std::optional<BucketRetriever> bucket;
+  if (bucket_backend) bucket.emplace(*buckets_);
+
   // --- Optimization 1: initial search (§5.3.1). ---
   if (options.use_initial_search) {
+    // The bucket tables also serve NNinit's table hops (and warm the
+    // per-query forward-search cache the bulk search reuses); kSettle and
+    // kResume reproduce the pre-bucket paths exactly.
+    const bool nn_buckets =
+        buckets_ != nullptr && (rk == RetrieverKind::kAuto ||
+                                rk == RetrieverKind::kBucket);
     RunNnInit(*g_, matchers, query.start, agg, dest_dist, ws_.dijkstra_ws,
               &skyline, &stats, oracle_, &ws_.oracle_ws,
-              options.oracle_candidate_cap, &ws_.nn_init);
+              options.oracle_candidate_cap, &ws_.nn_init,
+              nn_buckets ? buckets_ : nullptr,
+              nn_buckets ? &ws_.bucket_scan : nullptr);
   }
 
   // --- Optimization 3: minimum-distance lower bounds (§5.3.3). ---
@@ -371,6 +428,8 @@ Result<QueryResult> BssrEngine::Run(const Query& query,
       }
     };
 
+    const bool use_bucket = bucket_backend;
+    bool is_rerun = false;
     if (options.use_cache) {
       const MdijkstraCache::Entry* entry = cache.Find(src, m);
       if (entry != nullptr && (entry->meta.exhausted ||
@@ -382,8 +441,63 @@ Result<QueryResult> BssrEngine::Run(const Query& query,
         }
         return;
       }
-      if (entry != nullptr) ++stats.cache_reruns;
+      if (entry != nullptr) {
+        ++stats.cache_reruns;
+        is_rerun = true;
+      }
+    }
 
+    if (use_bucket) {
+      // Bucket backend: materialize the (dist, vertex)-ordered matching
+      // stream up to the current budget — or exhaustively, when the budget
+      // prunes nothing — then stream it with the budget re-checked between
+      // candidates, exactly like a cache replay. The committed entry
+      // carries the scan's coverage, so repeats and reruns follow the
+      // standard cache protocol (an exhausted commit never reruns).
+      ++stats.retriever_bucket_runs;
+      // First scans cap the exact-resum work at the current budget; a rerun
+      // means the budget grew past a capped scan, so it goes exhaustive —
+      // at most two scans per (source, position), ever.
+      const ExpansionOutcome outcome =
+          bucket->Collect(src, matcher, ws_.oracle_ws, ws_.bucket_scan,
+                          is_rerun ? kInfWeight : budget(), &stats);
+      const std::vector<ExpansionCandidate>& cands = ws_.bucket_scan.cands;
+      if (options.use_cache) {
+        std::vector<ExpansionCandidate>& pool = cache.pool();
+        const size_t pool_offset = pool.size();
+        pool.insert(pool.end(), cands.begin(), cands.end());
+        cache.Commit(src, m, pool_offset, outcome);
+      }
+      for (const ExpansionCandidate& cand : cands) {
+        if (cand.dist >= budget()) break;
+        consume(cand);
+      }
+      return;
+    }
+
+    // Resumable backend: one suspended search per hot source serves every
+    // position; a budget beyond the suspended coverage extends the search
+    // incrementally instead of re-settling its prefix. Falls through to the
+    // classic path when the slot pool is at capacity.
+    ResumableSlot* slot = nullptr;
+    if (resume_backend) slot = ws_.resume.FindOrCreate(*g_, src);
+    if (slot != nullptr) {
+      ++stats.retriever_resume_runs;
+      DijkstraRunStats run_stats;
+      std::vector<ExpansionCandidate>* out =
+          options.use_cache ? &cache.pool() : nullptr;
+      const size_t pool_offset =
+          options.use_cache ? cache.pool().size() : 0;
+      const ExpansionOutcome outcome = RetrieveResumable(
+          *g_, matcher, *slot, budget, consume, out, &run_stats);
+      stats.vertices_settled += run_stats.settled;
+      stats.edges_relaxed += run_stats.relaxed;
+      stats.weight_sum += run_stats.weight_sum;
+      if (options.use_cache) cache.Commit(src, m, pool_offset, outcome);
+      return;
+    }
+
+    if (options.use_cache) {
       // Cross-position reuse: in deferred-Lemma-5.5 mode the traversal from
       // `src` is matcher-independent, so a settle sequence recorded by ANY
       // position's search replays for this one — a linear scan instead of a

@@ -22,11 +22,13 @@
 #include <vector>
 
 #include "category/category_forest.h"
+#include "core/dest_tails.h"
 #include "core/query.h"
 #include "core/query_workspace.h"
 #include "core/route.h"
 #include "core/search_stats.h"
 #include "index/distance_oracle.h"
+#include "retrieval/category_buckets.h"
 #include "util/status.h"
 
 namespace skysr {
@@ -48,21 +50,36 @@ class BssrEngine {
   /// Dijkstra code paths. The oracle is shared and immutable; the engine
   /// owns the per-thread query workspace, preserving the one-engine-per-
   /// thread contract.
+  /// `buckets` (optional) attaches the category-bucket tables of the
+  /// retrieval subsystem; they must be built over exactly this graph and
+  /// this oracle (else they are ignored) and outlive the engine. Shared and
+  /// immutable, like the oracle.
   BssrEngine(const Graph& graph, const CategoryForest& forest,
-             const DistanceOracle* oracle = nullptr);
+             const DistanceOracle* oracle = nullptr,
+             const CategoryBucketIndex* buckets = nullptr);
 
   /// Executes a SkySR query. Returns InvalidArgument for malformed queries.
   Result<QueryResult> Run(const Query& query,
                           const QueryOptions& options = QueryOptions());
 
+  /// Optional shared destination-tail provider (see core/dest_tails.h);
+  /// null keeps the per-query reverse Dijkstra. The provider must outlive
+  /// the engine.
+  void SetDestTailProvider(DestTailProvider* provider) {
+    dest_tails_ = provider;
+  }
+
   const Graph& graph() const { return *g_; }
   const CategoryForest& forest() const { return *forest_; }
   const DistanceOracle* oracle() const { return oracle_; }
+  const CategoryBucketIndex* buckets() const { return buckets_; }
 
  private:
   const Graph* g_;
   const CategoryForest* forest_;
   const DistanceOracle* oracle_;  // may be null (flat behavior)
+  const CategoryBucketIndex* buckets_;  // may be null (no bucket backend)
+  DestTailProvider* dest_tails_ = nullptr;  // may be null (local tails)
   bool has_multi_category_poi_ = false;
 
   // Destination queries on directed graphs need D(v, destination) = forward

@@ -1,0 +1,37 @@
+// Destination-tail sharing seam. A §6 destination query needs D(v,
+// destination) for every vertex — one full-graph reverse Dijkstra — before
+// the search starts. The table depends only on the destination (and the
+// graph), so concurrent serving layers can share it across queries and
+// workers; the engine asks an optional provider before computing its own.
+// QueryService implements this with a canonical-keyed LRU
+// (service/dest_tail_cache.h); the tables are deterministic per
+// destination, so sharing cannot change results.
+
+#ifndef SKYSR_CORE_DEST_TAILS_H_
+#define SKYSR_CORE_DEST_TAILS_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace skysr {
+
+/// Thread-safe provider of shared, immutable destination-tail tables.
+class DestTailProvider {
+ public:
+  virtual ~DestTailProvider() = default;
+
+  /// The D(v, destination) table for every vertex of the engine's graph.
+  /// On a miss the implementation invokes `compute` on a fresh vector and
+  /// must hand back exactly what it filled (tables are shared immutably, so
+  /// bit-identical results depend on it).
+  virtual std::shared_ptr<const std::vector<Weight>> GetOrCompute(
+      VertexId destination,
+      const std::function<void(std::vector<Weight>*)>& compute) = 0;
+};
+
+}  // namespace skysr
+
+#endif  // SKYSR_CORE_DEST_TAILS_H_

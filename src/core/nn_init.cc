@@ -128,16 +128,25 @@ void RunNnInitAdaptive(const Graph& g,
                        VertexId start, const DistanceOracle* oracle,
                        OracleWorkspace* oracle_ws, DijkstraWorkspace& ws,
                        NnChain& chain, SearchStats* stats,
-                       int64_t oracle_candidate_cap,
-                       NnInitScratch& scratch) {
+                       int64_t oracle_candidate_cap, NnInitScratch& scratch,
+                       const CategoryBucketIndex* buckets,
+                       BucketScanState* bucket_scan) {
   const int k = static_cast<int>(matchers.size());
   const bool has_fast_table = oracle != nullptr && oracle_ws != nullptr &&
                               oracle->SupportsFastTable();
-  const size_t table_cap =
+  // Precomputed buckets answer a table hop with ONE (per-query-cached)
+  // forward search plus a scan per candidate, instead of one backward
+  // search per candidate — so the break-even candidate count widens.
+  const bool bucket_ready =
+      has_fast_table && buckets != nullptr && bucket_scan != nullptr &&
+      static_cast<const DistanceOracle*>(&buckets->oracle()) == oracle &&
+      &buckets->graph() == &g;
+  size_t table_cap =
       !has_fast_table ? 0
       : oracle_candidate_cap < 0
           ? AutoTableCap(g.num_vertices(), oracle->ApproxSearchSettles())
           : static_cast<size_t>(oracle_candidate_cap);
+  if (bucket_ready && oracle_candidate_cap < 0) table_cap *= 4;
   const bool table_capable = table_cap > 0 && has_fast_table;
   VertexId cursor = start;
   DijkstraRunStats total;
@@ -183,8 +192,16 @@ void RunNnInitAdaptive(const Graph& g,
     } else {
       if (cand_vertex.empty()) break;
       dist.assign(cand_vertex.size(), kInfWeight);
-      const VertexId src[1] = {cursor};
-      oracle->Table(src, cand_vertex, *oracle_ws, dist.data());
+      if (bucket_ready) {
+        const BucketRetriever retriever(*buckets);
+        retriever.EnsureForward(cursor, *oracle_ws, *bucket_scan, stats);
+        for (size_t c = 0; c < cand_poi.size(); ++c) {
+          dist[c] = retriever.ExactDistanceTo(cand_poi[c], *bucket_scan);
+        }
+      } else {
+        const VertexId src[1] = {cursor};
+        oracle->Table(src, cand_vertex, *oracle_ws, dist.data());
+      }
 
       hits.clear();
       for (size_t c = 0; c < cand_vertex.size(); ++c) {
@@ -225,14 +242,16 @@ void RunNnInit(const Graph& g, const std::vector<PositionMatcher>& matchers,
                const std::vector<Weight>* dest_dist, DijkstraWorkspace& ws,
                SkylineSet* skyline, SearchStats* stats,
                const DistanceOracle* oracle, OracleWorkspace* oracle_ws,
-               int64_t oracle_candidate_cap, NnInitScratch* scratch) {
+               int64_t oracle_candidate_cap, NnInitScratch* scratch,
+               const CategoryBucketIndex* buckets,
+               BucketScanState* bucket_scan) {
   WallTimer timer;
   NnInitScratch local;
   if (scratch == nullptr) scratch = &local;
   NnChain chain(agg, dest_dist, skyline, stats,
                 static_cast<int>(matchers.size()), *scratch);
   RunNnInitAdaptive(g, matchers, start, oracle, oracle_ws, ws, chain, stats,
-                    oracle_candidate_cap, *scratch);
+                    oracle_candidate_cap, *scratch, buckets, bucket_scan);
   if (stats != nullptr) stats->nninit_ms = timer.ElapsedMillis();
 }
 

@@ -16,6 +16,7 @@
 #include "core/skyline_set.h"
 #include "graph/dijkstra.h"
 #include "index/distance_oracle.h"
+#include "retrieval/bucket_retriever.h"
 
 namespace skysr {
 
@@ -55,6 +56,14 @@ struct NnInitScratch {
 /// `oracle_candidate_cap` follows QueryOptions::oracle_candidate_cap
 /// (-1 = graph-size heuristic). `scratch` (optional) supplies reusable
 /// buffers; null falls back to function-local storage.
+///
+/// `buckets` + `bucket_scan` (optional, must describe `oracle`) route the
+/// table hops through the precomputed category buckets instead of fresh
+/// per-candidate backward searches: one forward upward search per cursor —
+/// cached in `bucket_scan` for the whole query, so the bulk search that
+/// follows reuses it — plus a scan per candidate. Distances are bit-equal
+/// to Table()'s, so hits, chain and skyline are unchanged; with buckets on
+/// hand the break-even candidate count widens accordingly.
 void RunNnInit(const Graph& g, const std::vector<PositionMatcher>& matchers,
                VertexId start, const SemanticAggregator& agg,
                const std::vector<Weight>* dest_dist, DijkstraWorkspace& ws,
@@ -62,7 +71,9 @@ void RunNnInit(const Graph& g, const std::vector<PositionMatcher>& matchers,
                const DistanceOracle* oracle = nullptr,
                OracleWorkspace* oracle_ws = nullptr,
                int64_t oracle_candidate_cap = -1,
-               NnInitScratch* scratch = nullptr);
+               NnInitScratch* scratch = nullptr,
+               const CategoryBucketIndex* buckets = nullptr,
+               BucketScanState* bucket_scan = nullptr);
 
 }  // namespace skysr
 

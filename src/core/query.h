@@ -14,6 +14,7 @@
 #include "category/similarity.h"
 #include "graph/graph.h"
 #include "graph/types.h"
+#include "retrieval/retriever_kind.h"
 #include "util/stamped_array.h"
 #include "util/status.h"
 
@@ -93,6 +94,12 @@ struct QueryOptions {
   /// does this so the oracle paths are always exercised). Every setting is
   /// exact — the knob trades nothing but speed.
   int64_t oracle_candidate_cap = -1;
+  /// Which PoI-retrieval backend answers expansion searches (see
+  /// src/retrieval/poi_retriever.h). Bucket scans require category-bucket
+  /// tables attached to the engine and apply only in deferred-Lemma-5.5
+  /// mode; ineligible expansions silently fall back to the classic settle
+  /// loop. Like the toggles above, every choice is exact.
+  RetrieverKind retriever = RetrieverKind::kAuto;
 };
 
 /// Resolves one sequence position against PoIs: similarity (0 = no match),

@@ -28,6 +28,8 @@
 #include "core/skyline_set.h"
 #include "graph/dijkstra_workspace.h"
 #include "index/distance_oracle.h"
+#include "retrieval/bucket_retriever.h"
+#include "retrieval/resumable_retriever.h"
 #include "util/dary_heap.h"
 #include "util/stamped_array.h"
 
@@ -148,6 +150,11 @@ struct QueryWorkspace {
   QbQueue qb;
   MdijkstraCache cache;
   SettleLog settle_log;
+
+  // PoI-retrieval backends (src/retrieval/): per-query bucket scan state
+  // (forward-search cache + scratch) and the resumable-expansion slot pool.
+  BucketScanState bucket_scan;
+  ResumablePool resume;
 
   // Sub-search scratch.
   ExpansionScratch expansion;

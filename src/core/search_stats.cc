@@ -12,6 +12,8 @@ std::string SearchStats::ToString() const {
       "searches: runs=%lld cache_hits=%lld reruns=%lld log_replays=%lld "
       "settled=%lld relaxed=%lld weight_sum=%.4f first_weight_sum=%.4f\n"
       "candidates: examined=%lld pruned=%lld dup_rejected=%lld\n"
+      "retrieval: bucket_runs=%lld resume_runs=%lld fwd_searches=%lld "
+      "fwd_reuses=%lld bucket_cands=%lld\n"
       "nninit: %.3fms routes=%lld weight_sum=%.4f perfect_len=%.4f "
       "max_sem_len=%.4f\n"
       "bounds: %.3fms ls=%.4f lp=%.4f\n"
@@ -27,7 +29,12 @@ std::string SearchStats::ToString() const {
       static_cast<long long>(edges_relaxed), weight_sum,
       first_search_weight_sum, static_cast<long long>(cand_examined),
       static_cast<long long>(cand_pruned),
-      static_cast<long long>(cand_rejected), nninit_ms,
+      static_cast<long long>(cand_rejected),
+      static_cast<long long>(retriever_bucket_runs),
+      static_cast<long long>(retriever_resume_runs),
+      static_cast<long long>(bucket_fwd_searches),
+      static_cast<long long>(bucket_fwd_reuses),
+      static_cast<long long>(bucket_candidates), nninit_ms,
       static_cast<long long>(nninit_routes), nninit_weight_sum,
       nninit_perfect_length, nninit_max_semantic_length, lb_ms, ls_total,
       lp_total, static_cast<long long>(routes_enqueued),

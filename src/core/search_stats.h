@@ -26,6 +26,13 @@ struct SearchStats {
   int64_t settle_log_replays = 0;    // candidate lists built by log replay
   int64_t vertices_settled = 0;      // all searches of this query
   int64_t edges_relaxed = 0;
+
+  // PoI-retrieval subsystem (src/retrieval/).
+  int64_t retriever_bucket_runs = 0;  // expansions answered by bucket scans
+  int64_t retriever_resume_runs = 0;  // expansions served by resumable slots
+  int64_t bucket_fwd_searches = 0;    // forward upward searches run
+  int64_t bucket_fwd_reuses = 0;      // forward searches replayed from cache
+  int64_t bucket_candidates = 0;      // candidates materialized by scans
   double weight_sum = 0;              // all searches (search-space proxy)
   double first_search_weight_sum = 0; // the first modified Dijkstra only
 

@@ -2,6 +2,15 @@
 // explored region. Powers incremental nearest-neighbor queries: the PNE
 // baseline repeatedly asks "give me the (j+1)-th nearest PoI of category c
 // from vertex v", which maps to resuming a suspended search.
+//
+// BASELINE/TEST-ONLY. The hash-map state keeps thousands of concurrent
+// instances affordable (one per PNE route end), at ~an order of magnitude
+// per-settle overhead over flat arrays — which is why the serving path
+// never uses this class: BssrEngine's resumable expansions run on the
+// flat-array slots of retrieval/resumable_retriever.h instead. The two
+// implementations settle identical sequences;
+// tests/retrieval_test.cc:MatchesHashMapResumableDijkstra pins the
+// equivalence.
 
 #ifndef SKYSR_GRAPH_RESUMABLE_DIJKSTRA_H_
 #define SKYSR_GRAPH_RESUMABLE_DIJKSTRA_H_

@@ -1,6 +1,7 @@
 #include "index/ch_oracle.h"
 
 #include <algorithm>
+#include <bit>
 #include <unordered_map>
 #include <utility>
 
@@ -11,12 +12,6 @@
 
 namespace skysr {
 namespace {
-
-// Meeting candidates within this relative window of the best rounded
-// up-down sum are unpacked and re-summed; the window absorbs the
-// association-order rounding drift of nested shortcut weights (relative
-// ~#edges * machine epsilon, orders of magnitude below 1e-9).
-constexpr double kMeetEpsilon = 1e-9;
 
 // Witness-search settle caps. The cheap cap serves the lazy priority
 // recomputations (run once per queue pop, so they dominate build time),
@@ -323,6 +318,61 @@ ChOracle ChOracle::Build(const Graph& g) {
   ch.build_stats_.build_ms = timer.ElapsedMillis();
   ch.build_stats_.shortcuts_added = ch.num_shortcuts_;
   return ch;
+}
+
+void ChOracle::ForwardUpwardSearch(
+    VertexId source, DijkstraWorkspace& ws, StampedArray<int32_t>& edge_of,
+    std::vector<std::pair<VertexId, Weight>>* settled) const {
+  RunUpwardSearch(up_fwd_offsets_, up_fwd_edges_, up_bwd_offsets_,
+                  up_bwd_edges_, source, g_->num_vertices(), ws, edge_of,
+                  settled);
+}
+
+void ChOracle::BackwardUpwardSearch(
+    VertexId target, DijkstraWorkspace& ws, StampedArray<int32_t>& edge_of,
+    std::vector<std::pair<VertexId, Weight>>* settled) const {
+  RunUpwardSearch(up_bwd_offsets_, up_bwd_edges_, up_fwd_offsets_,
+                  up_fwd_edges_, target, g_->num_vertices(), ws, edge_of,
+                  settled);
+}
+
+void ChOracle::UnpackFwdEdgeAt(int64_t idx,
+                               std::vector<Weight>* weights) const {
+  const auto it = std::upper_bound(up_fwd_offsets_.begin(),
+                                   up_fwd_offsets_.end(), idx);
+  const auto owner = static_cast<VertexId>(
+      std::distance(up_fwd_offsets_.begin(), it) - 1);
+  UnpackFwd(owner, up_fwd_edges_[static_cast<size_t>(idx)], weights);
+}
+
+void ChOracle::UnpackBwdEdgeAt(int64_t idx,
+                               std::vector<Weight>* weights) const {
+  const auto it = std::upper_bound(up_bwd_offsets_.begin(),
+                                   up_bwd_offsets_.end(), idx);
+  const auto owner = static_cast<VertexId>(
+      std::distance(up_bwd_offsets_.begin(), it) - 1);
+  UnpackBwd(owner, up_bwd_edges_[static_cast<size_t>(idx)], weights);
+}
+
+uint64_t ChOracle::StructureChecksum() const {
+  const auto mix = [](uint64_t* d, uint64_t v) {
+    *d = (*d ^ (v + 0x9E3779B97F4A7C15ULL)) * 0xBF58476D1CE4E5B9ULL;
+    *d ^= *d >> 31;
+  };
+  uint64_t d = 0xC4B1'5C4E'7531'0001ULL;
+  const auto mix_side = [&](const std::vector<int64_t>& offsets,
+                            const std::vector<ChEdge>& edges) {
+    mix(&d, static_cast<uint64_t>(edges.size()));
+    for (const int64_t o : offsets) mix(&d, static_cast<uint64_t>(o));
+    for (const ChEdge& e : edges) {
+      mix(&d, std::bit_cast<uint64_t>(e.weight));
+      mix(&d, static_cast<uint64_t>(static_cast<uint32_t>(e.to)));
+      mix(&d, static_cast<uint64_t>(static_cast<uint32_t>(e.mid)));
+    }
+  };
+  mix_side(up_fwd_offsets_, up_fwd_edges_);
+  mix_side(up_bwd_offsets_, up_bwd_edges_);
+  return d;
 }
 
 void ChOracle::MeasureSearchCost() {

@@ -95,6 +95,68 @@ class ChOracle final : public DistanceOracle {
   Status SavePayload(std::FILE* f) const;
   static Result<ChOracle> LoadPayload(std::FILE* f, const Graph& g);
 
+  // --- Category-bucket support (src/retrieval/category_buckets) -----------
+  // The PoI-retrieval subsystem precomputes per-category target buckets from
+  // this oracle's upward searches. These hooks expose exactly the primitives
+  // its build and scans need while keeping the CSRs themselves private.
+
+  /// Near-best meeting candidates within this relative window of the best
+  /// rounded up-down sum are unpacked and re-summed (the window absorbs the
+  /// association-order rounding drift of nested shortcut weights). Bucket
+  /// scans must apply the same window to stay bit-equal with Table().
+  static constexpr double kMeetEpsilon = 1e-9;
+
+  /// Full upward search (with stall-on-demand) from one endpoint over the
+  /// forward (source-side) / backward (target-side) CSR. Settles land in
+  /// `settled` in settle order; the search tree (parents and relaxing CSR
+  /// edge indices) stays readable from `ws` / `edge_of` until the next
+  /// search on that workspace.
+  void ForwardUpwardSearch(
+      VertexId source, DijkstraWorkspace& ws, StampedArray<int32_t>& edge_of,
+      std::vector<std::pair<VertexId, Weight>>* settled) const;
+  void BackwardUpwardSearch(
+      VertexId target, DijkstraWorkspace& ws, StampedArray<int32_t>& edge_of,
+      std::vector<std::pair<VertexId, Weight>>* settled) const;
+
+  /// Upward edges by the CSR indices the searches report through `edge_of`.
+  const ChEdge& UpFwdEdgeAt(int64_t idx) const {
+    return up_fwd_edges_[static_cast<size_t>(idx)];
+  }
+  const ChEdge& UpBwdEdgeAt(int64_t idx) const {
+    return up_bwd_edges_[static_cast<size_t>(idx)];
+  }
+  int64_t NumUpFwdEdges() const {
+    return static_cast<int64_t>(up_fwd_edges_.size());
+  }
+  int64_t NumUpBwdEdges() const {
+    return static_cast<int64_t>(up_bwd_edges_.size());
+  }
+
+  /// Appends the original-edge weights underlying upward edge `idx` (owner
+  /// vertex resolved internally from the CSR offsets) in travel order —
+  /// forward: owner -> e.to; backward: e.to -> owner. Used by the bucket
+  /// index to precompute per-edge unpack pools.
+  void UnpackFwdEdgeAt(int64_t idx, std::vector<Weight>* weights) const;
+  void UnpackBwdEdgeAt(int64_t idx, std::vector<Weight>* weights) const;
+
+  /// Appends the original-edge weights underlying a forward upward edge
+  /// (path owner -> e.to) / backward upward edge (path e.to -> owner) in
+  /// travel order — the public unpack entry points for bucket scans.
+  void UnpackFwdEdge(VertexId owner, const ChEdge& e,
+                     std::vector<Weight>* weights) const {
+    UnpackFwd(owner, e, weights);
+  }
+  void UnpackBwdEdge(VertexId owner, const ChEdge& e,
+                     std::vector<Weight>* weights) const {
+    UnpackBwd(owner, e, weights);
+  }
+
+  /// Order-sensitive digest of the upward structure (offsets + edges, both
+  /// directions). Saved bucket tables embed it so they can only bind to the
+  /// CH build they were derived from — edge CSR indices are meaningless
+  /// against any other build.
+  uint64_t StructureChecksum() const;
+
  private:
   explicit ChOracle(const Graph& g) : g_(&g) {}
 

@@ -38,6 +38,20 @@ uint64_t GraphChecksum(const Graph& g) {
   return d;
 }
 
+uint64_t PoiAssignmentChecksum(const Graph& g) {
+  uint64_t d = 0xB0C4'E7A1'5051'2D02ULL;
+  Mix(&d, static_cast<uint64_t>(g.num_pois()));
+  for (PoiId p = 0; p < g.num_pois(); ++p) {
+    Mix(&d, static_cast<uint64_t>(static_cast<uint32_t>(g.VertexOfPoi(p))));
+    const auto cats = g.PoiCategories(p);
+    Mix(&d, cats.size());
+    for (const CategoryId c : cats) {
+      Mix(&d, static_cast<uint64_t>(static_cast<uint32_t>(c)));
+    }
+  }
+  return d;
+}
+
 Status SaveOracleIndex(const DistanceOracle& oracle,
                        const std::string& path) {
   if (oracle.kind() == OracleKind::kFlat) {

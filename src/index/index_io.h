@@ -29,6 +29,13 @@ namespace skysr {
 /// notice changes the sum.
 uint64_t GraphChecksum(const Graph& g);
 
+/// Order-sensitive digest of the PoI assignment — vertex placement plus the
+/// per-PoI category lists. The category-bucket tables (src/retrieval/)
+/// depend on it beyond the graph structure: reassigning categories changes
+/// which buckets a PoI lands in without moving a single edge, so their
+/// saved form embeds this alongside GraphChecksum.
+uint64_t PoiAssignmentChecksum(const Graph& g);
+
 /// Writes the oracle's index to `path`. FlatOracle has no index to save and
 /// returns InvalidArgument.
 Status SaveOracleIndex(const DistanceOracle& oracle, const std::string& path);

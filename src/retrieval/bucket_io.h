@@ -1,0 +1,39 @@
+// Binary persistence for category-bucket tables, in the style of
+// index/index_io: a magic header followed by the CategoryBucketIndex
+// payload. Files conventionally carry the `.cbkt` extension and live
+// alongside the `.chidx` they were derived from.
+//
+// The header embeds THREE checksums: the graph structure (as .chidx does),
+// the PoI assignment (vertex placement + category lists — reassigning
+// categories changes the buckets without moving an edge), and the CH
+// oracle's upward structure (stored CSR edge indices are meaningless
+// against any other build). Loading against a mismatch of any of them fails
+// with an explicit "rebuild" error instead of answering wrong distances.
+
+#ifndef SKYSR_RETRIEVAL_BUCKET_IO_H_
+#define SKYSR_RETRIEVAL_BUCKET_IO_H_
+
+#include <string>
+
+#include "retrieval/category_buckets.h"
+#include "util/status.h"
+
+namespace skysr {
+
+/// Conventional file extension ("cbkt").
+const char* BucketIndexExtension();
+
+/// Writes the bucket tables to `path`.
+Status SaveBucketIndex(const CategoryBucketIndex& index,
+                       const std::string& path);
+
+/// Loads tables built by SaveBucketIndex and binds them to (g, ch), which
+/// the caller must keep alive. Fails with a descriptive IOError on any
+/// checksum mismatch or corruption.
+Result<CategoryBucketIndex> LoadBucketIndex(const std::string& path,
+                                            const Graph& g,
+                                            const ChOracle& ch);
+
+}  // namespace skysr
+
+#endif  // SKYSR_RETRIEVAL_BUCKET_IO_H_

@@ -1,0 +1,131 @@
+// Query-time half of the bucket retriever: scans the precomputed
+// CategoryBucketIndex to materialize an expansion's matching-candidate
+// stream — every PoI matching the position within the budget, with its
+// exact (Dijkstra bit-equal) distance, sorted by (dist, vertex) — without
+// settling a single road vertex. When the budget prunes nothing the stream
+// is exhaustive and the engine commits it to the §5.3.4 cache as an
+// exhausted entry, collapsing every repeat and would-be rerun of that
+// (source, position) to a pure replay.
+//
+// Per-(query, source) amortization: the forward upward search from a source
+// (with its incrementally folded exact path sums, see category_buckets.h) is
+// cached for the whole query in BucketScanState::fwd_cache, so every
+// position expanding from the same vertex — and every NNinit hop from it —
+// pays the search once and scans thereafter.
+
+#ifndef SKYSR_RETRIEVAL_BUCKET_RETRIEVER_H_
+#define SKYSR_RETRIEVAL_BUCKET_RETRIEVER_H_
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/modified_dijkstra.h"
+#include "core/query.h"
+#include "core/search_stats.h"
+#include "retrieval/category_buckets.h"
+#include "util/stamped_array.h"
+#include "util/stamped_span_table.h"
+
+namespace skysr {
+
+/// Engine-owned, per-query scan state (reset per query, capacities kept).
+struct BucketScanState {
+  /// One cached forward-search settle: rounded upward distance plus the
+  /// exact path-order sum from the source.
+  struct FwdSettle {
+    VertexId vertex;
+    Weight df;
+    Weight fsum;
+  };
+  struct NoMeta {};
+
+  /// Per-query forward-search cache keyed by source vertex.
+  StampedSpanTable<FwdSettle, NoMeta> fwd_cache;
+  /// The CURRENT source's settles (a span into fwd_cache's pool — valid
+  /// until the next EnsureForward for a different source) and its
+  /// per-vertex view (re-stamped on source change; repopulating from a
+  /// cached span is a linear copy, not a search).
+  std::span<const FwdSettle> fwd;
+  StampedArray<Weight> df_of;
+  StampedArray<Weight> fsum_of;
+  VertexId cur_src = kInvalidVertex;
+
+  // Scan scratch.
+  std::vector<std::pair<VertexId, Weight>> settled;
+  /// One matched (forward settle, bucket entry) pair of the current scan.
+  struct Meet {
+    Weight df;
+    Weight db;
+    Weight fsum;
+    VertexId vertex;
+    PoiId poi;
+  };
+  std::vector<Meet> meets;
+  StampedArray<uint8_t> poi_state;  // 0 unseen / 1 candidate / 2 rejected
+  StampedArray<Weight> best;        // per-PoI best rounded up-down sum
+  StampedArray<Weight> exact;       // per-PoI minimum re-summed distance
+  std::vector<PoiId> touched;
+  std::vector<ExpansionCandidate> cands;  // the sorted output stream
+
+  void Clear() {
+    fwd_cache.Clear();
+    fwd = {};
+    cur_src = kInvalidVertex;
+  }
+
+  int64_t MemoryBytes() const {
+    return fwd_cache.MemoryBytes() +
+           static_cast<int64_t>(cands.capacity() *
+                                sizeof(ExpansionCandidate));
+  }
+};
+
+/// Stateless scanner over one CategoryBucketIndex; all mutable state lives
+/// in the caller's BucketScanState / OracleWorkspace, preserving the
+/// one-engine-per-thread contract.
+class BucketRetriever {
+ public:
+  explicit BucketRetriever(const CategoryBucketIndex& index)
+      : index_(&index) {}
+
+  const CategoryBucketIndex& index() const { return *index_; }
+
+  /// Makes `state`'s per-vertex arrays describe `source`'s forward upward
+  /// search (running it on a cache miss, replaying the cached span
+  /// otherwise).
+  void EnsureForward(VertexId source, OracleWorkspace& oracle_ws,
+                     BucketScanState& state, SearchStats* stats) const;
+
+  /// Exact shortest-path distance source -> PoI (kInfWeight when
+  /// unreachable), bit-equal to a flat graph Dijkstra; requires
+  /// EnsureForward for the source. Mirrors ChOracle::Table()'s protocol
+  /// operand for operand over the PoI's stored backward settles.
+  Weight ExactDistanceTo(PoiId p, BucketScanState& state) const;
+
+  /// Materializes into state.cands the matching-candidate stream of
+  /// (`matcher`, `source`), sorted by (dist, vertex) — exactly the order
+  /// (and distances) a deferred-mode settle-loop expansion emits.
+  /// `budget_cap` (the Lemma 5.3 budget at scan time; budgets are
+  /// non-increasing within an expansion) bounds the exact-resum work:
+  /// candidates provably at or beyond it are skipped (decided on rounded
+  /// sums with the kMeetEpsilon safety margin, so no in-budget candidate is
+  /// ever dropped). Returns the stream's coverage: exhausted when nothing
+  /// was skipped — any radius is served — else covered to `budget_cap`,
+  /// the same protocol a budget-stopped settle search reports.
+  ExpansionOutcome Collect(VertexId source, const PositionMatcher& matcher,
+                           OracleWorkspace& oracle_ws, BucketScanState& state,
+                           Weight budget_cap, SearchStats* stats) const;
+
+ private:
+  /// Re-sums one meeting vertex's up-down path from original edge weights
+  /// in travel order, starting from the folded forward prefix.
+  Weight ResumMeet(std::span<const PoiBucketSettle> span,
+                   const PoiBucketSettle& meet, Weight fwd_sum) const;
+
+  const CategoryBucketIndex* index_;
+};
+
+}  // namespace skysr
+
+#endif  // SKYSR_RETRIEVAL_BUCKET_RETRIEVER_H_

@@ -1,0 +1,282 @@
+#include "retrieval/category_buckets.h"
+
+#include <algorithm>
+
+#include "index/distance_oracle.h"
+#include "index/index_io.h"
+#include "util/timer.h"
+
+namespace skysr {
+
+void CategoryBucketIndex::BuildDerived() {
+  // Per-vertex entry CSR: the per-PoI settle lists inverted, so a forward
+  // settle reads its bucket entries with one offset lookup. Sorted by
+  // (vertex, poi) via counting sort for determinism.
+  const int64_t n = g_->num_vertices();
+  vertex_offsets_.assign(static_cast<size_t>(n) + 1, 0);
+  for (const PoiBucketSettle& s : settles_) {
+    ++vertex_offsets_[static_cast<size_t>(s.vertex) + 1];
+  }
+  for (int64_t v = 0; v < n; ++v) {
+    vertex_offsets_[static_cast<size_t>(v) + 1] +=
+        vertex_offsets_[static_cast<size_t>(v)];
+  }
+  entries_.assign(settles_.size(), BucketEntry{});
+  std::vector<int64_t> cursor(vertex_offsets_.begin(),
+                              vertex_offsets_.end() - 1);
+  // Visiting PoIs in id order fills each vertex's range in ascending poi
+  // order — a stable counting sort by (vertex, poi).
+  for (PoiId p = 0; p < g_->num_pois(); ++p) {
+    for (const PoiBucketSettle& s : SettlesOf(p)) {
+      entries_[static_cast<size_t>(cursor[static_cast<size_t>(s.vertex)]++)] =
+          BucketEntry{s.db, s.vertex, p};
+    }
+  }
+
+  // An upward edge's unpack is fixed at build time, so the recursion
+  // through shortcut middles runs once per edge here instead of once per
+  // query-time re-sum.
+  std::vector<Weight> buf;
+  const auto build_side = [&](bool fwd, std::vector<int64_t>* woff,
+                              std::vector<Weight>* pool) {
+    const int64_t num_edges =
+        fwd ? ch_->NumUpFwdEdges() : ch_->NumUpBwdEdges();
+    woff->assign(static_cast<size_t>(num_edges) + 1, 0);
+    pool->clear();
+    for (int64_t idx = 0; idx < num_edges; ++idx) {
+      buf.clear();
+      if (fwd) {
+        ch_->UnpackFwdEdgeAt(idx, &buf);
+      } else {
+        ch_->UnpackBwdEdgeAt(idx, &buf);
+      }
+      pool->insert(pool->end(), buf.begin(), buf.end());
+      (*woff)[static_cast<size_t>(idx) + 1] =
+          static_cast<int64_t>(pool->size());
+    }
+  };
+  build_side(/*fwd=*/true, &fwd_edge_woff_, &fwd_edge_weights_);
+  build_side(/*fwd=*/false, &bwd_edge_woff_, &bwd_edge_weights_);
+}
+
+CategoryBucketIndex CategoryBucketIndex::Build(const Graph& g,
+                                               const ChOracle& ch) {
+  SKYSR_CHECK_MSG(&ch.graph() == &g,
+                  "bucket index must be built over the oracle's own graph");
+  WallTimer timer;
+  CategoryBucketIndex index(g, ch);
+  const int64_t num_pois = g.num_pois();
+
+  // Distinct own-categories and the per-category PoI lists. A multi-category
+  // PoI is bucketed once per distinct own-category (matchers filter per PoI,
+  // scans dedupe per PoI).
+  CategoryId max_cat = -1;
+  for (PoiId p = 0; p < num_pois; ++p) {
+    for (const CategoryId c : g.PoiCategories(p)) {
+      max_cat = std::max(max_cat, c);
+    }
+  }
+  index.cat_slot_.assign(static_cast<size_t>(max_cat) + 1, -1);
+  for (PoiId p = 0; p < num_pois; ++p) {
+    for (const CategoryId c : g.PoiCategories(p)) {
+      if (index.cat_slot_[static_cast<size_t>(c)] < 0) {
+        index.cat_slot_[static_cast<size_t>(c)] = 0;  // mark present
+        index.categories_.push_back(c);
+      }
+    }
+  }
+  std::sort(index.categories_.begin(), index.categories_.end());
+  for (size_t s = 0; s < index.categories_.size(); ++s) {
+    index.cat_slot_[static_cast<size_t>(index.categories_[s])] =
+        static_cast<int32_t>(s);
+  }
+  const size_t num_slots = index.categories_.size();
+  std::vector<std::vector<PoiId>> cat_pois(num_slots);
+  std::vector<CategoryId> seen;  // dedupe duplicate categories on one PoI
+  for (PoiId p = 0; p < num_pois; ++p) {
+    seen.clear();
+    for (const CategoryId c : g.PoiCategories(p)) {
+      if (std::find(seen.begin(), seen.end(), c) != seen.end()) continue;
+      seen.push_back(c);
+      cat_pois[static_cast<size_t>(index.cat_slot_[static_cast<size_t>(c)])]
+          .push_back(p);
+    }
+  }
+  index.cat_poi_offsets_.assign(num_slots + 1, 0);
+  for (size_t s = 0; s < num_slots; ++s) {
+    index.cat_poi_offsets_[s + 1] =
+        index.cat_poi_offsets_[s] + static_cast<int64_t>(cat_pois[s].size());
+    for (const PoiId p : cat_pois[s]) index.cat_pois_.push_back(p);
+  }
+
+  // One backward upward search per PoI; the vertex-sorted settle list
+  // (with tree links) becomes the PoI's bucket. The vertex-major entry CSR
+  // and the edge unpack pools are derived afterwards.
+  OracleWorkspace ws;
+  std::vector<std::pair<VertexId, Weight>> settled;
+  std::vector<PoiBucketSettle> poi_settles;
+  index.poi_offsets_.assign(static_cast<size_t>(num_pois) + 1, 0);
+  for (PoiId p = 0; p < num_pois; ++p) {
+    settled.clear();
+    ch.BackwardUpwardSearch(g.VertexOfPoi(p), ws.bwd, ws.bwd_edge, &settled);
+    ++index.build_stats_.backward_searches;
+    poi_settles.clear();
+    poi_settles.reserve(settled.size());
+    for (const auto& [v, d] : settled) {
+      poi_settles.push_back(
+          PoiBucketSettle{d, v, ws.bwd.Parent(v), ws.bwd_edge.Get(v), 0});
+    }
+    std::sort(poi_settles.begin(), poi_settles.end(),
+              [](const PoiBucketSettle& a, const PoiBucketSettle& b) {
+                return a.vertex < b.vertex;
+              });
+    index.poi_offsets_[static_cast<size_t>(p) + 1] =
+        index.poi_offsets_[static_cast<size_t>(p)] +
+        static_cast<int64_t>(poi_settles.size());
+    index.settles_.insert(index.settles_.end(), poi_settles.begin(),
+                          poi_settles.end());
+  }
+
+  index.BuildDerived();
+
+  index.build_stats_.settles_stored =
+      static_cast<int64_t>(index.settles_.size());
+  index.build_stats_.build_ms = timer.ElapsedMillis();
+  return index;
+}
+
+int64_t CategoryBucketIndex::MemoryBytes() const {
+  return static_cast<int64_t>(
+      categories_.capacity() * sizeof(CategoryId) +
+      cat_slot_.capacity() * sizeof(int32_t) +
+      cat_poi_offsets_.capacity() * sizeof(int64_t) +
+      cat_pois_.capacity() * sizeof(PoiId) +
+      vertex_offsets_.capacity() * sizeof(int64_t) +
+      entries_.capacity() * sizeof(BucketEntry) +
+      poi_offsets_.capacity() * sizeof(int64_t) +
+      settles_.capacity() * sizeof(PoiBucketSettle) +
+      (fwd_edge_woff_.capacity() + bwd_edge_woff_.capacity()) *
+          sizeof(int64_t) +
+      (fwd_edge_weights_.capacity() + bwd_edge_weights_.capacity()) *
+          sizeof(Weight));
+}
+
+Status CategoryBucketIndex::SavePayload(std::FILE* f) const {
+  static_assert(sizeof(BucketEntry) == 16,
+                "BucketEntry must be padding-free");
+  static_assert(sizeof(PoiBucketSettle) == 24,
+                "PoiBucketSettle must be padding-free");
+  if (!index_io::WriteVec(f, categories_) ||
+      !index_io::WriteVec(f, cat_slot_) ||
+      !index_io::WriteVec(f, cat_poi_offsets_) ||
+      !index_io::WriteVec(f, cat_pois_) ||
+      !index_io::WriteVec(f, poi_offsets_) ||
+      !index_io::WriteVec(f, settles_)) {
+    return Status::IOError("short write of bucket-index payload");
+  }
+  return Status::OK();
+}
+
+Result<CategoryBucketIndex> CategoryBucketIndex::LoadPayload(
+    std::FILE* f, const Graph& g, const ChOracle& ch) {
+  CategoryBucketIndex index(g, ch);
+  if (!index_io::ReadVec(f, &index.categories_) ||
+      !index_io::ReadVec(f, &index.cat_slot_) ||
+      !index_io::ReadVec(f, &index.cat_poi_offsets_) ||
+      !index_io::ReadVec(f, &index.cat_pois_) ||
+      !index_io::ReadVec(f, &index.poi_offsets_) ||
+      !index_io::ReadVec(f, &index.settles_)) {
+    return Status::IOError("corrupt or truncated bucket-index payload");
+  }
+  // Structural validation: sizes, offset monotonicity, and every stored
+  // index within range — a corrupt payload that passed the header
+  // checksums must still fail loudly here, never read out of bounds at
+  // query time (ResumMeet walks parent links and raw edge indices).
+  const auto offsets_ok = [](const std::vector<int64_t>& offsets,
+                             int64_t total) {
+    if (offsets.empty() || offsets.front() != 0 ||
+        offsets.back() != total) {
+      return false;
+    }
+    for (size_t i = 1; i < offsets.size(); ++i) {
+      if (offsets[i] < offsets[i - 1]) return false;
+    }
+    return true;
+  };
+  bool ok =
+      index.cat_poi_offsets_.size() == index.categories_.size() + 1 &&
+      index.poi_offsets_.size() == static_cast<size_t>(g.num_pois()) + 1 &&
+      offsets_ok(index.cat_poi_offsets_,
+                 static_cast<int64_t>(index.cat_pois_.size())) &&
+      offsets_ok(index.poi_offsets_,
+                 static_cast<int64_t>(index.settles_.size()));
+  for (size_t i = 0; ok && i < index.cat_pois_.size(); ++i) {
+    ok = index.cat_pois_[i] >= 0 && index.cat_pois_[i] < g.num_pois();
+  }
+  if (ok) {
+    const int64_t num_bwd_edges = ch.NumUpBwdEdges();
+    std::vector<uint8_t> visit;   // 0 unvisited / 1 on current chain / 2 ok
+    std::vector<int64_t> chain;
+    for (PoiId p = 0; ok && p < g.num_pois(); ++p) {
+      const std::span<const PoiBucketSettle> span = index.SettlesOf(p);
+      for (size_t i = 0; ok && i < span.size(); ++i) {
+        const PoiBucketSettle& s = span[i];
+        ok = s.vertex >= 0 && s.vertex < g.num_vertices() &&
+             (i == 0 || span[i - 1].vertex < s.vertex) &&  // strictly sorted
+             (s.parent == kInvalidVertex
+                  ? s.edge == -1
+                  : s.edge >= 0 && s.edge < num_bwd_edges);
+      }
+      if (!ok) break;
+      // Every parent link must resolve within this PoI's own span and the
+      // links must be acyclic — the exact-walk's loop (and its
+      // termination) depends on both. One amortized-linear pass: follow
+      // each unresolved chain to a root or an already-validated settle,
+      // failing on a missing parent or a revisit of the current chain.
+      visit.assign(span.size(), 0);
+      for (size_t i = 0; ok && i < span.size(); ++i) {
+        if (visit[i] != 0) continue;
+        chain.clear();
+        int64_t cur = static_cast<int64_t>(i);
+        while (true) {
+          visit[static_cast<size_t>(cur)] = 1;
+          chain.push_back(cur);
+          const PoiBucketSettle& s = span[static_cast<size_t>(cur)];
+          if (s.parent == kInvalidVertex) break;
+          const auto it = std::lower_bound(
+              span.begin(), span.end(), s.parent,
+              [](const PoiBucketSettle& a, VertexId v) {
+                return a.vertex < v;
+              });
+          if (it == span.end() || it->vertex != s.parent) {
+            ok = false;  // parent not in the span
+            break;
+          }
+          const int64_t next = it - span.begin();
+          if (visit[static_cast<size_t>(next)] == 1) {
+            ok = false;  // cycle
+            break;
+          }
+          if (visit[static_cast<size_t>(next)] == 2) break;
+          cur = next;
+        }
+        for (const int64_t idx : chain) {
+          visit[static_cast<size_t>(idx)] = 2;
+        }
+      }
+    }
+  }
+  if (!ok) {
+    return Status::IOError(
+        "bucket-index payload is inconsistent with the graph");
+  }
+  // The per-vertex entry CSR and per-edge unpack pools are derived data
+  // bound to the (already checksum-verified) dataset and CH build: cheaper
+  // to rebuild at load than to store.
+  index.BuildDerived();
+  index.build_stats_.settles_stored =
+      static_cast<int64_t>(index.settles_.size());
+  return index;
+}
+
+}  // namespace skysr

@@ -1,0 +1,192 @@
+// Resumable expansion state: flat-array suspend/resume Dijkstra per hot
+// source, the incremental replacement for settle-log rebuilds.
+//
+// In deferred-Lemma-5.5 mode the expansion traversal from a source depends
+// only on the source (never on the position's matcher), so one suspended
+// search serves every position. Where the settle log (core/settle_log.h)
+// must REBUILD from scratch whenever a later budget exceeds an entry's
+// covered radius — re-settling the whole prefix — a resumable slot keeps the
+// search's live frontier (heap) and its epoch-stamped flat workspace, so a
+// larger budget just continues popping. The suspension point is read off the
+// heap top BEFORE settling: the log therefore contains exactly the settles a
+// fresh search would emit below any budget it has seen, and the covered
+// radius is the next settle's distance (the tightest sound bound).
+//
+// Bit-exactness: the settle order (distance, vertex-id tie-break) and the
+// relaxation arithmetic are identical to graph/dijkstra_runner.h. The one
+// deliberate difference is that resumable searches never refuse relaxations
+// at the budget (a refused push could not be recovered on resume); this
+// costs heap traffic but cannot change emissions — a vertex whose tentative
+// distance ever reached the budget can only settle at or beyond every later
+// budget, where both flavors have already stopped.
+//
+// Unlike graph/resumable_dijkstra.h (hash-map state, built for the PNE
+// baseline's thousands of cheap instances), a slot owns O(|V|) flat arrays:
+// fast enough for the hot path, so the pool bounds how many sources may be
+// suspended at once and the engine falls back to the classic path beyond
+// that. tests/retrieval_test.cc pins the two implementations' settle
+// sequences against each other.
+
+#ifndef SKYSR_RETRIEVAL_RESUMABLE_RETRIEVER_H_
+#define SKYSR_RETRIEVAL_RESUMABLE_RETRIEVER_H_
+
+#include <bit>
+#include <memory>
+#include <vector>
+
+#include "core/modified_dijkstra.h"
+#include "graph/dijkstra_workspace.h"
+#include "graph/graph.h"
+
+namespace skysr {
+
+/// One suspended expansion search. The workspace epoch is bumped only when
+/// the slot is (re)assigned to a source, so suspended distance labels and
+/// settled marks survive between resumes.
+struct ResumableSlot {
+  VertexId source = kInvalidVertex;
+  DijkstraWorkspace ws;
+  DaryHeap<DijkstraHeapItem> heap;     // live frontier at suspension
+  std::vector<SettleRecord> log;       // settles so far, in settle order
+  Weight covered = 0;                  // next settle is at >= this
+  bool exhausted = false;
+
+  int64_t MemoryBytes() const {
+    return static_cast<int64_t>(log.capacity() * sizeof(SettleRecord) +
+                                heap.size() * sizeof(DijkstraHeapItem));
+  }
+};
+
+/// Engine-owned pool of resumable slots, reset per query (capacities kept).
+/// Slot count is bounded: each slot owns flat O(|V|) arrays, so the pool
+/// trades memory for never re-settling a hot source's prefix; sources
+/// beyond the cap take the classic path.
+class ResumablePool {
+ public:
+  static constexpr int kDefaultSlots = 8;
+
+  /// Per-query reset: forgets every suspended search, keeps allocations.
+  void Reset(int max_slots = kDefaultSlots) {
+    live_ = 0;
+    max_slots_ = max_slots;
+  }
+
+  /// The slot suspended for `source`, creating (or recycling) one when the
+  /// pool has room; nullptr at capacity — the caller falls back to the
+  /// classic settle path.
+  ResumableSlot* FindOrCreate(const Graph& g, VertexId source) {
+    for (int i = 0; i < live_; ++i) {
+      if (slots_[static_cast<size_t>(i)]->source == source) {
+        return slots_[static_cast<size_t>(i)].get();
+      }
+    }
+    if (live_ >= max_slots_) return nullptr;
+    if (static_cast<size_t>(live_) == slots_.size()) {
+      slots_.push_back(std::make_unique<ResumableSlot>());
+    }
+    ResumableSlot* slot = slots_[static_cast<size_t>(live_++)].get();
+    slot->source = source;
+    slot->ws.Prepare(g.num_vertices());  // epoch bump invalidates old state
+    slot->heap.clear();
+    slot->log.clear();
+    slot->covered = 0;
+    slot->exhausted = false;
+    slot->ws.SetDist(source, 0, kInvalidVertex);
+    slot->heap.push(
+        DijkstraHeapItem{std::bit_cast<uint64_t>(Weight{0}), source,
+                         kInvalidVertex});
+    return slot;
+  }
+
+  int live() const { return live_; }
+
+  int64_t MemoryBytes() const {
+    int64_t bytes = 0;
+    for (const auto& s : slots_) bytes += s->MemoryBytes();
+    return bytes;
+  }
+
+ private:
+  std::vector<std::unique_ptr<ResumableSlot>> slots_;  // stable addresses
+  int live_ = 0;
+  int max_slots_ = kDefaultSlots;
+};
+
+/// Serves one expansion from a resumable slot: replays the logged settle
+/// prefix through `matcher` (budget re-checked between records, exactly
+/// like a settle-log replay), then — if the budget is not yet reached —
+/// resumes the suspended Dijkstra, settling and logging new vertices until
+/// the next settle would reach the budget. Emissions are bit-identical to a
+/// fresh matcher-filtered search under the same budget trajectory. Emitted
+/// candidates additionally append to `out` when non-null (cache fill).
+///
+/// Both callbacks are forwarding references invoked directly, monomorphized
+/// into the loops like RunExpansionInto.
+template <typename BudgetFn, typename OnCandidate>
+ExpansionOutcome RetrieveResumable(const Graph& g,
+                                   const PositionMatcher& matcher,
+                                   ResumableSlot& slot, BudgetFn&& budget_fn,
+                                   OnCandidate&& on_candidate,
+                                   std::vector<ExpansionCandidate>* out,
+                                   DijkstraRunStats* stats_out) {
+  const auto emit = [&](VertexId v, Weight d, double sim) {
+    const ExpansionCandidate cand{v, d, sim};
+    if (out != nullptr) out->push_back(cand);
+    on_candidate(cand);
+  };
+
+  // Replay the logged prefix (a true Dijkstra settle prefix). Budgets are
+  // non-increasing within an expansion, so the first record at or beyond
+  // the budget ends the replay — Lemma 5.3, as in the fresh search.
+  for (size_t i = 0; i < slot.log.size(); ++i) {
+    const SettleRecord rec = slot.log[i];
+    if (rec.dist >= budget_fn()) {
+      return ExpansionOutcome{rec.dist, false};
+    }
+    const double sim = matcher.SimOfVertex(rec.vertex);
+    if (sim > 0) emit(rec.vertex, rec.dist, sim);
+  }
+
+  // Resume the suspended search.
+  DijkstraRunStats stats;
+  DaryHeap<DijkstraHeapItem>& heap = slot.heap;
+  while (!slot.exhausted) {
+    while (!heap.empty() && slot.ws.Settled(heap.top().vertex)) {
+      heap.pop();  // stale (lazy deletion)
+    }
+    if (heap.empty()) {
+      slot.exhausted = true;
+      slot.covered = kInfWeight;
+      break;
+    }
+    const Weight next = std::bit_cast<Weight>(heap.top().dist_bits);
+    if (next >= budget_fn()) {
+      slot.covered = next;  // suspend BEFORE settling the breaking vertex
+      break;
+    }
+    const DijkstraHeapItem item = heap.pop();
+    slot.ws.MarkSettled(item.vertex);
+    ++stats.settled;
+    if (next > stats.max_settled_dist) stats.max_settled_dist = next;
+    slot.log.push_back(SettleRecord{item.vertex, next});
+    const double sim = matcher.SimOfVertex(item.vertex);
+    if (sim > 0) emit(item.vertex, next, sim);
+    for (const Neighbor& nb : g.OutEdges(item.vertex)) {
+      if (slot.ws.Settled(nb.to)) continue;
+      const Weight nd = next + nb.weight;
+      if (nd < slot.ws.Dist(nb.to)) {
+        slot.ws.SetDist(nb.to, nd, item.vertex);
+        heap.push(DijkstraHeapItem{std::bit_cast<uint64_t>(nd), nb.to,
+                                   item.vertex});
+        ++stats.relaxed;
+        stats.weight_sum += nb.weight;
+      }
+    }
+  }
+  if (stats_out != nullptr) *stats_out += stats;
+  return ExpansionOutcome{slot.covered, slot.exhausted};
+}
+
+}  // namespace skysr
+
+#endif  // SKYSR_RETRIEVAL_RESUMABLE_RETRIEVER_H_

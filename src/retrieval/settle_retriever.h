@@ -1,0 +1,38 @@
+// The classic settle-loop expansion behind the retrieval seam: a thin,
+// monomorphized forward to core/modified_dijkstra.h's RunExpansionInto. It
+// is the exact fallback every other backend must match bit for bit, the
+// only backend valid when Lemma 5.5 traversal cuts are ON (the cuts need
+// per-path state no precomputed table carries), and the engine's choice
+// whenever no bucket tables are attached.
+
+#ifndef SKYSR_RETRIEVAL_SETTLE_RETRIEVER_H_
+#define SKYSR_RETRIEVAL_SETTLE_RETRIEVER_H_
+
+#include <vector>
+
+#include "core/modified_dijkstra.h"
+
+namespace skysr {
+
+class SettleRetriever {
+ public:
+  /// Runs the settle-loop expansion (Algorithm 2). Parameters are exactly
+  /// RunExpansionInto's — see core/modified_dijkstra.h for the contract.
+  template <typename BudgetFn, typename OnCandidate>
+  static ExpansionOutcome RetrieveInto(
+      const Graph& g, const PositionMatcher& matcher, VertexId source,
+      BudgetFn&& budget_fn, bool apply_lemma55, ExpansionScratch& scratch,
+      std::vector<ExpansionCandidate>* out, OnCandidate&& on_candidate,
+      DijkstraRunStats* stats_out,
+      std::vector<SettleRecord>* settle_log = nullptr) {
+    return RunExpansionInto(g, matcher, source,
+                            std::forward<BudgetFn>(budget_fn), apply_lemma55,
+                            scratch, out,
+                            std::forward<OnCandidate>(on_candidate),
+                            stats_out, settle_log);
+  }
+};
+
+}  // namespace skysr
+
+#endif  // SKYSR_RETRIEVAL_SETTLE_RETRIEVER_H_

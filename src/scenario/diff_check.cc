@@ -11,6 +11,7 @@
 #include "baseline/naive_skysr.h"
 #include "core/bssr_engine.h"
 #include "index/oracle_factory.h"
+#include "retrieval/category_buckets.h"
 #include "service/query_service.h"
 #include "util/rng.h"
 
@@ -27,12 +28,13 @@ bool IsPlainQuery(const Query& q) {
 }
 
 std::string RenderConfig(bool init, bool lb, bool cache, QueueDiscipline disc,
-                         OracleKind oracle) {
-  char buf[80];
-  std::snprintf(buf, sizeof(buf), "init=%d lb=%d cache=%d queue=%s oracle=%s",
+                         OracleKind oracle, RetrieverKind retriever) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf),
+                "init=%d lb=%d cache=%d queue=%s oracle=%s retriever=%s",
                 init, lb, cache,
                 disc == QueueDiscipline::kProposed ? "proposed" : "distance",
-                OracleKindName(oracle));
+                OracleKindName(oracle), RetrieverKindName(retriever));
   return buf;
 }
 
@@ -135,6 +137,10 @@ DiffReport RunDifferentialCheck(const DiffCheckParams& params) {
       params.oracle_kinds.empty()
           ? std::vector<OracleKind>{OracleKind::kFlat}
           : params.oracle_kinds;
+  const std::vector<RetrieverKind> retrievers =
+      params.retriever_kinds.empty()
+          ? std::vector<RetrieverKind>{RetrieverKind::kAuto}
+          : params.retriever_kinds;
   for (int idx = 0; report.instances_checked < params.num_instances; ++idx) {
     const ScenarioSpec spec = ScenarioSuiteSpec(idx, params.master_seed);
     const Scenario sc = MakeScenario(spec);
@@ -142,18 +148,36 @@ DiffReport RunDifferentialCheck(const DiffCheckParams& params) {
 
     // One engine per oracle kind, all over the same scenario dataset. The
     // indexes are built fresh per scenario graph; the flat kind maps to the
-    // classic oracle-less engine.
+    // classic oracle-less engine. CH engines additionally carry the
+    // per-scenario category-bucket tables so the retriever sweep pins the
+    // bucket scans.
     std::vector<std::unique_ptr<DistanceOracle>> oracles;
+    std::vector<std::unique_ptr<CategoryBucketIndex>> bucket_sets;
     std::vector<BssrEngine> engines;
     const DistanceOracle* service_oracle = nullptr;
+    const CategoryBucketIndex* service_buckets = nullptr;
     engines.reserve(kinds.size());
     for (const OracleKind kind : kinds) {
       oracles.push_back(kind == OracleKind::kFlat
                             ? nullptr
                             : MakeOracle(kind, sc.dataset.graph));
+      bucket_sets.push_back(
+          kind == OracleKind::kCh
+              ? std::make_unique<CategoryBucketIndex>(
+                    CategoryBucketIndex::Build(
+                        sc.dataset.graph,
+                        static_cast<const ChOracle&>(*oracles.back())))
+              : nullptr);
       engines.emplace_back(sc.dataset.graph, sc.dataset.forest,
-                           oracles.back().get());
-      if (oracles.back() != nullptr) service_oracle = oracles.back().get();
+                           oracles.back().get(), bucket_sets.back().get());
+      // The service replay shares the CH index + buckets when present (the
+      // one-index-many-workspaces threading with the bucket tables along),
+      // else the last non-flat oracle.
+      if (oracles.back() != nullptr &&
+          (service_oracle == nullptr || kind == OracleKind::kCh)) {
+        service_oracle = oracles.back().get();
+        service_buckets = bucket_sets.back().get();
+      }
     }
 
     const auto record = [&](int query_index, std::string config,
@@ -182,47 +206,53 @@ DiffReport RunDifferentialCheck(const DiffCheckParams& params) {
       }
       MixSkyline(&report.result_digest, *brute);
 
-      // Every (ablation combination x oracle kind) must reproduce the exact
-      // skyline: Theorem 3 for the toggles, the oracle exactness contract
-      // for the index layer.
+      // Every (ablation combination x oracle kind x retriever kind) must
+      // reproduce the exact skyline: Theorem 3 for the toggles, the oracle
+      // exactness contract for the index layer, and the retrieval
+      // subsystem's bit-identity contract for the backends.
       for (size_t ki = 0; ki < kinds.size(); ++ki) {
         for (int bits = 0; bits < 8; ++bits) {
           for (QueueDiscipline disc :
                {QueueDiscipline::kProposed,
                 QueueDiscipline::kDistanceBased}) {
-            QueryOptions opts;
-            opts.use_initial_search = (bits & 1) != 0;
-            opts.use_lower_bounds = (bits & 2) != 0;
-            opts.use_cache = (bits & 4) != 0;
-            opts.queue_discipline = disc;
-            if (kinds[ki] != OracleKind::kFlat) {
-              // Force the oracle-backed NNinit/lower-bound paths (the
-              // production default falls back to graph searches for dense
-              // candidate sets — a pure speed choice, and the point here
-              // is to verify the oracle paths themselves).
-              opts.oracle_candidate_cap = 1 << 30;
-            }
-            auto got = engines[ki].Run(q, opts);
-            ++report.engine_runs;
-            if (!got.ok()) {
-              record(static_cast<int>(qi),
-                     RenderConfig(opts.use_initial_search,
-                                  opts.use_lower_bounds, opts.use_cache, disc,
-                                  kinds[ki]),
-                     got.status().ToString());
-              continue;
-            }
-            if (!BitIdenticalSkylines(got->routes, *brute)) {
-              record(static_cast<int>(qi),
-                     RenderConfig(opts.use_initial_search,
-                                  opts.use_lower_bounds, opts.use_cache, disc,
-                                  kinds[ki]),
-                     "expected " + RenderSkyline(*brute) + " got " +
-                         RenderSkyline(got->routes));
-            }
-            if (ki == 0 && bits == 7 && disc == QueueDiscipline::kProposed) {
-              default_results[qi] = got->routes;
-              have_default[qi] = 1;
+            for (const RetrieverKind rkind : retrievers) {
+              QueryOptions opts;
+              opts.use_initial_search = (bits & 1) != 0;
+              opts.use_lower_bounds = (bits & 2) != 0;
+              opts.use_cache = (bits & 4) != 0;
+              opts.queue_discipline = disc;
+              opts.retriever = rkind;
+              if (kinds[ki] != OracleKind::kFlat) {
+                // Force the oracle-backed NNinit/lower-bound paths (the
+                // production default falls back to graph searches for dense
+                // candidate sets — a pure speed choice, and the point here
+                // is to verify the oracle paths themselves).
+                opts.oracle_candidate_cap = 1 << 30;
+              }
+              auto got = engines[ki].Run(q, opts);
+              ++report.engine_runs;
+              if (!got.ok()) {
+                record(static_cast<int>(qi),
+                       RenderConfig(opts.use_initial_search,
+                                    opts.use_lower_bounds, opts.use_cache,
+                                    disc, kinds[ki], rkind),
+                       got.status().ToString());
+                continue;
+              }
+              if (!BitIdenticalSkylines(got->routes, *brute)) {
+                record(static_cast<int>(qi),
+                       RenderConfig(opts.use_initial_search,
+                                    opts.use_lower_bounds, opts.use_cache,
+                                    disc, kinds[ki], rkind),
+                       "expected " + RenderSkyline(*brute) + " got " +
+                           RenderSkyline(got->routes));
+              }
+              if (ki == 0 && bits == 7 &&
+                  disc == QueueDiscipline::kProposed &&
+                  rkind == retrievers[0]) {
+                default_results[qi] = got->routes;
+                have_default[qi] = 1;
+              }
             }
           }
         }
@@ -258,6 +288,7 @@ DiffReport RunDifferentialCheck(const DiffCheckParams& params) {
       cfg.queue_capacity = 64;
       cfg.cache_capacity = 16;
       cfg.oracle = service_oracle;  // shared index, per-worker workspaces
+      cfg.buckets = service_buckets;  // shared bucket tables likewise
       QueryService service(sc.dataset.graph, sc.dataset.forest, cfg);
       const auto results = service.RunBatch(sc.queries);
       for (size_t qi = 0; qi < results.size(); ++qi) {

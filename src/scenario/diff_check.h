@@ -25,6 +25,7 @@
 
 #include "core/route.h"
 #include "index/distance_oracle.h"
+#include "retrieval/retriever_kind.h"
 #include "scenario/scenario.h"
 
 namespace skysr {
@@ -52,6 +53,14 @@ struct DiffCheckParams {
   /// NNinit / lower-bound distance work.
   std::vector<OracleKind> oracle_kinds = {OracleKind::kFlat, OracleKind::kCh,
                                           OracleKind::kAlt};
+  /// PoI-retrieval sweep: the ablation grid additionally runs once per
+  /// retriever kind per oracle. CH engines carry per-scenario bucket
+  /// tables, so kBucket/kAuto pin the bucket scans there; on flat/ALT
+  /// engines the forced kinds exercise the documented fallbacks. Every
+  /// combination must stay bit-identical to brute force.
+  std::vector<RetrieverKind> retriever_kinds = {
+      RetrieverKind::kAuto, RetrieverKind::kSettle, RetrieverKind::kBucket,
+      RetrieverKind::kResume};
 };
 
 /// One disagreement, with everything needed to reproduce it.

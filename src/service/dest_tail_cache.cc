@@ -1,0 +1,43 @@
+#include "service/dest_tail_cache.h"
+
+#include <utility>
+
+namespace skysr {
+
+std::shared_ptr<const std::vector<Weight>> DestTailLru::GetOrCompute(
+    VertexId destination,
+    const std::function<void(std::vector<Weight>*)>& compute) {
+  if (capacity_ > 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = entries_.find(destination);
+    if (it != entries_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second->tails;
+    }
+  }
+  // Compute outside the lock: tails are deterministic per destination, so a
+  // concurrent duplicate computation yields the identical table and the
+  // loser's insert simply refreshes the entry.
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  auto table = std::make_shared<std::vector<Weight>>();
+  compute(table.get());
+  std::shared_ptr<const std::vector<Weight>> shared = std::move(table);
+  if (capacity_ > 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = entries_.find(destination);
+    if (it != entries_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return it->second->tails;  // keep the first table (identical anyway)
+    }
+    lru_.push_front(Entry{destination, shared});
+    entries_[destination] = lru_.begin();
+    if (entries_.size() > capacity_) {
+      entries_.erase(lru_.back().destination);
+      lru_.pop_back();
+    }
+  }
+  return shared;
+}
+
+}  // namespace skysr

@@ -1,0 +1,59 @@
+// Per-destination reverse-tail LRU: the QueryService implementation of
+// core/dest_tails.h. A §6 destination query pays one full-graph reverse
+// Dijkstra before its search starts; destinations repeat across clients
+// (the same station, the same venue), so the service shares the immutable
+// D(v, destination) tables across queries and workers under the same
+// canonical keying discipline as the result cache — here the canonical key
+// is simply the destination vertex, the only input the table depends on
+// (the graph is fixed per service). Tables are deterministic, so sharing
+// cannot change results; eviction hands out shared_ptrs, so an in-flight
+// query keeps its table alive.
+
+#ifndef SKYSR_SERVICE_DEST_TAIL_CACHE_H_
+#define SKYSR_SERVICE_DEST_TAIL_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "core/dest_tails.h"
+
+namespace skysr {
+
+/// Fixed-capacity, thread-safe LRU from destination vertex to its shared
+/// tail table. Capacity 0 disables caching (every call computes).
+class DestTailLru final : public DestTailProvider {
+ public:
+  explicit DestTailLru(size_t capacity) : capacity_(capacity) {}
+
+  std::shared_ptr<const std::vector<Weight>> GetOrCompute(
+      VertexId destination,
+      const std::function<void(std::vector<Weight>*)>& compute) override;
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
+  int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  int64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Entry {
+    VertexId destination;
+    std::shared_ptr<const std::vector<Weight>> tails;
+  };
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<VertexId, std::list<Entry>::iterator> entries_;
+  std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> misses_{0};
+};
+
+}  // namespace skysr
+
+#endif  // SKYSR_SERVICE_DEST_TAIL_CACHE_H_

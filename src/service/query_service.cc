@@ -31,7 +31,8 @@ QueryService::QueryService(const Graph& graph, const CategoryForest& forest,
       num_threads_(ResolveThreads(config.num_threads)),
       config_(std::move(config)),
       queue_(config_.queue_capacity),
-      cache_(config_.cache_capacity) {
+      cache_(config_.cache_capacity),
+      dest_tails_(config_.dest_tail_cache_capacity) {
   pool_.Start(num_threads_, [this](int i) { WorkerLoop(i); });
 }
 
@@ -50,9 +51,12 @@ void QueryService::WorkerLoop(int /*thread_index*/) {
   // this worker's lifetime, so sustained batch/serve traffic runs
   // allocation-free in steady state — capacities grow to the hardest query
   // drawn and stay; results are bit-identical to a fresh engine per query.
-  // The distance oracle (if any) is shared and immutable, with each
-  // engine's workspace holding its private oracle scratch.
-  BssrEngine engine(*graph_, *forest_, config_.oracle);
+  // The distance oracle and category-bucket tables (if any) are shared and
+  // immutable, with each engine's workspace holding its private oracle and
+  // retrieval scratch; destination tails are shared through the service's
+  // per-destination LRU.
+  BssrEngine engine(*graph_, *forest_, config_.oracle, config_.buckets);
+  engine.SetDestTailProvider(&dest_tails_);
   while (auto task = queue_.Pop()) {
     Execute(engine, *task);
   }

@@ -34,7 +34,9 @@
 #include "core/bssr_engine.h"
 #include "core/query.h"
 #include "graph/graph.h"
+#include "retrieval/category_buckets.h"
 #include "service/bounded_queue.h"
+#include "service/dest_tail_cache.h"
 #include "service/result_cache.h"
 #include "service/service_metrics.h"
 #include "service/worker_pool.h"
@@ -58,6 +60,15 @@ struct ServiceConfig {
   /// engine queries the one index through its own per-thread workspace;
   /// null keeps the flat Dijkstra paths.
   const DistanceOracle* oracle = nullptr;
+  /// Shared immutable category-bucket tables (src/retrieval/). Non-owning:
+  /// must be built over (this graph, `oracle`) and outlive the service.
+  /// One table set serves every worker; per-worker scan state lives inside
+  /// each engine's workspace. Null keeps the settle/resume paths.
+  const CategoryBucketIndex* buckets = nullptr;
+  /// Per-destination reverse-tail LRU entries (one entry = an O(|V|) tail
+  /// table shared across workers); 0 disables sharing and every §6
+  /// destination query recomputes its tails.
+  size_t dest_tail_cache_capacity = 32;
 };
 
 /// A concurrent, cached front-end over per-thread BssrEngines.
@@ -103,6 +114,9 @@ class QueryService {
   size_t cache_size() const { return cache_.size(); }
   const Graph& graph() const { return *graph_; }
   const CategoryForest& forest() const { return *forest_; }
+  /// The shared destination-tail LRU (hit/miss counters for tests and
+  /// metrics dumps).
+  const DestTailLru& dest_tails() const { return dest_tails_; }
 
  private:
   struct Task {
@@ -126,6 +140,7 @@ class QueryService {
 
   BoundedQueue<Task> queue_;
   LruResultCache cache_;
+  DestTailLru dest_tails_;
   ServiceMetrics metrics_;
   WorkerPool pool_;
   std::atomic<bool> shutdown_{false};

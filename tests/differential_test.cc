@@ -7,11 +7,13 @@
 // instance count (the sanitizer CI job reduces it).
 
 #include <cstdlib>
+#include <memory>
 
 #include <gtest/gtest.h>
 
 #include "core/bssr_engine.h"
 #include "index/oracle_factory.h"
+#include "retrieval/category_buckets.h"
 #include "scenario/diff_check.h"
 #include "scenario/scenario.h"
 
@@ -40,18 +42,37 @@ std::vector<OracleKind> EnvOracleSweep() {
   return {OracleKind::kFlat, *kind};
 }
 
+// SKYSR_RETRIEVER=settle|bucket|resume|auto restricts the retriever sweep
+// to {settle, that kind} (settle is the exact reference backend); unset (or
+// an unknown name) keeps the full auto/settle/bucket/resume sweep.
+std::vector<RetrieverKind> EnvRetrieverSweep() {
+  const std::vector<RetrieverKind> all = {
+      RetrieverKind::kAuto, RetrieverKind::kSettle, RetrieverKind::kBucket,
+      RetrieverKind::kResume};
+  const char* v = std::getenv("SKYSR_RETRIEVER");
+  if (v == nullptr || *v == '\0') return all;
+  const auto kind = ParseRetrieverKind(v);
+  if (!kind.has_value()) return all;
+  if (*kind == RetrieverKind::kSettle) return {RetrieverKind::kSettle};
+  return {RetrieverKind::kSettle, *kind};
+}
+
 // The acceptance bar: >= 200 instances, every ablation combo bit-identical
-// to brute force under EVERY oracle kind, naive baseline and QueryService
-// replay (sharing the index) agreeing too.
+// to brute force under EVERY oracle kind and EVERY retriever kind, naive
+// baseline and QueryService replay (sharing the index + bucket tables)
+// agreeing too.
 TEST(DifferentialTest, EngineMatchesBaselinesOnGeneratedScenarios) {
   DiffCheckParams params;
   params.num_instances = EnvInstances(216);
   params.oracle_kinds = EnvOracleSweep();
+  params.retriever_kinds = EnvRetrieverSweep();
   const DiffReport report = RunDifferentialCheck(params);
   EXPECT_GE(report.instances_checked, params.num_instances);
-  // 8 toggle combos x 2 queue disciplines per instance and oracle kind.
+  // 8 toggle combos x 2 queue disciplines per instance, oracle kind and
+  // retriever kind.
   EXPECT_GE(report.engine_runs,
             16 * static_cast<int64_t>(params.oracle_kinds.size()) *
+                static_cast<int64_t>(params.retriever_kinds.size()) *
                 report.instances_checked);
   for (const DiffMismatch& m : report.mismatches) {
     ADD_FAILURE() << m.scenario << " query " << m.query_index
@@ -84,41 +105,64 @@ TEST(DifferentialTest, SuiteCoversAllFamiliesAndWorkloadShapes) {
 }
 
 // Workspace-reuse determinism: the engine's QueryWorkspace (skyline, arena,
-// Q_b, flat cache + candidate pool, settle log, every scratch) persists
-// across queries; 100 sequential mixed queries on ONE engine must be
-// bit-identical — routes, PoI witnesses AND deterministic work counters —
-// to running each query on a freshly constructed engine.
+// Q_b, flat cache + candidate pool, settle log, bucket scan state,
+// resumable slots, every scratch) persists across queries; 100 sequential
+// mixed queries on ONE engine must be bit-identical — routes, PoI witnesses
+// AND deterministic work counters — to running each query on a freshly
+// constructed engine. Runs twice: the classic oracle-less engine, and an
+// engine with CH oracle + category-bucket tables so the retrieval-backend
+// state is exercised under reuse too.
 TEST(DifferentialTest, WorkspaceReuseIsBitIdenticalToFreshEngines) {
-  int ran = 0;
-  for (int idx = 0; ran < 100; ++idx) {
-    const Scenario sc = MakeScenario(ScenarioSuiteSpec(idx, /*seed=*/777));
-    BssrEngine reused(sc.dataset.graph, sc.dataset.forest);
-    for (size_t qi = 0; qi < sc.queries.size() && ran < 100; ++qi, ++ran) {
-      const Query& q = sc.queries[qi];
-      const auto a = reused.Run(q);
-      BssrEngine fresh(sc.dataset.graph, sc.dataset.forest);
-      const auto b = fresh.Run(q);
-      ASSERT_TRUE(a.ok() && b.ok());
-      ASSERT_EQ(a->routes.size(), b->routes.size())
-          << sc.spec.name << " query " << qi;
-      for (size_t r = 0; r < a->routes.size(); ++r) {
-        EXPECT_EQ(a->routes[r].scores.length, b->routes[r].scores.length);
-        EXPECT_EQ(a->routes[r].scores.semantic, b->routes[r].scores.semantic);
-        EXPECT_EQ(a->routes[r].pois, b->routes[r].pois)
-            << sc.spec.name << " query " << qi << " route " << r;
+  for (const bool with_buckets : {false, true}) {
+    int ran = 0;
+    for (int idx = 0; ran < 100; ++idx) {
+      const Scenario sc = MakeScenario(ScenarioSuiteSpec(idx, /*seed=*/777));
+      std::unique_ptr<ChOracle> ch;
+      std::unique_ptr<CategoryBucketIndex> buckets;
+      if (with_buckets) {
+        ch = std::make_unique<ChOracle>(
+            ChOracle::Build(sc.dataset.graph));
+        buckets = std::make_unique<CategoryBucketIndex>(
+            CategoryBucketIndex::Build(sc.dataset.graph, *ch));
       }
-      EXPECT_EQ(a->stats.vertices_settled, b->stats.vertices_settled);
-      EXPECT_EQ(a->stats.edges_relaxed, b->stats.edges_relaxed);
-      EXPECT_EQ(a->stats.routes_enqueued, b->stats.routes_enqueued);
-      EXPECT_EQ(a->stats.routes_dequeued, b->stats.routes_dequeued);
-      EXPECT_EQ(a->stats.mdijkstra_runs, b->stats.mdijkstra_runs);
-      EXPECT_EQ(a->stats.mdijkstra_cache_hits,
-                b->stats.mdijkstra_cache_hits);
-      EXPECT_EQ(a->stats.cand_examined, b->stats.cand_examined);
-      EXPECT_EQ(a->stats.settle_log_replays, b->stats.settle_log_replays);
+      BssrEngine reused(sc.dataset.graph, sc.dataset.forest, ch.get(),
+                        buckets.get());
+      for (size_t qi = 0; qi < sc.queries.size() && ran < 100; ++qi, ++ran) {
+        const Query& q = sc.queries[qi];
+        const auto a = reused.Run(q);
+        BssrEngine fresh(sc.dataset.graph, sc.dataset.forest, ch.get(),
+                         buckets.get());
+        const auto b = fresh.Run(q);
+        ASSERT_TRUE(a.ok() && b.ok());
+        ASSERT_EQ(a->routes.size(), b->routes.size())
+            << sc.spec.name << " query " << qi;
+        for (size_t r = 0; r < a->routes.size(); ++r) {
+          EXPECT_EQ(a->routes[r].scores.length, b->routes[r].scores.length);
+          EXPECT_EQ(a->routes[r].scores.semantic,
+                    b->routes[r].scores.semantic);
+          EXPECT_EQ(a->routes[r].pois, b->routes[r].pois)
+              << sc.spec.name << " query " << qi << " route " << r;
+        }
+        EXPECT_EQ(a->stats.vertices_settled, b->stats.vertices_settled);
+        EXPECT_EQ(a->stats.edges_relaxed, b->stats.edges_relaxed);
+        EXPECT_EQ(a->stats.routes_enqueued, b->stats.routes_enqueued);
+        EXPECT_EQ(a->stats.routes_dequeued, b->stats.routes_dequeued);
+        EXPECT_EQ(a->stats.mdijkstra_runs, b->stats.mdijkstra_runs);
+        EXPECT_EQ(a->stats.mdijkstra_cache_hits,
+                  b->stats.mdijkstra_cache_hits);
+        EXPECT_EQ(a->stats.cand_examined, b->stats.cand_examined);
+        EXPECT_EQ(a->stats.settle_log_replays, b->stats.settle_log_replays);
+        EXPECT_EQ(a->stats.retriever_bucket_runs,
+                  b->stats.retriever_bucket_runs);
+        EXPECT_EQ(a->stats.retriever_resume_runs,
+                  b->stats.retriever_resume_runs);
+        EXPECT_EQ(a->stats.bucket_fwd_searches, b->stats.bucket_fwd_searches);
+        EXPECT_EQ(a->stats.bucket_fwd_reuses, b->stats.bucket_fwd_reuses);
+        EXPECT_EQ(a->stats.bucket_candidates, b->stats.bucket_candidates);
+      }
     }
+    EXPECT_EQ(ran, 100);
   }
-  EXPECT_EQ(ran, 100);
 }
 
 // Determinism: the same (instance count, master seed) must reproduce the

@@ -18,24 +18,30 @@
 //       Prints dataset statistics.
 //
 //   skysr_cli index build --data DIR [--oracle ch|alt] [--landmarks N]
-//             [--out FILE]
+//             [--out FILE] [--no-buckets]
 //       Preprocesses the dataset's graph into a distance-oracle index
 //       (contraction hierarchies by default, ALT landmarks with
-//       --oracle alt) and saves it (default DIR/index.chidx|.altidx). The
-//       index embeds a checksum of the graph; loading it against any other
-//       graph is rejected.
+//       --oracle alt) and saves it (default DIR/index.chidx|.altidx). For
+//       CH it additionally builds the category-bucket tables of the PoI
+//       retrieval subsystem and saves them alongside (DIR/index.cbkt;
+//       --no-buckets skips). Index files embed checksums of the graph (and,
+//       for buckets, the PoI assignment and the CH build); loading against
+//       any other dataset is rejected.
 //
-//   skysr_cli index stats --data DIR --index FILE
-//       Loads a saved index (verifying the graph checksum) and prints its
-//       statistics.
+//   skysr_cli index stats --data DIR --index FILE [--buckets FILE]
+//       Loads a saved index (verifying the checksums) and prints its
+//       statistics, including the bucket tables when given.
 //
 //   skysr_cli query --data DIR --start V --categories "A;B;C"
 //             [--dest V] [--no-init] [--no-lb] [--no-cache]
 //             [--queue distance] [--budget SECONDS]
 //             [--oracle flat|ch|alt] [--index FILE]
+//             [--retriever auto|settle|bucket|resume] [--buckets FILE|build]
 //       Runs one SkySR query (category names as in taxonomy.txt) and prints
 //       the skyline plus search statistics. --oracle builds (or --index
-//       loads) a distance oracle backing NNinit and the lower bounds.
+//       loads) a distance oracle backing NNinit and the lower bounds;
+//       --buckets loads (or builds, with a CH oracle on hand) the category
+//       bucket tables and --retriever picks the expansion backend.
 //
 //   skysr_cli workload --data DIR --size K --count N [--seed S] [--out FILE]
 //       Generates N random queries of size K and reports aggregate timing;
@@ -43,10 +49,12 @@
 //
 //   skysr_cli batch --data DIR --queries FILE [--threads N] [--repeat R]
 //             [--cache N] [--queue N] [--oracle flat|ch|alt] [--index FILE]
+//             [--retriever auto|settle|bucket|resume] [--buckets FILE|build]
 //       (alias: serve) Replays a workload file through the concurrent
 //       QueryService with N worker threads and prints service metrics
 //       (QPS, latency percentiles, cache hit rate). With --oracle/--index
-//       all workers share one immutable distance oracle.
+//       all workers share one immutable distance oracle, and with
+//       --buckets one immutable set of category-bucket tables.
 
 #include <cstdio>
 #include <cstdlib>
@@ -54,6 +62,7 @@
 #include <fstream>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -140,6 +149,64 @@ Result<std::unique_ptr<DistanceOracle>> ResolveOracle(
   return oracle;
 }
 
+/// Resolves --buckets into category-bucket tables over `graph` bound to
+/// `oracle` (nullopt when the flag is absent): a path loads a saved .cbkt
+/// (checksum-verified), the literal "build" builds the tables in memory.
+/// Requires a CH oracle either way.
+Result<std::optional<CategoryBucketIndex>> ResolveBuckets(
+    const std::map<std::string, std::string>& flags, const Graph& graph,
+    const DistanceOracle* oracle) {
+  if (!flags.count("buckets")) {
+    return std::optional<CategoryBucketIndex>();
+  }
+  if (oracle == nullptr || oracle->kind() != OracleKind::kCh) {
+    return Status::InvalidArgument(
+        "--buckets needs a contraction-hierarchies oracle (--oracle ch or a "
+        ".chidx --index)");
+  }
+  const auto& ch = static_cast<const ChOracle&>(*oracle);
+  WallTimer timer;
+  if (flags.at("buckets") == "build") {
+    std::optional<CategoryBucketIndex> built(
+        CategoryBucketIndex::Build(graph, ch));
+    std::printf("built bucket tables in %.1f ms (%.2f MiB, %lld settles)\n",
+                timer.ElapsedMillis(),
+                static_cast<double>(built->MemoryBytes()) / (1 << 20),
+                static_cast<long long>(built->num_settles()));
+    return built;
+  }
+  SKYSR_ASSIGN_OR_RETURN(CategoryBucketIndex loaded,
+                         LoadBucketIndex(flags.at("buckets"), graph, ch));
+  std::printf("loaded bucket tables from %s in %.1f ms (%.2f MiB)\n",
+              flags.at("buckets").c_str(), timer.ElapsedMillis(),
+              static_cast<double>(loaded.MemoryBytes()) / (1 << 20));
+  return std::optional<CategoryBucketIndex>(std::move(loaded));
+}
+
+/// Applies --retriever to query options; false (with a message) on an
+/// unknown name.
+bool ApplyRetrieverFlag(const std::map<std::string, std::string>& flags,
+                        QueryOptions* opts) {
+  if (!flags.count("retriever")) return true;
+  const auto kind = ParseRetrieverKind(flags.at("retriever"));
+  if (!kind.has_value()) {
+    std::fprintf(stderr, "unknown --retriever %s (auto|settle|bucket|resume)\n",
+                 flags.at("retriever").c_str());
+    return false;
+  }
+  opts->retriever = *kind;
+  return true;
+}
+
+void PrintBucketStats(const CategoryBucketIndex& buckets) {
+  std::printf("bucket tables: %lld settles over %zu categories, %.2f MiB "
+              "(built in %.1f ms)\n",
+              static_cast<long long>(buckets.num_settles()),
+              buckets.categories().size(),
+              static_cast<double>(buckets.MemoryBytes()) / (1 << 20),
+              buckets.build_stats().build_ms);
+}
+
 void PrintOracleStats(const DistanceOracle& oracle) {
   std::printf("oracle kind: %s\n", OracleKindName(oracle.kind()));
   std::printf("memory: %.2f MiB\n",
@@ -189,6 +256,18 @@ int CmdIndex(int argc, char** argv,
     std::printf("graph checksum: %016llx (verified)\n",
                 static_cast<unsigned long long>(GraphChecksum(ds->graph)));
     PrintOracleStats(**oracle);
+    if (flags.count("buckets")) {
+      auto buckets = ResolveBuckets(flags, ds->graph, oracle->get());
+      if (!buckets.ok()) {
+        std::fprintf(stderr, "%s\n", buckets.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("bucket file: %s\n", flags.at("buckets").c_str());
+      std::printf("assignment checksum: %016llx (verified)\n",
+                  static_cast<unsigned long long>(
+                      PoiAssignmentChecksum(ds->graph)));
+      PrintBucketStats(**buckets);
+    }
     return 0;
   }
 
@@ -219,6 +298,23 @@ int CmdIndex(int argc, char** argv,
   std::printf("built %s index in %.1f ms, wrote %s\n", kind_name.c_str(),
               build_ms, out.c_str());
   PrintOracleStats(*oracle);
+
+  // CH builds also get the PoI-retrieval bucket tables, persisted alongside
+  // the .chidx (same dataset binding, plus assignment + CH checksums).
+  if (*kind == OracleKind::kCh && !flags.count("no-buckets")) {
+    const CategoryBucketIndex buckets = CategoryBucketIndex::Build(
+        ds->graph, static_cast<const ChOracle&>(*oracle));
+    const std::string bucket_out =
+        flags.count("out")
+            ? flags.at("out") + "." + BucketIndexExtension()
+            : flags.at("data") + "/index." + BucketIndexExtension();
+    if (Status st = SaveBucketIndex(buckets, bucket_out); !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", bucket_out.c_str());
+    PrintBucketStats(buckets);
+  }
   return 0;
 }
 
@@ -408,12 +504,20 @@ int CmdQuery(const std::map<std::string, std::string>& flags) {
     opts.time_budget_seconds = std::atof(flags.at("budget").c_str());
   }
 
+  if (!ApplyRetrieverFlag(flags, &opts)) return 2;
+
   auto oracle = ResolveOracle(flags, ds->graph);
   if (!oracle.ok()) {
     std::fprintf(stderr, "%s\n", oracle.status().ToString().c_str());
     return 1;
   }
-  BssrEngine engine(ds->graph, ds->forest, oracle->get());
+  auto buckets = ResolveBuckets(flags, ds->graph, oracle->get());
+  if (!buckets.ok()) {
+    std::fprintf(stderr, "%s\n", buckets.status().ToString().c_str());
+    return 1;
+  }
+  BssrEngine engine(ds->graph, ds->forest, oracle->get(),
+                    buckets->has_value() ? &**buckets : nullptr);
   auto result = engine.Run(q, opts);
   if (!result.ok()) {
     std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
@@ -504,12 +608,20 @@ int CmdBatch(const std::map<std::string, std::string>& flags) {
   const int repeat =
       flags.count("repeat") ? std::atoi(flags.at("repeat").c_str()) : 1;
 
+  if (!ApplyRetrieverFlag(flags, &cfg.default_options)) return 2;
+
   auto oracle = ResolveOracle(flags, ds->graph);
   if (!oracle.ok()) {
     std::fprintf(stderr, "%s\n", oracle.status().ToString().c_str());
     return 1;
   }
   cfg.oracle = oracle->get();
+  auto buckets = ResolveBuckets(flags, ds->graph, oracle->get());
+  if (!buckets.ok()) {
+    std::fprintf(stderr, "%s\n", buckets.status().ToString().c_str());
+    return 1;
+  }
+  if (buckets->has_value()) cfg.buckets = &**buckets;
 
   QueryService service(ds->graph, ds->forest, cfg);
   std::printf("replaying %zu queries x%d through %d worker thread(s)...\n",
