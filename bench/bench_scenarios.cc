@@ -5,15 +5,24 @@
 //
 // Knobs: SKYSR_BENCH_SCALE (vertex-count multiplier), SKYSR_BENCH_QUERIES,
 //        SKYSR_ORACLE (flat|ch|alt — back the engine with an index-layer
-//        distance oracle). Emits BENCH_scenarios.json (override the path
-//        with SKYSR_BENCH_JSON_OUT) for perf-trajectory tracking.
+//        distance oracle), SKYSR_XCACHE (on|1 — attach an engine-lifetime
+//        SharedQueryCache so warm cross-query state carries across the
+//        sweep; per-config cache counters land in the JSON). Emits
+//        BENCH_scenarios.json (override the path with SKYSR_BENCH_JSON_OUT)
+//        for perf-trajectory tracking.
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
+#include <optional>
+#include <string_view>
 
 #include "bench/bench_common.h"
+#include "cache/shared_query_cache.h"
 #include "core/bssr_engine.h"
+#include "index/ch_oracle.h"
 #include "index/oracle_factory.h"
+#include "retrieval/category_buckets.h"
 #include "scenario/scenario.h"
 #include "util/timer.h"
 
@@ -43,6 +52,10 @@ void Run() {
 
   const OracleKind oracle_kind =
       OracleKindFromEnv(OracleKind::kFlat).value_or(OracleKind::kFlat);
+  const char* xcache_env = std::getenv("SKYSR_XCACHE");
+  const bool xcache_on =
+      xcache_env != nullptr && (std::string_view(xcache_env) == "on" ||
+                                std::string_view(xcache_env) == "1");
 
   bench::TablePrinter table({"family", "|V|", "|P|", "size", "mean ms",
                              "max ms", "skyline"});
@@ -50,17 +63,34 @@ void Run() {
   json.BeginObject();
   json.Field("bench", "scenarios");
   json.Field("oracle", OracleKindName(oracle_kind));
+  json.Field("xcache", xcache_on ? "on" : "off");
   json.Field("queries_per_config", static_cast<int64_t>(queries));
   json.BeginArray("configs");
   for (GraphFamily family : {GraphFamily::kGrid, GraphFamily::kCluster,
                              GraphFamily::kSmallWorld}) {
     const Scenario sc = MakeScenario(BenchSpec(family, vertices,
                                                /*seed=*/2026));
-    const std::unique_ptr<DistanceOracle> oracle =
-        oracle_kind == OracleKind::kFlat
-            ? nullptr
-            : MakeOracle(oracle_kind, sc.dataset.graph);
-    BssrEngine engine(sc.dataset.graph, sc.dataset.forest, oracle.get());
+    // With the cache axis on and a CH oracle, also build the bucket tables:
+    // the auto retriever only engages the cacheable bucket/resume backends
+    // when they exist, so this is what makes the counters below non-zero.
+    std::unique_ptr<ChOracle> ch;
+    std::unique_ptr<CategoryBucketIndex> buckets;
+    std::unique_ptr<DistanceOracle> oracle;
+    if (xcache_on && oracle_kind == OracleKind::kCh) {
+      ch = std::make_unique<ChOracle>(ChOracle::Build(sc.dataset.graph));
+      buckets = std::make_unique<CategoryBucketIndex>(
+          CategoryBucketIndex::Build(sc.dataset.graph, *ch));
+    } else if (oracle_kind != OracleKind::kFlat) {
+      oracle = MakeOracle(oracle_kind, sc.dataset.graph);
+    }
+    BssrEngine engine(sc.dataset.graph, sc.dataset.forest,
+                      ch != nullptr ? ch.get() : oracle.get(), buckets.get());
+    std::optional<SharedQueryCache> xcache;
+    if (xcache_on) {
+      xcache.emplace();
+      engine.AttachSharedCache(&*xcache);
+    }
+    SharedCacheCounters seen;
     for (int size = 2; size <= 4; ++size) {
       ScenarioWorkloadParams wl = sc.spec.workload;
       wl.num_queries = queries;
@@ -96,6 +126,21 @@ void Run() {
       json.Field("mean_ms", total_ms / ok);
       json.Field("max_ms", max_ms);
       json.Field("mean_skyline", static_cast<double>(total_routes) / ok);
+      if (xcache.has_value()) {
+        // Per-config deltas of the engine-lifetime counters; the cache
+        // stays warm across the sequence-size sweep of one family.
+        const SharedCacheCounters now = xcache->Counters();
+        json.BeginObject("xcache");
+        json.Field("fwd_hits", now.fwd_hits - seen.fwd_hits);
+        json.Field("fwd_misses", now.fwd_misses - seen.fwd_misses);
+        json.Field("fwd_evictions", now.fwd_evictions - seen.fwd_evictions);
+        json.Field("resume_reuses", now.resume_reuses - seen.resume_reuses);
+        json.Field("resume_evictions",
+                   now.resume_evictions - seen.resume_evictions);
+        json.Field("resident_bytes", xcache->ResidentBytes());
+        json.EndObject();
+        seen = now;
+      }
       json.EndObject();
     }
   }

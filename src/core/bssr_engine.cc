@@ -235,7 +235,25 @@ Result<QueryResult> BssrEngine::Run(const Query& query,
   cache.Clear();
   slog.Clear();
   ws_.bucket_scan.Clear();
-  ws_.resume.Reset(RetrieverCostModel::ResumableSlots(g_->num_vertices()));
+  // Engine-lifetime warm state (src/cache/): with a shared cache attached
+  // and the query opted in, the resumable slots live in the cache —
+  // persistent across queries, CLOCK-evicted — and bucket forward searches
+  // are served snapshot-first / cache-second with write-back. Either way
+  // the per-query scan views (df_of/fsum_of) were just cleared above, so a
+  // warm query differs from a cold one only in which searches it skips.
+  SharedQueryCache* const xc =
+      (xcache_ != nullptr && options.use_shared_cache) ? xcache_ : nullptr;
+  const int default_slots =
+      RetrieverCostModel::ResumableSlots(g_->num_vertices());
+  ResumablePool& resume_pool = xc != nullptr ? xc->resume_pool() : ws_.resume;
+  if (xc != nullptr) {
+    resume_pool.PrepareServing(xc->config().resume_slots > 0
+                                   ? xc->config().resume_slots
+                                   : default_slots);
+    resume_pool.BeginQuery();
+  } else {
+    resume_pool.Reset(default_slots);
+  }
   ws_.qb.Reset(options.queue_discipline, k);
   QbQueue& qb = ws_.qb;
 
@@ -275,7 +293,8 @@ Result<QueryResult> BssrEngine::Run(const Query& query,
               &skyline, &stats, oracle_, &ws_.oracle_ws,
               options.oracle_candidate_cap, &ws_.nn_init,
               nn_buckets ? buckets_ : nullptr,
-              nn_buckets ? &ws_.bucket_scan : nullptr);
+              nn_buckets ? &ws_.bucket_scan : nullptr,
+              nn_buckets ? xc : nullptr);
   }
 
   // --- Optimization 3: minimum-distance lower bounds (§5.3.3). ---
@@ -283,10 +302,16 @@ Result<QueryResult> BssrEngine::Run(const Query& query,
   if (options.use_lower_bounds && k >= 2) {
     if (oracle_ != nullptr && oracle_->kind() != OracleKind::kFlat &&
         options.oracle_candidate_cap != 0) {
+      // With the shared cache attached, table-based legs read the bucket
+      // tables so the source forward searches come from — and warm — the
+      // cache; pair distances are bit-equal to Table()'s (lower_bound.h).
+      std::optional<BucketRetriever> lb_buckets;
+      if (xc != nullptr && buckets_ != nullptr) lb_buckets.emplace(*buckets_);
       ws_.lb = ComputeLowerBoundsWithOracle(
           *g_, matchers, query.start, skyline.Threshold(0.0), *oracle_,
           ws_.oracle_ws, &stats, options.oracle_candidate_cap,
-          &ws_.lower_bound);
+          &ws_.lower_bound, lb_buckets ? &*lb_buckets : nullptr,
+          lb_buckets ? &ws_.bucket_scan : nullptr, xc);
     } else {
       ws_.lb = ComputeLowerBounds(*g_, matchers, query.start,
                                   skyline.Threshold(0.0), &stats,
@@ -460,7 +485,7 @@ Result<QueryResult> BssrEngine::Run(const Query& query,
       // at most two scans per (source, position), ever.
       const ExpansionOutcome outcome =
           bucket->Collect(src, matcher, ws_.oracle_ws, ws_.bucket_scan,
-                          is_rerun ? kInfWeight : budget(), &stats);
+                          is_rerun ? kInfWeight : budget(), &stats, xc);
       const std::vector<ExpansionCandidate>& cands = ws_.bucket_scan.cands;
       if (options.use_cache) {
         std::vector<ExpansionCandidate>& pool = cache.pool();
@@ -480,7 +505,7 @@ Result<QueryResult> BssrEngine::Run(const Query& query,
     // incrementally instead of re-settling its prefix. Falls through to the
     // classic path when the slot pool is at capacity.
     ResumableSlot* slot = nullptr;
-    if (resume_backend) slot = ws_.resume.FindOrCreate(*g_, src);
+    if (resume_backend) slot = resume_pool.FindOrCreate(*g_, src);
     if (slot != nullptr) {
       ++stats.retriever_resume_runs;
       DijkstraRunStats run_stats;

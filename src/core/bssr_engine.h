@@ -21,6 +21,7 @@
 #include <memory>
 #include <vector>
 
+#include "cache/shared_query_cache.h"
 #include "category/category_forest.h"
 #include "core/dest_tails.h"
 #include "core/query.h"
@@ -69,6 +70,22 @@ class BssrEngine {
     dest_tails_ = provider;
   }
 
+  /// Attaches (or detaches, with null) an engine-lifetime cross-query cache
+  /// (see cache/shared_query_cache.h). The cache must outlive the engine and
+  /// — like the engine itself — is single-threaded: one cache per engine per
+  /// thread; cross-worker sharing goes through immutable FwdSnapshots. The
+  /// cache is bound to this engine's (graph, oracle) warm-state checksum, so
+  /// a cache previously warmed against different structure is invalidated on
+  /// attach instead of serving stale state. Attached caches take effect only
+  /// for queries with QueryOptions::use_shared_cache set; results are
+  /// bit-identical with the cache attached, detached, cold or warm.
+  void AttachSharedCache(SharedQueryCache* cache) {
+    xcache_ = cache;
+    if (xcache_ != nullptr) {
+      xcache_->Bind(WarmStateChecksum(*g_, oracle_));
+    }
+  }
+
   const Graph& graph() const { return *g_; }
   const CategoryForest& forest() const { return *forest_; }
   const DistanceOracle* oracle() const { return oracle_; }
@@ -80,6 +97,7 @@ class BssrEngine {
   const DistanceOracle* oracle_;  // may be null (flat behavior)
   const CategoryBucketIndex* buckets_;  // may be null (no bucket backend)
   DestTailProvider* dest_tails_ = nullptr;  // may be null (local tails)
+  SharedQueryCache* xcache_ = nullptr;  // may be null (per-query state only)
   bool has_multi_category_poi_ = false;
 
   // Destination queries on directed graphs need D(v, destination) = forward

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "retrieval/bucket_retriever.h"
 #include "util/timer.h"
 
 namespace skysr {
@@ -132,7 +133,9 @@ LowerBounds ComputeLowerBoundsWithOracle(
     const Graph& g, const std::vector<PositionMatcher>& matchers,
     VertexId start, Weight radius, const DistanceOracle& oracle,
     OracleWorkspace& oracle_ws, SearchStats* stats,
-    int64_t oracle_candidate_cap, LowerBoundScratch* scratch) {
+    int64_t oracle_candidate_cap, LowerBoundScratch* scratch,
+    const BucketRetriever* bucket_server, BucketScanState* bucket_scan,
+    SharedQueryCache* shared) {
   WallTimer timer;
   const int k = static_cast<int>(matchers.size());
   LowerBounds lb;
@@ -194,8 +197,12 @@ LowerBounds ComputeLowerBoundsWithOracle(
   std::vector<VertexId>& sources = scratch->sources;
   std::vector<VertexId>& sem_targets = scratch->sem_targets;
   std::vector<VertexId>& perf_targets = scratch->perf_targets;
+  std::vector<PoiId>& sem_target_pois = scratch->sem_target_pois;
+  std::vector<PoiId>& perf_target_pois = scratch->perf_target_pois;
   std::vector<SourceSeed>& seeds = scratch->seeds;
   std::vector<Weight>& table = scratch->table;
+  const bool bucket_legs =
+      table_based && bucket_server != nullptr && bucket_scan != nullptr;
   for (int i = 0; i + 1 < k; ++i) {
     sources.clear();
     for (PoiId p = 0; p < g.num_pois(); ++p) {
@@ -212,6 +219,8 @@ LowerBounds ComputeLowerBoundsWithOracle(
     const PositionMatcher& next = matchers[static_cast<size_t>(i) + 1];
     sem_targets.clear();
     perf_targets.clear();
+    sem_target_pois.clear();
+    perf_target_pois.clear();
     bool oracle_leg =
         table_based ? sources.size() < max_table_endpoints
                     : sources.size() <= max_bound_pairs;
@@ -223,8 +232,14 @@ LowerBounds ComputeLowerBoundsWithOracle(
     for (PoiId p = 0; oracle_leg && p < g.num_pois(); ++p) {
       const VertexId v = g.VertexOfPoi(p);
       if (!in_ball(v)) continue;
-      if (next.SimOfPoi(p) > 0) sem_targets.push_back(v);
-      if (next.IsPerfect(p)) perf_targets.push_back(v);
+      if (next.SimOfPoi(p) > 0) {
+        sem_targets.push_back(v);
+        sem_target_pois.push_back(p);
+      }
+      if (next.IsPerfect(p)) {
+        perf_targets.push_back(v);
+        perf_target_pois.push_back(p);
+      }
       if (table_based
               ? sem_targets.size() + perf_targets.size() > target_budget
               : std::max(sem_targets.size(), perf_targets.size()) >
@@ -237,11 +252,24 @@ LowerBounds ComputeLowerBoundsWithOracle(
       // CH: exact minima over the in-ball pairs (unrestricted distances,
       // <= the ball-restricted flat values). ALT: pure landmark triangle
       // bounds — no graph search at all.
-      const auto min_pair =
-          [&](std::span<const VertexId> targets) -> Weight {
+      const auto min_pair = [&](std::span<const VertexId> targets,
+                                std::span<const PoiId> target_pois) -> Weight {
         if (targets.empty()) return kInfWeight;
         Weight best = kInfWeight;
-        if (table_based) {
+        if (bucket_legs) {
+          // Bucket-served leg: the PoIs' backward settles are precomputed,
+          // the sources' forward searches come from (and warm) the shared
+          // cache. ExactDistanceTo mirrors Table()'s protocol operand for
+          // operand, so the minima — and the skyline — are unchanged.
+          for (const VertexId s : sources) {
+            bucket_server->EnsureForward(s, oracle_ws, *bucket_scan, stats,
+                                         shared);
+            for (const PoiId p : target_pois) {
+              best = std::min(best,
+                              bucket_server->ExactDistanceTo(p, *bucket_scan));
+            }
+          }
+        } else if (table_based) {
           table.assign(sources.size() * targets.size(), kInfWeight);
           oracle.Table(sources, targets, oracle_ws, table.data());
           for (const Weight w : table) best = std::min(best, w);
@@ -254,8 +282,10 @@ LowerBounds ComputeLowerBoundsWithOracle(
         }
         return best;
       };
-      lb.ls_leg[static_cast<size_t>(i)] = min_pair(sem_targets);
-      lb.lp_leg[static_cast<size_t>(i)] = min_pair(perf_targets);
+      lb.ls_leg[static_cast<size_t>(i)] = min_pair(sem_targets,
+                                                   sem_target_pois);
+      lb.lp_leg[static_cast<size_t>(i)] = min_pair(perf_targets,
+                                                   perf_target_pois);
     } else {
       // Dense leg: the classic ball-restricted multi-source search.
       seeds.clear();

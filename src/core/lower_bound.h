@@ -22,6 +22,10 @@
 
 namespace skysr {
 
+class BucketRetriever;
+struct BucketScanState;
+class SharedQueryCache;
+
 /// Per-leg and per-suffix minimum distances for one query.
 ///
 /// Legs are 0-based: leg i connects sequence position i to i+1
@@ -52,6 +56,8 @@ struct LowerBoundScratch {
   std::vector<VertexId> sources;
   std::vector<VertexId> sem_targets;
   std::vector<VertexId> perf_targets;
+  std::vector<PoiId> sem_target_pois;   // PoI ids parallel to sem_targets
+  std::vector<PoiId> perf_target_pois;  // PoI ids parallel to perf_targets
   std::vector<Weight> table;
 };
 
@@ -78,11 +84,21 @@ LowerBounds ComputeLowerBounds(const Graph& g,
 /// certifies and the differential harness re-verifies per oracle.
 /// `oracle_candidate_cap` follows QueryOptions::oracle_candidate_cap
 /// (-1 = graph-size heuristic; 0 behaves like ComputeLowerBounds).
+///
+/// With `bucket_server` (plus its scan state) attached, table-based legs
+/// are served from the CategoryBucketIndex instead of fresh oracle
+/// searches: each PoI's backward settles are precomputed and the sources'
+/// forward searches come from — and warm — the cross-query shared cache
+/// (`shared`, optional). Pair distances are bit-equal to Table()'s, so the
+/// bounds (and therefore the skyline) are unchanged.
 LowerBounds ComputeLowerBoundsWithOracle(
     const Graph& g, const std::vector<PositionMatcher>& matchers,
     VertexId start, Weight radius, const DistanceOracle& oracle,
     OracleWorkspace& oracle_ws, SearchStats* stats,
-    int64_t oracle_candidate_cap = -1, LowerBoundScratch* scratch = nullptr);
+    int64_t oracle_candidate_cap = -1, LowerBoundScratch* scratch = nullptr,
+    const BucketRetriever* bucket_server = nullptr,
+    BucketScanState* bucket_scan = nullptr,
+    SharedQueryCache* shared = nullptr);
 
 }  // namespace skysr
 

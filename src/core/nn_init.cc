@@ -130,7 +130,8 @@ void RunNnInitAdaptive(const Graph& g,
                        NnChain& chain, SearchStats* stats,
                        int64_t oracle_candidate_cap, NnInitScratch& scratch,
                        const CategoryBucketIndex* buckets,
-                       BucketScanState* bucket_scan) {
+                       BucketScanState* bucket_scan,
+                       SharedQueryCache* shared) {
   const int k = static_cast<int>(matchers.size());
   const bool has_fast_table = oracle != nullptr && oracle_ws != nullptr &&
                               oracle->SupportsFastTable();
@@ -194,7 +195,8 @@ void RunNnInitAdaptive(const Graph& g,
       dist.assign(cand_vertex.size(), kInfWeight);
       if (bucket_ready) {
         const BucketRetriever retriever(*buckets);
-        retriever.EnsureForward(cursor, *oracle_ws, *bucket_scan, stats);
+        retriever.EnsureForward(cursor, *oracle_ws, *bucket_scan, stats,
+                                shared);
         for (size_t c = 0; c < cand_poi.size(); ++c) {
           dist[c] = retriever.ExactDistanceTo(cand_poi[c], *bucket_scan);
         }
@@ -244,14 +246,15 @@ void RunNnInit(const Graph& g, const std::vector<PositionMatcher>& matchers,
                const DistanceOracle* oracle, OracleWorkspace* oracle_ws,
                int64_t oracle_candidate_cap, NnInitScratch* scratch,
                const CategoryBucketIndex* buckets,
-               BucketScanState* bucket_scan) {
+               BucketScanState* bucket_scan, SharedQueryCache* shared) {
   WallTimer timer;
   NnInitScratch local;
   if (scratch == nullptr) scratch = &local;
   NnChain chain(agg, dest_dist, skyline, stats,
                 static_cast<int>(matchers.size()), *scratch);
   RunNnInitAdaptive(g, matchers, start, oracle, oracle_ws, ws, chain, stats,
-                    oracle_candidate_cap, *scratch, buckets, bucket_scan);
+                    oracle_candidate_cap, *scratch, buckets, bucket_scan,
+                    shared);
   if (stats != nullptr) stats->nninit_ms = timer.ElapsedMillis();
 }
 

@@ -63,7 +63,9 @@ struct NnInitScratch {
 /// cached in `bucket_scan` for the whole query, so the bulk search that
 /// follows reuses it — plus a scan per candidate. Distances are bit-equal
 /// to Table()'s, so hits, chain and skyline are unchanged; with buckets on
-/// hand the break-even candidate count widens accordingly.
+/// hand the break-even candidate count widens accordingly. `shared`
+/// (optional) lets the bucket hops read and warm the engine-lifetime
+/// cross-query cache instead of the per-query scan cache.
 void RunNnInit(const Graph& g, const std::vector<PositionMatcher>& matchers,
                VertexId start, const SemanticAggregator& agg,
                const std::vector<Weight>* dest_dist, DijkstraWorkspace& ws,
@@ -73,7 +75,8 @@ void RunNnInit(const Graph& g, const std::vector<PositionMatcher>& matchers,
                int64_t oracle_candidate_cap = -1,
                NnInitScratch* scratch = nullptr,
                const CategoryBucketIndex* buckets = nullptr,
-               BucketScanState* bucket_scan = nullptr);
+               BucketScanState* bucket_scan = nullptr,
+               SharedQueryCache* shared = nullptr);
 
 }  // namespace skysr
 

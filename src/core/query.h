@@ -100,6 +100,14 @@ struct QueryOptions {
   /// mode; ineligible expansions silently fall back to the classic settle
   /// loop. Like the toggles above, every choice is exact.
   RetrieverKind retriever = RetrieverKind::kAuto;
+  /// Opt-out for the engine-lifetime cross-query cache (src/cache/): when an
+  /// engine has a SharedQueryCache attached, this query may read and warm it.
+  /// Off forces the per-query code paths even on a cache-attached engine.
+  /// Results are bit-identical either way — the cache only skips
+  /// recomputation of query-independent state — so this knob, like the
+  /// others, trades nothing but speed (and is therefore NOT part of the
+  /// result-cache key).
+  bool use_shared_cache = true;
 };
 
 /// Resolves one sequence position against PoIs: similarity (0 = no match),

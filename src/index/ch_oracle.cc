@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <bit>
-#include <unordered_map>
 #include <utility>
 
 #include "index/index_io.h"
@@ -27,14 +26,10 @@ constexpr int kContractWitnessCap = 800;
 // hierarchy, where they belong.
 constexpr int64_t kSimPairLimit = 4096;
 
-struct UpItem {
-  Weight dist;
-  VertexId vertex;
-  bool operator<(const UpItem& o) const {
-    if (dist != o.dist) return dist < o.dist;
-    return vertex < o.vertex;
-  }
-};
+// Heap items reuse the workspace-level OracleHeapItem (distance_oracle.h)
+// so query-time searches can borrow the caller's persistent heap instead of
+// allocating one per call.
+using UpItem = OracleHeapItem;
 
 /// True when `v` can be stalled (stall-on-demand): some opposite-direction
 /// upward edge reaches it strictly cheaper than its label, so the label is
@@ -61,10 +56,11 @@ void RunUpwardSearch(const std::vector<int64_t>& offsets,
                      const std::vector<ChEdge>& stall_edges, VertexId source,
                      int64_t n, DijkstraWorkspace& ws,
                      StampedArray<int32_t>& edge_of,
+                     DaryHeap<OracleHeapItem>& heap,
                      std::vector<std::pair<VertexId, Weight>>* settled) {
   ws.Prepare(n);
   edge_of.Prepare(n, -1);
-  DaryHeap<UpItem> heap;
+  heap.clear();
   ws.SetDist(source, 0, kInvalidVertex);
   heap.push(UpItem{0, source});
   while (!heap.empty()) {
@@ -321,19 +317,19 @@ ChOracle ChOracle::Build(const Graph& g) {
 }
 
 void ChOracle::ForwardUpwardSearch(
-    VertexId source, DijkstraWorkspace& ws, StampedArray<int32_t>& edge_of,
+    VertexId source, OracleWorkspace& ws,
     std::vector<std::pair<VertexId, Weight>>* settled) const {
   RunUpwardSearch(up_fwd_offsets_, up_fwd_edges_, up_bwd_offsets_,
-                  up_bwd_edges_, source, g_->num_vertices(), ws, edge_of,
-                  settled);
+                  up_bwd_edges_, source, g_->num_vertices(), ws.fwd,
+                  ws.fwd_edge, ws.heap, settled);
 }
 
 void ChOracle::BackwardUpwardSearch(
-    VertexId target, DijkstraWorkspace& ws, StampedArray<int32_t>& edge_of,
+    VertexId target, OracleWorkspace& ws,
     std::vector<std::pair<VertexId, Weight>>* settled) const {
   RunUpwardSearch(up_bwd_offsets_, up_bwd_edges_, up_fwd_offsets_,
-                  up_fwd_edges_, target, g_->num_vertices(), ws, edge_of,
-                  settled);
+                  up_fwd_edges_, target, g_->num_vertices(), ws.bwd,
+                  ws.bwd_edge, ws.heap, settled);
 }
 
 void ChOracle::UnpackFwdEdgeAt(int64_t idx,
@@ -389,7 +385,7 @@ void ChOracle::MeasureSearchCost() {
     settled.clear();
     RunUpwardSearch(up_fwd_offsets_, up_fwd_edges_, up_bwd_offsets_,
                     up_bwd_edges_, static_cast<VertexId>((n * i) / samples),
-                    n, ws.fwd, ws.fwd_edge, &settled);
+                    n, ws.fwd, ws.fwd_edge, ws.heap, &settled);
     total += static_cast<int64_t>(settled.size());
   }
   avg_up_settles_ = std::max<int64_t>(1, total / samples);
@@ -450,14 +446,18 @@ Weight ChOracle::Distance(VertexId source, VertexId target,
   // Alternating bidirectional upward search with the classic pruning: a
   // side stops once its queue minimum exceeds the best meeting sum (plus
   // the epsilon window, so near-best candidates survive for re-summing).
-  DaryHeap<UpItem> fwd_heap, bwd_heap;
+  DaryHeap<UpItem>& fwd_heap = ws.heap;
+  DaryHeap<UpItem>& bwd_heap = ws.heap2;
+  fwd_heap.clear();
+  bwd_heap.clear();
   ws.fwd.SetDist(source, 0, kInvalidVertex);
   fwd_heap.push(UpItem{0, source});
   ws.bwd.SetDist(target, 0, kInvalidVertex);
   bwd_heap.push(UpItem{0, target});
 
   Weight best = kInfWeight;
-  std::vector<VertexId> meets;
+  std::vector<VertexId>& meets = ws.table.meets;
+  meets.clear();
   const auto step = [&](bool forward) {
     DaryHeap<UpItem>& heap = forward ? fwd_heap : bwd_heap;
     DijkstraWorkspace& mine = forward ? ws.fwd : ws.bwd;
@@ -508,8 +508,8 @@ Weight ChOracle::Distance(VertexId source, VertexId target,
 
   const Weight window = best + best * kMeetEpsilon;
   Weight exact = kInfWeight;
-  std::vector<Weight> weights;
-  std::vector<std::pair<VertexId, int32_t>> chain;  // (owner, CSR edge)
+  std::vector<Weight>& weights = ws.table.weights;
+  std::vector<std::pair<VertexId, int32_t>>& chain = ws.table.chain;
   for (const VertexId v : meets) {
     if (ws.fwd.Dist(v) + ws.bwd.Dist(v) > window) continue;
     weights.clear();
@@ -537,78 +537,128 @@ void ChOracle::Table(std::span<const VertexId> sources,
   const int64_t n = g_->num_vertices();
   const size_t num_t = targets.size();
   if (num_t == 0) return;
+  ChTableScratch& t = ws.table;
 
-  // Backward phase: per-target upward searches fill buckets and remember
-  // each target's search tree for path unpacking.
-  struct BwdLink {
-    VertexId parent;
-    int32_t edge;
-  };
-  std::vector<std::unordered_map<VertexId, BwdLink>> trees(num_t);
-  std::unordered_map<VertexId, std::vector<std::pair<int32_t, Weight>>>
-      buckets;
-  std::vector<std::pair<VertexId, Weight>> settled;
+  // Backward phase: per-target upward searches. Each target's search tree
+  // (settle vertex, distance, parent link) lands in one span of `records`,
+  // sorted by vertex so the unpack walk can binary-search what the old
+  // implementation kept in per-call hash maps. All scratch keeps capacity
+  // across calls — a warmed workspace runs tables allocation-free.
+  t.records.clear();
+  t.target_offsets.clear();
+  t.target_offsets.push_back(0);
   for (size_t j = 0; j < num_t; ++j) {
-    settled.clear();
+    t.settled.clear();
     RunUpwardSearch(up_bwd_offsets_, up_bwd_edges_, up_fwd_offsets_,
                     up_fwd_edges_, targets[j], n, ws.bwd, ws.bwd_edge,
-                    &settled);
-    auto& tree = trees[j];
-    tree.reserve(settled.size());
-    for (const auto& [v, d] : settled) {
-      buckets[v].emplace_back(static_cast<int32_t>(j), d);
-      tree.emplace(v, BwdLink{ws.bwd.Parent(v), ws.bwd_edge.Get(v)});
+                    ws.heap, &t.settled);
+    for (const auto& [v, d] : t.settled) {
+      t.records.push_back(ChTableScratch::BwdRecord{
+          v, d, ws.bwd.Parent(v), ws.bwd_edge.Get(v)});
+    }
+    std::sort(t.records.begin() + t.target_offsets.back(), t.records.end(),
+              [](const ChTableScratch::BwdRecord& a,
+                 const ChTableScratch::BwdRecord& b) {
+                return a.vertex < b.vertex;
+              });
+    t.target_offsets.push_back(static_cast<int64_t>(t.records.size()));
+  }
+
+  // Bucket the records per vertex by counting scatter. Scattering
+  // target-major keeps each vertex's entries in ascending target order —
+  // the same order the old per-vertex append produced, so the scan
+  // arithmetic below visits pairs identically.
+  t.bucket_count.Prepare(n, 0);
+  t.touched.clear();
+  for (const ChTableScratch::BwdRecord& rec : t.records) {
+    const int32_t c = t.bucket_count.Get(rec.vertex);
+    if (c == 0) t.touched.push_back(rec.vertex);
+    t.bucket_count.Set(rec.vertex, c + 1);
+  }
+  t.bucket_head.Prepare(n, -1);
+  int32_t fill = 0;
+  for (const VertexId v : t.touched) {
+    t.bucket_head.Set(v, fill);
+    fill += t.bucket_count.Get(v);
+  }
+  t.entries.resize(t.records.size());
+  t.bucket_count.Prepare(n, 0);  // reused as the per-vertex fill cursor
+  for (size_t j = 0; j < num_t; ++j) {
+    const auto b = static_cast<size_t>(t.target_offsets[j]);
+    const auto e = static_cast<size_t>(t.target_offsets[j + 1]);
+    for (size_t r = b; r < e; ++r) {
+      const ChTableScratch::BwdRecord& rec = t.records[r];
+      const int32_t cursor = t.bucket_count.Get(rec.vertex);
+      t.entries[static_cast<size_t>(t.bucket_head.Get(rec.vertex) + cursor)] =
+          ChTableScratch::BucketEntry{static_cast<int32_t>(j), rec.db};
+      t.bucket_count.Set(rec.vertex, cursor + 1);
     }
   }
+
+  // Looks up target j's tree record for vertex x (present for every vertex
+  // its search settled).
+  const auto tree_record =
+      [&t](size_t j, VertexId x) -> const ChTableScratch::BwdRecord& {
+    const auto b = t.records.begin() + t.target_offsets[j];
+    const auto e = t.records.begin() + t.target_offsets[j + 1];
+    const auto it = std::lower_bound(
+        b, e, x,
+        [](const ChTableScratch::BwdRecord& r, VertexId v) {
+          return r.vertex < v;
+        });
+    SKYSR_DCHECK(it != e && it->vertex == x);
+    return *it;
+  };
 
   // Forward phase: one upward search per source, two bucket scans — the
   // first finds each pair's best rounded sum, the second unpacks every
   // candidate inside the epsilon window and re-sums exactly.
-  std::vector<Weight> best(num_t);
-  std::vector<std::pair<VertexId, Weight>> fwd_settled;
-  std::vector<Weight> weights;
-  std::vector<std::pair<VertexId, int32_t>> chain;
   for (size_t i = 0; i < sources.size(); ++i) {
-    fwd_settled.clear();
+    t.settled.clear();
     RunUpwardSearch(up_fwd_offsets_, up_fwd_edges_, up_bwd_offsets_,
                     up_bwd_edges_, sources[i], n, ws.fwd, ws.fwd_edge,
-                    &fwd_settled);
-    std::fill(best.begin(), best.end(), kInfWeight);
-    for (const auto& [v, df] : fwd_settled) {
-      const auto it = buckets.find(v);
-      if (it == buckets.end()) continue;
-      for (const auto& [j, db] : it->second) {
-        best[static_cast<size_t>(j)] =
-            std::min(best[static_cast<size_t>(j)], df + db);
+                    ws.heap, &t.settled);
+    t.best.assign(num_t, kInfWeight);
+    for (const auto& [v, df] : t.settled) {
+      const int32_t head = t.bucket_head.Get(v);
+      if (head < 0) continue;
+      const int32_t count = t.bucket_count.Get(v);
+      for (int32_t k = 0; k < count; ++k) {
+        const ChTableScratch::BucketEntry& be =
+            t.entries[static_cast<size_t>(head + k)];
+        t.best[static_cast<size_t>(be.target)] = std::min(
+            t.best[static_cast<size_t>(be.target)], df + be.db);
       }
     }
     Weight* row = out + i * num_t;
     std::fill(row, row + num_t, kInfWeight);
-    for (const auto& [v, df] : fwd_settled) {
-      const auto it = buckets.find(v);
-      if (it == buckets.end()) continue;
-      for (const auto& [j, db] : it->second) {
-        const Weight b = best[static_cast<size_t>(j)];
-        if (b == kInfWeight || df + db > b + b * kMeetEpsilon) continue;
-        weights.clear();
-        chain.clear();
+    for (const auto& [v, df] : t.settled) {
+      const int32_t head = t.bucket_head.Get(v);
+      if (head < 0) continue;
+      const int32_t count = t.bucket_count.Get(v);
+      for (int32_t k = 0; k < count; ++k) {
+        const ChTableScratch::BucketEntry& be =
+            t.entries[static_cast<size_t>(head + k)];
+        const auto j = static_cast<size_t>(be.target);
+        const Weight b = t.best[j];
+        if (b == kInfWeight || df + be.db > b + b * kMeetEpsilon) continue;
+        t.weights.clear();
+        t.chain.clear();
         for (VertexId x = v; x != sources[i]; x = ws.fwd.Parent(x)) {
-          chain.emplace_back(ws.fwd.Parent(x), ws.fwd_edge.Get(x));
+          t.chain.emplace_back(ws.fwd.Parent(x), ws.fwd_edge.Get(x));
         }
-        for (auto cit = chain.rbegin(); cit != chain.rend(); ++cit) {
+        for (auto cit = t.chain.rbegin(); cit != t.chain.rend(); ++cit) {
           UnpackFwd(cit->first,
                     up_fwd_edges_[static_cast<size_t>(cit->second)],
-                    &weights);
+                    &t.weights);
         }
-        const auto& tree = trees[static_cast<size_t>(j)];
-        for (VertexId x = v; x != targets[static_cast<size_t>(j)];) {
-          const BwdLink& link = tree.at(x);
-          UnpackBwd(link.parent,
-                    up_bwd_edges_[static_cast<size_t>(link.edge)], &weights);
-          x = link.parent;
+        for (VertexId x = v; x != targets[j];) {
+          const ChTableScratch::BwdRecord& rec = tree_record(j, x);
+          UnpackBwd(rec.parent, up_bwd_edges_[static_cast<size_t>(rec.edge)],
+                    &t.weights);
+          x = rec.parent;
         }
-        row[static_cast<size_t>(j)] = std::min(
-            row[static_cast<size_t>(j)], PathOrderSum(weights));
+        row[j] = std::min(row[j], PathOrderSum(t.weights));
       }
     }
   }

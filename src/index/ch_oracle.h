@@ -109,13 +109,14 @@ class ChOracle final : public DistanceOracle {
   /// Full upward search (with stall-on-demand) from one endpoint over the
   /// forward (source-side) / backward (target-side) CSR. Settles land in
   /// `settled` in settle order; the search tree (parents and relaxing CSR
-  /// edge indices) stays readable from `ws` / `edge_of` until the next
-  /// search on that workspace.
+  /// edge indices) stays readable from `ws.fwd` / `ws.fwd_edge` (forward)
+  /// or `ws.bwd` / `ws.bwd_edge` (backward) until the next search on that
+  /// workspace side. Both borrow `ws.heap` as the frontier.
   void ForwardUpwardSearch(
-      VertexId source, DijkstraWorkspace& ws, StampedArray<int32_t>& edge_of,
+      VertexId source, OracleWorkspace& ws,
       std::vector<std::pair<VertexId, Weight>>* settled) const;
   void BackwardUpwardSearch(
-      VertexId target, DijkstraWorkspace& ws, StampedArray<int32_t>& edge_of,
+      VertexId target, OracleWorkspace& ws,
       std::vector<std::pair<VertexId, Weight>>* settled) const;
 
   /// Upward edges by the CSR indices the searches report through `edge_of`.

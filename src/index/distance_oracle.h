@@ -45,6 +45,7 @@
 #include "graph/dijkstra_workspace.h"
 #include "graph/graph.h"
 #include "graph/types.h"
+#include "util/dary_heap.h"
 #include "util/stamped_array.h"
 
 namespace skysr {
@@ -61,6 +62,47 @@ const char* OracleKindName(OracleKind kind);
 /// Inverse of OracleKindName; nullopt for unknown names.
 std::optional<OracleKind> ParseOracleKind(std::string_view name);
 
+/// Heap item for oracle-internal searches (CH upward Dijkstra). The
+/// (dist, vertex) comparator is the deterministic settle order the
+/// bit-exactness contract depends on.
+struct OracleHeapItem {
+  Weight dist;
+  VertexId vertex;
+  bool operator<(const OracleHeapItem& o) const {
+    if (dist != o.dist) return dist < o.dist;
+    return vertex < o.vertex;
+  }
+};
+
+/// Flat scratch for ChOracle::Table(): backward search trees stored as
+/// target-major sorted record spans (binary-search lookup replaces the old
+/// per-call hash maps) and per-vertex buckets built by counting scatter.
+/// Everything keeps capacity across calls, so a warmed workspace runs
+/// tables allocation-free.
+struct ChTableScratch {
+  struct BwdRecord {
+    VertexId vertex;
+    Weight db;
+    VertexId parent;  // backward-search tree link, for path unpacking
+    int32_t edge;     // CSR edge index that set the label
+  };
+  struct BucketEntry {
+    int32_t target;
+    Weight db;
+  };
+  std::vector<BwdRecord> records;       // per-target spans, sorted by vertex
+  std::vector<int64_t> target_offsets;  // span bounds, size num_targets + 1
+  StampedArray<int32_t> bucket_head;    // vertex -> first entry (-1 = none)
+  StampedArray<int32_t> bucket_count;   // vertex -> entry count
+  std::vector<BucketEntry> entries;     // per-vertex, target-ascending
+  std::vector<VertexId> touched;        // vertices owning a bucket
+  std::vector<std::pair<VertexId, Weight>> settled;
+  std::vector<Weight> best;
+  std::vector<Weight> weights;
+  std::vector<std::pair<VertexId, int32_t>> chain;
+  std::vector<VertexId> meets;  // Distance()'s meeting candidates
+};
+
 /// Per-thread scratch for oracle queries, reusable across calls. The members
 /// cover the needs of every implementation (flat keeps a plain Dijkstra
 /// workspace; CH runs two upward searches and remembers the relaxed CSR edge
@@ -71,6 +113,9 @@ struct OracleWorkspace {
   StampedArray<int32_t> fwd_edge;  // CSR edge index that set fwd dist
   StampedArray<int32_t> bwd_edge;
   StampedArray<Weight> heur;  // per-target heuristic cache (ALT's A*)
+  DaryHeap<OracleHeapItem> heap;   // search frontier (CH upward searches)
+  DaryHeap<OracleHeapItem> heap2;  // opposite side of bidirectional queries
+  ChTableScratch table;
 };
 
 /// Immutable exact distance index over one Graph.

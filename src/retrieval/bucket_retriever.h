@@ -20,6 +20,7 @@
 #include <utility>
 #include <vector>
 
+#include "cache/fwd_search_cache.h"
 #include "core/modified_dijkstra.h"
 #include "core/query.h"
 #include "core/search_stats.h"
@@ -29,22 +30,24 @@
 
 namespace skysr {
 
+class SharedQueryCache;
+
 /// Engine-owned, per-query scan state (reset per query, capacities kept).
 struct BucketScanState {
   /// One cached forward-search settle: rounded upward distance plus the
-  /// exact path-order sum from the source.
-  struct FwdSettle {
-    VertexId vertex;
-    Weight df;
-    Weight fsum;
-  };
+  /// exact path-order sum from the source. Aliases the cross-query cache's
+  /// record type so cached spans serve scans without conversion.
+  using FwdSettle = FwdSearchSettle;
   struct NoMeta {};
 
-  /// Per-query forward-search cache keyed by source vertex.
+  /// Per-query forward-search cache keyed by source vertex (the fallback
+  /// when no SharedQueryCache is attached).
   StampedSpanTable<FwdSettle, NoMeta> fwd_cache;
-  /// The CURRENT source's settles (a span into fwd_cache's pool — valid
-  /// until the next EnsureForward for a different source) and its
-  /// per-vertex view (re-stamped on source change; repopulating from a
+  /// The CURRENT source's settles — a span into fwd_cache's pool (per-query
+  /// path) or into the shared cache / snapshot (engine-lifetime path);
+  /// either way valid until the next EnsureForward for a different source,
+  /// which is the only operation that can displace the backing entry — and
+  /// its per-vertex view (re-stamped on source change; repopulating from a
   /// cached span is a linear copy, not a search).
   std::span<const FwdSettle> fwd;
   StampedArray<Weight> df_of;
@@ -67,6 +70,7 @@ struct BucketScanState {
   StampedArray<Weight> exact;       // per-PoI minimum re-summed distance
   std::vector<PoiId> touched;
   std::vector<ExpansionCandidate> cands;  // the sorted output stream
+  std::vector<FwdSettle> fold_buf;  // ComputeForward staging (capacity kept)
 
   void Clear() {
     fwd_cache.Clear();
@@ -93,9 +97,22 @@ class BucketRetriever {
 
   /// Makes `state`'s per-vertex arrays describe `source`'s forward upward
   /// search (running it on a cache miss, replaying the cached span
-  /// otherwise).
+  /// otherwise). With `shared` attached the lookup order is snapshot ->
+  /// shared cache -> fresh search (written back to the shared cache);
+  /// without it, the per-query fwd_cache serves as before. The records are
+  /// a pure function of (CH structure, source), so every path yields
+  /// bit-identical state.
   void EnsureForward(VertexId source, OracleWorkspace& oracle_ws,
-                     BucketScanState& state, SearchStats* stats) const;
+                     BucketScanState& state, SearchStats* stats,
+                     SharedQueryCache* shared = nullptr) const;
+
+  /// Low-level: runs the forward upward search from `source` and folds the
+  /// exact path sums into `out` (and `state.fsum_of`, which must be
+  /// Prepared). Callers normally go through EnsureForward; the snapshot
+  /// builder uses this directly.
+  void ComputeForward(VertexId source, OracleWorkspace& oracle_ws,
+                      BucketScanState& state,
+                      std::vector<FwdSearchSettle>* out) const;
 
   /// Exact shortest-path distance source -> PoI (kInfWeight when
   /// unreachable), bit-equal to a flat graph Dijkstra; requires
@@ -115,7 +132,8 @@ class BucketRetriever {
   /// the same protocol a budget-stopped settle search reports.
   ExpansionOutcome Collect(VertexId source, const PositionMatcher& matcher,
                            OracleWorkspace& oracle_ws, BucketScanState& state,
-                           Weight budget_cap, SearchStats* stats) const;
+                           Weight budget_cap, SearchStats* stats,
+                           SharedQueryCache* shared = nullptr) const;
 
  private:
   /// Re-sums one meeting vertex's up-down path from original edge weights
@@ -125,6 +143,14 @@ class BucketRetriever {
 
   const CategoryBucketIndex* index_;
 };
+
+/// Builds the immutable prewarm snapshot (cache/fwd_search_cache.h) over
+/// `sources` (duplicates skipped), stamped with `structure_checksum` so
+/// caches bound to another structure refuse it. Deterministic: depends only
+/// on (CH structure, source list).
+FwdSnapshot BuildFwdSnapshot(const CategoryBucketIndex& index,
+                             std::span<const VertexId> sources,
+                             uint64_t structure_checksum);
 
 }  // namespace skysr
 

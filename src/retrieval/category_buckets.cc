@@ -118,7 +118,7 @@ CategoryBucketIndex CategoryBucketIndex::Build(const Graph& g,
   index.poi_offsets_.assign(static_cast<size_t>(num_pois) + 1, 0);
   for (PoiId p = 0; p < num_pois; ++p) {
     settled.clear();
-    ch.BackwardUpwardSearch(g.VertexOfPoi(p), ws.bwd, ws.bwd_edge, &settled);
+    ch.BackwardUpwardSearch(g.VertexOfPoi(p), ws, &settled);
     ++index.build_stats_.backward_searches;
     poi_settles.clear();
     poi_settles.reserve(settled.size());

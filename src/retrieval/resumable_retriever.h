@@ -50,6 +50,7 @@ struct ResumableSlot {
   std::vector<SettleRecord> log;       // settles so far, in settle order
   Weight covered = 0;                  // next settle is at >= this
   bool exhausted = false;
+  uint8_t ref = 0;                     // CLOCK bit (engine-lifetime mode)
 
   int64_t MemoryBytes() const {
     return static_cast<int64_t>(log.capacity() * sizeof(SettleRecord) +
@@ -57,10 +58,21 @@ struct ResumableSlot {
   }
 };
 
-/// Engine-owned pool of resumable slots, reset per query (capacities kept).
-/// Slot count is bounded: each slot owns flat O(|V|) arrays, so the pool
-/// trades memory for never re-settling a hot source's prefix; sources
-/// beyond the cap take the classic path.
+/// Engine-owned pool of resumable slots. Two lifetimes:
+///
+///   per-query (default)  Reset() before each query forgets every suspended
+///                        search, keeping allocations — the PR-5 behavior.
+///   engine-lifetime      PrepareServing() keeps suspended searches across
+///                        queries with CLOCK eviction at the slot bound
+///                        (src/cache/shared_query_cache.h owns one). Sound
+///                        because a slot's state is a pure function of
+///                        (graph, source) and replays budget-filter the log,
+///                        so a longer-than-budget log is harmless.
+///
+/// Slot count is bounded either way: each slot owns flat O(|V|) arrays, so
+/// the pool trades memory for never re-settling a hot source's prefix;
+/// sources beyond the cap take the classic path (per-query mode) or evict
+/// the coldest slot (engine-lifetime mode).
 class ResumablePool {
  public:
   static constexpr int kDefaultSlots = 8;
@@ -68,29 +80,70 @@ class ResumablePool {
   /// Per-query reset: forgets every suspended search, keeps allocations.
   void Reset(int max_slots = kDefaultSlots) {
     live_ = 0;
+    hand_ = 0;
     max_slots_ = max_slots;
+    persistent_ = false;
+  }
+
+  /// Engine-lifetime mode: call once per query INSTEAD of Reset().
+  /// Suspended searches survive; only (re)applies the slot bound. Switching
+  /// modes or shrinking the bound drops state.
+  void PrepareServing(int max_slots) {
+    if (!persistent_ || max_slots < max_slots_) {
+      live_ = 0;
+      hand_ = 0;
+    }
+    max_slots_ = max_slots;
+    persistent_ = true;
+  }
+
+  /// Drops every suspended search (generation invalidation), keeping mode,
+  /// bound and allocations.
+  void Clear() {
+    live_ = 0;
+    hand_ = 0;
   }
 
   /// The slot suspended for `source`, creating (or recycling) one when the
-  /// pool has room; nullptr at capacity — the caller falls back to the
-  /// classic settle path.
+  /// pool has room. At capacity: per-query mode returns nullptr — the
+  /// caller falls back to the classic settle path — while engine-lifetime
+  /// mode evicts by CLOCK and reassigns.
   ResumableSlot* FindOrCreate(const Graph& g, VertexId source) {
     for (int i = 0; i < live_; ++i) {
-      if (slots_[static_cast<size_t>(i)]->source == source) {
-        return slots_[static_cast<size_t>(i)].get();
+      ResumableSlot* s = slots_[static_cast<size_t>(i)].get();
+      if (s->source == source) {
+        if (s->ref == 0) {
+          s->ref = 1;
+          ++reuses_;
+        }
+        return s;
       }
     }
-    if (live_ >= max_slots_) return nullptr;
-    if (static_cast<size_t>(live_) == slots_.size()) {
-      slots_.push_back(std::make_unique<ResumableSlot>());
+    int idx;
+    if (live_ < max_slots_) {
+      if (static_cast<size_t>(live_) == slots_.size()) {
+        slots_.push_back(std::make_unique<ResumableSlot>());
+      }
+      idx = live_++;
+    } else if (persistent_ && max_slots_ > 0) {
+      while (slots_[static_cast<size_t>(hand_)]->ref != 0) {
+        slots_[static_cast<size_t>(hand_)]->ref = 0;
+        hand_ = (hand_ + 1) % live_;
+      }
+      idx = hand_;
+      hand_ = (hand_ + 1) % live_;
+      ++evictions_;
+    } else {
+      return nullptr;
     }
-    ResumableSlot* slot = slots_[static_cast<size_t>(live_++)].get();
+    ResumableSlot* slot = slots_[static_cast<size_t>(idx)].get();
     slot->source = source;
     slot->ws.Prepare(g.num_vertices());  // epoch bump invalidates old state
     slot->heap.clear();
     slot->log.clear();
     slot->covered = 0;
     slot->exhausted = false;
+    slot->ref = 1;
     slot->ws.SetDist(source, 0, kInvalidVertex);
     slot->heap.push(
         DijkstraHeapItem{std::bit_cast<uint64_t>(Weight{0}), source,
@@ -98,7 +151,16 @@ class ResumablePool {
     return slot;
   }
 
+  /// Clears every live slot's CLOCK bit so the next query's touches count
+  /// as fresh reuses (called once per query in engine-lifetime mode).
+  void BeginQuery() {
+    for (int i = 0; i < live_; ++i) slots_[static_cast<size_t>(i)]->ref = 0;
+  }
+
   int live() const { return live_; }
+  bool persistent() const { return persistent_; }
+  int64_t reuses() const { return reuses_; }
+  int64_t evictions() const { return evictions_; }
 
   int64_t MemoryBytes() const {
     int64_t bytes = 0;
@@ -109,7 +171,11 @@ class ResumablePool {
  private:
   std::vector<std::unique_ptr<ResumableSlot>> slots_;  // stable addresses
   int live_ = 0;
+  int hand_ = 0;  // CLOCK hand (engine-lifetime mode)
   int max_slots_ = kDefaultSlots;
+  bool persistent_ = false;
+  int64_t reuses_ = 0;     // cross/within-query slot hits (persistent mode)
+  int64_t evictions_ = 0;  // CLOCK displacements (persistent mode)
 };
 
 /// Serves one expansion from a resumable slot: replays the logged settle

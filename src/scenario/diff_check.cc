@@ -9,8 +9,10 @@
 
 #include "baseline/brute_force.h"
 #include "baseline/naive_skysr.h"
+#include "cache/shared_query_cache.h"
 #include "core/bssr_engine.h"
 #include "index/oracle_factory.h"
+#include "retrieval/bucket_retriever.h"
 #include "retrieval/category_buckets.h"
 #include "service/query_service.h"
 #include "util/rng.h"
@@ -153,6 +155,7 @@ DiffReport RunDifferentialCheck(const DiffCheckParams& params) {
     // bucket scans.
     std::vector<std::unique_ptr<DistanceOracle>> oracles;
     std::vector<std::unique_ptr<CategoryBucketIndex>> bucket_sets;
+    std::vector<std::unique_ptr<SharedQueryCache>> xcaches;
     std::vector<BssrEngine> engines;
     const DistanceOracle* service_oracle = nullptr;
     const CategoryBucketIndex* service_buckets = nullptr;
@@ -170,6 +173,30 @@ DiffReport RunDifferentialCheck(const DiffCheckParams& params) {
               : nullptr);
       engines.emplace_back(sc.dataset.graph, sc.dataset.forest,
                            oracles.back().get(), bucket_sets.back().get());
+      if (params.shared_cache) {
+        // Warm-state axis: the engine keeps its cache for the WHOLE sweep —
+        // hundreds of runs of every query share it — so any cross-query
+        // contamination would surface as a skyline mismatch. Bucket-carrying
+        // engines additionally start from a prewarm snapshot, covering the
+        // snapshot-read path.
+        xcaches.push_back(std::make_unique<SharedQueryCache>());
+        engines.back().AttachSharedCache(xcaches.back().get());
+        if (bucket_sets.back() != nullptr) {
+          std::vector<VertexId> sources;
+          const int64_t n =
+              std::min<int64_t>(sc.dataset.graph.num_pois(), 64);
+          sources.reserve(static_cast<size_t>(n));
+          for (int64_t p = 0; p < n; ++p) {
+            sources.push_back(
+                sc.dataset.graph.VertexOfPoi(static_cast<PoiId>(p)));
+          }
+          xcaches.back()->SetSnapshot(
+              std::make_shared<const FwdSnapshot>(BuildFwdSnapshot(
+                  *bucket_sets.back(), sources,
+                  WarmStateChecksum(sc.dataset.graph,
+                                    oracles.back().get()))));
+        }
+      }
       // The service replay shares the CH index + buckets when present (the
       // one-index-many-workspaces threading with the bucket tables along),
       // else the last non-flat oracle.
@@ -289,6 +316,8 @@ DiffReport RunDifferentialCheck(const DiffCheckParams& params) {
       cfg.cache_capacity = 16;
       cfg.oracle = service_oracle;  // shared index, per-worker workspaces
       cfg.buckets = service_buckets;  // shared bucket tables likewise
+      cfg.shared_query_cache = params.shared_cache;
+      cfg.xcache_prewarm_pois = 64;  // small: scenario graphs are small
       QueryService service(sc.dataset.graph, sc.dataset.forest, cfg);
       const auto results = service.RunBatch(sc.queries);
       for (size_t qi = 0; qi < results.size(); ++qi) {

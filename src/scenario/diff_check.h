@@ -43,6 +43,15 @@ struct DiffCheckParams {
   /// the last non-flat oracle of `oracle_kinds` (if any), exercising the
   /// one-index-many-workspaces threading.
   bool check_service = true;
+  /// Attach an engine-lifetime SharedQueryCache (src/cache/) — with a
+  /// prewarm snapshot on bucket-carrying engines — to every engine, and run
+  /// the service replay with its shared query cache on. The whole sweep
+  /// then runs WARM: every ablation x oracle x retriever combination of
+  /// every query reads and writes the same per-engine cache, and each
+  /// skyline must still be bit-identical to brute force. Comparing a
+  /// shared_cache=false run's digest with a shared_cache=true run's (the
+  /// CI SKYSR_XCACHE axis) proves cold/warm bit-identity end to end.
+  bool shared_cache = false;
   /// Tolerance for the naive baseline only: its OSR engines sum leg
   /// distances in different orders, so a few ULPs of drift are legitimate.
   /// Engine-vs-brute-force comparisons are always exact (tolerance 0).

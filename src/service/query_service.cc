@@ -1,9 +1,13 @@
 #include "service/query_service.h"
 
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <thread>
 #include <utility>
+#include <vector>
+
+#include "retrieval/bucket_retriever.h"
 
 namespace skysr {
 
@@ -33,6 +37,28 @@ QueryService::QueryService(const Graph& graph, const CategoryForest& forest,
       queue_(config_.queue_capacity),
       cache_(config_.cache_capacity),
       dest_tails_(config_.dest_tail_cache_capacity) {
+  // Prewarm snapshot: the forward upward searches of the first N PoI
+  // vertices, computed once here and shared read-only by every worker's
+  // cross-query cache. Built strictly before the workers start, so no
+  // synchronization is ever needed on it. The guard mirrors the engine's
+  // bucket-validity check — a bucket index describing some other (graph,
+  // oracle) would be dropped by every engine anyway.
+  if (config_.shared_query_cache && config_.buckets != nullptr &&
+      config_.oracle != nullptr && &config_.buckets->graph() == graph_ &&
+      static_cast<const DistanceOracle*>(&config_.buckets->oracle()) ==
+          config_.oracle &&
+      config_.xcache_prewarm_pois > 0 && graph_->num_pois() > 0) {
+    std::vector<VertexId> sources;
+    const size_t n = std::min(static_cast<size_t>(graph_->num_pois()),
+                              config_.xcache_prewarm_pois);
+    sources.reserve(n);
+    for (size_t p = 0; p < n; ++p) {
+      sources.push_back(graph_->VertexOfPoi(static_cast<PoiId>(p)));
+    }
+    warm_snapshot_ = std::make_shared<const FwdSnapshot>(
+        BuildFwdSnapshot(*config_.buckets, sources,
+                         WarmStateChecksum(*graph_, config_.oracle)));
+  }
   pool_.Start(num_threads_, [this](int i) { WorkerLoop(i); });
 }
 
@@ -57,8 +83,35 @@ void QueryService::WorkerLoop(int /*thread_index*/) {
   // per-destination LRU.
   BssrEngine engine(*graph_, *forest_, config_.oracle, config_.buckets);
   engine.SetDestTailProvider(&dest_tails_);
+  // Cross-query warm state: worker-private and engine-lifetime, so the read
+  // path is lock-free by construction — the only state shared across
+  // workers is the immutable prewarm snapshot. Counter deltas are folded
+  // into the service metrics after each task; the cumulative-difference
+  // scheme keeps the per-worker counters plain (non-atomic) ints.
+  std::optional<SharedQueryCache> xcache;
+  if (config_.shared_query_cache) {
+    SharedCacheConfig cache_config;
+    cache_config.fwd_capacity = config_.xcache_fwd_capacity;
+    xcache.emplace(cache_config);
+    engine.AttachSharedCache(&*xcache);
+    if (warm_snapshot_ != nullptr) xcache->SetSnapshot(warm_snapshot_);
+  }
+  SharedCacheCounters seen;
+  int64_t seen_bytes = 0;
   while (auto task = queue_.Pop()) {
     Execute(engine, *task);
+    if (xcache.has_value()) {
+      const SharedCacheCounters now = xcache->Counters();
+      const int64_t bytes = xcache->ResidentBytes();
+      metrics_.RecordXCache(now.fwd_hits - seen.fwd_hits,
+                            now.fwd_misses - seen.fwd_misses,
+                            now.fwd_evictions - seen.fwd_evictions,
+                            now.resume_reuses - seen.resume_reuses,
+                            now.resume_evictions - seen.resume_evictions,
+                            bytes - seen_bytes);
+      seen = now;
+      seen_bytes = bytes;
+    }
   }
 }
 

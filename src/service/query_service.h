@@ -69,6 +69,21 @@ struct ServiceConfig {
   /// table shared across workers); 0 disables sharing and every §6
   /// destination query recomputes its tails.
   size_t dest_tail_cache_capacity = 32;
+  /// Cross-query shared cache (src/cache/): each worker's engine keeps
+  /// engine-lifetime warm state — a CLOCK-evicted forward-upward-search
+  /// cache plus persistent resumable-retriever slots — and all workers
+  /// start from one immutable prewarm snapshot built at construction. The
+  /// read path takes no locks (the snapshot is immutable, everything
+  /// mutable is worker-private); results are bit-identical on or off, cold
+  /// or warm. The forward-search side engages only when `buckets` is set.
+  bool shared_query_cache = true;
+  /// Per-worker forward-search cache capacity, in (source, settle-list)
+  /// entries.
+  size_t xcache_fwd_capacity = 1024;
+  /// PoI vertices (first N in PoiId order, duplicates skipped) whose
+  /// forward searches are precomputed into the shared snapshot before the
+  /// workers start; 0 skips the snapshot. Needs `buckets`.
+  size_t xcache_prewarm_pois = 256;
 };
 
 /// A concurrent, cached front-end over per-thread BssrEngines.
@@ -117,6 +132,9 @@ class QueryService {
   /// The shared destination-tail LRU (hit/miss counters for tests and
   /// metrics dumps).
   const DestTailLru& dest_tails() const { return dest_tails_; }
+  /// The prewarm snapshot shared by every worker's cache; null when the
+  /// shared query cache is off, bucketless, or prewarming is disabled.
+  const FwdSnapshot* warm_snapshot() const { return warm_snapshot_.get(); }
 
  private:
   struct Task {
@@ -142,6 +160,9 @@ class QueryService {
   LruResultCache cache_;
   DestTailLru dest_tails_;
   ServiceMetrics metrics_;
+  // Built once before the workers start, then shared read-only; each
+  // worker's SharedQueryCache holds a reference for its whole lifetime.
+  std::shared_ptr<const FwdSnapshot> warm_snapshot_;
   WorkerPool pool_;
   std::atomic<bool> shutdown_{false};
 };

@@ -57,6 +57,19 @@ void ServiceMetrics::RecordCompleted(double latency_ms,
   routes_found_.fetch_add(routes_found, kRelaxed);
 }
 
+void ServiceMetrics::RecordXCache(int64_t fwd_hits, int64_t fwd_misses,
+                                  int64_t fwd_evictions,
+                                  int64_t resume_reuses,
+                                  int64_t resume_evictions,
+                                  int64_t resident_bytes_delta) {
+  xcache_fwd_hits_.fetch_add(fwd_hits, kRelaxed);
+  xcache_fwd_misses_.fetch_add(fwd_misses, kRelaxed);
+  xcache_fwd_evictions_.fetch_add(fwd_evictions, kRelaxed);
+  xcache_resume_reuses_.fetch_add(resume_reuses, kRelaxed);
+  xcache_resume_evictions_.fetch_add(resume_evictions, kRelaxed);
+  xcache_resident_bytes_.fetch_add(resident_bytes_delta, kRelaxed);
+}
+
 double ServiceMetrics::PercentileLocked(
     double p, int64_t total,
     const std::array<int64_t, kNumBuckets>& counts) const {
@@ -81,6 +94,16 @@ MetricsSnapshot ServiceMetrics::Snapshot() const {
   s.vertices_settled = vertices_settled_.load(kRelaxed);
   s.edges_relaxed = edges_relaxed_.load(kRelaxed);
   s.routes_found = routes_found_.load(kRelaxed);
+  s.xcache_fwd_hits = xcache_fwd_hits_.load(kRelaxed);
+  s.xcache_fwd_misses = xcache_fwd_misses_.load(kRelaxed);
+  s.xcache_fwd_evictions = xcache_fwd_evictions_.load(kRelaxed);
+  s.xcache_resume_reuses = xcache_resume_reuses_.load(kRelaxed);
+  s.xcache_resume_evictions = xcache_resume_evictions_.load(kRelaxed);
+  s.xcache_resident_bytes = xcache_resident_bytes_.load(kRelaxed);
+  const int64_t fwd_lookups = s.xcache_fwd_hits + s.xcache_fwd_misses;
+  s.xcache_fwd_hit_rate =
+      fwd_lookups > 0 ? static_cast<double>(s.xcache_fwd_hits) / fwd_lookups
+                      : 0;
 
   s.uptime_seconds = uptime_.ElapsedSeconds();
   s.qps = s.uptime_seconds > 0 ? s.completed / s.uptime_seconds : 0;
@@ -112,6 +135,12 @@ void ServiceMetrics::Reset() {
   vertices_settled_.store(0, kRelaxed);
   edges_relaxed_.store(0, kRelaxed);
   routes_found_.store(0, kRelaxed);
+  xcache_fwd_hits_.store(0, kRelaxed);
+  xcache_fwd_misses_.store(0, kRelaxed);
+  xcache_fwd_evictions_.store(0, kRelaxed);
+  xcache_resume_reuses_.store(0, kRelaxed);
+  xcache_resume_evictions_.store(0, kRelaxed);
+  xcache_resident_bytes_.store(0, kRelaxed);
   for (auto& b : latency_buckets_) b.store(0, kRelaxed);
   latency_sum_ms_.store(0, kRelaxed);
   latency_max_ms_.store(0, kRelaxed);
@@ -137,6 +166,14 @@ std::string MetricsSnapshot::ToString() const {
   out += FormatLine("vertices settled", vertices_settled);
   out += FormatLine("edges relaxed", edges_relaxed);
   out += FormatLine("routes found", routes_found);
+  out += FormatLine("xcache fwd hits", xcache_fwd_hits);
+  out += FormatLine("xcache fwd misses", xcache_fwd_misses);
+  out += FormatLine("xcache hit rate", xcache_fwd_hit_rate * 100.0, "%");
+  out += FormatLine("xcache evictions", xcache_fwd_evictions);
+  out += FormatLine("xcache resume reuse", xcache_resume_reuses);
+  out += FormatLine("xcache resume evict", xcache_resume_evictions);
+  out += FormatLine("xcache resident", static_cast<double>(
+                        xcache_resident_bytes) / 1024.0, "KiB");
   return out;
 }
 

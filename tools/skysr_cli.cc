@@ -50,11 +50,16 @@
 //   skysr_cli batch --data DIR --queries FILE [--threads N] [--repeat R]
 //             [--cache N] [--queue N] [--oracle flat|ch|alt] [--index FILE]
 //             [--retriever auto|settle|bucket|resume] [--buckets FILE|build]
+//             [--xcache on|off] [--prewarm N]
 //       (alias: serve) Replays a workload file through the concurrent
 //       QueryService with N worker threads and prints service metrics
-//       (QPS, latency percentiles, cache hit rate). With --oracle/--index
-//       all workers share one immutable distance oracle, and with
-//       --buckets one immutable set of category-bucket tables.
+//       (QPS, latency percentiles, cache hit rate, cross-query cache
+//       activity). With --oracle/--index all workers share one immutable
+//       distance oracle, and with --buckets one immutable set of
+//       category-bucket tables. --xcache (default on) toggles the
+//       engine-lifetime cross-query caches; --prewarm bounds the PoI
+//       vertices snapshotted before the workers start (default 256).
+//       Results are bit-identical with the cache on or off.
 
 #include <cstdio>
 #include <cstdlib>
@@ -579,8 +584,10 @@ int CmdWorkload(const std::map<std::string, std::string>& flags) {
 
 int CmdBatch(const std::map<std::string, std::string>& flags) {
   if (!flags.count("data") || !flags.count("queries")) {
-    std::fprintf(stderr, "batch needs --data DIR --queries FILE "
-                         "[--threads N] [--repeat R] [--cache N] [--queue N]\n");
+    std::fprintf(stderr,
+                 "batch needs --data DIR --queries FILE [--threads N] "
+                 "[--repeat R] [--cache N] [--queue N] [--xcache on|off] "
+                 "[--prewarm N]\n");
     return 2;
   }
   auto ds = LoadDataDir(flags.at("data"));
@@ -607,6 +614,14 @@ int CmdBatch(const std::map<std::string, std::string>& flags) {
   }
   const int repeat =
       flags.count("repeat") ? std::atoi(flags.at("repeat").c_str()) : 1;
+  if (flags.count("xcache")) {
+    const std::string& v = flags.at("xcache");
+    cfg.shared_query_cache = v != "off" && v != "0";
+  }
+  if (flags.count("prewarm")) {
+    cfg.xcache_prewarm_pois =
+        static_cast<size_t>(std::atoll(flags.at("prewarm").c_str()));
+  }
 
   if (!ApplyRetrieverFlag(flags, &cfg.default_options)) return 2;
 
