@@ -27,6 +27,7 @@
 #include <new>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench/bench_common.h"
@@ -119,6 +120,8 @@ struct WorkCounters {
   int64_t cache_hits = 0;
   int64_t log_replays = 0;
   int64_t cand_examined = 0;
+  int64_t cand_simd_skipped = 0;
+  int64_t dom_pruned = 0;
   int64_t skyline_routes = 0;
   // Retrieval-subsystem paths (zero in the settle config).
   int64_t bucket_runs = 0;
@@ -216,6 +219,8 @@ FamilyResult RunFamily(const Scenario& sc, const BenchConfig& config,
     out.counters.cache_hits += r->stats.mdijkstra_cache_hits;
     out.counters.log_replays += r->stats.settle_log_replays;
     out.counters.cand_examined += r->stats.cand_examined;
+    out.counters.cand_simd_skipped += r->stats.cand_simd_skipped;
+    out.counters.dom_pruned += r->stats.qb_dominance_pruned;
     out.counters.skyline_routes += r->stats.skyline_size;
     out.counters.bucket_runs += r->stats.retriever_bucket_runs;
     out.counters.resume_runs += r->stats.retriever_resume_runs;
@@ -249,13 +254,14 @@ FamilyResult RunFamily(const Scenario& sc, const BenchConfig& config,
 /// Canonical text form of the golden counters; a byte-for-byte comparison is
 /// the whole check.
 std::string GoldenText(const std::vector<FamilyResult>& families) {
-  std::string out = "skysr hotpath golden counters v2\n";
+  std::string out = "skysr hotpath golden counters v3\n";
   for (const FamilyResult& f : families) {
-    char buf[384];
+    char buf[448];
     std::snprintf(buf, sizeof(buf),
                   "%s/%s queries=%lld settled=%lld relaxed=%lld "
                   "enqueued=%lld dequeued=%lld runs=%lld cache_hits=%lld "
-                  "log_replays=%lld cand_examined=%lld skyline=%lld "
+                  "log_replays=%lld cand_examined=%lld simd_skipped=%lld "
+                  "dom_pruned=%lld skyline=%lld "
                   "bucket_runs=%lld resume_runs=%lld fwd_searches=%lld "
                   "fwd_reuses=%lld bucket_cands=%lld\n",
                   f.name.c_str(), f.config.c_str(),
@@ -268,6 +274,8 @@ std::string GoldenText(const std::vector<FamilyResult>& families) {
                   static_cast<long long>(f.counters.cache_hits),
                   static_cast<long long>(f.counters.log_replays),
                   static_cast<long long>(f.counters.cand_examined),
+                  static_cast<long long>(f.counters.cand_simd_skipped),
+                  static_cast<long long>(f.counters.dom_pruned),
                   static_cast<long long>(f.counters.skyline_routes),
                   static_cast<long long>(f.counters.bucket_runs),
                   static_cast<long long>(f.counters.resume_runs),
@@ -277,6 +285,86 @@ std::string GoldenText(const std::vector<FamilyResult>& families) {
     out += buf;
   }
   return out;
+}
+
+/// Per-counter diff of two golden texts: lines are "label key=value ...",
+/// so when the row sets line up the mismatch report can name exactly which
+/// counters drifted and by how much, instead of dumping two walls of text.
+/// Falls back to the full dump when the structure itself differs (header
+/// bump, added/removed rows or fields).
+struct GoldenRow {
+  std::string label;                                        // "family/config"
+  std::vector<std::pair<std::string, long long>> counters;  // in line order
+};
+
+std::vector<GoldenRow> ParseGoldenRows(const std::string& text) {
+  std::vector<GoldenRow> rows;
+  size_t pos = text.find('\n');  // skip the header line
+  if (pos == std::string::npos) return rows;
+  ++pos;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    GoldenRow row;
+    size_t tok = 0;
+    while (tok < line.size()) {
+      size_t end = line.find(' ', tok);
+      if (end == std::string::npos) end = line.size();
+      const std::string field = line.substr(tok, end - tok);
+      tok = end + 1;
+      if (field.empty()) continue;
+      const size_t eq = field.find('=');
+      if (eq == std::string::npos) {
+        row.label = field;
+      } else {
+        row.counters.emplace_back(field.substr(0, eq),
+                                  std::atoll(field.c_str() + eq + 1));
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+/// Prints "row label: counter expected -> actual (delta)" lines; returns
+/// false when the two texts are not row/field aligned (caller falls back to
+/// the full dump).
+bool PrintGoldenCounterDiff(const std::string& expected,
+                            const std::string& actual) {
+  const size_t ehdr = expected.find('\n');
+  const size_t ahdr = actual.find('\n');
+  if (ehdr == std::string::npos || ahdr == std::string::npos) return false;
+  if (expected.substr(0, ehdr) != actual.substr(0, ahdr)) {
+    std::fprintf(stderr, "golden header differs: \"%s\" vs \"%s\"\n",
+                 expected.substr(0, ehdr).c_str(),
+                 actual.substr(0, ahdr).c_str());
+    return false;
+  }
+  const std::vector<GoldenRow> exp = ParseGoldenRows(expected);
+  const std::vector<GoldenRow> act = ParseGoldenRows(actual);
+  if (exp.size() != act.size()) return false;
+  int diffs = 0;
+  for (size_t i = 0; i < exp.size(); ++i) {
+    if (exp[i].label != act[i].label ||
+        exp[i].counters.size() != act[i].counters.size()) {
+      return false;
+    }
+    for (size_t c = 0; c < exp[i].counters.size(); ++c) {
+      if (exp[i].counters[c].first != act[i].counters[c].first) return false;
+      const long long e = exp[i].counters[c].second;
+      const long long a = act[i].counters[c].second;
+      if (e != a) {
+        std::fprintf(stderr, "  %-22s %-14s %lld -> %lld (%+lld)\n",
+                     exp[i].label.c_str(), exp[i].counters[c].first.c_str(),
+                     e, a, a - e);
+        ++diffs;
+      }
+    }
+  }
+  return diffs > 0;
 }
 
 std::string ReadFileOrEmpty(const char* path) {
@@ -431,6 +519,8 @@ int Main(int argc, char** argv) {
     json.Field("cache_hits", f.counters.cache_hits);
     json.Field("settle_log_replays", f.counters.log_replays);
     json.Field("cand_examined", f.counters.cand_examined);
+    json.Field("cand_simd_skipped", f.counters.cand_simd_skipped);
+    json.Field("qb_dominance_pruned", f.counters.dom_pruned);
     json.Field("skyline_routes", f.counters.skyline_routes);
     json.Field("bucket_runs", f.counters.bucket_runs);
     json.Field("resume_runs", f.counters.resume_runs);
@@ -509,17 +599,21 @@ int Main(int argc, char** argv) {
         return 1;
       }
       if (expected != text) {
+        std::fprintf(stderr, "GOLDEN COUNTER MISMATCH (%s)\n", check_golden);
+        if (!PrintGoldenCounterDiff(expected, text)) {
+          // Structural mismatch (header/rows/fields) — dump both in full.
+          std::fprintf(stderr, "-- expected:\n%s-- actual:\n%s",
+                       expected.c_str(), text.c_str());
+        }
         std::fprintf(
             stderr,
-            "GOLDEN COUNTER MISMATCH\n-- expected (%s):\n%s"
-            "-- actual:\n%s"
             "The counters are deterministic per toolchain: a diff means an\n"
             "algorithmic-work change in the engine, OR a libm/compiler\n"
             "rounding change (scenario generation uses pow/log/cos). If the\n"
             "change is intentional or the toolchain moved, regenerate with\n"
             "  bench_hotpath --write-golden %s\n"
             "and commit the result alongside an explanation.\n",
-            check_golden, expected.c_str(), text.c_str(), check_golden);
+            check_golden);
         return 1;
       }
       std::printf("golden counters match %s\n", check_golden);

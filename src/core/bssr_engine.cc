@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "core/candidate_stream.h"
 #include "core/lower_bound.h"
 #include "core/nn_init.h"
 #include "core/skyline_set.h"
@@ -234,6 +235,8 @@ Result<QueryResult> BssrEngine::Run(const Query& query,
   arena.Clear();
   cache.Clear();
   slog.Clear();
+  ws_.qb_dom.Clear();
+  ws_.prune_floors.Clear();
   ws_.bucket_scan.Clear();
   // Engine-lifetime warm state (src/cache/): with a shared cache attached
   // and the query opted in, the resumable slots live in the cache —
@@ -331,6 +334,15 @@ Result<QueryResult> BssrEngine::Run(const Query& query,
   const ThresholdPolicy policy(skyline, agg, lb_ptr,
                                std::span<const double>(sigma_suffix), k);
 
+  // Per-prefix dominance pruning engages only where same-set duplicate
+  // prefixes can exist at all: deferred-Lemma-5.5 mode (a PoI matching only
+  // one position forces a single visit order per PoI set) and route size
+  // >= 3 (the end vertex pins the last PoI, so two orders of the same set
+  // need at least two free prefix slots) — hence k >= 4. Everywhere else
+  // the store is never even touched.
+  const bool use_qb_dominance =
+      options.use_qb_dominance && needs_deferred_lemma55 && k >= 4;
+
   // Expands the partial route `node_idx` (kEmpty = the empty route at the
   // start vertex) by one position, via cache or a fresh search. The budget
   // functor and the candidate consumer are passed as template callbacks all
@@ -341,6 +353,8 @@ Result<QueryResult> BssrEngine::Run(const Query& query,
     Weight len;
     double acc;
     int m;
+    uint64_t parent_mask = 0;
+    uint64_t parent_set_hash = 0;
     if (node_idx == RouteArena::kEmpty) {
       src = query.start;
       len = 0;
@@ -352,6 +366,8 @@ Result<QueryResult> BssrEngine::Run(const Query& query,
       len = nd.length;
       acc = nd.acc;
       m = nd.size;
+      parent_mask = nd.poi_mask;
+      parent_set_hash = nd.set_hash;
     }
     const PositionMatcher& matcher = matchers[static_cast<size_t>(m)];
     GenStampedBudget budget{&policy, acc, len, m};
@@ -371,6 +387,14 @@ Result<QueryResult> BssrEngine::Run(const Query& query,
         last ? 0.0 : sigma_suffix[static_cast<size_t>(m) + 1];
     SimDecisionMemo memo(skyline.generation());
 
+    // Returns true when the candidate was pruned by a condition monotone in
+    // the extended length for its similarity (and whose thresholds only
+    // tighten for the rest of the query): any later candidate of this
+    // expansion with the same sim and extended length >= this one is
+    // certain to be pruned the same way. The block replay records such
+    // (sim, floor) pairs and skips provably-pruned candidates without
+    // calling back in. Prunes that depend on the candidate's vertex (the
+    // destination tail, duplicate-PoI rejects, dominance) return false.
     const auto consume = [&](const ExpansionCandidate& cand) {
       ++stats.cand_examined;
 
@@ -406,20 +430,25 @@ Result<QueryResult> BssrEngine::Run(const Query& query,
         if (dest_dist != nullptr) {
           const Weight tail =
               (*dest_dist)[static_cast<size_t>(cand.vertex)];
-          if (tail == kInfWeight) return;
+          // Unreachable tails are dropped by the filter before consume();
+          // this guard only covers a direct call.
+          if (tail == kInfWeight) return false;
           flen += tail;
         }
         // DominatedOrEqual(flen, nsem) == Threshold(nsem) <= flen: the
         // memoized staircase lookup replaces the binary search, the
-        // comparison is the same.
+        // comparison is the same. The prune is monotone in flen — which is
+        // exactly the probe length the filter records floors on at this
+        // position (it adds the destination tail itself), so returning true
+        // licenses a floor here whether or not a destination is set.
         if (memo.th[slot] <= flen) {
           ++stats.cand_pruned;
-          return;
+          return true;
         }
         const PoiId poi = g_->PoiAtVertex(cand.vertex);
         if (node_idx != RouteArena::kEmpty && arena.Contains(node_idx, poi)) {
           ++stats.cand_rejected;
-          return;  // Definition 3.4(iii): PoIs must be distinct
+          return false;  // Definition 3.4(iii): PoIs must be distinct
         }
         arena.MaterializeInto(node_idx, &ws_.route_buf);
         ws_.route_buf.push_back(poi);
@@ -430,7 +459,7 @@ Result<QueryResult> BssrEngine::Run(const Query& query,
         // the thresholds read from the memo.
         if (nlen >= memo.pruned_at[slot]) {
           ++stats.cand_pruned;
-          return;
+          return true;
         }
         const Weight th = memo.th[slot];
         if (th != kInfWeight &&
@@ -439,17 +468,100 @@ Result<QueryResult> BssrEngine::Run(const Query& query,
               nlen + lp1 >= th))) {
           memo.pruned_at[slot] = nlen;
           ++stats.cand_pruned;
-          return;
+          return true;
         }
         const PoiId poi = g_->PoiAtVertex(cand.vertex);
         if (node_idx != RouteArena::kEmpty && arena.Contains(node_idx, poi)) {
           ++stats.cand_rejected;
-          return;  // Definition 3.4(iii): PoIs must be distinct
+          return false;  // Definition 3.4(iii): PoIs must be distinct
+        }
+        if (use_qb_dominance && m >= 2) {
+          const uint64_t cmask = parent_mask | RouteArena::PoiBit(poi);
+          const uint64_t chash = parent_set_hash ^ RouteArena::PoiSetHash(poi);
+          if (ws_.qb_dom.IsDominated(arena, cand.vertex, m + 1, chash, cmask,
+                                     node_idx, poi, nlen, memo.nacc[slot])) {
+            ++stats.qb_dominance_pruned;
+            return false;
+          }
+          const int32_t idx = arena.Add(node_idx, poi, cand.vertex, nlen,
+                                        memo.nacc[slot]);
+          ws_.qb_dom.Insert(arena, idx, cand.vertex, m + 1, chash, cmask,
+                            node_idx, poi, nlen, memo.nacc[slot]);
+          qb.push(QbEntry{idx, m + 1, memo.nsem[slot], nlen});
+          ++stats.routes_enqueued;
+          return false;
         }
         const int32_t idx = arena.Add(node_idx, poi, cand.vertex, nlen,
                                       memo.nacc[slot]);
         qb.push(QbEntry{idx, m + 1, memo.nsem[slot], nlen});
         ++stats.routes_enqueued;
+      }
+      return false;
+    };
+
+    // consume() behind the prune-floor filter: a candidate whose
+    // (position, acc, sim) key has a recorded floor at or below its
+    // extended length is provably pruned and skipped without calling in;
+    // every length-monotone prune consume() reports feeds the table back.
+    // The floors live for the whole query (see PruneFloorTable), so every
+    // expansion sharing this (position, acc) — adversarial queries have
+    // thousands — skips what any earlier one already proved.
+    // The probe length is the quantity consume()'s prunes are monotone in:
+    // the extended length, PLUS the destination tail at the last position
+    // of a destination query (the tail is per-vertex, so it folds into the
+    // probe rather than the floor; an unreachable tail drops the candidate
+    // outright — consume() would do nothing with it). `last` and the
+    // destination are expansion- resp. query-constant, so every floor
+    // recorded under a given (position, acc, sim) key used the same probe
+    // definition and the comparisons stay exact.
+    const uint64_t acc_bits = std::bit_cast<uint64_t>(acc);
+    const bool probe_adds_tail = last && dest_dist != nullptr;
+    const auto consume_filtered = [&](const ExpansionCandidate& cand) {
+      Weight plen = len + cand.dist;
+      if (probe_adds_tail) {
+        const Weight tail = (*dest_dist)[static_cast<size_t>(cand.vertex)];
+        if (tail == kInfWeight) {
+          ++stats.cand_simd_skipped;
+          return;
+        }
+        plen += tail;
+      }
+      if (ws_.prune_floors.Skippable(acc_bits, m, cand.sim, plen)) {
+        ++stats.cand_simd_skipped;
+        return;
+      }
+      if (consume(cand)) ws_.prune_floors.Note(acc_bits, m, cand.sim, plen);
+    };
+
+    // Replays a dist-sorted SoA stream in 4-lane blocks: the vectorized
+    // scan finds the Lemma 5.3 budget break, the floor filter drops
+    // provably-pruned lanes (counted as cand_simd_skipped, never
+    // consume()d) and surviving lanes go through the unchanged decision
+    // logic, so the skyline trajectory is bit-identical to a scalar replay.
+    const auto replay = [&](const CandidateSpan& s) {
+      uint32_t i = 0;
+      while (i < s.size) {
+        const Weight b = budget();
+        if (s.size - i >= kCandidateBlock) {
+          const uint32_t in_budget = ScanCandidateBlock4(s.dist + i, b);
+          for (uint32_t j = 0; j < in_budget; ++j) {
+            const uint32_t at = i + j;
+            consume_filtered(
+                ExpansionCandidate{s.vertex[at], s.dist[at], s.sim[at]});
+          }
+          // A partial in-budget prefix means the blocking lane's dist
+          // reached the budget; the stream is dist-sorted and budgets only
+          // shrink, so the replay is over.
+          if (in_budget < kCandidateBlock) return;
+          i += kCandidateBlock;
+        } else {
+          // Scalar tail (< 4 lanes left): the identical predicates, so
+          // counters don't depend on where block boundaries fall.
+          if (s.dist[i] >= b) return;
+          consume_filtered(ExpansionCandidate{s.vertex[i], s.dist[i],
+                                              s.sim[i]});
+          ++i;
+        }
       }
     };
 
@@ -460,10 +572,7 @@ Result<QueryResult> BssrEngine::Run(const Query& query,
       if (entry != nullptr && (entry->meta.exhausted ||
                                entry->meta.covered_radius >= budget())) {
         ++stats.mdijkstra_cache_hits;
-        for (const ExpansionCandidate& cand : cache.CandidatesOf(*entry)) {
-          if (cand.dist >= budget()) break;
-          consume(cand);
-        }
+        replay(cache.CandidatesOf(*entry));
         return;
       }
       if (entry != nullptr) {
@@ -488,14 +597,16 @@ Result<QueryResult> BssrEngine::Run(const Query& query,
                           is_rerun ? kInfWeight : budget(), &stats, xc);
       const std::vector<ExpansionCandidate>& cands = ws_.bucket_scan.cands;
       if (options.use_cache) {
-        std::vector<ExpansionCandidate>& pool = cache.pool();
+        CandidateSoA& pool = cache.pool();
         const size_t pool_offset = pool.size();
-        pool.insert(pool.end(), cands.begin(), cands.end());
+        pool.Append(cands);
         cache.Commit(src, m, pool_offset, outcome);
-      }
-      for (const ExpansionCandidate& cand : cands) {
-        if (cand.dist >= budget()) break;
-        consume(cand);
+        replay(pool.Span(pool_offset, cands.size()));
+      } else {
+        for (const ExpansionCandidate& cand : cands) {
+          if (cand.dist >= budget()) break;
+          consume_filtered(cand);
+        }
       }
       return;
     }
@@ -509,12 +620,11 @@ Result<QueryResult> BssrEngine::Run(const Query& query,
     if (slot != nullptr) {
       ++stats.retriever_resume_runs;
       DijkstraRunStats run_stats;
-      std::vector<ExpansionCandidate>* out =
-          options.use_cache ? &cache.pool() : nullptr;
+      CandidateSoA* out = options.use_cache ? &cache.pool() : nullptr;
       const size_t pool_offset =
           options.use_cache ? cache.pool().size() : 0;
       const ExpansionOutcome outcome = RetrieveResumable(
-          *g_, matcher, *slot, budget, consume, out, &run_stats);
+          *g_, matcher, *slot, budget, consume_filtered, out, &run_stats);
       stats.vertices_settled += run_stats.settled;
       stats.edges_relaxed += run_stats.relaxed;
       stats.weight_sum += run_stats.weight_sum;
@@ -532,7 +642,7 @@ Result<QueryResult> BssrEngine::Run(const Query& query,
         if (log != nullptr && (log->meta.exhausted ||
                                log->meta.covered_radius >= budget())) {
           ++stats.settle_log_replays;
-          std::vector<ExpansionCandidate>& pool = cache.pool();
+          CandidateSoA& pool = cache.pool();
           const size_t pool_offset = pool.size();
           Weight break_dist = kInfWeight;
           bool stopped = false;
@@ -546,7 +656,7 @@ Result<QueryResult> BssrEngine::Run(const Query& query,
             if (sim > 0) {
               const ExpansionCandidate cand{rec.vertex, rec.dist, sim};
               pool.push_back(cand);
-              consume(cand);
+              consume_filtered(cand);
             }
           }
           // The replay can never prove more coverage than the log itself:
@@ -567,8 +677,7 @@ Result<QueryResult> BssrEngine::Run(const Query& query,
     // Candidates stream into the cache's shared pool (no per-expansion
     // vector); with caching off, nothing is collected at all. The settle
     // sequence is recorded for cross-position replay in deferred mode.
-    std::vector<ExpansionCandidate>* out =
-        options.use_cache ? &cache.pool() : nullptr;
+    CandidateSoA* out = options.use_cache ? &cache.pool() : nullptr;
     const size_t pool_offset = options.use_cache ? cache.pool().size() : 0;
     std::vector<SettleRecord>* slog_out =
         (options.use_cache && needs_deferred_lemma55) ? &slog.pool()
@@ -576,7 +685,8 @@ Result<QueryResult> BssrEngine::Run(const Query& query,
     const size_t slog_offset = slog_out != nullptr ? slog_out->size() : 0;
     const ExpansionOutcome outcome =
         RunExpansionInto(*g_, matcher, src, budget, !needs_deferred_lemma55,
-                         ws_.expansion, out, consume, &run_stats, slog_out);
+                         ws_.expansion, out, consume_filtered, &run_stats,
+                         slog_out);
     stats.vertices_settled += run_stats.settled;
     stats.edges_relaxed += run_stats.relaxed;
     stats.weight_sum += run_stats.weight_sum;
@@ -623,6 +733,13 @@ Result<QueryResult> BssrEngine::Run(const Query& query,
       ++stats.routes_pruned;
       continue;
     }
+    // Dequeue-time dominance: a strictly better permutation of the same
+    // PoI set may have been recorded AFTER this route was enqueued.
+    if (use_qb_dominance && nd.size >= 3 &&
+        ws_.qb_dom.DominatedAtDequeue(arena, entry.node)) {
+      ++stats.qb_dominance_pruned;
+      continue;
+    }
     expand(entry.node);
   }
 
@@ -631,7 +748,8 @@ Result<QueryResult> BssrEngine::Run(const Query& query,
   stats.logical_peak_bytes =
       arena.MemoryBytes() +
       static_cast<int64_t>(qb.peak_size() * sizeof(QbEntry)) +
-      skyline.MemoryBytes() + cache.MemoryBytes() + slog.MemoryBytes();
+      skyline.MemoryBytes() + cache.MemoryBytes() + slog.MemoryBytes() +
+      ws_.qb_dom.MemoryBytes() + ws_.prune_floors.MemoryBytes();
 
   stats.skyline_size = skyline.size();
   result.routes = skyline.TakeRoutes();  // move, not deep copy

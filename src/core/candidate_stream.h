@@ -1,0 +1,216 @@
+// Candidate streams in structure-of-arrays form, plus the vectorized block
+// scan the engine replays them with.
+//
+// An expansion search emits (vertex, dist, sim) triples; the on-the-fly
+// cache (§5.3.4) stores them per (source, position) and adversarial queries
+// replay the same streams tens of thousands of times. Replays touch `dist`
+// (budget break) and `sim` (decision memo key) for every candidate but
+// `vertex` only for the few survivors, so the pool keeps the three fields in
+// parallel flat arrays: a replay scans two dense double arrays at memory
+// bandwidth instead of striding through 24-byte records.
+//
+// ScanCandidateBlock4 evaluates one 4-lane block of a dist-sorted stream:
+// how many leading lanes are inside the Lemma 5.3 budget. The AVX2 / SSE2 /
+// scalar implementations perform the identical IEEE compares, so the block
+// break — and with it the deterministic work counters — never depends on
+// the ISA the binary was compiled for.
+//
+// PruneFloorTable holds the query-lifetime prune floors the engine skips
+// candidates with. The engine's consume() prune conditions for a candidate
+// are functions of (position, parent accumulator, similarity) that are
+// monotone in the extended length, and the skyline thresholds they compare
+// against only tighten while a query runs. So once ONE candidate is pruned
+// by such a condition, every later candidate of ANY expansion with the same
+// (position, accumulator bits, similarity bits) and extended length >= the
+// recorded floor is certain to be pruned the same way — skipping it without
+// invoking consume() is exact, not heuristic. Keying on the accumulator's
+// bit pattern is what makes the floors transferable across expansions:
+// equal bits mean agg.Extend produces bit-equal scores, hence identical
+// threshold lookups. Adversarial same-tree queries re-expand thousands of
+// routes sharing (position, acc), which is exactly where replays burn time.
+
+#ifndef SKYSR_CORE_CANDIDATE_STREAM_H_
+#define SKYSR_CORE_CANDIDATE_STREAM_H_
+
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+#include "util/logging.h"
+
+#if defined(__AVX2__) || defined(__SSE2__)
+#include <immintrin.h>
+#endif
+
+namespace skysr {
+
+/// One PoI vertex found by an expansion search.
+struct ExpansionCandidate {
+  VertexId vertex;
+  Weight dist;
+  double sim;
+};
+
+/// Borrowed view of one stream inside a CandidateSoA pool (non-decreasing
+/// dist order, as committed by the search that produced it).
+struct CandidateSpan {
+  const VertexId* vertex = nullptr;
+  const Weight* dist = nullptr;
+  const double* sim = nullptr;
+  uint32_t size = 0;
+};
+
+/// Append-only SoA pool of candidates; the storage behind MdijkstraCache.
+/// Mirrors the std::vector surface the stamped span table expects
+/// (size/clear/push_back) so it drops in as the table's pool type.
+class CandidateSoA {
+ public:
+  size_t size() const { return dist_.size(); }
+  bool empty() const { return dist_.empty(); }
+  void clear() {
+    vertex_.clear();
+    dist_.clear();
+    sim_.clear();
+  }
+
+  void push_back(const ExpansionCandidate& c) {
+    vertex_.push_back(c.vertex);
+    dist_.push_back(c.dist);
+    sim_.push_back(c.sim);
+  }
+
+  void Append(std::span<const ExpansionCandidate> cands) {
+    vertex_.reserve(vertex_.size() + cands.size());
+    dist_.reserve(dist_.size() + cands.size());
+    sim_.reserve(sim_.size() + cands.size());
+    for (const ExpansionCandidate& c : cands) push_back(c);
+  }
+
+  ExpansionCandidate At(size_t i) const {
+    return ExpansionCandidate{vertex_[i], dist_[i], sim_[i]};
+  }
+
+  CandidateSpan Span(size_t offset, size_t count) const {
+    SKYSR_DCHECK(offset + count <= dist_.size());
+    return CandidateSpan{vertex_.data() + offset, dist_.data() + offset,
+                         sim_.data() + offset, static_cast<uint32_t>(count)};
+  }
+
+  int64_t MemoryBytes() const {
+    return static_cast<int64_t>(vertex_.capacity() * sizeof(VertexId) +
+                                dist_.capacity() * sizeof(Weight) +
+                                sim_.capacity() * sizeof(double));
+  }
+
+ private:
+  std::vector<VertexId> vertex_;
+  std::vector<Weight> dist_;
+  std::vector<double> sim_;
+};
+
+/// Lanes per ScanCandidateBlock4 call. Fixed at 4 on every ISA so block
+/// boundaries — and therefore the deterministic work counters — never depend
+/// on the instruction set the binary was compiled for.
+inline constexpr uint32_t kCandidateBlock = 4;
+
+/// Counts the leading lanes of one 4-lane block of a dist-sorted stream
+/// that are inside the Lemma 5.3 budget. A count < 4 means the blocking
+/// lane's dist reached the budget; budgets only shrink, so the caller stops
+/// there.
+inline uint32_t ScanCandidateBlock4(const Weight* dist, Weight budget) {
+#if defined(__AVX2__)
+  const unsigned lt = static_cast<unsigned>(_mm256_movemask_pd(_mm256_cmp_pd(
+      _mm256_loadu_pd(dist), _mm256_set1_pd(budget), _CMP_LT_OQ)));
+  return static_cast<uint32_t>(std::countr_one(lt & 0xfu));
+#elif defined(__SSE2__)
+  const __m128d b = _mm_set1_pd(budget);
+  const unsigned lt =
+      static_cast<unsigned>(
+          _mm_movemask_pd(_mm_cmplt_pd(_mm_loadu_pd(dist), b))) |
+      (static_cast<unsigned>(
+           _mm_movemask_pd(_mm_cmplt_pd(_mm_loadu_pd(dist + 2), b)))
+       << 2);
+  return static_cast<uint32_t>(std::countr_one(lt & 0xfu));
+#else
+  uint32_t in_budget = 0;
+  while (in_budget < kCandidateBlock && dist[in_budget] < budget) ++in_budget;
+  return in_budget;
+#endif
+}
+
+/// Query-lifetime prune floors, direct-mapped on (position, accumulator
+/// bits, similarity bits). See the header comment for the exactness
+/// argument; a collision evicts the resident floor (less skipping, never a
+/// wrong skip — every hit verifies the full key before skipping). Cleared
+/// per query in O(1) via an epoch stamp.
+class PruneFloorTable {
+ public:
+  static constexpr uint32_t kSlots = 4096;  // 32 B each: 128 KiB resident
+
+  PruneFloorTable() : slots_(kSlots) {}
+
+  void Clear() {
+    ++epoch_;
+    if (epoch_ == 0) {  // stamp wrap: invalidate eagerly, once per 2^32
+      for (Slot& s : slots_) s.epoch = 0;
+      epoch_ = 1;
+    }
+  }
+
+  /// True when a recorded floor proves a candidate with this key and
+  /// extended length `nlen` would be pruned by consume().
+  bool Skippable(uint64_t acc_bits, int32_t position, double sim,
+                 Weight nlen) const {
+    const uint64_t sim_bits = std::bit_cast<uint64_t>(sim);
+    const Slot& s = slots_[IndexOf(acc_bits, position, sim_bits)];
+    return s.epoch == epoch_ && s.acc_bits == acc_bits &&
+           s.sim_bits == sim_bits && s.position == position &&
+           nlen >= s.floor;
+  }
+
+  /// Records that consume() pruned a candidate with this key at extended
+  /// length `nlen` by a length-monotone condition.
+  void Note(uint64_t acc_bits, int32_t position, double sim, Weight nlen) {
+    const uint64_t sim_bits = std::bit_cast<uint64_t>(sim);
+    Slot& s = slots_[IndexOf(acc_bits, position, sim_bits)];
+    if (s.epoch == epoch_ && s.acc_bits == acc_bits &&
+        s.sim_bits == sim_bits && s.position == position) {
+      if (nlen < s.floor) s.floor = nlen;
+    } else {
+      s = Slot{acc_bits, sim_bits, nlen, position, epoch_};
+    }
+  }
+
+  int64_t MemoryBytes() const {
+    return static_cast<int64_t>(slots_.capacity() * sizeof(Slot));
+  }
+
+ private:
+  struct Slot {
+    uint64_t acc_bits = 0;
+    uint64_t sim_bits = 0;
+    Weight floor = 0;
+    int32_t position = 0;
+    uint32_t epoch = 0;
+  };
+
+  static uint32_t IndexOf(uint64_t acc_bits, int32_t position,
+                          uint64_t sim_bits) {
+    uint64_t h = acc_bits ^ (sim_bits * 0x9e3779b97f4a7c15ULL) ^
+                 (static_cast<uint64_t>(static_cast<uint32_t>(position)) *
+                  0xbf58476d1ce4e5b9ULL);
+    h ^= h >> 29;
+    h *= 0x94d049bb133111ebULL;
+    h ^= h >> 32;
+    return static_cast<uint32_t>(h) & (kSlots - 1);
+  }
+
+  std::vector<Slot> slots_;
+  uint32_t epoch_ = 1;  // slots start at epoch 0: all stale
+};
+
+}  // namespace skysr
+
+#endif  // SKYSR_CORE_CANDIDATE_STREAM_H_

@@ -8,7 +8,10 @@
 //
 // Storage is allocation-free in steady state: a stamped span table (see
 // util/stamped_span_table.h) holds (offset, count) spans into one shared
-// candidate pool — no owning vector per entry, O(1) clear per query.
+// candidate pool — no owning vector per entry, O(1) clear per query. The
+// pool is a CandidateSoA: vertex/dist/sim live in separate flat arrays so
+// replays can run the vectorized block scan of core/candidate_stream.h over
+// dense dist/sim columns.
 
 #ifndef SKYSR_CORE_MDIJKSTRA_CACHE_H_
 #define SKYSR_CORE_MDIJKSTRA_CACHE_H_
@@ -17,6 +20,7 @@
 #include <span>
 #include <vector>
 
+#include "core/candidate_stream.h"
 #include "core/modified_dijkstra.h"
 #include "graph/types.h"
 #include "util/stamped_span_table.h"
@@ -26,7 +30,8 @@ namespace skysr {
 /// Per-query memo of expansion searches. Entry metadata is the search's
 /// ExpansionOutcome: entry->meta.covered_radius / entry->meta.exhausted.
 class MdijkstraCache {
-  using Table = StampedSpanTable<ExpansionCandidate, ExpansionOutcome>;
+  using Table =
+      StampedSpanTable<ExpansionCandidate, ExpansionOutcome, CandidateSoA>;
 
  public:
   using Entry = Table::Entry;
@@ -36,14 +41,16 @@ class MdijkstraCache {
     return table_.Find(KeyOf(source, position));
   }
 
-  /// The candidates of a found entry, in non-decreasing distance order.
-  std::span<const ExpansionCandidate> CandidatesOf(const Entry& e) const {
-    return table_.SpanOf(e);
+  /// The candidates of a found entry, in non-decreasing distance order, as
+  /// an SoA view over the shared pool.
+  CandidateSpan CandidatesOf(const Entry& e) const {
+    return table_.pool().Span(e.offset, e.count);
   }
 
   /// The shared candidate pool. An expansion search appends its candidates
   /// here (remember the pool size beforehand), then Commit()s the span.
-  std::vector<ExpansionCandidate>& pool() { return table_.pool(); }
+  CandidateSoA& pool() { return table_.pool(); }
+  const CandidateSoA& pool() const { return table_.pool(); }
 
   /// Inserts or replaces the entry for (source, position), whose candidates
   /// are pool()[pool_offset..end).
@@ -56,8 +63,7 @@ class MdijkstraCache {
   /// appends the list's candidates to the pool and commits them.
   void Put(VertexId source, int position, CandidateList&& list) {
     const size_t offset = pool().size();
-    pool().insert(pool().end(), list.candidates.begin(),
-                  list.candidates.end());
+    pool().Append(list.candidates);
     Commit(source, position, offset,
            ExpansionOutcome{list.covered_radius, list.exhausted});
   }

@@ -9,9 +9,14 @@ CandidateList RunExpansion(
     const std::function<void(const ExpansionCandidate&)>& on_candidate,
     DijkstraRunStats* stats_out) {
   CandidateList out;
-  const ExpansionOutcome outcome =
-      RunExpansionInto(g, matcher, source, budget_fn, apply_lemma55, scratch,
-                       &out.candidates, on_candidate, stats_out);
+  const ExpansionOutcome outcome = RunExpansionInto(
+      g, matcher, source, budget_fn, apply_lemma55, scratch,
+      /*out=*/nullptr,
+      [&](const ExpansionCandidate& cand) {
+        out.candidates.push_back(cand);
+        on_candidate(cand);
+      },
+      stats_out);
   out.covered_radius = outcome.covered_radius;
   out.exhausted = outcome.exhausted;
   return out;

@@ -30,6 +30,7 @@
 #include <functional>
 #include <vector>
 
+#include "core/candidate_stream.h"
 #include "core/query.h"
 #include "graph/dijkstra_runner.h"
 #include "graph/graph.h"
@@ -37,12 +38,9 @@
 
 namespace skysr {
 
-/// One PoI vertex found by an expansion search.
-struct ExpansionCandidate {
-  VertexId vertex;
-  Weight dist;
-  double sim;
-};
+// ExpansionCandidate (and the SoA pool replays scan) lives in
+// core/candidate_stream.h; included above so existing call sites keep
+// working unchanged.
 
 /// Result of one expansion search; also the cache value type of the legacy
 /// owning API.
@@ -87,8 +85,9 @@ struct ExpansionScratch {
 /// maximum useful distance (Lemma 5.3); it may shrink while the search runs
 /// as the consumer tightens the skyline. `on_candidate` is invoked for each
 /// emitted candidate in non-decreasing distance order. When `out` is
-/// non-null every emitted candidate is also appended to it (cache fill);
-/// null skips collection entirely (cache-off ablations). When `settle_log`
+/// non-null every emitted candidate is also appended to it (cache fill into
+/// the SoA pool); null skips collection entirely (cache-off ablations).
+/// When `settle_log`
 /// is non-null every settle — including the budget-breaking one — is
 /// appended to it so the traversal can later be replayed for other
 /// positions (sound only without Lemma 5.5 cuts; the engine passes it only
@@ -103,7 +102,7 @@ ExpansionOutcome RunExpansionInto(const Graph& g,
                                   VertexId source, BudgetFn&& budget_fn,
                                   bool apply_lemma55,
                                   ExpansionScratch& scratch,
-                                  std::vector<ExpansionCandidate>* out,
+                                  CandidateSoA* out,
                                   OnCandidate&& on_candidate,
                                   DijkstraRunStats* stats_out,
                                   std::vector<SettleRecord>* settle_log =

@@ -1,0 +1,171 @@
+// Per-prefix dominance records for the bulk queue Q_b.
+//
+// Two partial routes that end at the same vertex (hence the same last PoI),
+// have the same size and visit the SAME SET of PoIs are permutations of one
+// another: any completion of one is a legal completion of the other
+// (Definition 3.4(iii) distinctness depends only on the set), the remaining
+// legs and position similarities are identical, and the semantic aggregators
+// are monotone in the accumulator (similarity.h) while per-leg length
+// addition is monotone in IEEE arithmetic. So if route A has
+// length <= length(B) and acc >= acc(B), every completion of B is
+// dominated-or-equaled by the corresponding completion of A and B can be
+// dropped without changing the skyline — bit for bit, because the
+// comparisons the skyline performs are on the very sums/products this
+// argument is monotone over.
+//
+// The set-equality restriction is load-bearing: with different PoI sets the
+// dominated route's completions may use a PoI the dominator already
+// visited, and dropping it would lose skyline routes. Records therefore
+// verify full set equality (mask, then a parent-chain walk) before pruning;
+// the table key (vertex, size, order-independent set hash) only narrows the
+// candidates, it is never trusted.
+//
+// Same-set duplicates require two orders of the prefix-before-last, so they
+// exist only for route size >= 3, and only when a PoI can match more than
+// one sequence position (deferred Lemma 5.5 mode) — the engine gates the
+// store accordingly and the common fast path never touches it.
+//
+// Dropping a route whose dominator was itself dropped earlier stays sound:
+// domination chains are transitive and finite, ending at a route that was
+// actually expanded (or threshold-pruned, which is itself exact), so the
+// surviving endpoint's completions cover everything dropped along the chain.
+
+#ifndef SKYSR_CORE_QB_DOMINANCE_H_
+#define SKYSR_CORE_QB_DOMINANCE_H_
+
+#include <cstdint>
+
+#include "core/route.h"
+#include "graph/types.h"
+#include "util/stamped_span_table.h"
+
+namespace skysr {
+
+/// Dominance store keyed by (vertex, route size, PoI-set hash), with up to
+/// kRecsPerKey (length, acc) records per key. Cleared per query in O(1) via
+/// the span table's epoch stamp; record node indices are only meaningful
+/// against the same query's RouteArena.
+class QbDominanceStore {
+ public:
+  static constexpr uint32_t kRecsPerKey = 4;
+
+  struct Rec {
+    Weight length;
+    double acc;
+    int32_t node;  // arena node of the recorded (enqueued) route
+  };
+
+  void Clear() { table_.Clear(); }
+
+  /// True when a recorded same-set route dominates-or-equals the candidate
+  /// route (parent chain of `parent` plus `poi`, ending at `vertex` with the
+  /// given scores). Called before the candidate is added to the arena.
+  bool IsDominated(const RouteArena& arena, VertexId vertex, int32_t size,
+                   uint64_t set_hash, uint64_t poi_mask, int32_t parent,
+                   PoiId poi, Weight length, double acc) const {
+    const Table::Entry* e = table_.Find(KeyOf(vertex, size, set_hash));
+    if (e == nullptr) return false;
+    const auto recs =
+        table_.SpanOf(*e).first(static_cast<size_t>(e->meta));
+    for (const Rec& r : recs) {
+      if (r.length <= length && r.acc >= acc &&
+          SameSet(arena, r.node, vertex, size, poi_mask, parent, poi)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Records an enqueued route. Prefers strengthening a same-set record the
+  /// new route dominates; otherwise appends while the key has capacity.
+  /// Skipping a full key is sound — records are an optional license to
+  /// prune, never an obligation.
+  void Insert(const RouteArena& arena, int32_t node, VertexId vertex,
+              int32_t size, uint64_t set_hash, uint64_t poi_mask,
+              int32_t parent, PoiId poi, Weight length, double acc) {
+    const uint64_t key = KeyOf(vertex, size, set_hash);
+    Table::Entry* e = table_.FindMutable(key);
+    if (e == nullptr) {
+      auto& pool = table_.pool();
+      const size_t offset = pool.size();
+      pool.resize(offset + kRecsPerKey);
+      pool[offset] = Rec{length, acc, node};
+      table_.Commit(key, offset, /*meta=*/1);
+      return;
+    }
+    auto recs = table_.MutableSpanOf(*e);
+    for (int32_t i = 0; i < e->meta; ++i) {
+      Rec& r = recs[static_cast<size_t>(i)];
+      if (length <= r.length && acc >= r.acc &&
+          SameSet(arena, r.node, vertex, size, poi_mask, parent, poi)) {
+        r = Rec{length, acc, node};
+        return;
+      }
+    }
+    if (e->meta < static_cast<int32_t>(kRecsPerKey)) {
+      recs[static_cast<size_t>(e->meta)] = Rec{length, acc, node};
+      ++e->meta;
+    }
+  }
+
+  /// True when a STRICTLY dominating same-set record (other than the route
+  /// itself) exists for an already-enqueued route about to be expanded.
+  /// Strictness keeps equal-score routes from pruning each other cyclically.
+  bool DominatedAtDequeue(const RouteArena& arena, int32_t node) const {
+    const RouteArena::Node& nd = arena.node(node);
+    const Table::Entry* e =
+        table_.Find(KeyOf(nd.vertex, nd.size, nd.set_hash));
+    if (e == nullptr) return false;
+    const auto recs =
+        table_.SpanOf(*e).first(static_cast<size_t>(e->meta));
+    for (const Rec& r : recs) {
+      if (r.node == node) continue;
+      if (r.length <= nd.length && r.acc >= nd.acc &&
+          (r.length < nd.length || r.acc > nd.acc) &&
+          SameSet(arena, r.node, nd.vertex, nd.size, nd.poi_mask, nd.parent,
+                  nd.poi)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  int64_t size() const { return table_.size(); }
+  int64_t MemoryBytes() const { return table_.MemoryBytes(); }
+
+ private:
+  using Table = StampedSpanTable<Rec, int32_t /*live record count*/>;
+
+  static uint64_t KeyOf(VertexId vertex, int32_t size, uint64_t set_hash) {
+    return set_hash ^
+           ((static_cast<uint64_t>(static_cast<uint32_t>(vertex)) << 8) +
+            static_cast<uint64_t>(static_cast<uint32_t>(size)));
+  }
+
+  /// Verifies that the recorded route's PoI set equals the candidate set
+  /// {parent chain} ∪ {poi}. Equal sizes with all-distinct PoIs per route
+  /// mean one-way containment implies equality, so one chain walk suffices.
+  static bool SameSet(const RouteArena& arena, int32_t rec_node,
+                      VertexId vertex, int32_t size, uint64_t poi_mask,
+                      int32_t parent, PoiId poi) {
+    const RouteArena::Node& rn = arena.node(rec_node);
+    if (rn.vertex != vertex || rn.size != size || rn.poi_mask != poi_mask) {
+      return false;
+    }
+    for (int32_t cur = rec_node; cur != RouteArena::kEmpty;
+         cur = arena.node(cur).parent) {
+      const PoiId p = arena.node(cur).poi;
+      if (p != poi &&
+          (parent == RouteArena::kEmpty || !arena.Contains(parent, p))) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  Table table_;
+};
+
+}  // namespace skysr
+
+#endif  // SKYSR_CORE_QB_DOMINANCE_H_

@@ -108,6 +108,13 @@ struct QueryOptions {
   /// others, trades nothing but speed (and is therefore NOT part of the
   /// result-cache key).
   bool use_shared_cache = true;
+  /// Per-prefix dominance pruning in the bulk queue Q_b (see
+  /// core/qb_dominance.h): partial routes whose (length, acc) is
+  /// dominated by an already-enqueued permutation of the same PoI set at
+  /// the same (vertex, position) are dropped. Exact — the skyline is
+  /// bit-identical either way — so, like use_shared_cache, speed-only and
+  /// NOT part of the result-cache key.
+  bool use_qb_dominance = true;
 };
 
 /// Resolves one sequence position against PoIs: similarity (0 = no match),

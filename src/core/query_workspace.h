@@ -20,6 +20,7 @@
 
 #include "core/lower_bound.h"
 #include "core/mdijkstra_cache.h"
+#include "core/qb_dominance.h"
 #include "core/modified_dijkstra.h"
 #include "core/nn_init.h"
 #include "core/query.h"
@@ -107,6 +108,13 @@ class QbQueue {
   bool empty() const { return size_ == 0; }
 
   void push(const QbEntry& e) {
+    // Both keys must be non-negative for the bit-pattern ordering to match
+    // the double ordering of QbLess. -0.0 passes the check (it compares
+    // equal to 0.0) but its sign bit would sort it as the LARGEST uint64,
+    // diverging from the flat path where -0.0 == 0.0 — adding +0.0 maps
+    // -0.0 to +0.0 and leaves every other non-negative value unchanged.
+    SKYSR_DCHECK(e.semantic >= 0.0);
+    SKYSR_DCHECK(e.length >= 0.0);
     ++size_;
     if (size_ > peak_size_) peak_size_ = size_;
     if (discipline_ != QueueDiscipline::kProposed) {
@@ -114,8 +122,8 @@ class QbQueue {
       return;
     }
     buckets_[static_cast<size_t>(e.size)].push(
-        SlimEntry{std::bit_cast<uint64_t>(e.semantic),
-                  std::bit_cast<uint64_t>(e.length), e.node});
+        SlimEntry{std::bit_cast<uint64_t>(e.semantic + 0.0),
+                  std::bit_cast<uint64_t>(e.length + 0.0), e.node});
     if (e.size > top_size_) top_size_ = e.size;
   }
 
@@ -125,9 +133,21 @@ class QbQueue {
     if (discipline_ != QueueDiscipline::kProposed) {
       return flat_.pop();
     }
-    while (buckets_[static_cast<size_t>(top_size_)].empty()) --top_size_;
+    // Checked downward scan: stops at bucket 0 instead of underflowing if
+    // the size accounting ever drifts out of sync with the buckets.
+    while (top_size_ > 0 && buckets_[static_cast<size_t>(top_size_)].empty()) {
+      --top_size_;
+    }
+    SKYSR_DCHECK(top_size_ >= 0);
+    SKYSR_DCHECK(!buckets_[static_cast<size_t>(top_size_)].empty());
     const int32_t size = top_size_;
     SlimEntry e = buckets_[static_cast<size_t>(size)].pop();
+    // Lower the bound eagerly when this pop drained the bucket, so pushes at
+    // smaller sizes don't leave every later pop re-scanning the stale upper
+    // range.
+    while (top_size_ > 0 && buckets_[static_cast<size_t>(top_size_)].empty()) {
+      --top_size_;
+    }
     return QbEntry{e.node, size, std::bit_cast<double>(e.semantic_bits),
                    std::bit_cast<Weight>(e.length_bits)};
   }
@@ -150,6 +170,13 @@ struct QueryWorkspace {
   QbQueue qb;
   MdijkstraCache cache;
   SettleLog settle_log;
+  // Per-(vertex, position, PoI-set) dominance records over enqueued partial
+  // routes; see qb_dominance.h for the exactness argument.
+  QbDominanceStore qb_dom;
+  // Query-lifetime (position, acc, sim) -> extended-length prune floors;
+  // candidates at or beyond a floor skip consume() entirely (see
+  // candidate_stream.h for why the floors transfer across expansions).
+  PruneFloorTable prune_floors;
 
   // PoI-retrieval backends (src/retrieval/): per-query bucket scan state
   // (forward-search cache + scratch) and the resumable-expansion slot pool.

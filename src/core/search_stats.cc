@@ -11,14 +11,15 @@ std::string SearchStats::ToString() const {
       "elapsed=%.3fms%s skyline=%lld\n"
       "searches: runs=%lld cache_hits=%lld reruns=%lld log_replays=%lld "
       "settled=%lld relaxed=%lld weight_sum=%.4f first_weight_sum=%.4f\n"
-      "candidates: examined=%lld pruned=%lld dup_rejected=%lld\n"
+      "candidates: examined=%lld pruned=%lld dup_rejected=%lld "
+      "simd_skipped=%lld\n"
       "retrieval: bucket_runs=%lld resume_runs=%lld fwd_searches=%lld "
       "fwd_reuses=%lld bucket_cands=%lld\n"
       "nninit: %.3fms routes=%lld weight_sum=%.4f perfect_len=%.4f "
       "max_sem_len=%.4f\n"
       "bounds: %.3fms ls=%.4f lp=%.4f\n"
-      "queue: enq=%lld deq=%lld pruned=%lld peak=%lld nodes=%lld "
-      "logical_bytes=%lld",
+      "queue: enq=%lld deq=%lld pruned=%lld dom_pruned=%lld peak=%lld "
+      "nodes=%lld logical_bytes=%lld",
       elapsed_ms, timed_out ? " TIMED-OUT" : "",
       static_cast<long long>(skyline_size),
       static_cast<long long>(mdijkstra_runs),
@@ -30,6 +31,7 @@ std::string SearchStats::ToString() const {
       first_search_weight_sum, static_cast<long long>(cand_examined),
       static_cast<long long>(cand_pruned),
       static_cast<long long>(cand_rejected),
+      static_cast<long long>(cand_simd_skipped),
       static_cast<long long>(retriever_bucket_runs),
       static_cast<long long>(retriever_resume_runs),
       static_cast<long long>(bucket_fwd_searches),
@@ -40,6 +42,7 @@ std::string SearchStats::ToString() const {
       lp_total, static_cast<long long>(routes_enqueued),
       static_cast<long long>(routes_dequeued),
       static_cast<long long>(routes_pruned),
+      static_cast<long long>(qb_dominance_pruned),
       static_cast<long long>(peak_queue_size),
       static_cast<long long>(route_nodes),
       static_cast<long long>(logical_peak_bytes));

@@ -54,6 +54,10 @@ struct SearchStats {
   int64_t cand_examined = 0;   // consume() invocations (replay + search)
   int64_t cand_rejected = 0;   // Definition 3.4(iii) duplicate-PoI rejects
   int64_t cand_pruned = 0;     // partial-route candidates pruned pre-enqueue
+  int64_t cand_simd_skipped = 0;  // replay candidates skipped by the
+                                  // hot-floor block scan, never consume()d
+  int64_t qb_dominance_pruned = 0;  // routes dropped by the Q_b dominance
+                                    // store (enqueue- and dequeue-time)
   int64_t routes_dequeued = 0;
   int64_t routes_pruned = 0;  // pruned at dequeue by the threshold
   int64_t peak_queue_size = 0;

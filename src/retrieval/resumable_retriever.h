@@ -193,7 +193,7 @@ ExpansionOutcome RetrieveResumable(const Graph& g,
                                    const PositionMatcher& matcher,
                                    ResumableSlot& slot, BudgetFn&& budget_fn,
                                    OnCandidate&& on_candidate,
-                                   std::vector<ExpansionCandidate>* out,
+                                   CandidateSoA* out,
                                    DijkstraRunStats* stats_out) {
   const auto emit = [&](VertexId v, Weight d, double sim) {
     const ExpansionCandidate cand{v, d, sim};

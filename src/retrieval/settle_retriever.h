@@ -22,7 +22,7 @@ class SettleRetriever {
   static ExpansionOutcome RetrieveInto(
       const Graph& g, const PositionMatcher& matcher, VertexId source,
       BudgetFn&& budget_fn, bool apply_lemma55, ExpansionScratch& scratch,
-      std::vector<ExpansionCandidate>* out, OnCandidate&& on_candidate,
+      CandidateSoA* out, OnCandidate&& on_candidate,
       DijkstraRunStats* stats_out,
       std::vector<SettleRecord>* settle_log = nullptr) {
     return RunExpansionInto(g, matcher, source,

@@ -30,13 +30,16 @@ bool IsPlainQuery(const Query& q) {
 }
 
 std::string RenderConfig(bool init, bool lb, bool cache, QueueDiscipline disc,
-                         OracleKind oracle, RetrieverKind retriever) {
-  char buf[96];
+                         OracleKind oracle, RetrieverKind retriever,
+                         bool dominance) {
+  char buf[112];
   std::snprintf(buf, sizeof(buf),
-                "init=%d lb=%d cache=%d queue=%s oracle=%s retriever=%s",
+                "init=%d lb=%d cache=%d queue=%s oracle=%s retriever=%s "
+                "dom=%d",
                 init, lb, cache,
                 disc == QueueDiscipline::kProposed ? "proposed" : "distance",
-                OracleKindName(oracle), RetrieverKindName(retriever));
+                OracleKindName(oracle), RetrieverKindName(retriever),
+                dominance);
   return buf;
 }
 
@@ -249,6 +252,7 @@ DiffReport RunDifferentialCheck(const DiffCheckParams& params) {
               opts.use_cache = (bits & 4) != 0;
               opts.queue_discipline = disc;
               opts.retriever = rkind;
+              opts.use_qb_dominance = params.qb_dominance;
               if (kinds[ki] != OracleKind::kFlat) {
                 // Force the oracle-backed NNinit/lower-bound paths (the
                 // production default falls back to graph searches for dense
@@ -262,7 +266,8 @@ DiffReport RunDifferentialCheck(const DiffCheckParams& params) {
                 record(static_cast<int>(qi),
                        RenderConfig(opts.use_initial_search,
                                     opts.use_lower_bounds, opts.use_cache,
-                                    disc, kinds[ki], rkind),
+                                    disc, kinds[ki], rkind,
+                                    opts.use_qb_dominance),
                        got.status().ToString());
                 continue;
               }
@@ -270,7 +275,8 @@ DiffReport RunDifferentialCheck(const DiffCheckParams& params) {
                 record(static_cast<int>(qi),
                        RenderConfig(opts.use_initial_search,
                                     opts.use_lower_bounds, opts.use_cache,
-                                    disc, kinds[ki], rkind),
+                                    disc, kinds[ki], rkind,
+                                    opts.use_qb_dominance),
                        "expected " + RenderSkyline(*brute) + " got " +
                            RenderSkyline(got->routes));
               }

@@ -52,6 +52,11 @@ struct DiffCheckParams {
   /// shared_cache=false run's digest with a shared_cache=true run's (the
   /// CI SKYSR_XCACHE axis) proves cold/warm bit-identity end to end.
   bool shared_cache = false;
+  /// Per-prefix Q_b dominance pruning (core/qb_dominance.h) applied to
+  /// every ablation run. Both settings must be bit-identical to brute
+  /// force; the CI SKYSR_QB_DOMINANCE=off axis runs the sweep disabled so
+  /// the pruned and unpruned engines are each verified end to end.
+  bool qb_dominance = true;
   /// Tolerance for the naive baseline only: its OSR engines sum leg
   /// distances in different orders, so a few ULPs of drift are legitimate.
   /// Engine-vs-brute-force comparisons are always exact (tolerance 0).

@@ -21,7 +21,12 @@
 namespace skysr {
 
 /// Record: the pooled element type. Meta: per-entry metadata stored inline.
-template <typename Record, typename Meta>
+/// Pool: the append-only storage; any type with the vector-like subset
+/// size()/clear()/push_back(Record) works (e.g. CandidateSoA keeps the
+/// records as flat structure-of-arrays columns). SpanOf/MutableSpanOf are
+/// only available for contiguous vector pools; SoA pools expose their own
+/// views via pool().
+template <typename Record, typename Meta, typename Pool = std::vector<Record>>
 class StampedSpanTable {
  public:
   struct Entry {
@@ -43,13 +48,33 @@ class StampedSpanTable {
     }
   }
 
+  /// Mutable lookup; the pointer is valid until the next Commit() (which may
+  /// grow the slot array) or Clear().
+  Entry* FindMutable(uint64_t key) {
+    if (slots_.empty()) return nullptr;
+    const size_t mask = slots_.size() - 1;
+    for (size_t i = Hash(key) & mask;; i = (i + 1) & mask) {
+      Entry& slot = slots_[i];
+      if (slot.stamp != stamp_) return nullptr;  // empty this round
+      if (slot.key == key) return &slot;
+    }
+  }
+
   std::span<const Record> SpanOf(const Entry& e) const {
+    return {pool_.data() + e.offset, e.count};
+  }
+
+  /// Mutable span view (vector pools only): lets a committed entry's records
+  /// be updated in place, e.g. dominance records strengthened by later
+  /// routes.
+  std::span<Record> MutableSpanOf(const Entry& e) {
     return {pool_.data() + e.offset, e.count};
   }
 
   /// The shared pool. A producer appends its records here (remember the
   /// pool size beforehand), then Commit()s the span.
-  std::vector<Record>& pool() { return pool_; }
+  Pool& pool() { return pool_; }
+  const Pool& pool() const { return pool_; }
 
   /// Inserts or replaces the entry for `key`, whose records are
   /// pool()[pool_offset..end).
@@ -84,8 +109,14 @@ class StampedSpanTable {
   int64_t replacements() const { return replacements_; }
 
   int64_t MemoryBytes() const {
-    return static_cast<int64_t>(slots_.capacity() * sizeof(Entry) +
-                                pool_.capacity() * sizeof(Record));
+    int64_t pool_bytes;
+    if constexpr (requires(const Pool& p) { p.MemoryBytes(); }) {
+      pool_bytes = pool_.MemoryBytes();
+    } else {
+      pool_bytes = static_cast<int64_t>(pool_.capacity() * sizeof(Record));
+    }
+    return static_cast<int64_t>(slots_.capacity() * sizeof(Entry)) +
+           pool_bytes;
   }
 
  private:
@@ -120,7 +151,7 @@ class StampedSpanTable {
   }
 
   std::vector<Entry> slots_;  // power-of-two size
-  std::vector<Record> pool_;
+  Pool pool_;
   uint32_t stamp_ = 1;
   size_t size_ = 0;
   int64_t replacements_ = 0;

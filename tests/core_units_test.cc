@@ -337,11 +337,12 @@ TEST(CacheTest, FlatTableMatchesMapReferenceModel) {
         if (hit != nullptr) {
           EXPECT_EQ(hit->meta.covered_radius, it->second.covered_radius);
           EXPECT_EQ(hit->meta.exhausted, it->second.exhausted);
-          const auto got = cache.CandidatesOf(*hit);
-          ASSERT_EQ(got.size(), it->second.candidates.size());
-          for (size_t i = 0; i < got.size(); ++i) {
-            EXPECT_EQ(got[i].vertex, it->second.candidates[i].vertex);
-            EXPECT_EQ(got[i].dist, it->second.candidates[i].dist);
+          const CandidateSpan got = cache.CandidatesOf(*hit);
+          ASSERT_EQ(static_cast<size_t>(got.size),
+                    it->second.candidates.size());
+          for (size_t i = 0; i < it->second.candidates.size(); ++i) {
+            EXPECT_EQ(got.vertex[i], it->second.candidates[i].vertex);
+            EXPECT_EQ(got.dist[i], it->second.candidates[i].dist);
           }
         }
       } else {

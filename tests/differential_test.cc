@@ -55,6 +55,16 @@ bool EnvXCache() {
   return std::string_view(v) == "on" || std::string_view(v) == "1";
 }
 
+// SKYSR_QB_DOMINANCE=off|0 disables per-prefix Q_b dominance pruning for
+// the whole sweep — the CI axis proving the unpruned engine is bit-identical
+// to brute force too (the default run proves the pruned one). Anything else
+// (or unset) keeps pruning on.
+bool EnvQbDominance() {
+  const char* v = std::getenv("SKYSR_QB_DOMINANCE");
+  if (v == nullptr) return true;
+  return !(std::string_view(v) == "off" || std::string_view(v) == "0");
+}
+
 // SKYSR_RETRIEVER=settle|bucket|resume|auto restricts the retriever sweep
 // to {settle, that kind} (settle is the exact reference backend); unset (or
 // an unknown name) keeps the full auto/settle/bucket/resume sweep.
@@ -80,6 +90,7 @@ TEST(DifferentialTest, EngineMatchesBaselinesOnGeneratedScenarios) {
   params.oracle_kinds = EnvOracleSweep();
   params.retriever_kinds = EnvRetrieverSweep();
   params.shared_cache = EnvXCache();
+  params.qb_dominance = EnvQbDominance();
   const DiffReport report = RunDifferentialCheck(params);
   EXPECT_GE(report.instances_checked, params.num_instances);
   // 8 toggle combos x 2 queue disciplines per instance, oracle kind and
