@@ -14,6 +14,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -178,6 +179,44 @@ class JsonWriter {
   std::string out_;
   std::vector<bool> stack_;
 };
+
+/// Stamps the run-identifying `meta` object every bench JSON carries:
+/// schema version, git SHA, build type, and the UTC wall time — what the
+/// perf-trajectory reporter (src/obs/perf_trajectory.h) needs to order and
+/// label runs. Call right after the top-level BeginObject(). SKYSR_GIT_SHA
+/// in the environment overrides the `git rev-parse` lookup (CI sets it;
+/// outside a checkout the field degrades to "unknown").
+inline void WriteStandardMeta(JsonWriter* json) {
+  json->BeginObject("meta");
+  json->Field("schema_version", static_cast<int64_t>(1));
+  std::string sha;
+  if (const char* env = std::getenv("SKYSR_GIT_SHA"); env != nullptr) {
+    sha = env;
+  } else if (std::FILE* p =
+                 popen("git rev-parse --short HEAD 2>/dev/null", "r");
+             p != nullptr) {
+    char buf[64];
+    if (std::fgets(buf, sizeof(buf), p) != nullptr) sha = buf;
+    pclose(p);
+    while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) {
+      sha.pop_back();
+    }
+  }
+  json->Field("git_sha", sha.empty() ? std::string_view("unknown")
+                                     : std::string_view(sha));
+#ifdef NDEBUG
+  json->Field("build_type", "release");
+#else
+  json->Field("build_type", "debug");
+#endif
+  const std::time_t now = std::time(nullptr);
+  std::tm utc{};
+  gmtime_r(&now, &utc);
+  char stamp[32];
+  std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%SZ", &utc);
+  json->Field("timestamp_utc", std::string_view(stamp));
+  json->EndObject();
+}
 
 }  // namespace skysr::bench
 

@@ -456,6 +456,7 @@ int Main(int argc, char** argv) {
   JsonWriter json;
   json.BeginObject();
   json.Field("bench", "hotpath");
+  WriteStandardMeta(&json);
   json.Field("scale", scale);
   json.Field("reps", static_cast<int64_t>(reps));
   json.BeginArray("families");

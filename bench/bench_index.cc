@@ -69,6 +69,7 @@ void Run() {
   bench::JsonWriter json;
   json.BeginObject();
   json.Field("bench", "index");
+  bench::WriteStandardMeta(&json);
   json.Field("vertices_per_family", static_cast<int64_t>(vertices));
   json.Field("p2p_pairs", static_cast<int64_t>(num_pairs));
   json.BeginArray("families");

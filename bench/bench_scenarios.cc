@@ -62,6 +62,7 @@ void Run() {
   bench::JsonWriter json;
   json.BeginObject();
   json.Field("bench", "scenarios");
+  bench::WriteStandardMeta(&json);
   json.Field("oracle", OracleKindName(oracle_kind));
   json.Field("xcache", xcache_on ? "on" : "off");
   json.Field("queries_per_config", static_cast<int64_t>(queries));

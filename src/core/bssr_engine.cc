@@ -11,6 +11,7 @@
 #include "core/nn_init.h"
 #include "core/skyline_set.h"
 #include "core/threshold.h"
+#include "obs/query_trace.h"
 #include "graph/dijkstra.h"
 #include "graph/graph_builder.h"
 #include "retrieval/poi_retriever.h"
@@ -128,6 +129,18 @@ Result<QueryResult> BssrEngine::Run(const Query& query,
   QueryResult result;
   SearchStats& stats = result.stats;
 
+  // Tracing (src/obs/): resolved to null unless attached AND enabled, so
+  // every span site below is one predictable branch in the default
+  // configuration. The oracle workspace carries the pointer into Table()
+  // calls. Aggregates are per-trace-window; the snapshot cuts out this
+  // query's delta for SearchStats regardless of when the caller Clear()ed.
+  QueryTrace* const trace =
+      (trace_ != nullptr && trace_->enabled()) ? trace_ : nullptr;
+  ws_.oracle_ws.trace = trace;
+  const PhaseAggregates phases_before =
+      trace != nullptr ? trace->aggregates() : PhaseAggregates{};
+  TraceSpan query_span(trace, TracePhase::kQuery);
+
   const SimilarityFunction& sim_fn =
       options.similarity ? *options.similarity : *DefaultSimilarity();
   const SemanticAggregator agg(options.aggregation);
@@ -202,6 +215,7 @@ Result<QueryResult> BssrEngine::Run(const Query& query,
   const std::vector<Weight>* dest_dist = nullptr;
   std::shared_ptr<const std::vector<Weight>> shared_tails;
   if (query.destination) {
+    TraceSpan tails_span(trace, TracePhase::kDestTails);
     const auto compute_tails = [&](std::vector<Weight>* out) {
       const Graph* search_graph = g_;
       if (g_->directed()) {
@@ -286,6 +300,7 @@ Result<QueryResult> BssrEngine::Run(const Query& query,
 
   // --- Optimization 1: initial search (§5.3.1). ---
   if (options.use_initial_search) {
+    TraceSpan nn_span(trace, TracePhase::kNnInit);
     // The bucket tables also serve NNinit's table hops (and warm the
     // per-query forward-search cache the bulk search reuses); kSettle and
     // kResume reproduce the pre-bucket paths exactly.
@@ -303,6 +318,7 @@ Result<QueryResult> BssrEngine::Run(const Query& query,
   // --- Optimization 3: minimum-distance lower bounds (§5.3.3). ---
   const LowerBounds* lb_ptr = nullptr;
   if (options.use_lower_bounds && k >= 2) {
+    TraceSpan lb_span(trace, TracePhase::kLowerBound);
     if (oracle_ != nullptr && oracle_->kind() != OracleKind::kFlat &&
         options.oracle_candidate_cap != 0) {
       // With the shared cache attached, table-based legs read the bucket
@@ -349,6 +365,7 @@ Result<QueryResult> BssrEngine::Run(const Query& query,
   // the way into the Dijkstra settle loop — no type-erased call anywhere on
   // the hot path.
   const auto expand = [&](int32_t node_idx) {
+    TraceSpan expand_span(trace, TracePhase::kExpansion);
     VertexId src;
     Weight len;
     double acc;
@@ -452,6 +469,7 @@ Result<QueryResult> BssrEngine::Run(const Query& query,
         }
         arena.MaterializeInto(node_idx, &ws_.route_buf);
         ws_.route_buf.push_back(poi);
+        TraceSpan insert_span(trace, TracePhase::kSkylineInsert);
         skyline.Update(RouteScores{flen, memo.nsem[slot]},
                        std::span<const PoiId>(ws_.route_buf));
       } else {
@@ -589,6 +607,7 @@ Result<QueryResult> BssrEngine::Run(const Query& query,
       // carries the scan's coverage, so repeats and reruns follow the
       // standard cache protocol (an exhausted commit never reruns).
       ++stats.retriever_bucket_runs;
+      TraceSpan retrieval_span(trace, TracePhase::kRetrieval);
       // First scans cap the exact-resum work at the current budget; a rerun
       // means the budget grew past a capped scan, so it goes exhaustive —
       // at most two scans per (source, position), ever.
@@ -619,6 +638,7 @@ Result<QueryResult> BssrEngine::Run(const Query& query,
     if (resume_backend) slot = resume_pool.FindOrCreate(*g_, src);
     if (slot != nullptr) {
       ++stats.retriever_resume_runs;
+      TraceSpan retrieval_span(trace, TracePhase::kRetrieval);
       DijkstraRunStats run_stats;
       CandidateSoA* out = options.use_cache ? &cache.pool() : nullptr;
       const size_t pool_offset =
@@ -673,6 +693,7 @@ Result<QueryResult> BssrEngine::Run(const Query& query,
     }
 
     ++stats.mdijkstra_runs;
+    TraceSpan retrieval_span(trace, TracePhase::kRetrieval);
     DijkstraRunStats run_stats;
     // Candidates stream into the cache's shared pool (no per-expansion
     // vector); with caching off, nothing is collected at all. The settle
@@ -718,6 +739,7 @@ Result<QueryResult> BssrEngine::Run(const Query& query,
   expand(RouteArena::kEmpty);
   const bool has_time_budget = std::isfinite(options.time_budget_seconds);
   int64_t pops_until_timeout_check = 0;
+  TraceSpan drain_span(trace, TracePhase::kQbDrain);
   while (!qb.empty()) {
     if (has_time_budget && --pops_until_timeout_check < 0) {
       pops_until_timeout_check = kTimeoutCheckInterval - 1;
@@ -742,6 +764,7 @@ Result<QueryResult> BssrEngine::Run(const Query& query,
     }
     expand(entry.node);
   }
+  drain_span.Close();
 
   stats.peak_queue_size = static_cast<int64_t>(qb.peak_size());
   stats.route_nodes = arena.num_nodes();
@@ -753,6 +776,10 @@ Result<QueryResult> BssrEngine::Run(const Query& query,
 
   stats.skyline_size = skyline.size();
   result.routes = skyline.TakeRoutes();  // move, not deep copy
+  if (trace != nullptr) {
+    query_span.Close();  // the root span must land before the aggregate cut
+    stats.phases = trace->aggregates().DiffSince(phases_before);
+  }
   stats.elapsed_ms = timer.ElapsedMillis();
   return result;
 }

@@ -34,6 +34,8 @@
 
 namespace skysr {
 
+class QueryTrace;  // src/obs/query_trace.h
+
 /// Outcome of a SkySR query: the minimal skyline set (sorted by length
 /// ascending / semantic descending) plus instrumentation.
 struct QueryResult {
@@ -86,6 +88,16 @@ class BssrEngine {
     }
   }
 
+  /// Attaches (or detaches, with null) a borrowed phase tracer (src/obs/).
+  /// When attached AND enabled, Run() records phase spans into it and folds
+  /// the per-query aggregate delta into SearchStats::phases; otherwise the
+  /// cost is one branch per span site and results — including the golden
+  /// work counters — are bit-identical. The trace must outlive the engine's
+  /// use of it and is single-threaded like the engine. The caller owns the
+  /// window: Run() never Clear()s, so one trace can span a whole batch.
+  void AttachTrace(QueryTrace* trace) { trace_ = trace; }
+  QueryTrace* trace() const { return trace_; }
+
   const Graph& graph() const { return *g_; }
   const CategoryForest& forest() const { return *forest_; }
   const DistanceOracle* oracle() const { return oracle_; }
@@ -98,6 +110,7 @@ class BssrEngine {
   const CategoryBucketIndex* buckets_;  // may be null (no bucket backend)
   DestTailProvider* dest_tails_ = nullptr;  // may be null (local tails)
   SharedQueryCache* xcache_ = nullptr;  // may be null (per-query state only)
+  QueryTrace* trace_ = nullptr;  // may be null (tracing off, the default)
   bool has_multi_category_poi_ = false;
 
   // Destination queries on directed graphs need D(v, destination) = forward

@@ -46,7 +46,19 @@ std::string SearchStats::ToString() const {
       static_cast<long long>(peak_queue_size),
       static_cast<long long>(route_nodes),
       static_cast<long long>(logical_peak_bytes));
-  return buf;
+  std::string out = buf;
+  if (!phases.empty()) {
+    out += "\nphases:";
+    for (int i = 0; i < kNumTracePhases; ++i) {
+      if (phases.phase[i].count == 0) continue;
+      std::snprintf(buf, sizeof(buf), " %s=%.3fms/%lld",
+                    kTracePhaseNames[i],
+                    static_cast<double>(phases.phase[i].total_ns) / 1e6,
+                    static_cast<long long>(phases.phase[i].count));
+      out += buf;
+    }
+  }
+  return out;
 }
 
 }  // namespace skysr

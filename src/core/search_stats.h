@@ -9,6 +9,7 @@
 #include <string>
 
 #include "graph/types.h"
+#include "obs/trace_phase.h"
 
 namespace skysr {
 
@@ -66,7 +67,14 @@ struct SearchStats {
   // Logical memory model (Table 6 companion to process RSS).
   int64_t logical_peak_bytes = 0;
 
-  /// Multi-line human-readable dump.
+  // Per-phase wall-time aggregates from the tracing subsystem (src/obs/).
+  // All-zero — and ignored by every consumer — unless the engine ran with
+  // an enabled QueryTrace attached; timing, never part of the deterministic
+  // work-counter contract.
+  PhaseAggregates phases;
+
+  /// Multi-line human-readable dump (phase aggregates appended only when
+  /// tracing populated them).
   std::string ToString() const;
 };
 

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "index/index_io.h"
+#include "obs/query_trace.h"
 #include "util/dary_heap.h"
 #include "util/logging.h"
 #include "util/timer.h"
@@ -534,6 +535,7 @@ Weight ChOracle::Distance(VertexId source, VertexId target,
 void ChOracle::Table(std::span<const VertexId> sources,
                      std::span<const VertexId> targets, OracleWorkspace& ws,
                      Weight* out) const {
+  TraceSpan span(ws.trace, TracePhase::kOracleTable);
   const int64_t n = g_->num_vertices();
   const size_t num_t = targets.size();
   if (num_t == 0) return;

@@ -103,6 +103,9 @@ struct ChTableScratch {
   std::vector<VertexId> meets;  // Distance()'s meeting candidates
 };
 
+class QueryTrace;  // src/obs/query_trace.h — forward-declared to keep the
+                   // index layer free of the obs headers
+
 /// Per-thread scratch for oracle queries, reusable across calls. The members
 /// cover the needs of every implementation (flat keeps a plain Dijkstra
 /// workspace; CH runs two upward searches and remembers the relaxed CSR edge
@@ -116,6 +119,11 @@ struct OracleWorkspace {
   DaryHeap<OracleHeapItem> heap;   // search frontier (CH upward searches)
   DaryHeap<OracleHeapItem> heap2;  // opposite side of bidirectional queries
   ChTableScratch table;
+  /// Borrowed tracer (src/obs/): Table() implementations record
+  /// kOracleTable spans into it. Null or disabled — the default — costs one
+  /// branch per table call. The workspace is per-engine like the trace, so
+  /// sharing the oracle across threads stays sound.
+  QueryTrace* trace = nullptr;
 };
 
 /// Immutable exact distance index over one Graph.

@@ -1,6 +1,7 @@
 #include "index/flat_oracle.h"
 
 #include "graph/dijkstra_runner.h"
+#include "obs/query_trace.h"
 
 namespace skysr {
 
@@ -20,6 +21,7 @@ Weight FlatOracle::Distance(VertexId source, VertexId target,
 void FlatOracle::Table(std::span<const VertexId> sources,
                        std::span<const VertexId> targets, OracleWorkspace& ws,
                        Weight* out) const {
+  TraceSpan span(ws.trace, TracePhase::kOracleTable);
   // Mark targets once per call; bwd_edge doubles as the marker array.
   ws.bwd_edge.Prepare(g_->num_vertices(), -1);
   size_t unique_targets = 0;

@@ -1,0 +1,206 @@
+#include "obs/perf_trajectory.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <tuple>
+
+#include "obs/mini_json.h"
+
+namespace skysr {
+
+namespace {
+
+bool Contains(const std::string& s, const char* needle) {
+  return s.find(needle) != std::string::npos;
+}
+
+bool EndsWith(const std::string& s, const char* suffix) {
+  const std::string_view sv(suffix);
+  return s.size() >= sv.size() &&
+         std::string_view(s).substr(s.size() - sv.size()) == sv;
+}
+
+/// Joins a row object's string-valued fields into the row label and appends
+/// its numeric fields (nested objects flattened with a dotted prefix) as
+/// samples.
+void ExtractRow(const JsonValue& row, BenchRun* out) {
+  std::string label;
+  for (const auto& [key, value] : row.object) {
+    if (value.is_string()) {
+      if (!label.empty()) label += '/';
+      label += value.string;
+    }
+  }
+  const auto emit = [&](const std::string& prefix, const JsonValue& obj,
+                        const auto& self) -> void {
+    for (const auto& [key, value] : obj.object) {
+      const std::string name = prefix.empty() ? key : prefix + "." + key;
+      if (value.is_number()) {
+        out->samples.push_back(BenchRun::Sample{label, name, value.number});
+      } else if (value.is_object()) {
+        self(name, value, self);
+      }
+    }
+  };
+  emit("", row, emit);
+}
+
+double Median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  const size_t n = v.size();
+  return n % 2 == 1 ? v[n / 2] : (v[n / 2 - 1] + v[n / 2]) / 2.0;
+}
+
+std::string FormatValue(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+int MetricDirection(const std::string& metric) {
+  // Lower-better first: a latency/footprint name wins even if it also
+  // mentions a rate ("p99_ms" over any qps-ish substring).
+  if (EndsWith(metric, "_ms") || EndsWith(metric, "_ns") ||
+      EndsWith(metric, "_bytes") || Contains(metric, "allocs") ||
+      Contains(metric, "latency")) {
+    return -1;
+  }
+  if (Contains(metric, "qps") || Contains(metric, "per_sec") ||
+      Contains(metric, "throughput") || Contains(metric, "hit_rate")) {
+    return +1;
+  }
+  return 0;
+}
+
+Result<BenchRun> ParseBenchRun(const std::string& json_text,
+                               const std::string& source_name) {
+  Result<JsonValue> parsed = ParseJson(json_text);
+  if (!parsed.ok()) {
+    return Status::InvalidArgument(source_name + ": " +
+                                   parsed.status().message());
+  }
+  const JsonValue& root = *parsed;
+  if (!root.is_object()) {
+    return Status::InvalidArgument(source_name + ": top level is not an object");
+  }
+  BenchRun run;
+  run.source = source_name;
+  run.bench = root.StringOr("bench", "");
+  if (const JsonValue* meta = root.Find("meta")) {
+    run.timestamp = meta->StringOr("timestamp_utc", "");
+    run.git_sha = meta->StringOr("git_sha", "");
+  }
+  for (const auto& [key, value] : root.object) {
+    if (value.is_number() && key != "scale" && key != "reps") {
+      // Top-level numeric summaries are metrics of the run itself.
+      run.samples.push_back(BenchRun::Sample{"", key, value.number});
+    } else if (value.is_array()) {
+      for (const JsonValue& row : value.array) {
+        if (row.is_object()) ExtractRow(row, &run);
+      }
+    }
+  }
+  if (run.samples.empty()) {
+    return Status::InvalidArgument(source_name + ": no numeric metrics found");
+  }
+  return run;
+}
+
+PerfReport BuildPerfReport(std::vector<BenchRun> runs,
+                           const PerfReportOptions& options) {
+  // Stable run order: bench, then stamp, then filename — unstamped legacy
+  // files still order deterministically. ISO-8601 stamps sort lexically.
+  std::stable_sort(runs.begin(), runs.end(),
+                   [](const BenchRun& a, const BenchRun& b) {
+                     if (a.bench != b.bench) return a.bench < b.bench;
+                     if (a.timestamp != b.timestamp) {
+                       return a.timestamp < b.timestamp;
+                     }
+                     return a.source < b.source;
+                   });
+
+  // (bench, row, metric) -> values in run order.
+  std::map<std::tuple<std::string, std::string, std::string>,
+           std::vector<double>>
+      series;
+  for (const BenchRun& run : runs) {
+    for (const BenchRun::Sample& s : run.samples) {
+      series[{run.bench, s.row, s.metric}].push_back(s.value);
+    }
+  }
+
+  PerfReport report;
+  report.num_runs = static_cast<int>(runs.size());
+  for (auto& [key, values] : series) {
+    MetricTrend t;
+    t.bench = std::get<0>(key);
+    t.row = std::get<1>(key);
+    t.metric = std::get<2>(key);
+    t.values = values;
+    t.latest = values.back();
+    t.direction = MetricDirection(t.metric);
+    if (values.size() >= 2) {
+      const size_t window = std::min(
+          values.size() - 1, static_cast<size_t>(std::max(options.window, 1)));
+      t.baseline = Median(std::vector<double>(values.end() - 1 -
+                                                  static_cast<long>(window),
+                                              values.end() - 1));
+      if (t.baseline != 0) {
+        t.change = (t.latest - t.baseline) / std::abs(t.baseline);
+      }
+      if (t.direction != 0) {
+        // A regression moves against the metric's good direction by more
+        // than the threshold.
+        t.regressed = t.direction > 0 ? t.change < -options.threshold
+                                      : t.change > options.threshold;
+      }
+    }
+    if (t.regressed) ++report.num_regressions;
+    report.trends.push_back(std::move(t));
+  }
+  std::stable_sort(report.trends.begin(), report.trends.end(),
+                   [](const MetricTrend& a, const MetricTrend& b) {
+                     return a.regressed > b.regressed;
+                   });
+  return report;
+}
+
+std::string PerfReport::ToMarkdown() const {
+  std::string out;
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "# Perf trajectory (%d runs, %d regression%s)\n\n",
+                num_runs, num_regressions, num_regressions == 1 ? "" : "s");
+  out += buf;
+  out += "| bench | row | metric | baseline | latest | change | flag |\n";
+  out += "|---|---|---|---:|---:|---:|---|\n";
+  for (const MetricTrend& t : trends) {
+    out += "| " + (t.bench.empty() ? "-" : t.bench);
+    out += " | " + (t.row.empty() ? "-" : t.row);
+    out += " | " + t.metric;
+    out += " | " + FormatValue(t.baseline);
+    out += " | " + FormatValue(t.latest);
+    std::snprintf(buf, sizeof(buf), " | %+.1f%%", t.change * 100.0);
+    out += buf;
+    out += t.regressed
+               ? " | REGRESSED |\n"
+               : (t.direction == 0 ? " | |\n" : " | ok |\n");
+  }
+  return out;
+}
+
+std::string PerfReport::ToCsv() const {
+  std::string out = "bench,row,metric,baseline,latest,change,regressed\n";
+  for (const MetricTrend& t : trends) {
+    out += t.bench + "," + t.row + "," + t.metric + "," +
+           FormatValue(t.baseline) + "," + FormatValue(t.latest) + "," +
+           FormatValue(t.change) + "," + (t.regressed ? "1" : "0") + "\n";
+  }
+  return out;
+}
+
+}  // namespace skysr

@@ -1,0 +1,95 @@
+// Perf-trajectory analysis over the benches' BENCH_*.json files.
+//
+// Every bench emits one JSON document per run: top-level scalar labels, a
+// `meta` object (schema/git/build/timestamp — bench_common.h stamps it) and
+// one array of row objects whose numeric fields are the metrics. This
+// module ingests a set of such documents (typically one directory of
+// runs accumulated by CI), lines up runs of the same bench in time order,
+// and for every (row, metric) series compares the latest value against the
+// median of the trailing window — flagging regressions direction-aware:
+//
+//   higher-better metrics (qps, *_per_sec, *throughput*)  flag on drops
+//   lower-better metrics (*_ms, *_ns, *_bytes, allocs*)   flag on rises
+//   everything else (deterministic work counters, sizes)  tracked, unflagged
+//
+// Deterministic counters are reported but never flagged: they change only
+// when the algorithm changes, which a golden-counter test already guards
+// with exact equality — a percentage gate would only double-report it.
+//
+// The output is a markdown trend table (one row per flagged-or-tracked
+// series) and a CSV with the full data, consumed by tools/perf_report.cc.
+
+#ifndef SKYSR_OBS_PERF_TRAJECTORY_H_
+#define SKYSR_OBS_PERF_TRAJECTORY_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace skysr {
+
+/// One bench run, as extracted from a BENCH_*.json document.
+struct BenchRun {
+  std::string bench;      // "hotpath", "index", ... ("" = unlabeled)
+  std::string source;     // filename (diagnostics)
+  std::string timestamp;  // meta.timestamp_utc; "" when unstamped
+  std::string git_sha;    // meta.git_sha; "" when unstamped
+  // Row-major metric samples: (row label, metric name, value). The row
+  // label joins the row object's string fields ("grid/settle" for
+  // {family: "grid", config: "settle"}).
+  struct Sample {
+    std::string row;
+    std::string metric;
+    double value = 0;
+  };
+  std::vector<Sample> samples;
+};
+
+/// Per-(bench, row, metric) time series across runs, with the regression
+/// verdict for the latest value.
+struct MetricTrend {
+  std::string bench;
+  std::string row;
+  std::string metric;
+  std::vector<double> values;  // oldest first; one per run that has it
+  double latest = 0;
+  double baseline = 0;   // median of the trailing window before `latest`
+  double change = 0;     // (latest - baseline) / |baseline|; 0 if no base
+  int direction = 0;     // +1 higher-better, -1 lower-better, 0 unflagged
+  bool regressed = false;
+};
+
+struct PerfReportOptions {
+  /// Relative change beyond which a directional metric is flagged.
+  double threshold = 0.10;
+  /// Trailing runs (before the latest) whose median is the baseline.
+  int window = 5;
+};
+
+struct PerfReport {
+  std::vector<MetricTrend> trends;  // regressions first, then by name
+  int num_runs = 0;
+  int num_regressions = 0;
+
+  std::string ToMarkdown() const;
+  std::string ToCsv() const;
+};
+
+/// Extracts a BenchRun from one JSON document. Fails on malformed JSON or
+/// a document with no recognizable metrics.
+Result<BenchRun> ParseBenchRun(const std::string& json_text,
+                               const std::string& source_name);
+
+/// Direction heuristic used for flagging, exposed for tests: +1 for
+/// higher-better, -1 for lower-better, 0 for tracked-only.
+int MetricDirection(const std::string& metric);
+
+/// Orders runs (stable by bench, then timestamp, then source name), builds
+/// every series and applies the regression gate.
+PerfReport BuildPerfReport(std::vector<BenchRun> runs,
+                           const PerfReportOptions& options = {});
+
+}  // namespace skysr
+
+#endif  // SKYSR_OBS_PERF_TRAJECTORY_H_

@@ -1,0 +1,23 @@
+#include "obs/query_trace.h"
+
+#include <algorithm>
+
+namespace skysr {
+
+QueryTrace::QueryTrace(size_t capacity) {
+  ring_.resize(std::max<size_t>(capacity, 16));
+  Clear();
+}
+
+void QueryTrace::Clear() {
+  head_ = 0;
+  size_ = 0;
+  dropped_ = 0;
+  depth_ = 0;
+  epoch_ns_ = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  Clock::now().time_since_epoch())
+                  .count();
+  aggregates_.Clear();
+}
+
+}  // namespace skysr

@@ -1,0 +1,44 @@
+// Export of QueryTrace contents: Chrome trace-event JSON (loadable in
+// chrome://tracing and Perfetto) and human-readable phase breakdowns.
+//
+// The JSON uses "X" (complete) events on one timeline; ts/dur are
+// microseconds as the format requires. Nesting is inferred by the viewers
+// from containment on a (pid, tid) track, which holds because spans are
+// recorded at scope exit of strictly nested RAII scopes. Multi-trace export
+// assigns one tid per trace (= per worker) and names the tracks via "M"
+// metadata events.
+
+#ifndef SKYSR_OBS_TRACE_EXPORT_H_
+#define SKYSR_OBS_TRACE_EXPORT_H_
+
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "obs/query_trace.h"
+
+namespace skysr {
+
+/// One named track of a merged export.
+struct TraceTrack {
+  const QueryTrace* trace = nullptr;
+  std::string name;  // track (thread) name, e.g. "worker-3"
+};
+
+/// Chrome trace-event JSON for one trace on a single track.
+std::string TraceToChromeJson(const QueryTrace& trace,
+                              std::string_view track_name = "query");
+
+/// Merged multi-track export (one tid per track; timelines align because
+/// every trace's epoch is absolute steady-clock time). Null traces in the
+/// span are skipped.
+std::string TracesToChromeJson(std::span<const TraceTrack> tracks);
+
+/// Aligned human-readable per-phase table: "phase count total_ms max_ms
+/// mean_us" lines for every phase with a nonzero count. Empty aggregates
+/// yield an empty string.
+std::string PhaseBreakdownString(const PhaseAggregates& agg);
+
+}  // namespace skysr
+
+#endif  // SKYSR_OBS_TRACE_EXPORT_H_

@@ -1,0 +1,94 @@
+#include "service/metrics_endpoint.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+namespace skysr {
+
+MetricsEndpoint::MetricsEndpoint(int port,
+                                 std::function<std::string()> provider)
+    : provider_(std::move(provider)), requested_port_(port) {}
+
+MetricsEndpoint::~MetricsEndpoint() { Stop(); }
+
+Status MetricsEndpoint::Start() {
+  if (running_.load(std::memory_order_acquire)) return Status::OK();
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(requested_port_));
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) < 0 ||
+      ::listen(listen_fd_, 8) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal("bind/listen 127.0.0.1:" +
+                            std::to_string(requested_port_) + ": " + err);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0) {
+    port_ = static_cast<int>(ntohs(bound.sin_port));
+  }
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { Serve(); });
+  return Status::OK();
+}
+
+void MetricsEndpoint::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  // shutdown() wakes the blocked accept(); close() reclaims the fd.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  if (thread_.joinable()) thread_.join();
+}
+
+void MetricsEndpoint::Serve() {
+  while (running_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed by Stop(), or unrecoverable
+    }
+    // Drain whatever request line arrived (the content is irrelevant —
+    // every request gets the metrics), then respond and close.
+    char req[1024];
+    (void)::recv(fd, req, sizeof(req), 0);
+    const std::string body = provider_();
+    char header[160];
+    std::snprintf(header, sizeof(header),
+                  "HTTP/1.0 200 OK\r\n"
+                  "Content-Type: text/plain; version=0.0.4\r\n"
+                  "Content-Length: %zu\r\n"
+                  "Connection: close\r\n\r\n",
+                  body.size());
+    std::string response = header;
+    response += body;
+    size_t sent = 0;
+    while (sent < response.size()) {
+      const ssize_t n =
+          ::send(fd, response.data() + sent, response.size() - sent, 0);
+      if (n <= 0) break;
+      sent += static_cast<size_t>(n);
+    }
+    ::close(fd);
+  }
+}
+
+}  // namespace skysr

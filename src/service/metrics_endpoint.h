@@ -1,0 +1,62 @@
+// MetricsEndpoint — a minimal HTTP/1.0 text endpoint for Prometheus scrapes.
+//
+// One listener thread, one connection at a time, no keep-alive, no routing:
+// every request is answered with the provider's current text (the service's
+// Prometheus exposition) and the connection is closed. That is exactly the
+// access pattern of a Prometheus scraper or `curl`, and it keeps the
+// endpoint dependency-free (plain POSIX sockets).
+//
+//   MetricsEndpoint ep(9464, [&] { return service.MetricsToPrometheus(); });
+//   SKYSR_RETURN_NOT_OK(ep.Start());   // binds + spawns the listener
+//   ...
+//   ep.Stop();                         // idempotent; the dtor calls it too
+//
+// The provider is invoked on the listener thread, so it must be
+// thread-safe (ServiceMetrics snapshots are).
+
+#ifndef SKYSR_SERVICE_METRICS_ENDPOINT_H_
+#define SKYSR_SERVICE_METRICS_ENDPOINT_H_
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "util/status.h"
+
+namespace skysr {
+
+class MetricsEndpoint {
+ public:
+  /// `port` 0 binds an ephemeral port (read it back via port() after
+  /// Start). The provider returns the response body for each request.
+  MetricsEndpoint(int port, std::function<std::string()> provider);
+  ~MetricsEndpoint();
+
+  MetricsEndpoint(const MetricsEndpoint&) = delete;
+  MetricsEndpoint& operator=(const MetricsEndpoint&) = delete;
+
+  /// Binds 127.0.0.1:`port`, starts the listener thread. Fails with
+  /// Internal on socket errors (port in use, no permission).
+  Status Start();
+
+  /// Stops the listener and joins the thread. Idempotent.
+  void Stop();
+
+  /// The bound port; 0 before a successful Start.
+  int port() const { return port_; }
+
+ private:
+  void Serve();
+
+  std::function<std::string()> provider_;
+  int requested_port_;
+  int port_ = 0;
+  int listen_fd_ = -1;
+  std::atomic<bool> running_{false};
+  std::thread thread_;
+};
+
+}  // namespace skysr
+
+#endif  // SKYSR_SERVICE_METRICS_ENDPOINT_H_

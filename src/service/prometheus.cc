@@ -1,0 +1,93 @@
+#include "service/prometheus.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace skysr {
+
+namespace {
+
+void Counter(std::string* out, const char* name, const char* help,
+             int64_t value) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "# HELP %s %s\n# TYPE %s counter\n%s %" PRId64 "\n", name,
+                help, name, name, value);
+  *out += buf;
+}
+
+void Gauge(std::string* out, const char* name, const char* help,
+           double value) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "# HELP %s %s\n# TYPE %s gauge\n%s %.9g\n", name, help, name,
+                name, value);
+  *out += buf;
+}
+
+}  // namespace
+
+std::string PrometheusText(const MetricsSnapshot& s) {
+  std::string out;
+  out.reserve(8192);
+  Counter(&out, "skysr_queries_submitted_total",
+          "Queries accepted into the service.", s.submitted);
+  Counter(&out, "skysr_queries_completed_total",
+          "Queries answered OK (engine or cache).", s.completed);
+  Counter(&out, "skysr_query_errors_total",
+          "Queries answered with a non-OK status.", s.errors);
+  Counter(&out, "skysr_queries_rejected_total",
+          "Submissions refused (queue full or shut down).", s.rejected);
+  Counter(&out, "skysr_result_cache_hits_total",
+          "Result-cache lookups that hit.", s.cache_hits);
+  Counter(&out, "skysr_result_cache_misses_total",
+          "Result-cache lookups that missed.", s.cache_misses);
+  Counter(&out, "skysr_vertices_settled_total",
+          "Graph vertices settled by executed queries.", s.vertices_settled);
+  Counter(&out, "skysr_edges_relaxed_total",
+          "Graph edges relaxed by executed queries.", s.edges_relaxed);
+  Counter(&out, "skysr_routes_found_total",
+          "Skyline routes returned by executed queries.", s.routes_found);
+  Counter(&out, "skysr_xcache_fwd_hits_total",
+          "Shared-cache forward-search hits (incl. snapshot hits).",
+          s.xcache_fwd_hits);
+  Counter(&out, "skysr_xcache_fwd_misses_total",
+          "Shared-cache forward-search misses.", s.xcache_fwd_misses);
+  Counter(&out, "skysr_xcache_fwd_evictions_total",
+          "Shared-cache forward-search evictions.", s.xcache_fwd_evictions);
+  Counter(&out, "skysr_xcache_resume_reuses_total",
+          "Shared-cache resumable-slot reuses.", s.xcache_resume_reuses);
+  Counter(&out, "skysr_xcache_resume_evictions_total",
+          "Shared-cache resumable-slot evictions.", s.xcache_resume_evictions);
+  Gauge(&out, "skysr_xcache_resident_bytes",
+        "Shared-cache resident bytes across workers.",
+        static_cast<double>(s.xcache_resident_bytes));
+  Gauge(&out, "skysr_uptime_seconds", "Seconds since metrics reset.",
+        s.uptime_seconds);
+
+  const char* const hname = "skysr_query_latency_ms";
+  out += "# HELP skysr_query_latency_ms End-to-end query latency "
+         "(submission to completion), milliseconds.\n";
+  out += "# TYPE skysr_query_latency_ms histogram\n";
+  char buf[160];
+  int64_t cumulative = 0;
+  for (int i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
+    cumulative += s.latency_bucket_counts[static_cast<size_t>(i)];
+    std::snprintf(buf, sizeof(buf), "%s_bucket{le=\"%.9g\"} %" PRId64 "\n",
+                  hname, LatencyHistogram::UpperBoundMs(i), cumulative);
+    out += buf;
+  }
+  // The histogram counts exactly the completed queries; +Inf restates that
+  // total per the exposition contract.
+  std::snprintf(buf, sizeof(buf), "%s_bucket{le=\"+Inf\"} %" PRId64 "\n",
+                hname, s.completed);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "%s_sum %.9g\n", hname, s.latency_sum_ms);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "%s_count %" PRId64 "\n", hname,
+                s.completed);
+  out += buf;
+  return out;
+}
+
+}  // namespace skysr

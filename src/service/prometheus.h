@@ -1,0 +1,25 @@
+// Prometheus text exposition (format 0.0.4) of the service metrics.
+//
+// Exposition is a pure function of a MetricsSnapshot, so tests pin the exact
+// output for a hand-built snapshot and the serving paths (file export, the
+// optional TCP endpoint) share one formatter. The latency histogram is
+// emitted in canonical cumulative form (`_bucket{le=...}` ascending, then
+// `_sum` and `_count`); bucket bounds come from LatencyHistogram's
+// multiplication-exact geometry, so the text is bit-stable across builds.
+
+#ifndef SKYSR_SERVICE_PROMETHEUS_H_
+#define SKYSR_SERVICE_PROMETHEUS_H_
+
+#include <string>
+
+#include "service/service_metrics.h"
+
+namespace skysr {
+
+/// Renders every counter, gauge and the latency histogram of `s` as
+/// Prometheus text under the `skysr_` prefix.
+std::string PrometheusText(const MetricsSnapshot& s);
+
+}  // namespace skysr
+
+#endif  // SKYSR_SERVICE_PROMETHEUS_H_

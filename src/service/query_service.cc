@@ -1,12 +1,14 @@
 #include "service/query_service.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "obs/trace_export.h"
 #include "retrieval/bucket_retriever.h"
 
 namespace skysr {
@@ -36,7 +38,8 @@ QueryService::QueryService(const Graph& graph, const CategoryForest& forest,
       config_(std::move(config)),
       queue_(config_.queue_capacity),
       cache_(config_.cache_capacity),
-      dest_tails_(config_.dest_tail_cache_capacity) {
+      dest_tails_(config_.dest_tail_cache_capacity),
+      slow_log_(config_.slow_query_log_capacity) {
   // Prewarm snapshot: the forward upward searches of the first N PoI
   // vertices, computed once here and shared read-only by every worker's
   // cross-query cache. Built strictly before the workers start, so no
@@ -59,6 +62,14 @@ QueryService::QueryService(const Graph& graph, const CategoryForest& forest,
         BuildFwdSnapshot(*config_.buckets, sources,
                          WarmStateChecksum(*graph_, config_.oracle)));
   }
+  if (config_.enable_tracing) {
+    worker_traces_.reserve(static_cast<size_t>(num_threads_));
+    for (int i = 0; i < num_threads_; ++i) {
+      auto trace = std::make_unique<QueryTrace>(config_.trace_capacity);
+      trace->set_enabled(true);
+      worker_traces_.push_back(std::move(trace));
+    }
+  }
   pool_.Start(num_threads_, [this](int i) { WorkerLoop(i); });
 }
 
@@ -70,7 +81,19 @@ void QueryService::Shutdown() {
   pool_.Join();
 }
 
-void QueryService::WorkerLoop(int /*thread_index*/) {
+std::string QueryService::WorkerTracesToJson() const {
+  if (worker_traces_.empty()) return {};
+  std::vector<TraceTrack> tracks;
+  tracks.reserve(worker_traces_.size());
+  for (size_t i = 0; i < worker_traces_.size(); ++i) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "worker-%zu", i);
+    tracks.push_back(TraceTrack{worker_traces_[i].get(), name});
+  }
+  return TracesToChromeJson(tracks);
+}
+
+void QueryService::WorkerLoop(int thread_index) {
   // One engine per worker: the whole point of the service layer. The engine
   // owns a QueryWorkspace (skyline, arena, bulk queue, flat cache +
   // candidate pool, settle log, every sub-search scratch) that lives for
@@ -96,48 +119,101 @@ void QueryService::WorkerLoop(int /*thread_index*/) {
     engine.AttachSharedCache(&*xcache);
     if (warm_snapshot_ != nullptr) xcache->SetSnapshot(warm_snapshot_);
   }
-  SharedCacheCounters seen;
-  int64_t seen_bytes = 0;
+  WorkerState state;
+  state.engine = &engine;
+  state.xcache = xcache.has_value() ? &*xcache : nullptr;
+  if (!worker_traces_.empty()) {
+    state.trace = worker_traces_[static_cast<size_t>(thread_index)].get();
+    engine.AttachTrace(state.trace);
+  }
   while (auto task = queue_.Pop()) {
-    Execute(engine, *task);
-    if (xcache.has_value()) {
-      const SharedCacheCounters now = xcache->Counters();
-      const int64_t bytes = xcache->ResidentBytes();
-      metrics_.RecordXCache(now.fwd_hits - seen.fwd_hits,
-                            now.fwd_misses - seen.fwd_misses,
-                            now.fwd_evictions - seen.fwd_evictions,
-                            now.resume_reuses - seen.resume_reuses,
-                            now.resume_evictions - seen.resume_evictions,
-                            bytes - seen_bytes);
-      seen = now;
-      seen_bytes = bytes;
-    }
+    Execute(state, *task);
   }
 }
 
-void QueryService::Execute(BssrEngine& engine, Task& task) {
-  const std::string key = CanonicalQueryKey(task.query, task.options);
+void QueryService::Execute(WorkerState& state, Task& task) {
+  QueryTrace* const trace =
+      (state.trace != nullptr && state.trace->enabled()) ? state.trace
+                                                         : nullptr;
+  const double queue_wait_ms = task.enqueued.ElapsedMillis();
+  if (trace != nullptr) {
+    // The wait is over by the time any worker sees the task, so it is
+    // recorded from the task's own timer instead of a live span.
+    const int64_t wait_ns = static_cast<int64_t>(queue_wait_ms * 1e6);
+    trace->Record(TracePhase::kQueueWait, trace->NowNs() - wait_ns, wait_ns,
+                  /*depth=*/0);
+  }
+  WallTimer exec_timer;
+  TraceSpan execute_span(trace, TracePhase::kExecute);
+
+  std::string key = CanonicalQueryKey(task.query, task.options);
+  std::shared_ptr<const QueryResult> hit;
   if (!key.empty()) {
-    if (std::shared_ptr<const QueryResult> hit = cache_.Get(key)) {
-      metrics_.RecordCacheHit();
-      metrics_.RecordCompleted(task.enqueued.ElapsedMillis(),
-                               /*vertices_settled=*/0, /*edges_relaxed=*/0,
-                               static_cast<int64_t>(hit->routes.size()));
-      task.promise.set_value(QueryResult(*hit));
-      return;
-    }
-    metrics_.RecordCacheMiss();
+    TraceSpan lookup_span(trace, TracePhase::kCacheLookup);
+    hit = cache_.Get(key);
+  }
+  if (hit != nullptr) {
+    metrics_.RecordCacheHit();
+    const double latency_ms = task.enqueued.ElapsedMillis();
+    metrics_.RecordCompleted(latency_ms,
+                             /*vertices_settled=*/0, /*edges_relaxed=*/0,
+                             static_cast<int64_t>(hit->routes.size()));
+    SlowQueryRecord rec;
+    rec.key = key;
+    rec.latency_ms = latency_ms;
+    rec.queue_wait_ms = queue_wait_ms;
+    rec.execute_ms = exec_timer.ElapsedMillis();
+    rec.cache_hit = true;
+    rec.routes = static_cast<int64_t>(hit->routes.size());
+    slow_log_.Offer(std::move(rec));
+    task.promise.set_value(QueryResult(*hit));
+    return;
+  }
+  if (!key.empty()) metrics_.RecordCacheMiss();
+
+  Result<QueryResult> result = state.engine->Run(task.query, task.options);
+
+  // Shared-cache deltas are folded per query (not per worker-loop turn) so
+  // the slow-query log can attach this query's exact hit profile.
+  int64_t d_fwd_hits = 0;
+  int64_t d_fwd_misses = 0;
+  int64_t d_resume_reuses = 0;
+  if (state.xcache != nullptr) {
+    const SharedCacheCounters now = state.xcache->Counters();
+    const int64_t bytes = state.xcache->ResidentBytes();
+    d_fwd_hits = now.fwd_hits - state.seen.fwd_hits;
+    d_fwd_misses = now.fwd_misses - state.seen.fwd_misses;
+    d_resume_reuses = now.resume_reuses - state.seen.resume_reuses;
+    metrics_.RecordXCache(d_fwd_hits, d_fwd_misses,
+                          now.fwd_evictions - state.seen.fwd_evictions,
+                          d_resume_reuses,
+                          now.resume_evictions - state.seen.resume_evictions,
+                          bytes - state.seen_bytes);
+    state.seen = now;
+    state.seen_bytes = bytes;
   }
 
-  Result<QueryResult> result = engine.Run(task.query, task.options);
   if (result.ok()) {
     if (!key.empty() && !result->stats.timed_out) {
       cache_.Put(key, std::make_shared<const QueryResult>(*result));
     }
-    metrics_.RecordCompleted(task.enqueued.ElapsedMillis(),
-                             result->stats.vertices_settled,
+    const double latency_ms = task.enqueued.ElapsedMillis();
+    metrics_.RecordCompleted(latency_ms, result->stats.vertices_settled,
                              result->stats.edges_relaxed,
                              static_cast<int64_t>(result->routes.size()));
+    SlowQueryRecord rec;
+    rec.key = std::move(key);
+    rec.latency_ms = latency_ms;
+    rec.queue_wait_ms = queue_wait_ms;
+    rec.execute_ms = exec_timer.ElapsedMillis();
+    rec.timed_out = result->stats.timed_out;
+    rec.vertices_settled = result->stats.vertices_settled;
+    rec.routes = static_cast<int64_t>(result->routes.size());
+    rec.xcache_fwd_hits = d_fwd_hits;
+    rec.xcache_fwd_misses = d_fwd_misses;
+    rec.xcache_resume_reuses = d_resume_reuses;
+    rec.phases = result->stats.phases;
+    slow_log_.Offer(std::move(rec));
   } else {
     metrics_.RecordError();
   }

@@ -26,6 +26,7 @@
 
 #include <atomic>
 #include <future>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
@@ -34,11 +35,14 @@
 #include "core/bssr_engine.h"
 #include "core/query.h"
 #include "graph/graph.h"
+#include "obs/query_trace.h"
 #include "retrieval/category_buckets.h"
 #include "service/bounded_queue.h"
 #include "service/dest_tail_cache.h"
+#include "service/prometheus.h"
 #include "service/result_cache.h"
 #include "service/service_metrics.h"
+#include "service/slow_query_log.h"
 #include "service/worker_pool.h"
 #include "util/status.h"
 #include "util/timer.h"
@@ -84,6 +88,16 @@ struct ServiceConfig {
   /// forward searches are precomputed into the shared snapshot before the
   /// workers start; 0 skips the snapshot. Needs `buckets`.
   size_t xcache_prewarm_pois = 256;
+  /// Slowest-query reservoir entries retained for diagnostics (see
+  /// service/slow_query_log.h); 0 disables the log.
+  size_t slow_query_log_capacity = 16;
+  /// Per-worker phase tracing (src/obs/): each worker's engine records
+  /// spans into a worker-owned ring allocated once at startup, exported by
+  /// WorkerTracesToJson(). Off by default — the serving hot path then pays
+  /// one branch per span site and nothing else.
+  bool enable_tracing = false;
+  /// Ring capacity (events) of each worker's trace.
+  size_t trace_capacity = 4096;
 };
 
 /// A concurrent, cached front-end over per-thread BssrEngines.
@@ -118,9 +132,28 @@ class QueryService {
   std::vector<Result<QueryResult>> RunBatch(std::span<const Query> queries,
                                             const QueryOptions& options);
 
-  /// Aggregate counters since construction (or the last ResetMetrics).
-  MetricsSnapshot Metrics() const { return metrics_.Snapshot(); }
-  void ResetMetrics() { metrics_.Reset(); }
+  /// Aggregate counters since construction (or the last ResetMetrics),
+  /// including the slowest-query records (slowest first).
+  MetricsSnapshot Metrics() const {
+    MetricsSnapshot s = metrics_.Snapshot();
+    s.slow_queries = slow_log_.Snapshot();
+    return s;
+  }
+  void ResetMetrics() {
+    metrics_.Reset();
+    slow_log_.Clear();
+  }
+
+  /// Prometheus text exposition of the current metrics.
+  std::string MetricsToPrometheus() const {
+    return PrometheusText(Metrics());
+  }
+
+  /// Merged Chrome trace-event JSON of every worker's trace (one track per
+  /// worker); "" when the service was built without tracing. The traces
+  /// are single-writer — call with no queries in flight (after a batch,
+  /// or post-Shutdown).
+  std::string WorkerTracesToJson() const;
 
   /// Stops accepting work, drains the queue, joins workers. Idempotent.
   void Shutdown();
@@ -144,8 +177,20 @@ class QueryService {
     WallTimer enqueued;  // measures end-to-end (queue + execute) latency
   };
 
+  /// One worker's per-thread context: its engine, optional warm cache and
+  /// trace, and the cumulative shared-cache counters already folded into
+  /// the service metrics (so Execute can fold exact per-query deltas and
+  /// hand the same deltas to the slow-query log).
+  struct WorkerState {
+    BssrEngine* engine = nullptr;
+    SharedQueryCache* xcache = nullptr;  // null when the cache is off
+    QueryTrace* trace = nullptr;         // null when tracing is off
+    SharedCacheCounters seen;
+    int64_t seen_bytes = 0;
+  };
+
   void WorkerLoop(int thread_index);
-  void Execute(BssrEngine& engine, Task& task);
+  void Execute(WorkerState& state, Task& task);
   std::future<Result<QueryResult>> SubmitInternal(Query query,
                                                   QueryOptions options,
                                                   bool blocking,
@@ -160,6 +205,10 @@ class QueryService {
   LruResultCache cache_;
   DestTailLru dest_tails_;
   ServiceMetrics metrics_;
+  SlowQueryLog slow_log_;
+  // One trace per worker (empty when tracing is off); allocated before the
+  // pool starts and never resized, so workers write lock-free.
+  std::vector<std::unique_ptr<QueryTrace>> worker_traces_;
   // Built once before the workers start, then shared read-only; each
   // worker's SharedQueryCache holds a reference for its whole lifetime.
   std::shared_ptr<const FwdSnapshot> warm_snapshot_;

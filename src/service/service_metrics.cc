@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "service/prometheus.h"
+
 namespace skysr {
 
 namespace {
@@ -116,13 +118,19 @@ MetricsSnapshot ServiceMetrics::Snapshot() const {
     counts[static_cast<size_t>(i)] =
         latency_buckets_[static_cast<size_t>(i)].load(kRelaxed);
   }
+  s.latency_bucket_counts = counts;
   s.latency_p50_ms = PercentileLocked(0.50, s.completed, counts);
   s.latency_p90_ms = PercentileLocked(0.90, s.completed, counts);
+  s.latency_p95_ms = PercentileLocked(0.95, s.completed, counts);
   s.latency_p99_ms = PercentileLocked(0.99, s.completed, counts);
-  s.latency_mean_ms =
-      s.completed > 0 ? latency_sum_ms_.load(kRelaxed) / s.completed : 0;
+  s.latency_sum_ms = latency_sum_ms_.load(kRelaxed);
+  s.latency_mean_ms = s.completed > 0 ? s.latency_sum_ms / s.completed : 0;
   s.latency_max_ms = latency_max_ms_.load(kRelaxed);
   return s;
+}
+
+std::string ServiceMetrics::ToPrometheus() const {
+  return PrometheusText(Snapshot());
 }
 
 void ServiceMetrics::Reset() {
@@ -160,6 +168,7 @@ std::string MetricsSnapshot::ToString() const {
   out += FormatLine("cache hit rate", cache_hit_rate * 100.0, "%");
   out += FormatLine("latency p50", latency_p50_ms, "ms");
   out += FormatLine("latency p90", latency_p90_ms, "ms");
+  out += FormatLine("latency p95", latency_p95_ms, "ms");
   out += FormatLine("latency p99", latency_p99_ms, "ms");
   out += FormatLine("latency mean", latency_mean_ms, "ms");
   out += FormatLine("latency max", latency_max_ms, "ms");
@@ -174,6 +183,12 @@ std::string MetricsSnapshot::ToString() const {
   out += FormatLine("xcache resume evict", xcache_resume_evictions);
   out += FormatLine("xcache resident", static_cast<double>(
                         xcache_resident_bytes) / 1024.0, "KiB");
+  if (!slow_queries.empty()) {
+    out += "slowest queries:\n";
+    for (const SlowQueryRecord& r : slow_queries) {
+      out += "  " + r.ToString() + "\n";
+    }
+  }
   return out;
 }
 

@@ -10,10 +10,31 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "service/slow_query_log.h"
 #include "util/timer.h"
 
 namespace skysr {
+
+/// Geometry of the service latency histogram, shared by ServiceMetrics, the
+/// snapshot's raw bucket counts, the Prometheus exposition and the tests.
+/// Bucket i covers [kBaseMs * kGrowth^i, kBaseMs * kGrowth^(i+1)) ms; 96
+/// geometric buckets at 1.25x growth span ~0.001 ms to ~2e6 ms.
+struct LatencyHistogram {
+  static constexpr int kNumBuckets = 96;
+  static constexpr double kBaseMs = 1e-3;
+  static constexpr double kGrowth = 1.25;
+
+  /// Exclusive upper bound (ms) of bucket i — the Prometheus `le` label.
+  /// Computed by repeated multiplication, not pow(), so the values are
+  /// bit-identical across libms and safe to pin in a golden test.
+  static double UpperBoundMs(int bucket) {
+    double b = kBaseMs;
+    for (int i = 0; i <= bucket; ++i) b *= kGrowth;
+    return b;
+  }
+};
 
 /// Point-in-time view of the service counters, with derived rates.
 struct MetricsSnapshot {
@@ -31,9 +52,17 @@ struct MetricsSnapshot {
   // Latency of completed queries (submission to completion), milliseconds.
   double latency_p50_ms = 0;
   double latency_p90_ms = 0;
+  double latency_p95_ms = 0;
   double latency_p99_ms = 0;
   double latency_mean_ms = 0;
   double latency_max_ms = 0;
+  double latency_sum_ms = 0;
+
+  // Raw per-bucket counts of the latency histogram (geometry in
+  // LatencyHistogram) — the exact data behind the percentiles, exported so
+  // external systems (Prometheus, the perf reporter) can re-aggregate
+  // without precision loss.
+  std::array<int64_t, LatencyHistogram::kNumBuckets> latency_bucket_counts{};
 
   // Aggregated engine effort across all executed (non-cached) queries.
   int64_t vertices_settled = 0;
@@ -51,7 +80,12 @@ struct MetricsSnapshot {
   int64_t xcache_resident_bytes = 0;
   double xcache_fwd_hit_rate = 0;  // hits / (hits + misses); 0 when unused
 
-  /// Multi-line human-readable dump.
+  // The service's N-slowest-query records, slowest first. Filled by
+  // QueryService::Metrics(); empty from a bare ServiceMetrics::Snapshot()
+  // (the metrics sink does not own the reservoir).
+  std::vector<SlowQueryRecord> slow_queries;
+
+  /// Multi-line human-readable dump (slow queries appended when present).
   std::string ToString() const;
 };
 
@@ -83,18 +117,20 @@ class ServiceMetrics {
 
   MetricsSnapshot Snapshot() const;
 
+  /// Prometheus text-exposition (format 0.0.4) of a current snapshot —
+  /// equivalent to PrometheusText(Snapshot()) (see service/prometheus.h).
+  std::string ToPrometheus() const;
+
   /// Zeroes every counter and restarts the uptime clock.
   void Reset();
 
  private:
   static constexpr auto kRelaxed = std::memory_order_relaxed;
 
-  // Latency histogram: bucket i covers [kBase * kGrowth^i, kBase *
-  // kGrowth^(i+1)) milliseconds. 96 geometric buckets at 1.25x growth span
-  // ~0.001 ms to ~2e6 ms, which is plenty for a query service.
-  static constexpr int kNumBuckets = 96;
-  static constexpr double kBaseMs = 1e-3;
-  static constexpr double kGrowth = 1.25;
+  // Latency histogram geometry (see LatencyHistogram above).
+  static constexpr int kNumBuckets = LatencyHistogram::kNumBuckets;
+  static constexpr double kBaseMs = LatencyHistogram::kBaseMs;
+  static constexpr double kGrowth = LatencyHistogram::kGrowth;
 
   static int BucketOf(double latency_ms);
   static double BucketMidpoint(int bucket);

@@ -1,0 +1,77 @@
+// Bounded reservoir of the N slowest queries a QueryService has answered —
+// the "what was slow and why" complement to the aggregate histogram.
+//
+// Each record carries enough to diagnose the query offline: its canonical
+// key, the queue-wait / execute split of the end-to-end latency, the engine
+// effort, the per-query shared-cache hit profile, and (when the service runs
+// with tracing enabled) the engine's per-phase time breakdown.
+//
+// The log is thread-safe and cheap on the fast path: a query that cannot
+// displace the current floor is rejected on one relaxed atomic load, no
+// lock taken. Only genuine slowest-N candidates (at most N + the few races
+// around the floor) pay the mutex.
+
+#ifndef SKYSR_SERVICE_SLOW_QUERY_LOG_H_
+#define SKYSR_SERVICE_SLOW_QUERY_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/trace_phase.h"
+
+namespace skysr {
+
+/// One slow query, as captured at completion time.
+struct SlowQueryRecord {
+  std::string key;       // canonical query key ("" for uncacheable queries)
+  double latency_ms = 0;     // end-to-end, submission to completion
+  double queue_wait_ms = 0;  // submission to worker pickup
+  double execute_ms = 0;     // worker pickup to completion
+  bool cache_hit = false;    // served from the result cache
+  bool timed_out = false;
+  int64_t vertices_settled = 0;
+  int64_t routes = 0;
+  // Per-query shared-cache (src/cache/) activity deltas.
+  int64_t xcache_fwd_hits = 0;
+  int64_t xcache_fwd_misses = 0;
+  int64_t xcache_resume_reuses = 0;
+  // Engine phase breakdown; all-zero unless the service traces.
+  PhaseAggregates phases;
+
+  /// One-line summary ("12.345ms (wait 0.1 exec 12.2) key=... ...").
+  std::string ToString() const;
+};
+
+/// Keeps the `capacity` slowest records by latency_ms. capacity 0 disables
+/// (every Offer is a single load).
+class SlowQueryLog {
+ public:
+  explicit SlowQueryLog(size_t capacity) : capacity_(capacity) {}
+
+  /// Admits `rec` if it beats the current floor (always, while not full).
+  void Offer(SlowQueryRecord rec);
+
+  /// The retained records, slowest first.
+  std::vector<SlowQueryRecord> Snapshot() const;
+
+  /// Drops all records and resets the admission floor.
+  void Clear();
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  // Admission floor: the min latency in a FULL log (-1 while not full, so
+  // everything is offered under the lock). Monotone per epoch; stale reads
+  // only admit borderline records, never reject qualifying ones.
+  std::atomic<double> floor_ms_{-1.0};
+  mutable std::mutex mu_;
+  std::vector<SlowQueryRecord> heap_;  // min-heap on latency_ms
+};
+
+}  // namespace skysr
+
+#endif  // SKYSR_SERVICE_SLOW_QUERY_LOG_H_

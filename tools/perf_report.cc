@@ -1,0 +1,166 @@
+// perf_report — perf-trajectory reporter over BENCH_*.json files.
+//
+// Ingests bench JSON documents (explicit files and/or every *.json in
+// --dir), lines runs of the same bench up in time order, and prints a
+// markdown trend table flagging metrics whose latest value moved against
+// their good direction by more than --threshold relative to the trailing
+// median (see src/obs/perf_trajectory.h).
+//
+//   perf_report --dir bench/trajectory
+//   perf_report run1.json run2.json --threshold 0.15 --csv-out trend.csv
+//
+// Exit codes: 0 clean, 1 regressions found and --fail-on-regression set,
+// 2 malformed input or usage error — so CI can gate on either condition.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/perf_trajectory.h"
+
+namespace {
+
+using skysr::BenchRun;
+using skysr::BuildPerfReport;
+using skysr::ParseBenchRun;
+using skysr::PerfReport;
+using skysr::PerfReportOptions;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: perf_report [files.json ...] [--dir DIR] [options]\n"
+      "  --dir DIR              ingest every *.json in DIR (sorted)\n"
+      "  --threshold FRAC       regression gate, relative (default 0.10)\n"
+      "  --window N             trailing-median window (default 5)\n"
+      "  --markdown-out PATH    write the markdown table (default stdout)\n"
+      "  --csv-out PATH         also write the full trend data as CSV\n"
+      "  --fail-on-regression   exit 1 when any metric regressed\n");
+  return 2;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << content;
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> files;
+  std::string markdown_out;
+  std::string csv_out;
+  PerfReportOptions options;
+  bool fail_on_regression = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--dir") {
+      const char* dir = next();
+      if (dir == nullptr) return Usage();
+      std::error_code ec;
+      std::vector<std::string> found;
+      for (const auto& entry :
+           std::filesystem::directory_iterator(dir, ec)) {
+        if (entry.path().extension() == ".json") {
+          found.push_back(entry.path().string());
+        }
+      }
+      if (ec) {
+        std::fprintf(stderr, "perf_report: cannot read directory %s: %s\n",
+                     dir, ec.message().c_str());
+        return 2;
+      }
+      std::sort(found.begin(), found.end());
+      files.insert(files.end(), found.begin(), found.end());
+    } else if (arg == "--threshold") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      options.threshold = std::atof(v);
+    } else if (arg == "--window") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      options.window = std::atoi(v);
+    } else if (arg == "--markdown-out") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      markdown_out = v;
+    } else if (arg == "--csv-out") {
+      const char* v = next();
+      if (v == nullptr) return Usage();
+      csv_out = v;
+    } else if (arg == "--fail-on-regression") {
+      fail_on_regression = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "perf_report: unknown flag %s\n", arg.c_str());
+      return Usage();
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr, "perf_report: no input files\n");
+    return Usage();
+  }
+
+  std::vector<BenchRun> runs;
+  runs.reserve(files.size());
+  for (const std::string& path : files) {
+    std::string text;
+    if (!ReadFile(path, &text)) {
+      std::fprintf(stderr, "perf_report: cannot read %s\n", path.c_str());
+      return 2;
+    }
+    auto run = ParseBenchRun(
+        text, std::filesystem::path(path).filename().string());
+    if (!run.ok()) {
+      std::fprintf(stderr, "perf_report: %s\n",
+                   run.status().message().c_str());
+      return 2;
+    }
+    runs.push_back(std::move(*run));
+  }
+
+  const PerfReport report = BuildPerfReport(std::move(runs), options);
+  const std::string markdown = report.ToMarkdown();
+  if (markdown_out.empty()) {
+    std::fputs(markdown.c_str(), stdout);
+  } else if (!WriteFile(markdown_out, markdown)) {
+    std::fprintf(stderr, "perf_report: cannot write %s\n",
+                 markdown_out.c_str());
+    return 2;
+  }
+  if (!csv_out.empty() && !WriteFile(csv_out, report.ToCsv())) {
+    std::fprintf(stderr, "perf_report: cannot write %s\n", csv_out.c_str());
+    return 2;
+  }
+  if (report.num_regressions > 0) {
+    std::fprintf(stderr, "perf_report: %d metric(s) regressed\n",
+                 report.num_regressions);
+    if (fail_on_regression) return 1;
+  }
+  return 0;
+}

@@ -37,11 +37,15 @@
 //             [--queue distance] [--budget SECONDS]
 //             [--oracle flat|ch|alt] [--index FILE]
 //             [--retriever auto|settle|bucket|resume] [--buckets FILE|build]
+//             [--trace-out FILE] [--trace-capacity N]
 //       Runs one SkySR query (category names as in taxonomy.txt) and prints
 //       the skyline plus search statistics. --oracle builds (or --index
 //       loads) a distance oracle backing NNinit and the lower bounds;
 //       --buckets loads (or builds, with a CH oracle on hand) the category
 //       bucket tables and --retriever picks the expansion backend.
+//       --trace-out records per-phase spans and writes Chrome trace-event
+//       JSON (loadable in chrome://tracing or https://ui.perfetto.dev) plus
+//       a per-phase breakdown to stdout.
 //
 //   skysr_cli workload --data DIR --size K --count N [--seed S] [--out FILE]
 //       Generates N random queries of size K and reports aggregate timing;
@@ -50,27 +54,43 @@
 //   skysr_cli batch --data DIR --queries FILE [--threads N] [--repeat R]
 //             [--cache N] [--queue N] [--oracle flat|ch|alt] [--index FILE]
 //             [--retriever auto|settle|bucket|resume] [--buckets FILE|build]
-//             [--xcache on|off] [--prewarm N]
+//             [--xcache on|off] [--prewarm N] [--slow-queries N]
+//             [--stats-interval SEC] [--metrics-out FILE] [--metrics-port P]
+//             [--trace] [--trace-out FILE]
 //       (alias: serve) Replays a workload file through the concurrent
 //       QueryService with N worker threads and prints service metrics
 //       (QPS, latency percentiles, cache hit rate, cross-query cache
-//       activity). With --oracle/--index all workers share one immutable
-//       distance oracle, and with --buckets one immutable set of
-//       category-bucket tables. --xcache (default on) toggles the
-//       engine-lifetime cross-query caches; --prewarm bounds the PoI
-//       vertices snapshotted before the workers start (default 256).
-//       Results are bit-identical with the cache on or off.
+//       activity, and the N slowest queries with their phase breakdowns).
+//       With --oracle/--index all workers share one immutable distance
+//       oracle, and with --buckets one immutable set of category-bucket
+//       tables. --xcache (default on) toggles the engine-lifetime
+//       cross-query caches; --prewarm bounds the PoI vertices snapshotted
+//       before the workers start (default 256). Results are bit-identical
+//       with the cache on or off.
+//       Observability: --stats-interval prints a one-line progress summary
+//       every SEC seconds while the replay runs; --metrics-out writes the
+//       final metrics in Prometheus text format; --metrics-port serves the
+//       same exposition live on 127.0.0.1:P for the run's duration;
+//       --trace enables per-worker phase tracing and --trace-out (implies
+//       --trace) writes the merged worker timelines as Chrome trace JSON.
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "obs/trace_export.h"
+#include "service/metrics_endpoint.h"
 #include "skysr.h"
 #include "util/string_util.h"
 #include "util/timer.h"
@@ -202,6 +222,64 @@ bool ApplyRetrieverFlag(const std::map<std::string, std::string>& flags,
   opts->retriever = *kind;
   return true;
 }
+
+bool WriteTextFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << content;
+  return true;
+}
+
+/// Prints a one-line service summary every `interval_s` seconds until
+/// stopped (the --stats-interval ticker). Stop() wakes the thread
+/// immediately, so shutdown never waits out a tick.
+class StatsTicker {
+ public:
+  StatsTicker(const QueryService& service, double interval_s)
+      : service_(service), interval_s_(interval_s) {
+    thread_ = std::thread([this] { Loop(); });
+  }
+  ~StatsTicker() { Stop(); }
+
+  void Stop() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopped_) return;
+      stopped_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  void Loop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stopped_) {
+      const auto wait = std::chrono::duration<double>(interval_s_);
+      if (cv_.wait_for(lock, wait, [this] { return stopped_; })) break;
+      lock.unlock();
+      const MetricsSnapshot m = service_.Metrics();
+      std::printf("[stats] t=%.1fs completed=%lld qps=%.1f p50=%.2fms "
+                  "p99=%.2fms cache=%.0f%% errors=%lld\n",
+                  m.uptime_seconds, static_cast<long long>(m.completed),
+                  m.qps, m.latency_p50_ms, m.latency_p99_ms,
+                  m.cache_hit_rate * 100.0,
+                  static_cast<long long>(m.errors));
+      std::fflush(stdout);
+      lock.lock();
+    }
+  }
+
+  const QueryService& service_;
+  const double interval_s_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopped_ = false;
+  std::thread thread_;
+};
 
 void PrintBucketStats(const CategoryBucketIndex& buckets) {
   std::printf("bucket tables: %lld settles over %zu categories, %.2f MiB "
@@ -523,6 +601,16 @@ int CmdQuery(const std::map<std::string, std::string>& flags) {
   }
   BssrEngine engine(ds->graph, ds->forest, oracle->get(),
                     buckets->has_value() ? &**buckets : nullptr);
+  std::unique_ptr<QueryTrace> trace;
+  if (flags.count("trace-out")) {
+    const size_t capacity =
+        flags.count("trace-capacity")
+            ? static_cast<size_t>(std::atoll(flags.at("trace-capacity").c_str()))
+            : QueryTrace::kDefaultCapacity;
+    trace = std::make_unique<QueryTrace>(capacity);
+    trace->set_enabled(true);
+    engine.AttachTrace(trace.get());
+  }
   auto result = engine.Run(q, opts);
   if (!result.ok()) {
     std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
@@ -532,6 +620,15 @@ int CmdQuery(const std::map<std::string, std::string>& flags) {
     std::printf("%s\n", RouteToString(ds->graph, r).c_str());
   }
   std::printf("\n%s\n", result->stats.ToString().c_str());
+  if (trace != nullptr) {
+    const std::string& path = flags.at("trace-out");
+    if (!WriteTextFile(path, TraceToChromeJson(*trace))) return 1;
+    std::printf("\nwrote %zu trace events to %s (%lld dropped)\n",
+                trace->size(), path.c_str(),
+                static_cast<long long>(trace->dropped()));
+    const std::string breakdown = PhaseBreakdownString(trace->aggregates());
+    if (!breakdown.empty()) std::printf("%s", breakdown.c_str());
+  }
   return 0;
 }
 
@@ -587,7 +684,9 @@ int CmdBatch(const std::map<std::string, std::string>& flags) {
     std::fprintf(stderr,
                  "batch needs --data DIR --queries FILE [--threads N] "
                  "[--repeat R] [--cache N] [--queue N] [--xcache on|off] "
-                 "[--prewarm N]\n");
+                 "[--prewarm N] [--slow-queries N] [--stats-interval SEC] "
+                 "[--metrics-out FILE] [--metrics-port P] [--trace] "
+                 "[--trace-out FILE]\n");
     return 2;
   }
   auto ds = LoadDataDir(flags.at("data"));
@@ -622,6 +721,17 @@ int CmdBatch(const std::map<std::string, std::string>& flags) {
     cfg.xcache_prewarm_pois =
         static_cast<size_t>(std::atoll(flags.at("prewarm").c_str()));
   }
+  if (flags.count("slow-queries")) {
+    cfg.slow_query_log_capacity =
+        static_cast<size_t>(std::atoll(flags.at("slow-queries").c_str()));
+  }
+  if (flags.count("trace") || flags.count("trace-out")) {
+    cfg.enable_tracing = true;
+    if (flags.count("trace-capacity")) {
+      cfg.trace_capacity =
+          static_cast<size_t>(std::atoll(flags.at("trace-capacity").c_str()));
+    }
+  }
 
   if (!ApplyRetrieverFlag(flags, &cfg.default_options)) return 2;
 
@@ -639,6 +749,24 @@ int CmdBatch(const std::map<std::string, std::string>& flags) {
   if (buckets->has_value()) cfg.buckets = &**buckets;
 
   QueryService service(ds->graph, ds->forest, cfg);
+
+  std::unique_ptr<MetricsEndpoint> endpoint;
+  if (flags.count("metrics-port")) {
+    endpoint = std::make_unique<MetricsEndpoint>(
+        std::atoi(flags.at("metrics-port").c_str()),
+        [&service] { return service.MetricsToPrometheus(); });
+    if (Status st = endpoint->Start(); !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("serving /metrics on 127.0.0.1:%d\n", endpoint->port());
+  }
+  std::unique_ptr<StatsTicker> ticker;
+  if (flags.count("stats-interval")) {
+    const double interval = std::atof(flags.at("stats-interval").c_str());
+    if (interval > 0) ticker = std::make_unique<StatsTicker>(service, interval);
+  }
+
   std::printf("replaying %zu queries x%d through %d worker thread(s)...\n",
               queries->size(), repeat, service.num_threads());
   int64_t failed = 0;
@@ -650,12 +778,28 @@ int CmdBatch(const std::map<std::string, std::string>& flags) {
     }
   }
   const double wall_s = timer.ElapsedSeconds();
+  if (ticker != nullptr) ticker->Stop();
 
   const MetricsSnapshot m = service.Metrics();
   std::printf("\n%s\n", m.ToString().c_str());
   std::printf("wall time          %10.3f s\n", wall_s);
   std::printf("batch throughput   %10.3f qps\n",
               wall_s > 0 ? static_cast<double>(m.completed) / wall_s : 0.0);
+
+  if (flags.count("metrics-out") &&
+      !WriteTextFile(flags.at("metrics-out"), service.MetricsToPrometheus())) {
+    return 1;
+  }
+  if (flags.count("trace-out")) {
+    // Workers are idle between batches, so the single-writer traces are
+    // safe to export here.
+    if (!WriteTextFile(flags.at("trace-out"), service.WorkerTracesToJson())) {
+      return 1;
+    }
+    std::printf("wrote worker traces to %s\n", flags.at("trace-out").c_str());
+  }
+  endpoint.reset();
+
   if (failed > 0) {
     std::fprintf(stderr, "%lld queries failed\n",
                  static_cast<long long>(failed));
