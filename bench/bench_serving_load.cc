@@ -1,0 +1,348 @@
+// Serving front-door bench: heavy-traffic arrival over a repeated-source
+// query mix, micro-batching off vs on. The workload replays a small pool
+// of popular queries (few distinct sources, duplicated spellings) through
+// QueryService under an open-loop arrival process, so duplicates and
+// same-source queries are genuinely in flight together — exactly the
+// regime the batching front door (service/batch_scheduler.h) targets.
+// Both runs are checked bit-identical against a sequential BssrEngine
+// before any number is reported.
+//
+// Emits a human table plus machine-readable BENCH_serving.json (override
+// the path with SKYSR_BENCH_JSON_OUT) for tools/perf_report.
+//
+// Environment knobs:
+//   SKYSR_BENCH_SCALE      dataset scale                    (default 1.0)
+//   SKYSR_BENCH_QUERIES    submissions per run              (default 400)
+//   SKYSR_BENCH_THREADS    worker threads                   (default min(8, hw))
+//   SKYSR_BENCH_ARRIVAL    asap | poisson:<qps> | burst:<size>:<gap_ms>
+//                                                           (default burst:32:2)
+//   SKYSR_BENCH_SOURCES    distinct sources in the mix      (default 4)
+//   SKYSR_BENCH_POOL       distinct queries in the pool     (default 16)
+//   SKYSR_BENCH_MAX_BATCH  batching-on micro-batch bound    (default 16)
+//   SKYSR_BENCH_WINDOW_US  batching-on drain window, us     (default 2000)
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <future>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/bssr_engine.h"
+#include "service/query_service.h"
+#include "util/timer.h"
+
+namespace skysr {
+namespace {
+
+using bench::EnvDouble;
+using bench::EnvInt;
+using bench::Fmt;
+using bench::FmtInt;
+using bench::JsonWriter;
+using bench::TablePrinter;
+using bench::WriteStandardMeta;
+
+// ------------------------------------------------------------- arrival --
+
+struct ArrivalModel {
+  enum class Kind { kAsap, kPoisson, kBurst };
+  Kind kind = Kind::kBurst;
+  double poisson_qps = 0;  // kPoisson: mean arrival rate
+  int burst_size = 32;     // kBurst: submissions per burst
+  double gap_ms = 2;       // kBurst: idle gap between bursts
+  std::string spec;        // the string it was parsed from
+};
+
+ArrivalModel ParseArrival(const std::string& spec) {
+  ArrivalModel m;
+  m.spec = spec;
+  if (spec == "asap") {
+    m.kind = ArrivalModel::Kind::kAsap;
+  } else if (spec.rfind("poisson:", 0) == 0) {
+    m.kind = ArrivalModel::Kind::kPoisson;
+    m.poisson_qps = std::atof(spec.c_str() + 8);
+    if (m.poisson_qps <= 0) m.poisson_qps = 1000;
+  } else if (spec.rfind("burst:", 0) == 0) {
+    m.kind = ArrivalModel::Kind::kBurst;
+    const char* p = spec.c_str() + 6;
+    m.burst_size = std::max(1, std::atoi(p));
+    if (const char* colon = std::strchr(p, ':'); colon != nullptr) {
+      m.gap_ms = std::atof(colon + 1);
+    }
+  } else {
+    std::fprintf(stderr,
+                 "unknown SKYSR_BENCH_ARRIVAL %s; expected asap, "
+                 "poisson:<qps>, or burst:<size>:<gap_ms>\n",
+                 spec.c_str());
+    std::exit(2);
+  }
+  return m;
+}
+
+/// Blocks until submission i should leave the client, per the model.
+/// Poisson inter-arrival gaps come from a fixed-seed exponential draw so
+/// the off and on runs replay the identical arrival trace.
+class ArrivalClock {
+ public:
+  explicit ArrivalClock(const ArrivalModel& model) : model_(model), rng_(42) {}
+
+  void WaitForSlot(int index) {
+    switch (model_.kind) {
+      case ArrivalModel::Kind::kAsap:
+        return;
+      case ArrivalModel::Kind::kPoisson: {
+        std::exponential_distribution<double> gap(model_.poisson_qps);
+        next_s_ += gap(rng_);
+        SleepUntil(next_s_);
+        return;
+      }
+      case ArrivalModel::Kind::kBurst:
+        if (index > 0 && index % model_.burst_size == 0) {
+          next_s_ += model_.gap_ms / 1000.0;
+          SleepUntil(next_s_);
+        }
+        return;
+    }
+  }
+
+ private:
+  void SleepUntil(double offset_s) {
+    const double remaining = offset_s - timer_.ElapsedSeconds();
+    if (remaining > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(remaining));
+    }
+  }
+
+  ArrivalModel model_;
+  std::mt19937_64 rng_;
+  WallTimer timer_;
+  double next_s_ = 0;
+};
+
+// ------------------------------------------------------------ workload --
+
+/// A popular-query pool: `pool` distinct queries spread over `sources`
+/// distinct start vertices, plus the replay schedule mapping each of the
+/// `submissions` arrivals onto a pool entry (Zipf-ish skew: low pool
+/// indices repeat more).
+struct Workload {
+  std::vector<Query> pool;
+  std::vector<int> schedule;
+};
+
+Workload MakeWorkload(const Dataset& ds, int submissions, int pool_size,
+                      int sources) {
+  Workload w;
+  QueryGenParams qp;
+  qp.count = pool_size;
+  qp.sequence_size = 3;
+  qp.seed = 4242;
+  w.pool = GenerateQueries(ds, qp);
+  for (size_t i = 0; i < w.pool.size(); ++i) {
+    w.pool[i].start = w.pool[i % static_cast<size_t>(sources)].start;
+  }
+  // Deterministic skewed replay: position i draws pool index via a fixed
+  // LCG, squared into the low indices so the popular head repeats while
+  // the tail still appears.
+  uint64_t state = 777;
+  w.schedule.reserve(static_cast<size_t>(submissions));
+  for (int i = 0; i < submissions; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    const double u = static_cast<double>(state >> 11) / 9007199254740992.0;
+    const int idx = static_cast<int>(u * u * static_cast<double>(pool_size));
+    w.schedule.push_back(std::min(idx, pool_size - 1));
+  }
+  return w;
+}
+
+// ----------------------------------------------------------------- run --
+
+struct RunResult {
+  double elapsed_s = 0;
+  int64_t mismatches = 0;
+  MetricsSnapshot metrics;
+  int64_t dest_tail_hits = 0;
+  double qps() const {
+    return elapsed_s > 0
+               ? static_cast<double>(metrics.submitted) / elapsed_s
+               : 0;
+  }
+};
+
+RunResult RunServing(const Dataset& ds, const Workload& w,
+                     const ArrivalModel& arrival, int threads,
+                     size_t max_batch, int64_t window_us,
+                     const std::vector<std::vector<Route>>& expected) {
+  ServiceConfig cfg;
+  cfg.num_threads = threads;
+  cfg.cache_capacity = 0;  // isolate batching; result cache measured elsewhere
+  cfg.max_batch = max_batch;
+  cfg.batch_window_us = window_us;
+  QueryService service(ds.graph, ds.forest, cfg);
+
+  std::vector<std::future<Result<QueryResult>>> futures;
+  futures.reserve(w.schedule.size());
+  ArrivalClock clock(arrival);
+  WallTimer t;
+  for (size_t i = 0; i < w.schedule.size(); ++i) {
+    clock.WaitForSlot(static_cast<int>(i));
+    futures.push_back(service.Submit(w.pool[w.schedule[i]]));
+  }
+  RunResult run;
+  for (size_t i = 0; i < futures.size(); ++i) {
+    const Result<QueryResult> r = futures[i].get();
+    if (!r.ok()) {
+      ++run.mismatches;
+      continue;
+    }
+    const std::vector<Route>& got = r->routes;
+    const std::vector<Route>& want = expected[w.schedule[i]];
+    bool same = got.size() == want.size();
+    for (size_t k = 0; same && k < got.size(); ++k) {
+      same = got[k].pois == want[k].pois &&
+             got[k].scores.length == want[k].scores.length &&
+             got[k].scores.semantic == want[k].scores.semantic;
+    }
+    if (!same) ++run.mismatches;
+  }
+  run.elapsed_s = t.ElapsedSeconds();
+  run.metrics = service.Metrics();
+  run.dest_tail_hits = service.dest_tails().hits();
+  return run;
+}
+
+int Main() {
+  DatasetSpec spec = CalLikeSpec(0.10 * EnvDouble("SKYSR_BENCH_SCALE", 1.0));
+  spec.seed = 7;
+  const Dataset ds = MakeDataset(spec);
+
+  const int submissions = EnvInt("SKYSR_BENCH_QUERIES", 400);
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  const int threads =
+      EnvInt("SKYSR_BENCH_THREADS", std::min(8, hw > 0 ? hw : 4));
+  const int pool_size = EnvInt("SKYSR_BENCH_POOL", 16);
+  const int sources = std::max(1, EnvInt("SKYSR_BENCH_SOURCES", 4));
+  const int max_batch = EnvInt("SKYSR_BENCH_MAX_BATCH", 16);
+  const int window_us = EnvInt("SKYSR_BENCH_WINDOW_US", 2000);
+  const char* arrival_env = std::getenv("SKYSR_BENCH_ARRIVAL");
+  const ArrivalModel arrival =
+      ParseArrival(arrival_env != nullptr ? arrival_env : "burst:32:2");
+
+  const Workload w = MakeWorkload(ds, submissions, pool_size, sources);
+
+  std::printf(
+      "dataset %s: |V|=%lld |P|=%lld; %d submissions over a pool of %d "
+      "queries / %d sources; arrival=%s; %d worker threads\n\n",
+      ds.name.c_str(), static_cast<long long>(ds.graph.num_vertices()),
+      static_cast<long long>(ds.graph.num_pois()), submissions, pool_size,
+      sources, arrival.spec.c_str(), threads);
+
+  // Sequential ground truth for the bit-identity gate.
+  std::vector<std::vector<Route>> expected;
+  {
+    BssrEngine engine(ds.graph, ds.forest);
+    for (const Query& q : w.pool) {
+      auto r = engine.Run(q);
+      if (!r.ok()) {
+        std::fprintf(stderr, "pool query failed: %s\n",
+                     r.status().ToString().c_str());
+        return 1;
+      }
+      expected.push_back(r->routes);
+    }
+  }
+
+  const RunResult off = RunServing(ds, w, arrival, threads, /*max_batch=*/1,
+                                   /*window_us=*/0, expected);
+  const RunResult on =
+      RunServing(ds, w, arrival, threads, static_cast<size_t>(max_batch),
+                 window_us, expected);
+
+  const double speedup = off.qps() > 0 ? on.qps() / off.qps() : 0;
+
+  TablePrinter table({"mode", "qps", "p50 ms", "p95 ms", "p99 ms",
+                      "qwait p50", "qwait p99", "batches", "mean batch",
+                      "coalesced", "fwd hits", "tail hits"});
+  for (const auto* r : {&off, &on}) {
+    const MetricsSnapshot& m = r->metrics;
+    table.AddRow({r == &off ? "off" : "on", Fmt("%.1f", r->qps()),
+                  Fmt("%.2f", m.latency_p50_ms), Fmt("%.2f", m.latency_p95_ms),
+                  Fmt("%.2f", m.latency_p99_ms),
+                  Fmt("%.2f", m.queue_wait_p50_ms),
+                  Fmt("%.2f", m.queue_wait_p99_ms), FmtInt(m.batches),
+                  Fmt("%.1f", m.batch_mean_size), FmtInt(m.coalesced_queries),
+                  FmtInt(m.xcache_fwd_hits), FmtInt(r->dest_tail_hits)});
+  }
+  table.Print();
+  std::printf("\nbatching on/off speedup: %.2fx; mismatches off=%lld on=%lld\n",
+              speedup, static_cast<long long>(off.mismatches),
+              static_cast<long long>(on.mismatches));
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Field("bench", "serving");
+  WriteStandardMeta(&json);
+  json.Field("arrival", arrival.spec);
+  json.Field("submissions", static_cast<int64_t>(submissions));
+  json.Field("threads", static_cast<int64_t>(threads));
+  json.Field("pool", static_cast<int64_t>(pool_size));
+  json.Field("sources", static_cast<int64_t>(sources));
+  json.Field("qps_off", off.qps());
+  json.Field("qps_on", on.qps());
+  json.Field("speedup", speedup);
+  json.Field("mismatches", off.mismatches + on.mismatches);
+  json.BeginArray("runs");
+  for (const auto* r : {&off, &on}) {
+    const MetricsSnapshot& m = r->metrics;
+    json.BeginObject();
+    json.Field("mode", r == &off ? "off" : "on");
+    json.Field("qps", r->qps());
+    json.Field("p50_ms", m.latency_p50_ms);
+    json.Field("p95_ms", m.latency_p95_ms);
+    json.Field("p99_ms", m.latency_p99_ms);
+    json.Field("queue_wait_p50_ms", m.queue_wait_p50_ms);
+    json.Field("queue_wait_p99_ms", m.queue_wait_p99_ms);
+    json.Field("batches", m.batches);
+    json.Field("batch_mean_size", m.batch_mean_size);
+    json.Field("coalesced", m.coalesced_queries);
+    json.Field("xcache_fwd_hits", m.xcache_fwd_hits);
+    json.Field("dest_tail_hits", r->dest_tail_hits);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.BeginArray("batch_size_hist");
+  for (int i = 0; i < MetricsSnapshot::kBatchSizeBuckets; ++i) {
+    json.BeginObject();
+    json.Field("bucket", "ge_" + std::to_string(int64_t{1} << i));
+    json.Field("count", on.metrics.batch_size_bucket_counts[i]);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+
+  const char* json_out = std::getenv("SKYSR_BENCH_JSON_OUT");
+  const std::string path =
+      json_out != nullptr ? json_out : "BENCH_serving.json";
+  if (!json.WriteFile(path)) {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", path.c_str());
+
+  if (off.mismatches + on.mismatches > 0) {
+    std::fprintf(stderr, "FAIL: results diverged from sequential engine\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace skysr
+
+int main() { return skysr::Main(); }

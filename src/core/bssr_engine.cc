@@ -216,27 +216,24 @@ Result<QueryResult> BssrEngine::Run(const Query& query,
   std::shared_ptr<const std::vector<Weight>> shared_tails;
   if (query.destination) {
     TraceSpan tails_span(trace, TracePhase::kDestTails);
-    const auto compute_tails = [&](std::vector<Weight>* out) {
-      const Graph* search_graph = g_;
-      if (g_->directed()) {
-        if (reversed_ == nullptr) {
-          reversed_ = std::make_unique<const Graph>(ReverseOf(*g_));
-        }
-        search_graph = reversed_.get();
+    const VertexId dest = *query.destination;
+    // Inside a RunGroup, the group prefetch already holds this
+    // destination's shared table — read it directly, no LRU traffic.
+    const std::vector<Weight>* pinned = nullptr;
+    for (const auto& gt : group_tails_) {
+      if (gt.first == dest) {
+        pinned = gt.second.get();
+        break;
       }
-      out->assign(static_cast<size_t>(g_->num_vertices()), kInfWeight);
-      RunDijkstra(*search_graph, *query.destination, ws_.dijkstra_ws,
-                  [&](VertexId v, Weight d, VertexId) {
-                    (*out)[static_cast<size_t>(v)] = d;
-                    return VisitAction::kContinue;
-                  });
-    };
-    if (dest_tails_ != nullptr) {
-      shared_tails = dest_tails_->GetOrCompute(*query.destination,
-                                               compute_tails);
+    }
+    if (pinned != nullptr) {
+      dest_dist = pinned;
+    } else if (dest_tails_ != nullptr) {
+      shared_tails = dest_tails_->GetOrCompute(
+          dest, [&](std::vector<Weight>* out) { ComputeDestTails(dest, out); });
       dest_dist = shared_tails.get();
     } else {
-      compute_tails(&ws_.dest_dist);
+      ComputeDestTails(dest, &ws_.dest_dist);
       dest_dist = &ws_.dest_dist;
     }
   }
@@ -782,6 +779,90 @@ Result<QueryResult> BssrEngine::Run(const Query& query,
   }
   stats.elapsed_ms = timer.ElapsedMillis();
   return result;
+}
+
+void BssrEngine::ComputeDestTails(VertexId destination,
+                                  std::vector<Weight>* out) {
+  const Graph* search_graph = g_;
+  if (g_->directed()) {
+    if (reversed_ == nullptr) {
+      reversed_ = std::make_unique<const Graph>(ReverseOf(*g_));
+    }
+    search_graph = reversed_.get();
+  }
+  out->assign(static_cast<size_t>(g_->num_vertices()), kInfWeight);
+  RunDijkstra(*search_graph, destination, ws_.dijkstra_ws,
+              [&](VertexId v, Weight d, VertexId) {
+                (*out)[static_cast<size_t>(v)] = d;
+                return VisitAction::kContinue;
+              });
+}
+
+std::vector<Result<QueryResult>> BssrEngine::RunGroup(
+    std::span<const GroupQuery> items) {
+  std::vector<Result<QueryResult>> out;
+  out.reserve(items.size());
+  if (items.empty()) return out;
+
+  // One tail table per distinct destination, fetched through the shared
+  // provider (or computed) once and held until the group finishes. Run()
+  // reads group_tails_ first, so members never re-probe the LRU. The values
+  // are exactly what per-query GetOrCompute would have returned.
+  group_tails_.clear();
+  if (dest_tails_ != nullptr) {
+    for (const GroupQuery& item : items) {
+      if (item.query == nullptr || !item.query->destination) continue;
+      const VertexId dest = *item.query->destination;
+      bool held = false;
+      for (const auto& gt : group_tails_) {
+        if (gt.first == dest) {
+          held = true;
+          break;
+        }
+      }
+      if (held) continue;
+      group_tails_.emplace_back(
+          dest, dest_tails_->GetOrCompute(dest, [&](std::vector<Weight>* t) {
+            ComputeDestTails(dest, t);
+          }));
+    }
+  }
+
+  // Without an engine-lifetime cache, a transient group-scoped one makes
+  // the first member's forward search (and bucket upward search) serve the
+  // rest. Invalidate() at group start keeps it strictly group-scoped; the
+  // binding is established once (AttachSharedCache computes the warm-state
+  // checksum) and survives invalidation.
+  SharedQueryCache* const attached = xcache_;
+  if (attached == nullptr) {
+    if (group_cache_ == nullptr) {
+      group_cache_ = std::make_unique<SharedQueryCache>();
+      AttachSharedCache(group_cache_.get());
+    } else {
+      group_cache_->Invalidate();
+      xcache_ = group_cache_.get();
+    }
+  }
+
+  // Pin the group's canonical source so member inserts can never evict the
+  // shared entry mid-group. Victim choice only — results are unaffected.
+  xcache_->fwd_cache().PinSource(items.front().query != nullptr
+                                     ? items.front().query->start
+                                     : kInvalidVertex);
+
+  for (const GroupQuery& item : items) {
+    if (item.query == nullptr || item.options == nullptr) {
+      out.push_back(Result<QueryResult>(
+          Status::InvalidArgument("null group query")));
+      continue;
+    }
+    out.push_back(Run(*item.query, *item.options));
+  }
+
+  xcache_->fwd_cache().UnpinSource();
+  if (attached == nullptr) xcache_ = nullptr;
+  group_tails_.clear();
+  return out;
 }
 
 }  // namespace skysr

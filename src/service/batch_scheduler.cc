@@ -1,0 +1,144 @@
+#include "service/batch_scheduler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <optional>
+#include <utility>
+
+#include "service/result_cache.h"
+
+namespace skysr {
+
+BatchScheduler::BatchScheduler(BoundedQueue<ServingTask>* queue,
+                               size_t max_batch, int64_t batch_window_us,
+                               ServiceMetrics* metrics)
+    : queue_(queue),
+      max_batch_(std::max<size_t>(max_batch, 1)),
+      window_us_(batch_window_us),
+      metrics_(metrics) {}
+
+bool BatchScheduler::NextGroup(Group* out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (!ready_.empty()) {
+      *out = std::move(ready_.front());
+      ready_.pop_front();
+      return true;
+    }
+    if (done_) return false;
+    if (!draining_) {
+      // Become the drain leader. The blocking pop must run unlocked so
+      // executing workers can reach CompleteFlight (and NextGroup) while
+      // this thread sleeps in the queue's condvar.
+      draining_ = true;
+      lock.unlock();
+      std::vector<ServingTask> batch = DrainBatch();
+      lock.lock();
+      if (batch.empty()) {
+        done_ = true;  // queue closed and drained
+      } else {
+        FormGroupsLocked(std::move(batch));
+      }
+      draining_ = false;
+      ready_cv_.notify_all();
+      continue;
+    }
+    ready_cv_.wait(lock);
+  }
+}
+
+std::vector<ServingTask> BatchScheduler::DrainBatch() {
+  std::vector<ServingTask> batch;
+  std::optional<ServingTask> first = queue_->Pop();
+  if (!first.has_value()) return batch;
+  batch.reserve(max_batch_);
+  batch.push_back(std::move(*first));
+  if (max_batch_ > 1) {
+    // The window opens at the first pop: collect until the batch is full,
+    // the window closes, or (window 0) the queue has nothing ready.
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::microseconds(window_us_);
+    while (batch.size() < max_batch_) {
+      std::optional<ServingTask> next =
+          window_us_ > 0 ? queue_->PopUntil(deadline) : queue_->TryPop();
+      if (!next.has_value()) break;
+      batch.push_back(std::move(*next));
+    }
+  }
+  if (metrics_ != nullptr) {
+    metrics_->RecordBatch(static_cast<int64_t>(batch.size()));
+    metrics_->SampleQueueDepth(static_cast<int64_t>(queue_->size()));
+  }
+  return batch;
+}
+
+void BatchScheduler::FormGroupsLocked(std::vector<ServingTask> batch) {
+  // Single-flight: a task whose canonical key is already registered
+  // attaches its promise to the flight and never executes; the primary's
+  // CompleteFlight answers it. A fresh key registers here so duplicates in
+  // this same batch (and in later batches, until completion) coalesce too.
+  std::vector<ServingTask> keep;
+  std::vector<std::string> keys;
+  keep.reserve(batch.size());
+  keys.reserve(batch.size());
+  for (ServingTask& task : batch) {
+    std::string key = CanonicalQueryKey(task.query, task.options);
+    if (!key.empty()) {
+      auto it = inflight_.find(key);
+      if (it != inflight_.end()) {
+        it->second.push_back(std::move(task.promise));
+        if (metrics_ != nullptr) metrics_->RecordCoalesced();
+        continue;
+      }
+      inflight_.emplace(key, std::vector<std::promise<Result<QueryResult>>>());
+    }
+    keep.push_back(std::move(task));
+    keys.push_back(std::move(key));
+  }
+
+  // Group by canonical source in arrival order; within a group, order by
+  // destination so the group prefetch's tail tables are read back-to-back.
+  std::vector<bool> taken(keep.size(), false);
+  for (size_t i = 0; i < keep.size(); ++i) {
+    if (taken[i]) continue;
+    Group g;
+    g.source = keep[i].query.start;
+    std::vector<size_t> members;
+    for (size_t j = i; j < keep.size(); ++j) {
+      if (!taken[j] && keep[j].query.start == g.source) {
+        taken[j] = true;
+        members.push_back(j);
+      }
+    }
+    std::stable_sort(members.begin(), members.end(), [&](size_t a, size_t b) {
+      return keep[a].query.destination.value_or(kInvalidVertex) <
+             keep[b].query.destination.value_or(kInvalidVertex);
+    });
+    g.tasks.reserve(members.size());
+    g.keys.reserve(members.size());
+    for (size_t m : members) {
+      g.tasks.push_back(std::move(keep[m]));
+      g.keys.push_back(std::move(keys[m]));
+    }
+    ready_.push_back(std::move(g));
+  }
+}
+
+void BatchScheduler::CompleteFlight(const std::string& key,
+                                    const Result<QueryResult>& result) {
+  if (key.empty()) return;
+  std::vector<std::promise<Result<QueryResult>>> followers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = inflight_.find(key);
+    if (it == inflight_.end()) return;
+    followers = std::move(it->second);
+    inflight_.erase(it);
+  }
+  for (std::promise<Result<QueryResult>>& p : followers) {
+    p.set_value(result.ok() ? Result<QueryResult>(QueryResult(*result))
+                            : Result<QueryResult>(result.status()));
+  }
+}
+
+}  // namespace skysr

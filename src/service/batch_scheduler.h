@@ -1,0 +1,118 @@
+// BatchScheduler — the micro-batching front door between QueryService's
+// MPMC submission queue and its worker pool (ROADMAP "batching front door").
+//
+// With batching off, workers pop one task at a time and warm state is
+// shared only through caches. The scheduler instead drains the queue in
+// micro-batches (bounded by max_batch and batch_window_us), then turns each
+// batch into execution groups:
+//
+//   queue ──drain──▶ micro-batch ──┬─ single-flight: identical canonical
+//                                  │  keys already in flight attach as
+//                                  │  followers and never execute
+//                                  └─ group by canonical source, order by
+//                                     destination ──▶ ready groups
+//
+// Workers pull whole groups (NextGroup) and run them through
+// BssrEngine::RunGroup, which pins the group's shared forward-search state;
+// after executing a keyed query they fan the result out to any followers
+// (CompleteFlight). There is no dedicated scheduler thread: when no group
+// is ready, exactly one idle worker becomes the drain leader while the
+// rest wait — so the same pool serves both roles and an idle service
+// blocks in the queue's condvar exactly like the unbatched path.
+//
+// Correctness: grouping only changes co-scheduling, and single-flight only
+// shares a result between queries whose canonical keys are equal — the
+// same equivalence the LRU result cache already relies on. Results are
+// bit-identical to unbatched execution (tests/batch_test.cc sweeps the
+// retriever × oracle × xcache axes to prove it).
+
+#ifndef SKYSR_SERVICE_BATCH_SCHEDULER_H_
+#define SKYSR_SERVICE_BATCH_SCHEDULER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/bssr_engine.h"
+#include "core/query.h"
+#include "service/bounded_queue.h"
+#include "service/service_metrics.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace skysr {
+
+/// One enqueued query: the submission-queue element shared by the batched
+/// and unbatched worker paths.
+struct ServingTask {
+  Query query;
+  QueryOptions options;
+  std::promise<Result<QueryResult>> promise;
+  WallTimer enqueued;  // measures end-to-end (queue + execute) latency
+};
+
+class BatchScheduler {
+ public:
+  /// One execution group: tasks sharing a canonical source, ordered by
+  /// destination for tail locality. keys[i] is tasks[i]'s canonical cache
+  /// key ("" when uncacheable); every non-empty key holds a single-flight
+  /// registration that the executing worker must release via
+  /// CompleteFlight.
+  struct Group {
+    VertexId source = kInvalidVertex;
+    std::vector<ServingTask> tasks;
+    std::vector<std::string> keys;
+  };
+
+  /// The queue and metrics sink are borrowed and must outlive the
+  /// scheduler. `max_batch` bounds one drain; `batch_window_us` bounds how
+  /// long the drain leader waits for the batch to fill after the first pop
+  /// (0 = collect only instantly available tasks).
+  BatchScheduler(BoundedQueue<ServingTask>* queue, size_t max_batch,
+                 int64_t batch_window_us, ServiceMetrics* metrics);
+
+  BatchScheduler(const BatchScheduler&) = delete;
+  BatchScheduler& operator=(const BatchScheduler&) = delete;
+
+  /// Blocks until a group is ready (draining the queue from this thread if
+  /// no other worker is already draining). Returns false when the queue is
+  /// closed and fully drained — the worker's exit signal.
+  bool NextGroup(Group* out);
+
+  /// Fans `result` out to every single-flight follower registered under
+  /// `key` and releases the registration. Must be called exactly once per
+  /// non-empty key of a dispatched group (cache hit, engine success, or
+  /// error alike); a no-op for "" or an unregistered key.
+  void CompleteFlight(const std::string& key,
+                      const Result<QueryResult>& result);
+
+ private:
+  std::vector<ServingTask> DrainBatch();  // blocking; no scheduler lock held
+  void FormGroupsLocked(std::vector<ServingTask> batch);
+
+  BoundedQueue<ServingTask>* const queue_;
+  const size_t max_batch_;
+  const int64_t window_us_;
+  ServiceMetrics* const metrics_;
+
+  std::mutex mu_;
+  std::condition_variable ready_cv_;
+  std::deque<Group> ready_;
+  // Single-flight registry: canonical key -> follower promises awaiting the
+  // primary's result. An entry exists from group formation until
+  // CompleteFlight.
+  std::unordered_map<std::string,
+                     std::vector<std::promise<Result<QueryResult>>>>
+      inflight_;
+  bool draining_ = false;  // one drain leader at a time
+  bool done_ = false;      // queue closed and drained; workers may exit
+};
+
+}  // namespace skysr
+
+#endif  // SKYSR_SERVICE_BATCH_SCHEDULER_H_

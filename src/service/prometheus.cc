@@ -1,5 +1,6 @@
 #include "service/prometheus.h"
 
+#include <array>
 #include <cinttypes>
 #include <cstdio>
 
@@ -22,6 +23,33 @@ void Gauge(std::string* out, const char* name, const char* help,
   std::snprintf(buf, sizeof(buf),
                 "# HELP %s %s\n# TYPE %s gauge\n%s %.9g\n", name, help, name,
                 name, value);
+  *out += buf;
+}
+
+// Emits a cumulative-bucket histogram in the LatencyHistogram geometry.
+// `total` is the observation count; +Inf restates it per the exposition
+// contract.
+void Histogram(
+    std::string* out, const char* name, const char* help,
+    const std::array<int64_t, LatencyHistogram::kNumBuckets>& buckets,
+    int64_t total, double sum_ms) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "# HELP %s %s\n# TYPE %s histogram\n",
+                name, help, name);
+  *out += buf;
+  int64_t cumulative = 0;
+  for (int i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
+    cumulative += buckets[static_cast<size_t>(i)];
+    std::snprintf(buf, sizeof(buf), "%s_bucket{le=\"%.9g\"} %" PRId64 "\n",
+                  name, LatencyHistogram::UpperBoundMs(i), cumulative);
+    *out += buf;
+  }
+  std::snprintf(buf, sizeof(buf), "%s_bucket{le=\"+Inf\"} %" PRId64 "\n",
+                name, total);
+  *out += buf;
+  std::snprintf(buf, sizeof(buf), "%s_sum %.9g\n", name, sum_ms);
+  *out += buf;
+  std::snprintf(buf, sizeof(buf), "%s_count %" PRId64 "\n", name, total);
   *out += buf;
 }
 
@@ -62,31 +90,30 @@ std::string PrometheusText(const MetricsSnapshot& s) {
   Gauge(&out, "skysr_xcache_resident_bytes",
         "Shared-cache resident bytes across workers.",
         static_cast<double>(s.xcache_resident_bytes));
+  Counter(&out, "skysr_batches_total",
+          "Micro-batches drained from the submission queue.", s.batches);
+  Counter(&out, "skysr_batched_queries_total",
+          "Queries contained in drained micro-batches.", s.batched_queries);
+  Counter(&out, "skysr_coalesced_queries_total",
+          "Single-flight followers answered by an in-flight duplicate.",
+          s.coalesced_queries);
+  Gauge(&out, "skysr_queue_depth",
+        "Submission-queue depth sampled at the last submit or drain.",
+        static_cast<double>(s.queue_depth));
+  Gauge(&out, "skysr_queue_wait_p99_ms",
+        "99th-percentile submission-queue wait of dispatched queries.",
+        s.queue_wait_p99_ms);
   Gauge(&out, "skysr_uptime_seconds", "Seconds since metrics reset.",
         s.uptime_seconds);
 
-  const char* const hname = "skysr_query_latency_ms";
-  out += "# HELP skysr_query_latency_ms End-to-end query latency "
-         "(submission to completion), milliseconds.\n";
-  out += "# TYPE skysr_query_latency_ms histogram\n";
-  char buf[160];
-  int64_t cumulative = 0;
-  for (int i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
-    cumulative += s.latency_bucket_counts[static_cast<size_t>(i)];
-    std::snprintf(buf, sizeof(buf), "%s_bucket{le=\"%.9g\"} %" PRId64 "\n",
-                  hname, LatencyHistogram::UpperBoundMs(i), cumulative);
-    out += buf;
-  }
-  // The histogram counts exactly the completed queries; +Inf restates that
-  // total per the exposition contract.
-  std::snprintf(buf, sizeof(buf), "%s_bucket{le=\"+Inf\"} %" PRId64 "\n",
-                hname, s.completed);
-  out += buf;
-  std::snprintf(buf, sizeof(buf), "%s_sum %.9g\n", hname, s.latency_sum_ms);
-  out += buf;
-  std::snprintf(buf, sizeof(buf), "%s_count %" PRId64 "\n", hname,
-                s.completed);
-  out += buf;
+  Histogram(&out, "skysr_query_latency_ms",
+            "End-to-end query latency (submission to completion), "
+            "milliseconds.",
+            s.latency_bucket_counts, s.completed, s.latency_sum_ms);
+  Histogram(&out, "skysr_queue_wait_ms",
+            "Submission-queue wait of dispatched queries, milliseconds.",
+            s.queue_wait_bucket_counts, s.queue_wait_count,
+            s.queue_wait_sum_ms);
   return out;
 }
 

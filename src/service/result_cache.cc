@@ -17,6 +17,11 @@ void AppendSorted(std::string* out, const std::vector<CategoryId>& ids,
                   char tag) {
   std::vector<CategoryId> sorted(ids);
   std::sort(sorted.begin(), sorted.end());
+  // A repeated term matches exactly what one occurrence matches, so
+  // duplicates are dropped: semantically identical predicate spellings
+  // ("Cafe,Cafe,+Food" vs "+Food,Cafe") canonicalize to one key and share
+  // one cache entry.
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
   *out += tag;
   for (CategoryId c : sorted) AppendInt(out, c);
 }

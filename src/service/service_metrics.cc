@@ -27,6 +27,8 @@ std::string FormatLine(const char* label, int64_t value) {
 
 ServiceMetrics::ServiceMetrics() {
   for (auto& b : latency_buckets_) b.store(0, kRelaxed);
+  for (auto& b : queue_wait_buckets_) b.store(0, kRelaxed);
+  for (auto& b : batch_size_buckets_) b.store(0, kRelaxed);
 }
 
 int ServiceMetrics::BucketOf(double latency_ms) {
@@ -57,6 +59,29 @@ void ServiceMetrics::RecordCompleted(double latency_ms,
   vertices_settled_.fetch_add(vertices_settled, kRelaxed);
   edges_relaxed_.fetch_add(edges_relaxed, kRelaxed);
   routes_found_.fetch_add(routes_found, kRelaxed);
+}
+
+void ServiceMetrics::RecordQueueWait(double wait_ms) {
+  queue_wait_count_.fetch_add(1, kRelaxed);
+  queue_wait_buckets_[static_cast<size_t>(BucketOf(wait_ms))].fetch_add(
+      1, kRelaxed);
+  queue_wait_sum_ms_.fetch_add(wait_ms, kRelaxed);
+  double prev = queue_wait_max_ms_.load(kRelaxed);
+  while (wait_ms > prev &&
+         !queue_wait_max_ms_.compare_exchange_weak(prev, wait_ms, kRelaxed)) {
+  }
+}
+
+void ServiceMetrics::RecordBatch(int64_t size) {
+  if (size <= 0) return;
+  batches_.fetch_add(1, kRelaxed);
+  batched_queries_.fetch_add(size, kRelaxed);
+  int bucket = 0;
+  for (int64_t s = size; s > 1 &&
+       bucket < MetricsSnapshot::kBatchSizeBuckets - 1; s >>= 1) {
+    ++bucket;
+  }
+  batch_size_buckets_[static_cast<size_t>(bucket)].fetch_add(1, kRelaxed);
 }
 
 void ServiceMetrics::RecordXCache(int64_t fwd_hits, int64_t fwd_misses,
@@ -126,6 +151,31 @@ MetricsSnapshot ServiceMetrics::Snapshot() const {
   s.latency_sum_ms = latency_sum_ms_.load(kRelaxed);
   s.latency_mean_ms = s.completed > 0 ? s.latency_sum_ms / s.completed : 0;
   s.latency_max_ms = latency_max_ms_.load(kRelaxed);
+
+  s.queue_wait_count = queue_wait_count_.load(kRelaxed);
+  std::array<int64_t, kNumBuckets> waits;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    waits[static_cast<size_t>(i)] =
+        queue_wait_buckets_[static_cast<size_t>(i)].load(kRelaxed);
+  }
+  s.queue_wait_bucket_counts = waits;
+  s.queue_wait_p50_ms = PercentileLocked(0.50, s.queue_wait_count, waits);
+  s.queue_wait_p99_ms = PercentileLocked(0.99, s.queue_wait_count, waits);
+  s.queue_wait_sum_ms = queue_wait_sum_ms_.load(kRelaxed);
+  s.queue_wait_mean_ms =
+      s.queue_wait_count > 0 ? s.queue_wait_sum_ms / s.queue_wait_count : 0;
+  s.queue_wait_max_ms = queue_wait_max_ms_.load(kRelaxed);
+  s.queue_depth = queue_depth_.load(kRelaxed);
+
+  s.batches = batches_.load(kRelaxed);
+  s.batched_queries = batched_queries_.load(kRelaxed);
+  s.coalesced_queries = coalesced_queries_.load(kRelaxed);
+  s.batch_mean_size =
+      s.batches > 0 ? static_cast<double>(s.batched_queries) / s.batches : 0;
+  for (int i = 0; i < MetricsSnapshot::kBatchSizeBuckets; ++i) {
+    s.batch_size_bucket_counts[static_cast<size_t>(i)] =
+        batch_size_buckets_[static_cast<size_t>(i)].load(kRelaxed);
+  }
   return s;
 }
 
@@ -152,6 +202,15 @@ void ServiceMetrics::Reset() {
   for (auto& b : latency_buckets_) b.store(0, kRelaxed);
   latency_sum_ms_.store(0, kRelaxed);
   latency_max_ms_.store(0, kRelaxed);
+  for (auto& b : queue_wait_buckets_) b.store(0, kRelaxed);
+  queue_wait_count_.store(0, kRelaxed);
+  queue_wait_sum_ms_.store(0, kRelaxed);
+  queue_wait_max_ms_.store(0, kRelaxed);
+  queue_depth_.store(0, kRelaxed);
+  batches_.store(0, kRelaxed);
+  batched_queries_.store(0, kRelaxed);
+  coalesced_queries_.store(0, kRelaxed);
+  for (auto& b : batch_size_buckets_) b.store(0, kRelaxed);
   uptime_.Reset();
 }
 
@@ -172,6 +231,15 @@ std::string MetricsSnapshot::ToString() const {
   out += FormatLine("latency p99", latency_p99_ms, "ms");
   out += FormatLine("latency mean", latency_mean_ms, "ms");
   out += FormatLine("latency max", latency_max_ms, "ms");
+  out += FormatLine("queue depth", queue_depth);
+  out += FormatLine("queue wait p50", queue_wait_p50_ms, "ms");
+  out += FormatLine("queue wait p99", queue_wait_p99_ms, "ms");
+  out += FormatLine("queue wait max", queue_wait_max_ms, "ms");
+  if (batches > 0) {
+    out += FormatLine("batches", batches);
+    out += FormatLine("batch mean size", batch_mean_size, "queries");
+    out += FormatLine("coalesced", coalesced_queries);
+  }
   out += FormatLine("vertices settled", vertices_settled);
   out += FormatLine("edges relaxed", edges_relaxed);
   out += FormatLine("routes found", routes_found);

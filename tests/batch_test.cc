@@ -1,0 +1,409 @@
+// Tests for the batching front door: BssrEngine::RunGroup bit-identity,
+// BatchScheduler group formation + single-flight, batched-vs-unbatched
+// service sweeps across the retriever × oracle × xcache axes, fan-out under
+// concurrent submitters, and the batch-window=0 degenerate case.
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cache/shared_query_cache.h"
+#include "core/bssr_engine.h"
+#include "index/ch_oracle.h"
+#include "retrieval/category_buckets.h"
+#include "service/batch_scheduler.h"
+#include "service/query_service.h"
+#include "workload/dataset.h"
+#include "workload/query_gen.h"
+
+namespace skysr {
+namespace {
+
+Dataset BatchTestDataset() {
+  DatasetSpec spec = CalLikeSpec(0.03);
+  spec.seed = 11;
+  return MakeDataset(spec);
+}
+
+// A repeated-source serving mix: queries rewritten so every `kSources`-th
+// shares a canonical source — the shape the batching front door groups on.
+std::vector<Query> ServingMix(const Dataset& ds, int count, int sources) {
+  QueryGenParams qp;
+  qp.count = count;
+  qp.sequence_size = 3;
+  qp.seed = 1234;
+  std::vector<Query> queries = GenerateQueries(ds, qp);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    queries[i].start = queries[i % static_cast<size_t>(sources)].start;
+  }
+  return queries;
+}
+
+void ExpectExactlyEqual(const std::vector<Route>& a,
+                        const std::vector<Route>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].pois, b[i].pois) << "route " << i;
+    EXPECT_EQ(a[i].scores.length, b[i].scores.length) << "route " << i;
+    EXPECT_EQ(a[i].scores.semantic, b[i].scores.semantic) << "route " << i;
+  }
+}
+
+// ------------------------------------------------------------ RunGroup --
+
+// RunGroup must be bit-identical to per-query Run() on a fresh engine, for
+// every oracle / retriever / attached-cache combination it can execute
+// under (the group-scoped transient cache covers the "none attached" leg).
+TEST(RunGroupTest, BitIdenticalToSequentialRunAcrossAxes) {
+  const Dataset ds = BatchTestDataset();
+  const auto queries = ServingMix(ds, 12, 3);
+
+  const auto ch = std::make_unique<ChOracle>(ChOracle::Build(ds.graph));
+  const CategoryBucketIndex buckets =
+      CategoryBucketIndex::Build(ds.graph, *ch);
+
+  struct Axis {
+    const DistanceOracle* oracle;
+    const CategoryBucketIndex* buckets;
+    RetrieverKind retriever;
+    bool attach_xcache;
+  };
+  const std::vector<Axis> axes = {
+      {nullptr, nullptr, RetrieverKind::kAuto, false},
+      {ch.get(), &buckets, RetrieverKind::kAuto, false},
+      {ch.get(), &buckets, RetrieverKind::kAuto, true},
+      {ch.get(), &buckets, RetrieverKind::kBucket, true},
+      {ch.get(), &buckets, RetrieverKind::kSettle, false},
+  };
+
+  for (const Axis& axis : axes) {
+    QueryOptions options;
+    options.retriever = axis.retriever;
+
+    BssrEngine reference(ds.graph, ds.forest, axis.oracle, axis.buckets);
+    std::vector<std::vector<Route>> expected;
+    for (const Query& q : queries) {
+      auto r = reference.Run(q, options);
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      expected.push_back(r->routes);
+    }
+
+    BssrEngine engine(ds.graph, ds.forest, axis.oracle, axis.buckets);
+    SharedQueryCache xcache;
+    if (axis.attach_xcache) engine.AttachSharedCache(&xcache);
+
+    std::vector<BssrEngine::GroupQuery> group;
+    for (const Query& q : queries) group.push_back({&q, &options});
+    // One oversized mixed-source group: grouping is co-scheduling only, so
+    // even a group that violates the scheduler's same-source invariant
+    // must stay bit-identical.
+    const auto results = engine.RunGroup(group);
+    ASSERT_EQ(results.size(), queries.size());
+    for (size_t i = 0; i < results.size(); ++i) {
+      ASSERT_TRUE(results[i].ok()) << results[i].status().ToString();
+      ExpectExactlyEqual(results[i]->routes, expected[i]);
+    }
+    // A second pass over the same group must also match (warm group cache,
+    // warm tails).
+    const auto again = engine.RunGroup(group);
+    for (size_t i = 0; i < again.size(); ++i) {
+      ASSERT_TRUE(again[i].ok());
+      ExpectExactlyEqual(again[i]->routes, expected[i]);
+    }
+  }
+}
+
+// Per-query shared-cache opt-out must survive group execution.
+TEST(RunGroupTest, MemberOptOutRunsColdAndIdentical) {
+  const Dataset ds = BatchTestDataset();
+  const auto queries = ServingMix(ds, 4, 1);
+
+  QueryOptions warm;
+  QueryOptions cold;
+  cold.use_shared_cache = false;
+
+  BssrEngine reference(ds.graph, ds.forest);
+  std::vector<std::vector<Route>> expected;
+  for (const Query& q : queries) {
+    auto r = reference.Run(q, cold);
+    ASSERT_TRUE(r.ok());
+    expected.push_back(r->routes);
+  }
+
+  BssrEngine engine(ds.graph, ds.forest);
+  std::vector<BssrEngine::GroupQuery> group;
+  group.push_back({&queries[0], &warm});
+  group.push_back({&queries[1], &cold});
+  group.push_back({&queries[2], &warm});
+  group.push_back({&queries[3], &cold});
+  const auto results = engine.RunGroup(group);
+  for (size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].ok());
+    ExpectExactlyEqual(results[i]->routes, expected[i]);
+  }
+}
+
+// ----------------------------------------------------------- scheduler --
+
+TEST(BatchSchedulerTest, GroupsBySourceAndRegistersFlights) {
+  BoundedQueue<ServingTask> queue(64);
+  ServiceMetrics metrics;
+  BatchScheduler scheduler(&queue, /*max_batch=*/16, /*batch_window_us=*/0,
+                           &metrics);
+
+  auto push = [&](VertexId start, CategoryId cat) {
+    ServingTask t;
+    t.query.start = start;
+    t.query.sequence.push_back(CategoryPredicate::Single(cat));
+    queue.Push(std::move(t));
+  };
+  push(1, 10);
+  push(2, 10);
+  push(1, 11);
+  push(2, 10);  // identical to the second task -> single-flight follower
+  queue.Close();
+
+  BatchScheduler::Group g1;
+  BatchScheduler::Group g2;
+  ASSERT_TRUE(scheduler.NextGroup(&g1));
+  ASSERT_TRUE(scheduler.NextGroup(&g2));
+  // Two groups: source 1 with two tasks, source 2 with one task (its
+  // duplicate coalesced into the in-flight registration).
+  EXPECT_EQ(g1.source, 1);
+  EXPECT_EQ(g1.tasks.size(), 2u);
+  EXPECT_EQ(g2.source, 2);
+  EXPECT_EQ(g2.tasks.size(), 1u);
+  BatchScheduler::Group g3;
+  EXPECT_FALSE(scheduler.NextGroup(&g3));
+
+  const MetricsSnapshot m = metrics.Snapshot();
+  EXPECT_EQ(m.batches, 1);
+  EXPECT_EQ(m.batched_queries, 4);
+  EXPECT_EQ(m.coalesced_queries, 1);
+  EXPECT_EQ(m.batch_mean_size, 4.0);
+
+  // Completing the source-2 primary must fan its result to the follower.
+  auto follower_check = [&] {
+    QueryResult qr;
+    qr.stats.skyline_size = 7;
+    scheduler.CompleteFlight(g2.keys[0], Result<QueryResult>(std::move(qr)));
+  };
+  follower_check();
+  // The coalesced task's promise was absorbed by the registry; releasing
+  // every dispatched key must leave no dangling registration (covered by
+  // the fan-out resolving below — a second CompleteFlight is a no-op).
+  scheduler.CompleteFlight(g2.keys[0], Result<QueryResult>(QueryResult()));
+}
+
+TEST(BatchSchedulerTest, FollowerReceivesPrimaryResult) {
+  BoundedQueue<ServingTask> queue(8);
+  ServiceMetrics metrics;
+  BatchScheduler scheduler(&queue, /*max_batch=*/8, /*batch_window_us=*/0,
+                           &metrics);
+
+  ServingTask a;
+  a.query.start = 5;
+  a.query.sequence.push_back(CategoryPredicate::Single(3));
+  ServingTask b;
+  b.query = a.query;
+  std::future<Result<QueryResult>> follower_future = b.promise.get_future();
+  queue.Push(std::move(a));
+  queue.Push(std::move(b));
+  queue.Close();
+
+  BatchScheduler::Group g;
+  ASSERT_TRUE(scheduler.NextGroup(&g));
+  ASSERT_EQ(g.tasks.size(), 1u);  // the duplicate became a follower
+  ASSERT_FALSE(g.keys[0].empty());
+
+  QueryResult qr;
+  qr.stats.skyline_size = 42;
+  scheduler.CompleteFlight(g.keys[0], Result<QueryResult>(std::move(qr)));
+  auto got = follower_future.get();
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->stats.skyline_size, 42);
+}
+
+// ------------------------------------------------------------- service --
+
+// The headline sweep: batched and unbatched services must produce routes
+// bit-identical to the sequential engine across oracle × retriever ×
+// xcache, with and without the result cache.
+TEST(BatchedServiceTest, BitIdenticalToUnbatchedAcrossAxes) {
+  const Dataset ds = BatchTestDataset();
+  const auto queries = ServingMix(ds, 24, 4);
+
+  const auto ch = std::make_unique<ChOracle>(ChOracle::Build(ds.graph));
+  const CategoryBucketIndex buckets =
+      CategoryBucketIndex::Build(ds.graph, *ch);
+
+  struct Axis {
+    const DistanceOracle* oracle;
+    const CategoryBucketIndex* buckets;
+    RetrieverKind retriever;
+    bool xcache;
+  };
+  const std::vector<Axis> axes = {
+      {nullptr, nullptr, RetrieverKind::kAuto, false},
+      {nullptr, nullptr, RetrieverKind::kAuto, true},
+      {ch.get(), &buckets, RetrieverKind::kAuto, true},
+      {ch.get(), &buckets, RetrieverKind::kSettle, false},
+  };
+
+  for (const Axis& axis : axes) {
+    QueryOptions options;
+    options.retriever = axis.retriever;
+
+    BssrEngine reference(ds.graph, ds.forest, axis.oracle, axis.buckets);
+    std::vector<std::vector<Route>> expected;
+    for (const Query& q : queries) {
+      auto r = reference.Run(q, options);
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      expected.push_back(r->routes);
+    }
+
+    for (const size_t max_batch : {size_t{1}, size_t{8}}) {
+      ServiceConfig cfg;
+      cfg.num_threads = 4;
+      cfg.cache_capacity = 128;
+      cfg.oracle = axis.oracle;
+      cfg.buckets = axis.buckets;
+      cfg.shared_query_cache = axis.xcache;
+      cfg.default_options = options;
+      cfg.max_batch = max_batch;
+      cfg.batch_window_us = max_batch > 1 ? 2000 : 0;
+      QueryService service(ds.graph, ds.forest, cfg);
+      const auto results = service.RunBatch(queries, options);
+      ASSERT_EQ(results.size(), queries.size());
+      for (size_t i = 0; i < results.size(); ++i) {
+        ASSERT_TRUE(results[i].ok()) << results[i].status().ToString();
+        ExpectExactlyEqual(results[i]->routes, expected[i]);
+      }
+    }
+  }
+}
+
+// Single-flight under concurrent submitters, result cache off: every
+// duplicate is either executed or coalesced onto an in-flight primary, and
+// all of them get the same (correct) routes.
+TEST(BatchedServiceTest, SingleFlightFanoutUnderConcurrentSubmitters) {
+  const Dataset ds = BatchTestDataset();
+  const auto queries = ServingMix(ds, 4, 1);
+
+  BssrEngine reference(ds.graph, ds.forest);
+  std::vector<std::vector<Route>> expected;
+  for (const Query& q : queries) {
+    auto r = reference.Run(q);
+    ASSERT_TRUE(r.ok());
+    expected.push_back(r->routes);
+  }
+
+  ServiceConfig cfg;
+  cfg.num_threads = 2;
+  cfg.cache_capacity = 0;  // force single-flight, not result-cache, reuse
+  cfg.max_batch = 16;
+  cfg.batch_window_us = 5000;
+  QueryService service(ds.graph, ds.forest, cfg);
+
+  constexpr int kClients = 6;
+  constexpr int kPerClient = 12;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      std::vector<std::future<Result<QueryResult>>> futures;
+      std::vector<size_t> idx;
+      for (int i = 0; i < kPerClient; ++i) {
+        const size_t q = static_cast<size_t>(i) % queries.size();
+        idx.push_back(q);
+        futures.push_back(service.Submit(queries[q]));
+      }
+      for (size_t i = 0; i < futures.size(); ++i) {
+        auto r = futures[i].get();
+        if (!r.ok() || r->routes.size() != expected[idx[i]].size()) {
+          mismatches.fetch_add(1);
+          continue;
+        }
+        for (size_t k = 0; k < r->routes.size(); ++k) {
+          if (r->routes[k].pois != expected[idx[i]][k].pois ||
+              r->routes[k].scores.length !=
+                  expected[idx[i]][k].scores.length ||
+              r->routes[k].scores.semantic !=
+                  expected[idx[i]][k].scores.semantic) {
+            mismatches.fetch_add(1);
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+
+  const MetricsSnapshot m = service.Metrics();
+  // Every accepted query is either executed (completed) or answered by an
+  // in-flight primary (coalesced) — nothing is dropped or double-counted.
+  EXPECT_EQ(m.submitted, kClients * kPerClient);
+  EXPECT_EQ(m.completed + m.coalesced_queries, m.submitted);
+  EXPECT_EQ(m.errors, 0);
+  EXPECT_GT(m.batches, 0);
+  EXPECT_EQ(m.cache_hits, 0);  // the cache was off; reuse was single-flight
+}
+
+// batch_window_us = 0: the drain leader collects only instantly available
+// tasks — batching degenerates gracefully toward singleton groups and must
+// stay bit-identical.
+TEST(BatchedServiceTest, BatchWindowZeroDegenerateCase) {
+  const Dataset ds = BatchTestDataset();
+  const auto queries = ServingMix(ds, 16, 2);
+
+  BssrEngine reference(ds.graph, ds.forest);
+  std::vector<std::vector<Route>> expected;
+  for (const Query& q : queries) {
+    auto r = reference.Run(q);
+    ASSERT_TRUE(r.ok());
+    expected.push_back(r->routes);
+  }
+
+  ServiceConfig cfg;
+  cfg.num_threads = 3;
+  cfg.cache_capacity = 64;
+  cfg.max_batch = 8;
+  cfg.batch_window_us = 0;
+  QueryService service(ds.graph, ds.forest, cfg);
+  const auto results = service.RunBatch(queries);
+  ASSERT_EQ(results.size(), queries.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].ok());
+    ExpectExactlyEqual(results[i]->routes, expected[i]);
+  }
+}
+
+// Batched shutdown with work in flight must drain everything: every future
+// resolves (no broken promises), matching the unbatched contract.
+TEST(BatchedServiceTest, ShutdownDrainsInFlightGroups) {
+  const Dataset ds = BatchTestDataset();
+  const auto queries = ServingMix(ds, 8, 2);
+
+  std::vector<std::future<Result<QueryResult>>> futures;
+  {
+    ServiceConfig cfg;
+    cfg.num_threads = 2;
+    cfg.max_batch = 4;
+    cfg.batch_window_us = 1000;
+    QueryService service(ds.graph, ds.forest, cfg);
+    for (const Query& q : queries) futures.push_back(service.Submit(q));
+    service.Shutdown();
+  }
+  for (auto& f : futures) {
+    auto r = f.get();  // must not throw broken_promise
+    EXPECT_TRUE(r.ok());
+  }
+}
+
+}  // namespace
+}  // namespace skysr

@@ -304,6 +304,75 @@ TEST(PrometheusTest, GoldenTextFormat) {
   expect_has("skysr_query_latency_ms_count 4\n");
 }
 
+// Queue-depth gauge, queue-wait p99 + histogram, and the batching counters
+// must all appear in the exposition without tracing on.
+TEST(PrometheusTest, QueueAndBatchMetricsExposed) {
+  MetricsSnapshot s;
+  s.completed = 4;
+  s.queue_depth = 17;
+  s.queue_wait_count = 3;
+  s.queue_wait_p99_ms = 2.5;
+  s.queue_wait_sum_ms = 4.25;
+  s.queue_wait_bucket_counts[0] = 1;
+  s.queue_wait_bucket_counts[2] = 2;
+  s.batches = 5;
+  s.batched_queries = 20;
+  s.coalesced_queries = 6;
+
+  const std::string text = PrometheusText(s);
+  const auto expect_has = [&](const char* needle) {
+    EXPECT_NE(text.find(needle), std::string::npos) << "missing: " << needle;
+  };
+  expect_has("# TYPE skysr_queue_depth gauge\nskysr_queue_depth 17\n");
+  expect_has(
+      "# TYPE skysr_queue_wait_p99_ms gauge\nskysr_queue_wait_p99_ms 2.5\n");
+  expect_has("# TYPE skysr_queue_wait_ms histogram\n");
+  expect_has("skysr_queue_wait_ms_bucket{le=\"0.00125\"} 1\n");
+  expect_has("skysr_queue_wait_ms_bucket{le=\"0.001953125\"} 3\n");
+  expect_has("skysr_queue_wait_ms_bucket{le=\"+Inf\"} 3\n");
+  expect_has("skysr_queue_wait_ms_sum 4.25\n");
+  expect_has("skysr_queue_wait_ms_count 3\n");
+  expect_has("skysr_batches_total 5\n");
+  expect_has("skysr_batched_queries_total 20\n");
+  expect_has("skysr_coalesced_queries_total 6\n");
+}
+
+TEST(PrometheusTest, ServiceMetricsRecordsQueueWaitAndBatches) {
+  ServiceMetrics m;
+  m.RecordQueueWait(1.0);
+  m.RecordQueueWait(100.0);
+  m.SampleQueueDepth(9);
+  m.RecordBatch(4);
+  m.RecordBatch(1);
+  m.RecordCoalesced();
+
+  const MetricsSnapshot s = m.Snapshot();
+  EXPECT_EQ(s.queue_wait_count, 2);
+  EXPECT_GT(s.queue_wait_p99_ms, 70.0);
+  EXPECT_LT(s.queue_wait_p99_ms, 140.0);
+  EXPECT_DOUBLE_EQ(s.queue_wait_max_ms, 100.0);
+  EXPECT_NEAR(s.queue_wait_mean_ms, 50.5, 1e-9);
+  EXPECT_EQ(s.queue_depth, 9);
+  EXPECT_EQ(s.batches, 2);
+  EXPECT_EQ(s.batched_queries, 5);
+  EXPECT_EQ(s.coalesced_queries, 1);
+  EXPECT_DOUBLE_EQ(s.batch_mean_size, 2.5);
+  // Size 4 lands in bucket 2 ([4,8)), size 1 in bucket 0.
+  EXPECT_EQ(s.batch_size_bucket_counts[0], 1);
+  EXPECT_EQ(s.batch_size_bucket_counts[2], 1);
+
+  const std::string text = m.ToPrometheus();
+  EXPECT_NE(text.find("skysr_queue_depth 9\n"), std::string::npos);
+  EXPECT_NE(text.find("skysr_queue_wait_ms_count 2\n"), std::string::npos);
+  EXPECT_NE(text.find("skysr_batches_total 2\n"), std::string::npos);
+
+  m.Reset();
+  const MetricsSnapshot zero = m.Snapshot();
+  EXPECT_EQ(zero.queue_wait_count, 0);
+  EXPECT_EQ(zero.queue_depth, 0);
+  EXPECT_EQ(zero.batches, 0);
+}
+
 TEST(PrometheusTest, ServiceMetricsExposesRecordedCounts) {
   ServiceMetrics m;
   m.RecordSubmitted();

@@ -122,6 +122,62 @@ TEST(ResultCacheTest, CanonicalKeyIsOrderInsensitive) {
   EXPECT_NE(CanonicalQueryKey(a, opts), CanonicalQueryKey(c, opts));
 }
 
+// Regression: semantically identical predicate spellings must canonicalize
+// to one key. "+Food,Cafe" and "Cafe,+Food" parse to the same lists (term
+// order is prefix-independent), and a repeated term matches exactly what a
+// single occurrence matches — so reordering AND duplication must coalesce
+// to one cache entry.
+TEST(ResultCacheTest, KeyNormalizesEquivalentPredicateSpellings) {
+  const QueryOptions opts;
+  const CategoryId food = 7;
+  const CategoryId cafe = 3;
+
+  // "+Food,Cafe" vs "Cafe,+Food": same any_of/all_of split, different
+  // arrival order of the lists' contents.
+  Query a;
+  a.start = 2;
+  CategoryPredicate pa;
+  pa.all_of = {food};
+  pa.any_of = {cafe};
+  a.sequence.push_back(pa);
+
+  Query b;
+  b.start = 2;
+  CategoryPredicate pb;
+  pb.any_of = {cafe};
+  pb.all_of = {food};
+  b.sequence.push_back(pb);
+  EXPECT_EQ(CanonicalQueryKey(a, opts), CanonicalQueryKey(b, opts));
+
+  // Duplicate terms: "Cafe,Cafe" == "Cafe", in any list.
+  Query c = a;
+  c.sequence[0].any_of = {cafe, cafe};
+  EXPECT_EQ(CanonicalQueryKey(a, opts), CanonicalQueryKey(c, opts));
+
+  Query d = a;
+  d.sequence[0].all_of = {food, food};
+  d.sequence[0].any_of = {cafe, cafe, cafe};
+  EXPECT_EQ(CanonicalQueryKey(a, opts), CanonicalQueryKey(d, opts));
+
+  // Unsorted + duplicated simultaneously.
+  Query e;
+  e.start = 2;
+  CategoryPredicate pe;
+  pe.any_of = {9, cafe, 9, 1};
+  e.sequence.push_back(pe);
+  Query f;
+  f.start = 2;
+  CategoryPredicate pf;
+  pf.any_of = {1, 9, cafe};
+  f.sequence.push_back(pf);
+  EXPECT_EQ(CanonicalQueryKey(e, opts), CanonicalQueryKey(f, opts));
+
+  // ...but a genuinely different predicate must not collide.
+  Query g = a;
+  g.sequence[0].any_of = {cafe, 1};
+  EXPECT_NE(CanonicalQueryKey(a, opts), CanonicalQueryKey(g, opts));
+}
+
 TEST(ResultCacheTest, KeyDistinguishesStructure) {
   const QueryOptions opts;
   // {any_of: x, all_of: y} must not collide with {any_of: x, none_of: y}.

@@ -55,6 +55,8 @@
 //             [--cache N] [--queue N] [--oracle flat|ch|alt] [--index FILE]
 //             [--retriever auto|settle|bucket|resume] [--buckets FILE|build]
 //             [--xcache on|off] [--prewarm N] [--slow-queries N]
+//             [--max-batch N] [--batch-window US]
+//             [--arrival asap|poisson:<qps>|burst:<size>:<gap_ms>]
 //             [--stats-interval SEC] [--metrics-out FILE] [--metrics-port P]
 //             [--trace] [--trace-out FILE]
 //       (alias: serve) Replays a workload file through the concurrent
@@ -67,6 +69,14 @@
 //       cross-query caches; --prewarm bounds the PoI vertices snapshotted
 //       before the workers start (default 256). Results are bit-identical
 //       with the cache on or off.
+//       Micro-batching: --max-batch N (default 1 = off) drains the queue
+//       in micro-batches of up to N, grouping in-flight queries by source
+//       and single-flight-deduplicating identical ones; --batch-window US
+//       holds a draining batch open that long waiting for it to fill.
+//       --arrival paces the replay open-loop (asap floods, poisson:<qps>
+//       draws exponential gaps, burst:<size>:<gap_ms> sends bursts) so
+//       queue depth and batch fill reflect an offered load rather than
+//       lock-step batches. Results are bit-identical batched or not.
 //       Observability: --stats-interval prints a one-line progress summary
 //       every SEC seconds while the replay runs; --metrics-out writes the
 //       final metrics in Prometheus text format; --metrics-port serves the
@@ -81,10 +91,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <future>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <random>
 #include <string>
 #include <thread>
 #include <vector>
@@ -679,14 +691,82 @@ int CmdWorkload(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+/// Client-side pacing for the `--arrival` replay modes. Parses
+/// "asap", "poisson:<qps>", or "burst:<size>:<gap_ms>"; WaitForSlot(i)
+/// then blocks until submission i should leave the client. Poisson gaps
+/// come from a fixed-seed draw, so repeated runs offer the same trace.
+class ArrivalPacer {
+ public:
+  explicit ArrivalPacer(const std::string& spec) : rng_(42) {
+    if (spec == "asap") {
+      kind_ = Kind::kAsap;
+    } else if (spec.rfind("poisson:", 0) == 0) {
+      kind_ = Kind::kPoisson;
+      qps_ = std::atof(spec.c_str() + 8);
+      ok_ = qps_ > 0;
+    } else if (spec.rfind("burst:", 0) == 0) {
+      kind_ = Kind::kBurst;
+      const char* p = spec.c_str() + 6;
+      burst_size_ = std::atoi(p);
+      ok_ = burst_size_ > 0;
+      if (const char* colon = std::strchr(p, ':'); colon != nullptr) {
+        gap_ms_ = std::atof(colon + 1);
+      }
+    } else {
+      ok_ = false;
+    }
+  }
+
+  bool ok() const { return ok_; }
+
+  void WaitForSlot(int index) {
+    switch (kind_) {
+      case Kind::kAsap:
+        return;
+      case Kind::kPoisson: {
+        std::exponential_distribution<double> gap(qps_);
+        next_s_ += gap(rng_);
+        SleepUntil(next_s_);
+        return;
+      }
+      case Kind::kBurst:
+        if (index > 0 && index % burst_size_ == 0) {
+          next_s_ += gap_ms_ / 1000.0;
+          SleepUntil(next_s_);
+        }
+        return;
+    }
+  }
+
+ private:
+  enum class Kind { kAsap, kPoisson, kBurst };
+
+  void SleepUntil(double offset_s) {
+    const double remaining = offset_s - timer_.ElapsedSeconds();
+    if (remaining > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(remaining));
+    }
+  }
+
+  Kind kind_ = Kind::kAsap;
+  bool ok_ = true;
+  double qps_ = 0;
+  int burst_size_ = 1;
+  double gap_ms_ = 0;
+  std::mt19937_64 rng_;
+  WallTimer timer_;
+  double next_s_ = 0;
+};
+
 int CmdBatch(const std::map<std::string, std::string>& flags) {
   if (!flags.count("data") || !flags.count("queries")) {
     std::fprintf(stderr,
                  "batch needs --data DIR --queries FILE [--threads N] "
                  "[--repeat R] [--cache N] [--queue N] [--xcache on|off] "
-                 "[--prewarm N] [--slow-queries N] [--stats-interval SEC] "
-                 "[--metrics-out FILE] [--metrics-port P] [--trace] "
-                 "[--trace-out FILE]\n");
+                 "[--prewarm N] [--slow-queries N] [--max-batch N] "
+                 "[--batch-window US] [--arrival SPEC] "
+                 "[--stats-interval SEC] [--metrics-out FILE] "
+                 "[--metrics-port P] [--trace] [--trace-out FILE]\n");
     return 2;
   }
   auto ds = LoadDataDir(flags.at("data"));
@@ -732,6 +812,14 @@ int CmdBatch(const std::map<std::string, std::string>& flags) {
           static_cast<size_t>(std::atoll(flags.at("trace-capacity").c_str()));
     }
   }
+  if (flags.count("max-batch")) {
+    cfg.max_batch = static_cast<size_t>(
+        std::max<long long>(1, std::atoll(flags.at("max-batch").c_str())));
+  }
+  if (flags.count("batch-window")) {
+    cfg.batch_window_us =
+        std::max<int64_t>(0, std::atoll(flags.at("batch-window").c_str()));
+  }
 
   if (!ApplyRetrieverFlag(flags, &cfg.default_options)) return 2;
 
@@ -771,10 +859,35 @@ int CmdBatch(const std::map<std::string, std::string>& flags) {
               queries->size(), repeat, service.num_threads());
   int64_t failed = 0;
   WallTimer timer;
-  for (int r = 0; r < repeat; ++r) {
-    const auto results = service.RunBatch(*queries);
-    for (const auto& res : results) {
-      if (!res.ok()) ++failed;
+  if (flags.count("arrival")) {
+    // Open-loop replay: submissions leave the client on the arrival
+    // model's clock regardless of completion, so queue depth and
+    // micro-batch fill reflect the offered load.
+    for (int r = 0; r < repeat; ++r) {
+      ArrivalPacer pacer(flags.at("arrival"));
+      if (!pacer.ok()) {
+        std::fprintf(stderr,
+                     "bad --arrival %s; expected asap, poisson:<qps>, or "
+                     "burst:<size>:<gap_ms>\n",
+                     flags.at("arrival").c_str());
+        return 2;
+      }
+      std::vector<std::future<Result<QueryResult>>> futures;
+      futures.reserve(queries->size());
+      for (size_t i = 0; i < queries->size(); ++i) {
+        pacer.WaitForSlot(static_cast<int>(i));
+        futures.push_back(service.Submit((*queries)[i]));
+      }
+      for (auto& f : futures) {
+        if (!f.get().ok()) ++failed;
+      }
+    }
+  } else {
+    for (int r = 0; r < repeat; ++r) {
+      const auto results = service.RunBatch(*queries);
+      for (const auto& res : results) {
+        if (!res.ok()) ++failed;
+      }
     }
   }
   const double wall_s = timer.ElapsedSeconds();
