@@ -11,6 +11,7 @@
 #include "core/nn_init.h"
 #include "core/skyline_set.h"
 #include "core/threshold.h"
+#include "obs/explain.h"
 #include "obs/query_trace.h"
 #include "graph/dijkstra.h"
 #include "graph/graph_builder.h"
@@ -129,6 +130,17 @@ Result<QueryResult> BssrEngine::Run(const Query& query,
   QueryResult result;
   SearchStats& stats = result.stats;
 
+  // Decision attribution (src/obs/explain.h): allocated only on request, so
+  // the default path keeps the zero-steady-state-allocation contract. Every
+  // attribution site below is one null-check branch when off; nothing an
+  // explain records ever feeds back into a decision, so results and work
+  // counters are bit-identical either way.
+  QueryExplain* exp = nullptr;
+  if (options.explain) {
+    result.explain = std::make_shared<QueryExplain>();
+    exp = result.explain.get();
+  }
+
   // Tracing (src/obs/): resolved to null unless attached AND enabled, so
   // every span site below is one predictable branch in the default
   // configuration. The oracle workspace carries the pointer into Table()
@@ -228,13 +240,33 @@ Result<QueryResult> BssrEngine::Run(const Query& query,
     }
     if (pinned != nullptr) {
       dest_dist = pinned;
+      if (exp != nullptr) {
+        exp->dest_tail_source = "group-pin";
+        ++exp->dest_tail.hits;
+      }
     } else if (dest_tails_ != nullptr) {
-      shared_tails = dest_tails_->GetOrCompute(
-          dest, [&](std::vector<Weight>* out) { ComputeDestTails(dest, out); });
+      bool computed = false;
+      shared_tails = dest_tails_->GetOrCompute(dest,
+                                               [&](std::vector<Weight>* out) {
+                                                 computed = true;
+                                                 ComputeDestTails(dest, out);
+                                               });
       dest_dist = shared_tails.get();
+      if (exp != nullptr) {
+        exp->dest_tail_source = "provider";
+        ++(computed ? exp->dest_tail.misses : exp->dest_tail.hits);
+      }
     } else {
       ComputeDestTails(dest, &ws_.dest_dist);
       dest_dist = &ws_.dest_dist;
+      if (exp != nullptr) {
+        exp->dest_tail_source = "local";
+        ++exp->dest_tail.misses;
+      }
+    }
+    if (exp != nullptr) {
+      exp->dest_tail.bytes =
+          static_cast<int64_t>(dest_dist->size() * sizeof(Weight));
     }
   }
 
@@ -257,6 +289,8 @@ Result<QueryResult> BssrEngine::Run(const Query& query,
   // warm query differs from a cold one only in which searches it skips.
   SharedQueryCache* const xc =
       (xcache_ != nullptr && options.use_shared_cache) ? xcache_ : nullptr;
+  SharedCacheCounters xc_before;
+  if (exp != nullptr && xc != nullptr) xc_before = xc->Counters();
   const int default_slots =
       RetrieverCostModel::ResumableSlots(g_->num_vertices());
   ResumablePool& resume_pool = xc != nullptr ? xc->resume_pool() : ws_.resume;
@@ -294,6 +328,21 @@ Result<QueryResult> BssrEngine::Run(const Query& query,
        (rk == RetrieverKind::kAuto && buckets_ != nullptr));
   std::optional<BucketRetriever> bucket;
   if (bucket_backend) bucket.emplace(*buckets_);
+
+  if (exp != nullptr) {
+    exp->oracle =
+        oracle_ != nullptr ? OracleKindName(oracle_->kind()) : "none";
+    exp->deferred_lemma55 = needs_deferred_lemma55;
+    exp->retriever_requested = RetrieverKindName(rk);
+    exp->bucket_backend = bucket_backend;
+    exp->resume_backend = resume_backend;
+    exp->cost_fwd_settles =
+        oracle_ != nullptr ? oracle_->ApproxSearchSettles() : 0;
+    exp->cost_settle_density =
+        buckets_ != nullptr ? buckets_->SettleDensity() : 0.0;
+    exp->cost_num_vertices = g_->num_vertices();
+    exp->positions.resize(static_cast<size_t>(k));
+  }
 
   // --- Optimization 1: initial search (§5.3.1). ---
   if (options.use_initial_search) {
@@ -457,6 +506,7 @@ Result<QueryResult> BssrEngine::Run(const Query& query,
         // licenses a floor here whether or not a destination is set.
         if (memo.th[slot] <= flen) {
           ++stats.cand_pruned;
+          ++stats.cand_pruned_threshold;
           return true;
         }
         const PoiId poi = g_->PoiAtVertex(cand.vertex);
@@ -474,6 +524,7 @@ Result<QueryResult> BssrEngine::Run(const Query& query,
         // the thresholds read from the memo.
         if (nlen >= memo.pruned_at[slot]) {
           ++stats.cand_pruned;
+          ++stats.cand_pruned_floor;
           return true;
         }
         const Weight th = memo.th[slot];
@@ -483,6 +534,7 @@ Result<QueryResult> BssrEngine::Run(const Query& query,
               nlen + lp1 >= th))) {
           memo.pruned_at[slot] = nlen;
           ++stats.cand_pruned;
+          ++stats.cand_pruned_threshold;
           return true;
         }
         const PoiId poi = g_->PoiAtVertex(cand.vertex);
@@ -587,6 +639,9 @@ Result<QueryResult> BssrEngine::Run(const Query& query,
       if (entry != nullptr && (entry->meta.exhausted ||
                                entry->meta.covered_radius >= budget())) {
         ++stats.mdijkstra_cache_hits;
+        if (exp != nullptr) {
+          ++exp->positions[static_cast<size_t>(m)].cache_replays;
+        }
         replay(cache.CandidatesOf(*entry));
         return;
       }
@@ -604,6 +659,9 @@ Result<QueryResult> BssrEngine::Run(const Query& query,
       // carries the scan's coverage, so repeats and reruns follow the
       // standard cache protocol (an exhausted commit never reruns).
       ++stats.retriever_bucket_runs;
+      if (exp != nullptr) {
+        ++exp->positions[static_cast<size_t>(m)].bucket_runs;
+      }
       TraceSpan retrieval_span(trace, TracePhase::kRetrieval);
       // First scans cap the exact-resum work at the current budget; a rerun
       // means the budget grew past a capped scan, so it goes exhaustive —
@@ -635,6 +693,9 @@ Result<QueryResult> BssrEngine::Run(const Query& query,
     if (resume_backend) slot = resume_pool.FindOrCreate(*g_, src);
     if (slot != nullptr) {
       ++stats.retriever_resume_runs;
+      if (exp != nullptr) {
+        ++exp->positions[static_cast<size_t>(m)].resume_runs;
+      }
       TraceSpan retrieval_span(trace, TracePhase::kRetrieval);
       DijkstraRunStats run_stats;
       CandidateSoA* out = options.use_cache ? &cache.pool() : nullptr;
@@ -659,6 +720,9 @@ Result<QueryResult> BssrEngine::Run(const Query& query,
         if (log != nullptr && (log->meta.exhausted ||
                                log->meta.covered_radius >= budget())) {
           ++stats.settle_log_replays;
+          if (exp != nullptr) {
+            ++exp->positions[static_cast<size_t>(m)].settle_log_replays;
+          }
           CandidateSoA& pool = cache.pool();
           const size_t pool_offset = pool.size();
           Weight break_dist = kInfWeight;
@@ -690,6 +754,9 @@ Result<QueryResult> BssrEngine::Run(const Query& query,
     }
 
     ++stats.mdijkstra_runs;
+    if (exp != nullptr) {
+      ++exp->positions[static_cast<size_t>(m)].fresh_searches;
+    }
     TraceSpan retrieval_span(trace, TracePhase::kRetrieval);
     DijkstraRunStats run_stats;
     // Candidates stream into the cache's shared pool (no per-expansion
@@ -770,6 +837,24 @@ Result<QueryResult> BssrEngine::Run(const Query& query,
       static_cast<int64_t>(qb.peak_size() * sizeof(QbEntry)) +
       skyline.MemoryBytes() + cache.MemoryBytes() + slog.MemoryBytes() +
       ws_.qb_dom.MemoryBytes() + ws_.prune_floors.MemoryBytes();
+
+  if (exp != nullptr) {
+    if (xc != nullptr) {
+      const SharedCacheCounters xc_after = xc->Counters();
+      exp->fwd_search.hits = xc_after.fwd_hits - xc_before.fwd_hits;
+      exp->fwd_search.misses = xc_after.fwd_misses - xc_before.fwd_misses;
+      exp->fwd_search.bytes = xc->ResidentBytes();
+      exp->resume_slots.hits =
+          xc_after.resume_reuses - xc_before.resume_reuses;
+      exp->resume_slots.misses =
+          xc_after.resume_evictions - xc_before.resume_evictions;
+    }
+    exp->pruned_threshold = stats.cand_pruned_threshold;
+    exp->pruned_floor = stats.cand_pruned_floor;
+    exp->pruned_qb_dominance = stats.qb_dominance_pruned;
+    exp->simd_floor_skips = stats.cand_simd_skipped;
+    exp->cand_pruned = stats.cand_pruned;
+  }
 
   stats.skyline_size = skyline.size();
   result.routes = skyline.TakeRoutes();  // move, not deep copy
@@ -857,6 +942,14 @@ std::vector<Result<QueryResult>> BssrEngine::RunGroup(
       continue;
     }
     out.push_back(Run(*item.query, *item.options));
+    // Group context: every executed member leads its own flight (the
+    // batching front door detaches coalesced followers before RunGroup);
+    // the service layer overrides the batch id and follower copies.
+    Result<QueryResult>& r = out.back();
+    if (r.ok() && r->explain != nullptr) {
+      r->explain->group_size = static_cast<int64_t>(items.size());
+      r->explain->role = "leader";
+    }
   }
 
   xcache_->fwd_cache().UnpinSource();

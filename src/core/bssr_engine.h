@@ -38,11 +38,17 @@ namespace skysr {
 
 class QueryTrace;  // src/obs/query_trace.h
 
+struct QueryExplain;  // src/obs/explain.h
+
 /// Outcome of a SkySR query: the minimal skyline set (sorted by length
 /// ascending / semantic descending) plus instrumentation.
 struct QueryResult {
   std::vector<Route> routes;
   SearchStats stats;
+  /// Decision attribution (src/obs/explain.h); null unless the query ran
+  /// with QueryOptions::explain. Shared so slow-query records and
+  /// coalesced-follower copies alias one instance instead of deep-copying.
+  std::shared_ptr<QueryExplain> explain;
 };
 
 /// The SkySR query engine.

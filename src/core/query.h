@@ -115,6 +115,13 @@ struct QueryOptions {
   /// bit-identical either way — so, like use_shared_cache, speed-only and
   /// NOT part of the result-cache key.
   bool use_qb_dominance = true;
+  /// Diagnostics: when set, the engine allocates and fills a QueryExplain
+  /// (src/obs/explain.h) attached to the QueryResult — which retrieval
+  /// backend the cost model picked, per-layer cache hit/miss/bytes, and the
+  /// pruning-attribution split. Off (the default) costs one branch per
+  /// attribution site and zero allocations; results are bit-identical
+  /// either way, so the flag is NOT part of the result-cache key.
+  bool explain = false;
 };
 
 /// Resolves one sequence position against PoIs: similarity (0 = no match),

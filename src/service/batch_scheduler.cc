@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <memory>
 #include <optional>
 #include <utility>
 
+#include "obs/explain.h"
 #include "service/result_cache.h"
 
 namespace skysr {
@@ -17,7 +19,7 @@ BatchScheduler::BatchScheduler(BoundedQueue<ServingTask>* queue,
       window_us_(batch_window_us),
       metrics_(metrics) {}
 
-bool BatchScheduler::NextGroup(Group* out) {
+bool BatchScheduler::NextGroup(Group* out, QueryTrace* trace) {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
     if (!ready_.empty()) {
@@ -32,12 +34,15 @@ bool BatchScheduler::NextGroup(Group* out) {
       // this thread sleeps in the queue's condvar.
       draining_ = true;
       lock.unlock();
-      std::vector<ServingTask> batch = DrainBatch();
-      lock.lock();
-      if (batch.empty()) {
-        done_ = true;  // queue closed and drained
-      } else {
-        FormGroupsLocked(std::move(batch));
+      {
+        TraceSpan drain_span(trace, TracePhase::kBatchDrain);
+        std::vector<ServingTask> batch = DrainBatch();
+        lock.lock();
+        if (batch.empty()) {
+          done_ = true;  // queue closed and drained
+        } else {
+          FormGroupsLocked(std::move(batch), trace);
+        }
       }
       draining_ = false;
       ready_cv_.notify_all();
@@ -51,6 +56,13 @@ std::vector<ServingTask> BatchScheduler::DrainBatch() {
   std::vector<ServingTask> batch;
   std::optional<ServingTask> first = queue_->Pop();
   if (!first.has_value()) return batch;
+  // Sample queue depth as soon as the drain leader wakes: with a long
+  // batch window the end-of-drain sample below can lag the burst that
+  // opened the window by window_us, leaving the gauge stale exactly when
+  // the queue is at its deepest.
+  if (metrics_ != nullptr) {
+    metrics_->SampleQueueDepth(static_cast<int64_t>(queue_->size()));
+  }
   batch.reserve(max_batch_);
   batch.push_back(std::move(*first));
   if (max_batch_ > 1) {
@@ -72,7 +84,9 @@ std::vector<ServingTask> BatchScheduler::DrainBatch() {
   return batch;
 }
 
-void BatchScheduler::FormGroupsLocked(std::vector<ServingTask> batch) {
+void BatchScheduler::FormGroupsLocked(std::vector<ServingTask> batch,
+                                      QueryTrace* trace) {
+  const int64_t batch_id = next_batch_id_++;
   // Single-flight: a task whose canonical key is already registered
   // attaches its promise to the flight and never executes; the primary's
   // CompleteFlight answers it. A fresh key registers here so duplicates in
@@ -86,11 +100,25 @@ void BatchScheduler::FormGroupsLocked(std::vector<ServingTask> batch) {
     if (!key.empty()) {
       auto it = inflight_.find(key);
       if (it != inflight_.end()) {
-        it->second.push_back(std::move(task.promise));
+        Flight& flight = it->second;
+        flight.followers.push_back(std::move(task.promise));
+        // A coalesced follower never reaches a worker, so its queue wait
+        // is recorded here (on the drain leader's trace) or nowhere; the
+        // flow id links this event to the leader-side fanout so
+        // trace-event counts obey completed + coalesced == submitted.
+        uint64_t flow_id = 0;
+        if (trace != nullptr && trace->enabled()) {
+          flow_id = next_flow_id_++;
+          const int64_t wait_ns = task.enqueued.ElapsedNanos();
+          trace->Record(TracePhase::kQueueWait, trace->NowNs() - wait_ns,
+                        wait_ns, /*depth=*/0, flow_id,
+                        TraceEvent::kFlowStart);
+        }
+        flight.flow_ids.push_back(flow_id);
         if (metrics_ != nullptr) metrics_->RecordCoalesced();
         continue;
       }
-      inflight_.emplace(key, std::vector<std::promise<Result<QueryResult>>>());
+      inflight_.emplace(key, Flight());
     }
     keep.push_back(std::move(task));
     keys.push_back(std::move(key));
@@ -102,6 +130,7 @@ void BatchScheduler::FormGroupsLocked(std::vector<ServingTask> batch) {
   for (size_t i = 0; i < keep.size(); ++i) {
     if (taken[i]) continue;
     Group g;
+    g.batch_id = batch_id;
     g.source = keep[i].query.start;
     std::vector<size_t> members;
     for (size_t j = i; j < keep.size(); ++j) {
@@ -125,19 +154,39 @@ void BatchScheduler::FormGroupsLocked(std::vector<ServingTask> batch) {
 }
 
 void BatchScheduler::CompleteFlight(const std::string& key,
-                                    const Result<QueryResult>& result) {
+                                    const Result<QueryResult>& result,
+                                    QueryTrace* trace) {
   if (key.empty()) return;
-  std::vector<std::promise<Result<QueryResult>>> followers;
+  Flight flight;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = inflight_.find(key);
     if (it == inflight_.end()) return;
-    followers = std::move(it->second);
+    flight = std::move(it->second);
     inflight_.erase(it);
   }
-  for (std::promise<Result<QueryResult>>& p : followers) {
-    p.set_value(result.ok() ? Result<QueryResult>(QueryResult(*result))
-                            : Result<QueryResult>(result.status()));
+  for (size_t i = 0; i < flight.followers.size(); ++i) {
+    // Close the Chrome flow opened when this follower was coalesced: a
+    // zero-duration fanout event on the completing worker's trace, linked
+    // by the formation-time flow id.
+    if (trace != nullptr && i < flight.flow_ids.size() &&
+        flight.flow_ids[i] != 0) {
+      trace->Record(TracePhase::kCoalesceFanout, trace->NowNs(), 0,
+                    /*depth=*/0, flight.flow_ids[i],
+                    TraceEvent::kFlowFinish);
+    }
+    if (result.ok()) {
+      QueryResult copy(*result);
+      if (copy.explain != nullptr) {
+        // Followers get their own attribution record: same decisions as
+        // the leader's execution, but marked as answered by coalescing.
+        copy.explain = std::make_shared<QueryExplain>(*copy.explain);
+        copy.explain->role = "coalesced";
+      }
+      flight.followers[i].set_value(Result<QueryResult>(std::move(copy)));
+    } else {
+      flight.followers[i].set_value(Result<QueryResult>(result.status()));
+    }
   }
 }
 

@@ -40,6 +40,7 @@
 
 #include "core/bssr_engine.h"
 #include "core/query.h"
+#include "obs/query_trace.h"
 #include "service/bounded_queue.h"
 #include "service/service_metrics.h"
 #include "util/status.h"
@@ -67,6 +68,10 @@ class BatchScheduler {
     VertexId source = kInvalidVertex;
     std::vector<ServingTask> tasks;
     std::vector<std::string> keys;
+    // Scheduler-assigned id of the drained micro-batch this group came
+    // from (all groups formed from one drain share it); -1 for a group
+    // that never went through the scheduler (unbatched path, tests).
+    int64_t batch_id = -1;
   };
 
   /// The queue and metrics sink are borrowed and must outlive the
@@ -81,19 +86,35 @@ class BatchScheduler {
 
   /// Blocks until a group is ready (draining the queue from this thread if
   /// no other worker is already draining). Returns false when the queue is
-  /// closed and fully drained — the worker's exit signal.
-  bool NextGroup(Group* out);
+  /// closed and fully drained — the worker's exit signal. When this thread
+  /// becomes the drain leader and `trace` is enabled, the drain + group
+  /// formation is recorded as a kBatchDrain span and each follower
+  /// coalesced during formation gets a kQueueWait event tagged kFlowStart
+  /// (so no submitted query is invisible to the trace ring).
+  bool NextGroup(Group* out, QueryTrace* trace = nullptr);
 
   /// Fans `result` out to every single-flight follower registered under
   /// `key` and releases the registration. Must be called exactly once per
   /// non-empty key of a dispatched group (cache hit, engine success, or
-  /// error alike); a no-op for "" or an unregistered key.
+  /// error alike); a no-op for "" or an unregistered key. Follower results
+  /// carry a deep-copied explain with role "coalesced"; with `trace`
+  /// enabled each fanout is recorded as a kCoalesceFanout event tagged
+  /// kFlowFinish under the follower's formation-time flow id.
   void CompleteFlight(const std::string& key,
-                      const Result<QueryResult>& result);
+                      const Result<QueryResult>& result,
+                      QueryTrace* trace = nullptr);
 
  private:
+  /// One single-flight registration: the follower promises awaiting the
+  /// primary's result, plus (parallel array) the Chrome-flow ids assigned
+  /// when each follower was coalesced under a live trace (0 = untraced).
+  struct Flight {
+    std::vector<std::promise<Result<QueryResult>>> followers;
+    std::vector<uint64_t> flow_ids;
+  };
+
   std::vector<ServingTask> DrainBatch();  // blocking; no scheduler lock held
-  void FormGroupsLocked(std::vector<ServingTask> batch);
+  void FormGroupsLocked(std::vector<ServingTask> batch, QueryTrace* trace);
 
   BoundedQueue<ServingTask>* const queue_;
   const size_t max_batch_;
@@ -103,12 +124,11 @@ class BatchScheduler {
   std::mutex mu_;
   std::condition_variable ready_cv_;
   std::deque<Group> ready_;
-  // Single-flight registry: canonical key -> follower promises awaiting the
-  // primary's result. An entry exists from group formation until
-  // CompleteFlight.
-  std::unordered_map<std::string,
-                     std::vector<std::promise<Result<QueryResult>>>>
-      inflight_;
+  // Single-flight registry: canonical key -> flight awaiting the primary's
+  // result. An entry exists from group formation until CompleteFlight.
+  std::unordered_map<std::string, Flight> inflight_;
+  uint64_t next_flow_id_ = 1;   // Chrome-flow ids (0 reserved for "none")
+  int64_t next_batch_id_ = 0;   // stamps Group::batch_id per drained batch
   bool draining_ = false;  // one drain leader at a time
   bool done_ = false;      // queue closed and drained; workers may exit
 };

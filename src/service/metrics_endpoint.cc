@@ -12,11 +12,60 @@
 
 namespace skysr {
 
+namespace {
+
+// Extracts the request path from an HTTP request line ("GET /p?q HTTP/1.1"
+// -> "/p"). Malformed lines map to "/" so ancient scrapers still land on
+// the default route.
+std::string RequestPath(const char* req, size_t len) {
+  size_t i = 0;
+  while (i < len && req[i] != ' ' && req[i] != '\r' && req[i] != '\n') ++i;
+  if (i == len || req[i] != ' ') return "/";
+  ++i;  // skip the space after the method
+  const size_t start = i;
+  while (i < len && req[i] != ' ' && req[i] != '?' && req[i] != '\r' &&
+         req[i] != '\n') {
+    ++i;
+  }
+  if (i == start) return "/";
+  return std::string(req + start, i - start);
+}
+
+}  // namespace
+
 MetricsEndpoint::MetricsEndpoint(int port,
                                  std::function<std::string()> provider)
-    : provider_(std::move(provider)), requested_port_(port) {}
+    : requested_port_(port) {
+  // Historical single-provider behavior: the Prometheus exposition on both
+  // the canonical scrape path and the root.
+  AddRoute("/metrics", "text/plain; version=0.0.4", provider);
+  AddRoute("/", "text/plain; version=0.0.4", std::move(provider));
+}
+
+MetricsEndpoint::MetricsEndpoint(int port) : requested_port_(port) {}
 
 MetricsEndpoint::~MetricsEndpoint() { Stop(); }
+
+void MetricsEndpoint::AddRoute(std::string path, std::string content_type,
+                               std::function<std::string()> provider) {
+  for (Route& r : routes_) {
+    if (r.path == path) {
+      r.content_type = std::move(content_type);
+      r.provider = std::move(provider);
+      return;
+    }
+  }
+  routes_.push_back(
+      Route{std::move(path), std::move(content_type), std::move(provider)});
+}
+
+const MetricsEndpoint::Route* MetricsEndpoint::FindRoute(
+    const std::string& path) const {
+  for (const Route& r : routes_) {
+    if (r.path == path) return &r;
+  }
+  return nullptr;
+}
 
 Status MetricsEndpoint::Start() {
   if (running_.load(std::memory_order_acquire)) return Status::OK();
@@ -66,18 +115,33 @@ void MetricsEndpoint::Serve() {
       if (errno == EINTR) continue;
       return;  // listener closed by Stop(), or unrecoverable
     }
-    // Drain whatever request line arrived (the content is irrelevant —
-    // every request gets the metrics), then respond and close.
+    // Read the request line (one recv is enough for any GET we serve),
+    // route on the path, respond, close.
     char req[1024];
-    (void)::recv(fd, req, sizeof(req), 0);
-    const std::string body = provider_();
-    char header[160];
+    const ssize_t got = ::recv(fd, req, sizeof(req), 0);
+    const std::string path =
+        RequestPath(req, got > 0 ? static_cast<size_t>(got) : 0);
+    const Route* route = FindRoute(path);
+
+    std::string body;
+    const char* status_line;
+    const char* content_type;
+    if (route != nullptr) {
+      body = route->provider();
+      status_line = "HTTP/1.0 200 OK";
+      content_type = route->content_type.c_str();
+    } else {
+      body = "404 not found: " + path + "\n";
+      status_line = "HTTP/1.0 404 Not Found";
+      content_type = "text/plain";
+    }
+    char header[256];
     std::snprintf(header, sizeof(header),
-                  "HTTP/1.0 200 OK\r\n"
-                  "Content-Type: text/plain; version=0.0.4\r\n"
+                  "%s\r\n"
+                  "Content-Type: %s\r\n"
                   "Content-Length: %zu\r\n"
                   "Connection: close\r\n\r\n",
-                  body.size());
+                  status_line, content_type, body.size());
     std::string response = header;
     response += body;
     size_t sent = 0;

@@ -28,11 +28,19 @@ void Gauge(std::string* out, const char* name, const char* help,
 
 // Emits a cumulative-bucket histogram in the LatencyHistogram geometry.
 // `total` is the observation count; +Inf restates it per the exposition
-// contract.
+// contract. Optional per-bucket exemplars (OpenMetrics syntax, id 0 = none)
+// append ` # {trace_id="q<id>"} <value>` to their bucket line, linking a
+// tail bucket to the query that last landed there; no timestamp is emitted
+// so the exposition stays a pure function of the snapshot. Buckets without
+// an exemplar are byte-identical to the plain exposition.
 void Histogram(
     std::string* out, const char* name, const char* help,
     const std::array<int64_t, LatencyHistogram::kNumBuckets>& buckets,
-    int64_t total, double sum_ms) {
+    int64_t total, double sum_ms,
+    const std::array<int64_t, LatencyHistogram::kNumBuckets>* exemplar_ids =
+        nullptr,
+    const std::array<double, LatencyHistogram::kNumBuckets>* exemplar_values =
+        nullptr) {
   char buf[256];
   std::snprintf(buf, sizeof(buf), "# HELP %s %s\n# TYPE %s histogram\n",
                 name, help, name);
@@ -40,8 +48,18 @@ void Histogram(
   int64_t cumulative = 0;
   for (int i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
     cumulative += buckets[static_cast<size_t>(i)];
-    std::snprintf(buf, sizeof(buf), "%s_bucket{le=\"%.9g\"} %" PRId64 "\n",
-                  name, LatencyHistogram::UpperBoundMs(i), cumulative);
+    const int64_t ex_id =
+        exemplar_ids != nullptr ? (*exemplar_ids)[static_cast<size_t>(i)] : 0;
+    if (ex_id != 0) {
+      std::snprintf(buf, sizeof(buf),
+                    "%s_bucket{le=\"%.9g\"} %" PRId64
+                    " # {trace_id=\"q%" PRId64 "\"} %.9g\n",
+                    name, LatencyHistogram::UpperBoundMs(i), cumulative, ex_id,
+                    (*exemplar_values)[static_cast<size_t>(i)]);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%s_bucket{le=\"%.9g\"} %" PRId64 "\n",
+                    name, LatencyHistogram::UpperBoundMs(i), cumulative);
+    }
     *out += buf;
   }
   std::snprintf(buf, sizeof(buf), "%s_bucket{le=\"+Inf\"} %" PRId64 "\n",
@@ -109,7 +127,8 @@ std::string PrometheusText(const MetricsSnapshot& s) {
   Histogram(&out, "skysr_query_latency_ms",
             "End-to-end query latency (submission to completion), "
             "milliseconds.",
-            s.latency_bucket_counts, s.completed, s.latency_sum_ms);
+            s.latency_bucket_counts, s.completed, s.latency_sum_ms,
+            &s.latency_exemplar_ids, &s.latency_exemplar_ms);
   Histogram(&out, "skysr_queue_wait_ms",
             "Submission-queue wait of dispatched queries, milliseconds.",
             s.queue_wait_bucket_counts, s.queue_wait_count,

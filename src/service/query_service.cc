@@ -135,7 +135,7 @@ void QueryService::WorkerLoop(int thread_index) {
     // run them with the group's warm state pinned. NextGroup doubles as
     // the drain leader when no group is ready, so no extra thread exists.
     BatchScheduler::Group group;
-    while (scheduler_->NextGroup(&group)) {
+    while (scheduler_->NextGroup(&group, state.trace)) {
       ExecuteGroup(state, group);
     }
     return;
@@ -169,10 +169,19 @@ void QueryService::Execute(WorkerState& state, ServingTask& task) {
   }
   if (hit != nullptr) {
     metrics_.RecordCacheHit();
+    const int64_t qid =
+        query_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
     const double latency_ms = task.enqueued.ElapsedMillis();
     metrics_.RecordCompleted(latency_ms,
                              /*vertices_settled=*/0, /*edges_relaxed=*/0,
-                             static_cast<int64_t>(hit->routes.size()));
+                             static_cast<int64_t>(hit->routes.size()), qid);
+    QueryResult answered(*hit);
+    if (task.options.explain) {
+      // Cached entries are stored explain-stripped, so a hit synthesizes
+      // its own attribution: the whole query was one result-cache hit.
+      answered.explain = std::make_shared<QueryExplain>();
+      answered.explain->result_cache.hits = 1;
+    }
     SlowQueryRecord rec;
     rec.key = key;
     rec.latency_ms = latency_ms;
@@ -180,8 +189,10 @@ void QueryService::Execute(WorkerState& state, ServingTask& task) {
     rec.execute_ms = exec_timer.ElapsedMillis();
     rec.cache_hit = true;
     rec.routes = static_cast<int64_t>(hit->routes.size());
+    rec.query_id = qid;
+    rec.explain = answered.explain;
     slow_log_.Offer(std::move(rec));
-    task.promise.set_value(QueryResult(*hit));
+    task.promise.set_value(std::move(answered));
     return;
   }
   if (!key.empty()) metrics_.RecordCacheMiss();
@@ -209,13 +220,23 @@ void QueryService::Execute(WorkerState& state, ServingTask& task) {
   }
 
   if (result.ok()) {
-    if (!key.empty() && !result->stats.timed_out) {
-      cache_.Put(key, std::make_shared<const QueryResult>(*result));
+    if (result->explain != nullptr && !key.empty()) {
+      result->explain->result_cache.misses = 1;
     }
+    if (!key.empty() && !result->stats.timed_out) {
+      // Strip the explain from the cached copy: attribution describes THIS
+      // execution (role, batch, cache deltas) and would be stale — and
+      // wrong — replayed to a later hit.
+      auto cached = std::make_shared<QueryResult>(*result);
+      cached->explain = nullptr;
+      cache_.Put(key, std::move(cached));
+    }
+    const int64_t qid =
+        query_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
     const double latency_ms = task.enqueued.ElapsedMillis();
     metrics_.RecordCompleted(latency_ms, result->stats.vertices_settled,
                              result->stats.edges_relaxed,
-                             static_cast<int64_t>(result->routes.size()));
+                             static_cast<int64_t>(result->routes.size()), qid);
     SlowQueryRecord rec;
     rec.key = std::move(key);
     rec.latency_ms = latency_ms;
@@ -228,6 +249,8 @@ void QueryService::Execute(WorkerState& state, ServingTask& task) {
     rec.xcache_fwd_misses = d_fwd_misses;
     rec.xcache_resume_reuses = d_resume_reuses;
     rec.phases = result->stats.phases;
+    rec.query_id = qid;
+    rec.explain = result->explain;
     slow_log_.Offer(std::move(rec));
   } else {
     metrics_.RecordError();
@@ -261,19 +284,28 @@ void QueryService::ExecuteGroup(WorkerState& state,
     }
     if (hit != nullptr) {
       metrics_.RecordCacheHit();
+      const int64_t qid =
+          query_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
       const double latency_ms = task.enqueued.ElapsedMillis();
       metrics_.RecordCompleted(latency_ms,
                                /*vertices_settled=*/0, /*edges_relaxed=*/0,
-                               static_cast<int64_t>(hit->routes.size()));
+                               static_cast<int64_t>(hit->routes.size()), qid);
+      Result<QueryResult> result{QueryResult(*hit)};
+      if (task.options.explain) {
+        result->explain = std::make_shared<QueryExplain>();
+        result->explain->result_cache.hits = 1;
+        result->explain->batch_id = group.batch_id;
+      }
       SlowQueryRecord rec;
       rec.key = key;
       rec.latency_ms = latency_ms;
       rec.queue_wait_ms = queue_wait_ms;
       rec.cache_hit = true;
       rec.routes = static_cast<int64_t>(hit->routes.size());
+      rec.query_id = qid;
+      rec.explain = result->explain;
       slow_log_.Offer(std::move(rec));
-      Result<QueryResult> result{QueryResult(*hit)};
-      scheduler_->CompleteFlight(key, result);
+      scheduler_->CompleteFlight(key, result, trace);
       task.promise.set_value(std::move(result));
       continue;
     }
@@ -282,7 +314,7 @@ void QueryService::ExecuteGroup(WorkerState& state,
   }
   if (miss.empty()) return;
 
-  TraceSpan execute_span(trace, TracePhase::kExecute);
+  TraceSpan execute_span(trace, TracePhase::kGroupExecute);
   WallTimer exec_timer;
   std::vector<BssrEngine::GroupQuery> items;
   items.reserve(miss.size());
@@ -313,13 +345,24 @@ void QueryService::ExecuteGroup(WorkerState& state,
     std::string& key = group.keys[miss[j]];
     Result<QueryResult>& result = results[j];
     if (result.ok()) {
-      if (!key.empty() && !result->stats.timed_out) {
-        cache_.Put(key, std::make_shared<const QueryResult>(*result));
+      if (result->explain != nullptr) {
+        result->explain->batch_id = group.batch_id;
+        if (!key.empty()) result->explain->result_cache.misses = 1;
       }
+      if (!key.empty() && !result->stats.timed_out) {
+        // Same explain-stripping as the unbatched path: cached copies must
+        // not replay this execution's attribution to later hits.
+        auto cached = std::make_shared<QueryResult>(*result);
+        cached->explain = nullptr;
+        cache_.Put(key, std::move(cached));
+      }
+      const int64_t qid =
+          query_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
       const double latency_ms = task.enqueued.ElapsedMillis();
       metrics_.RecordCompleted(latency_ms, result->stats.vertices_settled,
                                result->stats.edges_relaxed,
-                               static_cast<int64_t>(result->routes.size()));
+                               static_cast<int64_t>(result->routes.size()),
+                               qid);
       SlowQueryRecord rec;
       rec.key = key;
       rec.latency_ms = latency_ms;
@@ -328,11 +371,13 @@ void QueryService::ExecuteGroup(WorkerState& state,
       rec.vertices_settled = result->stats.vertices_settled;
       rec.routes = static_cast<int64_t>(result->routes.size());
       rec.phases = result->stats.phases;
+      rec.query_id = qid;
+      rec.explain = result->explain;
       slow_log_.Offer(std::move(rec));
     } else {
       metrics_.RecordError();
     }
-    scheduler_->CompleteFlight(key, result);
+    scheduler_->CompleteFlight(key, result, trace);
     task.promise.set_value(std::move(result));
   }
 }

@@ -223,6 +223,11 @@ class QueryService {
   // worker's SharedQueryCache holds a reference for its whole lifetime.
   std::shared_ptr<const FwdSnapshot> warm_snapshot_;
   WorkerPool pool_;
+  // Service-wide query sequence: each completed query gets the next id,
+  // which names it everywhere a human might follow it — the slow-query
+  // log ("qN ..."), the Prometheus latency exemplars (trace_id="qN") and
+  // the /debug dashboard. 0 is reserved for "unassigned".
+  std::atomic<int64_t> query_seq_{0};
   std::atomic<bool> shutdown_{false};
 };
 

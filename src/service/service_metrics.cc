@@ -27,6 +27,8 @@ std::string FormatLine(const char* label, int64_t value) {
 
 ServiceMetrics::ServiceMetrics() {
   for (auto& b : latency_buckets_) b.store(0, kRelaxed);
+  for (auto& b : latency_exemplar_ids_) b.store(0, kRelaxed);
+  for (auto& b : latency_exemplar_ms_) b.store(0, kRelaxed);
   for (auto& b : queue_wait_buckets_) b.store(0, kRelaxed);
   for (auto& b : batch_size_buckets_) b.store(0, kRelaxed);
 }
@@ -46,10 +48,19 @@ double ServiceMetrics::BucketMidpoint(int bucket) {
 void ServiceMetrics::RecordCompleted(double latency_ms,
                                      int64_t vertices_settled,
                                      int64_t edges_relaxed,
-                                     int64_t routes_found) {
+                                     int64_t routes_found,
+                                     int64_t exemplar_id) {
   completed_.fetch_add(1, kRelaxed);
-  latency_buckets_[static_cast<size_t>(BucketOf(latency_ms))].fetch_add(
-      1, kRelaxed);
+  const auto bucket = static_cast<size_t>(BucketOf(latency_ms));
+  latency_buckets_[bucket].fetch_add(1, kRelaxed);
+  if (exemplar_id != 0) {
+    // Two relaxed stores, not one atomic pair: an exposition racing a
+    // writer may pair an id with a neighboring observation's value, which
+    // is still a real observation from this bucket — good enough for a
+    // debugging pointer, and free on the hot path.
+    latency_exemplar_ms_[bucket].store(latency_ms, kRelaxed);
+    latency_exemplar_ids_[bucket].store(exemplar_id, kRelaxed);
+  }
   latency_sum_ms_.fetch_add(latency_ms, kRelaxed);
   // CAS loop: atomic max for doubles.
   double prev = latency_max_ms_.load(kRelaxed);
@@ -144,6 +155,12 @@ MetricsSnapshot ServiceMetrics::Snapshot() const {
         latency_buckets_[static_cast<size_t>(i)].load(kRelaxed);
   }
   s.latency_bucket_counts = counts;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    s.latency_exemplar_ids[static_cast<size_t>(i)] =
+        latency_exemplar_ids_[static_cast<size_t>(i)].load(kRelaxed);
+    s.latency_exemplar_ms[static_cast<size_t>(i)] =
+        latency_exemplar_ms_[static_cast<size_t>(i)].load(kRelaxed);
+  }
   s.latency_p50_ms = PercentileLocked(0.50, s.completed, counts);
   s.latency_p90_ms = PercentileLocked(0.90, s.completed, counts);
   s.latency_p95_ms = PercentileLocked(0.95, s.completed, counts);
@@ -200,6 +217,8 @@ void ServiceMetrics::Reset() {
   xcache_resume_evictions_.store(0, kRelaxed);
   xcache_resident_bytes_.store(0, kRelaxed);
   for (auto& b : latency_buckets_) b.store(0, kRelaxed);
+  for (auto& b : latency_exemplar_ids_) b.store(0, kRelaxed);
+  for (auto& b : latency_exemplar_ms_) b.store(0, kRelaxed);
   latency_sum_ms_.store(0, kRelaxed);
   latency_max_ms_.store(0, kRelaxed);
   for (auto& b : queue_wait_buckets_) b.store(0, kRelaxed);

@@ -64,6 +64,14 @@ struct MetricsSnapshot {
   // without precision loss.
   std::array<int64_t, LatencyHistogram::kNumBuckets> latency_bucket_counts{};
 
+  // OpenMetrics exemplars: per latency bucket, the service query id (the
+  // SlowQueryRecord::query_id / trace "q<N>" namespace) and observed
+  // latency of the most recent observation that landed there. Id 0 = no
+  // exemplar (the bucket line is emitted without one, keeping the plain
+  // exposition byte-identical).
+  std::array<int64_t, LatencyHistogram::kNumBuckets> latency_exemplar_ids{};
+  std::array<double, LatencyHistogram::kNumBuckets> latency_exemplar_ms{};
+
   // Submission-queue wait of dispatched queries (same histogram geometry as
   // latency), plus the queue depth sampled at the last submit/drain — the
   // batching observables that used to exist only inside trace phases.
@@ -124,9 +132,13 @@ class ServiceMetrics {
   void RecordCacheMiss() { cache_misses_.fetch_add(1, kRelaxed); }
 
   /// Records a successfully answered query with its end-to-end latency and
-  /// the engine effort spent on it (zeros when served from cache).
+  /// the engine effort spent on it (zeros when served from cache). A
+  /// non-zero `exemplar_id` (the service's per-query sequence number)
+  /// additionally stamps the latency bucket's exemplar — last writer wins,
+  /// so each bucket links to its most recent observation.
   void RecordCompleted(double latency_ms, int64_t vertices_settled,
-                       int64_t edges_relaxed, int64_t routes_found);
+                       int64_t edges_relaxed, int64_t routes_found,
+                       int64_t exemplar_id = 0);
 
   /// Records one dispatched query's submission-queue wait.
   void RecordQueueWait(double wait_ms);
@@ -192,6 +204,8 @@ class ServiceMetrics {
   std::atomic<int64_t> xcache_resident_bytes_{0};
 
   std::array<std::atomic<int64_t>, kNumBuckets> latency_buckets_;
+  std::array<std::atomic<int64_t>, kNumBuckets> latency_exemplar_ids_;
+  std::array<std::atomic<double>, kNumBuckets> latency_exemplar_ms_;
   std::atomic<double> latency_sum_ms_{0};
   std::atomic<double> latency_max_ms_{0};
 

@@ -54,9 +54,10 @@ void SlowQueryLog::Clear() {
 std::string SlowQueryRecord::ToString() const {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
-                "%10.3fms (wait %.3f exec %.3f)%s%s settled=%lld routes=%lld "
-                "xcache=%lld/%lld/%lld key=%s",
-                latency_ms, queue_wait_ms, execute_ms,
+                "q%lld %10.3fms (wait %.3f exec %.3f)%s%s settled=%lld "
+                "routes=%lld xcache=%lld/%lld/%lld key=%s",
+                static_cast<long long>(query_id), latency_ms, queue_wait_ms,
+                execute_ms,
                 cache_hit ? " CACHE-HIT" : "", timed_out ? " TIMED-OUT" : "",
                 static_cast<long long>(vertices_settled),
                 static_cast<long long>(routes),

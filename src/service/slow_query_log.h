@@ -16,10 +16,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "obs/explain.h"
 #include "obs/trace_phase.h"
 
 namespace skysr {
@@ -40,6 +42,12 @@ struct SlowQueryRecord {
   int64_t xcache_resume_reuses = 0;
   // Engine phase breakdown; all-zero unless the service traces.
   PhaseAggregates phases;
+  // Service-assigned sequence number (the exemplar trace_id "q<N>" in the
+  // Prometheus exposition refers to this); 0 when unassigned.
+  int64_t query_id = 0;
+  // Decision attribution; null unless the query ran with
+  // QueryOptions::explain. Shared with the QueryResult — not a copy.
+  std::shared_ptr<const QueryExplain> explain;
 
   /// One-line summary ("12.345ms (wait 0.1 exec 12.2) key=... ...").
   std::string ToString() const;

@@ -1,0 +1,536 @@
+// Tests for per-query decision attribution (obs/explain.h) and its serving
+// integrations: explain-off bit-identity, the pruning-share invariant
+// (threshold + floor == cand_pruned), JSON round-trip through mini_json,
+// RunGroup role stamping, OpenMetrics latency exemplars, the batched-path
+// trace flow events, endpoint routing (404 + extra routes), and the /debug
+// dashboard renderer.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/bssr_engine.h"
+#include "obs/explain.h"
+#include "obs/mini_json.h"
+#include "obs/query_trace.h"
+#include "obs/trace_export.h"
+#include "service/batch_scheduler.h"
+#include "service/debug_page.h"
+#include "service/metrics_endpoint.h"
+#include "service/query_service.h"
+#include "service/result_cache.h"
+#include "service/service_metrics.h"
+#include "tests/test_util.h"
+#include "workload/dataset.h"
+#include "workload/query_gen.h"
+
+namespace skysr {
+namespace {
+
+Query TinyQuery(const testing::TinyDataset& tiny) {
+  Query q;
+  q.start = 0;
+  q.sequence.push_back(
+      CategoryPredicate::Single(tiny.graph.PoiPrimaryCategory(0)));
+  q.sequence.push_back(
+      CategoryPredicate::Single(tiny.graph.PoiPrimaryCategory(1)));
+  return q;
+}
+
+// ------------------------------------------------------------ engine side --
+
+TEST(ExplainTest, OffByDefaultAndObservationOnly) {
+  const testing::TinyDataset tiny = testing::MakeTinyDataset(7);
+  const Query q = TinyQuery(tiny);
+
+  BssrEngine plain(tiny.graph, tiny.forest);
+  auto base = plain.Run(q);
+  ASSERT_TRUE(base.ok()) << base.status().ToString();
+  EXPECT_EQ(base->explain, nullptr);
+
+  QueryOptions opts;
+  opts.explain = true;
+  BssrEngine explained(tiny.graph, tiny.forest);
+  auto result = explained.Run(q, opts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_NE(result->explain, nullptr);
+
+  // Attribution observes the search; it must not change it.
+  ASSERT_EQ(result->routes.size(), base->routes.size());
+  for (size_t i = 0; i < result->routes.size(); ++i) {
+    EXPECT_EQ(result->routes[i].pois, base->routes[i].pois);
+  }
+  EXPECT_EQ(result->stats.vertices_settled, base->stats.vertices_settled);
+  EXPECT_EQ(result->stats.edges_relaxed, base->stats.edges_relaxed);
+  EXPECT_EQ(result->stats.cand_pruned, base->stats.cand_pruned);
+}
+
+TEST(ExplainTest, PruningSharesSumToCandPruned) {
+  const testing::TinyDataset tiny =
+      testing::MakeTinyDataset(11, /*n=*/32, /*extra_edges=*/24,
+                               /*num_pois=*/16);
+  Dataset ds;
+  ds.name = "explain-test";
+  ds.graph = tiny.graph;
+  ds.forest = tiny.forest;
+  QueryGenParams qp;
+  qp.count = 8;
+  qp.sequence_size = 3;
+  qp.seed = 5;
+  const auto queries = GenerateQueries(ds, qp);
+
+  QueryOptions opts;
+  opts.explain = true;
+  BssrEngine engine(ds.graph, ds.forest);
+  for (const Query& q : queries) {
+    auto r = engine.Run(q, opts);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ASSERT_NE(r->explain, nullptr);
+    const QueryExplain& e = *r->explain;
+    // The acceptance invariant: the printed per-pruner shares sum exactly
+    // to cand_pruned, for every query.
+    EXPECT_EQ(e.pruned_threshold + e.pruned_floor, e.cand_pruned);
+    EXPECT_EQ(e.cand_pruned, r->stats.cand_pruned);
+    EXPECT_EQ(e.pruned_threshold, r->stats.cand_pruned_threshold);
+    EXPECT_EQ(e.pruned_floor, r->stats.cand_pruned_floor);
+    EXPECT_EQ(e.pruned_qb_dominance, r->stats.qb_dominance_pruned);
+    EXPECT_EQ(e.simd_floor_skips, r->stats.cand_simd_skipped);
+    // One backend entry per sequence position, and the expansions that ran
+    // are attributed somewhere.
+    ASSERT_EQ(e.positions.size(), q.sequence.size());
+    int64_t attributed = 0;
+    for (const ExplainPositionBackends& p : e.positions) {
+      attributed += p.cache_replays + p.settle_log_replays + p.bucket_runs +
+                    p.resume_runs + p.fresh_searches;
+    }
+    EXPECT_GT(attributed, 0);
+  }
+}
+
+TEST(ExplainTest, JsonRoundTripsThroughMiniJson) {
+  const testing::TinyDataset tiny = testing::MakeTinyDataset(7);
+  QueryOptions opts;
+  opts.explain = true;
+  BssrEngine engine(tiny.graph, tiny.forest);
+  auto r = engine.Run(TinyQuery(tiny), opts);
+  ASSERT_TRUE(r.ok());
+  ASSERT_NE(r->explain, nullptr);
+
+  const std::string json = r->explain->ToJson();
+  auto parsed = ParseJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n" << json;
+  ASSERT_TRUE(parsed->is_object());
+  EXPECT_EQ(parsed->StringOr("oracle", ""), "none");
+  const JsonValue* pruning = parsed->Find("pruning");
+  ASSERT_NE(pruning, nullptr);
+  const JsonValue* cand = pruning->Find("cand_pruned");
+  ASSERT_NE(cand, nullptr);
+  EXPECT_EQ(static_cast<int64_t>(cand->number), r->stats.cand_pruned);
+  const JsonValue* th = pruning->Find("threshold");
+  const JsonValue* fl = pruning->Find("prune_floor");
+  ASSERT_NE(th, nullptr);
+  ASSERT_NE(fl, nullptr);
+  EXPECT_EQ(static_cast<int64_t>(th->number + fl->number),
+            r->stats.cand_pruned);
+  const JsonValue* caches = parsed->Find("caches");
+  ASSERT_NE(caches, nullptr);
+  EXPECT_NE(caches->Find("fwd_search"), nullptr);
+  EXPECT_NE(caches->Find("dest_tail"), nullptr);
+  EXPECT_NE(caches->Find("result_cache"), nullptr);
+  EXPECT_NE(caches->Find("resume_slots"), nullptr);
+  const JsonValue* positions = parsed->Find("positions");
+  ASSERT_NE(positions, nullptr);
+  ASSERT_TRUE(positions->is_array());
+  EXPECT_EQ(positions->array.size(), r->explain->positions.size());
+  const JsonValue* batch = parsed->Find("batch");
+  ASSERT_NE(batch, nullptr);
+  EXPECT_EQ(batch->StringOr("role", ""), "unbatched");
+}
+
+TEST(ExplainTest, TreeStringShowsPlanCachesAndPruningShares) {
+  const testing::TinyDataset tiny = testing::MakeTinyDataset(7);
+  QueryOptions opts;
+  opts.explain = true;
+  BssrEngine engine(tiny.graph, tiny.forest);
+  auto r = engine.Run(TinyQuery(tiny), opts);
+  ASSERT_TRUE(r.ok());
+  ASSERT_NE(r->explain, nullptr);
+  const std::string tree = r->explain->ToTreeString();
+  EXPECT_NE(tree.find("plan"), std::string::npos);
+  EXPECT_NE(tree.find("caches"), std::string::npos);
+  EXPECT_NE(tree.find("pruning"), std::string::npos);
+  EXPECT_NE(tree.find("cand_pruned="), std::string::npos);
+  EXPECT_NE(tree.find("unbatched"), std::string::npos);
+}
+
+TEST(ExplainTest, RunGroupStampsLeaderRoleAndStaysBitIdentical) {
+  const testing::TinyDataset tiny =
+      testing::MakeTinyDataset(11, /*n=*/32, /*extra_edges=*/24,
+                               /*num_pois=*/16);
+  Dataset ds;
+  ds.name = "explain-group";
+  ds.graph = tiny.graph;
+  ds.forest = tiny.forest;
+  QueryGenParams qp;
+  qp.count = 4;
+  qp.sequence_size = 2;
+  qp.seed = 9;
+  const auto queries = GenerateQueries(ds, qp);
+
+  QueryOptions plain_opts;
+  QueryOptions explain_opts;
+  explain_opts.explain = true;
+
+  BssrEngine reference(ds.graph, ds.forest);
+  std::vector<BssrEngine::GroupQuery> plain_group;
+  for (const Query& q : queries) plain_group.push_back({&q, &plain_opts});
+  const auto expected = reference.RunGroup(plain_group);
+
+  BssrEngine engine(ds.graph, ds.forest);
+  std::vector<BssrEngine::GroupQuery> group;
+  for (const Query& q : queries) group.push_back({&q, &explain_opts});
+  const auto results = engine.RunGroup(group);
+
+  ASSERT_EQ(results.size(), expected.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].ok());
+    ASSERT_TRUE(expected[i].ok());
+    ASSERT_EQ(results[i]->routes.size(), expected[i]->routes.size());
+    for (size_t j = 0; j < results[i]->routes.size(); ++j) {
+      EXPECT_EQ(results[i]->routes[j].pois, expected[i]->routes[j].pois);
+    }
+    ASSERT_NE(results[i]->explain, nullptr);
+    EXPECT_EQ(results[i]->explain->role, "leader");
+    EXPECT_EQ(results[i]->explain->group_size,
+              static_cast<int64_t>(queries.size()));
+  }
+}
+
+// -------------------------------------------------------------- exemplars --
+
+TEST(ExemplarTest, LatencyBucketCarriesLastExemplar) {
+  ServiceMetrics m;
+  m.RecordCompleted(/*latency_ms=*/1.5, 10, 20, 1, /*exemplar_id=*/7);
+  const std::string text = m.ToPrometheus();
+  // OpenMetrics exemplar syntax on the latency bucket the observation
+  // landed in, keyed by the service query id.
+  EXPECT_NE(text.find(" # {trace_id=\"q7\"} 1.5\n"), std::string::npos)
+      << text;
+  // The queue-wait histogram never carries exemplars.
+  const size_t queue_wait = text.find("skysr_queue_wait_ms_bucket");
+  ASSERT_NE(queue_wait, std::string::npos);
+  EXPECT_EQ(text.find("trace_id", queue_wait), std::string::npos);
+}
+
+TEST(ExemplarTest, NoExemplarKeepsPlainExpositionBytes) {
+  ServiceMetrics with_id;
+  with_id.RecordCompleted(2.0, 0, 0, 1);  // default exemplar_id = 0
+  const std::string text = with_id.ToPrometheus();
+  EXPECT_EQ(text.find("trace_id"), std::string::npos);
+}
+
+TEST(ExemplarTest, LastWriterWinsPerBucket) {
+  ServiceMetrics m;
+  m.RecordCompleted(1.5, 0, 0, 1, /*exemplar_id=*/3);
+  m.RecordCompleted(1.5, 0, 0, 1, /*exemplar_id=*/9);
+  const std::string text = m.ToPrometheus();
+  EXPECT_NE(text.find("trace_id=\"q9\""), std::string::npos);
+  EXPECT_EQ(text.find("trace_id=\"q3\""), std::string::npos);
+}
+
+// ------------------------------------------------------- batched tracing --
+
+TEST(BatchedTraceTest, CoalescedFollowersGetFlowLinkedEvents) {
+  const testing::TinyDataset tiny = testing::MakeTinyDataset(7);
+  Query dup = TinyQuery(tiny);
+  Query other = TinyQuery(tiny);
+  other.start = 1;  // different canonical source -> its own group
+
+  QueryOptions opts;
+  BoundedQueue<ServingTask> queue(16);
+  ServiceMetrics metrics;
+  BatchScheduler scheduler(&queue, /*max_batch=*/8, /*batch_window_us=*/0,
+                           &metrics);
+  QueryTrace trace(256);
+  trace.set_enabled(true);
+
+  std::vector<std::future<Result<QueryResult>>> follower_futures;
+  const auto push = [&](const Query& q) {
+    ServingTask task;
+    task.query = q;
+    task.options = opts;
+    follower_futures.push_back(task.promise.get_future());
+    ASSERT_TRUE(queue.Push(std::move(task)));
+  };
+  push(dup);
+  push(dup);
+  push(dup);
+  push(other);
+
+  // One drain forms the groups: 2 identical followers coalesce onto the
+  // first flight, leaving two single-task groups (distinct sources).
+  BatchScheduler::Group g1;
+  ASSERT_TRUE(scheduler.NextGroup(&g1, &trace));
+  BatchScheduler::Group g2;
+  ASSERT_TRUE(scheduler.NextGroup(&g2, &trace));
+  EXPECT_EQ(g1.tasks.size() + g2.tasks.size(), 2u);
+  EXPECT_EQ(g1.batch_id, g2.batch_id);
+  EXPECT_GE(g1.batch_id, 0);
+  EXPECT_EQ(metrics.Snapshot().coalesced_queries, 2);
+
+  // The drain leader recorded the drain span plus one flow-start
+  // queue-wait per coalesced follower.
+  int batch_drains = 0, queue_waits = 0, fanouts = 0;
+  std::vector<uint64_t> start_ids, finish_ids;
+  const auto recount = [&] {
+    batch_drains = queue_waits = fanouts = 0;
+    start_ids.clear();
+    finish_ids.clear();
+    trace.ForEachEvent([&](const TraceEvent& e) {
+      if (e.phase == TracePhase::kBatchDrain) ++batch_drains;
+      if (e.phase == TracePhase::kQueueWait) {
+        ++queue_waits;
+        EXPECT_EQ(e.flow, TraceEvent::kFlowStart);
+        EXPECT_NE(e.flow_id, 0u);
+        start_ids.push_back(e.flow_id);
+      }
+      if (e.phase == TracePhase::kCoalesceFanout) {
+        ++fanouts;
+        EXPECT_EQ(e.flow, TraceEvent::kFlowFinish);
+        finish_ids.push_back(e.flow_id);
+      }
+    });
+  };
+  recount();
+  EXPECT_EQ(batch_drains, 1);
+  EXPECT_EQ(queue_waits, 2);
+  EXPECT_EQ(fanouts, 0);
+
+  // Completing the duplicated flight fans out to both followers with
+  // flow-finish events under the formation-time ids.
+  const std::string dup_key = CanonicalQueryKey(dup, opts);
+  ASSERT_FALSE(dup_key.empty());
+  QueryResult answer;
+  answer.explain = std::make_shared<QueryExplain>();
+  answer.explain->role = "leader";
+  scheduler.CompleteFlight(dup_key, Result<QueryResult>(std::move(answer)),
+                           &trace);
+  const std::string other_key = CanonicalQueryKey(other, opts);
+  scheduler.CompleteFlight(other_key, Result<QueryResult>(QueryResult()),
+                           &trace);
+  recount();
+  EXPECT_EQ(fanouts, 2);
+  ASSERT_EQ(start_ids.size(), finish_ids.size());
+  EXPECT_EQ(start_ids, finish_ids);
+
+  // Followers received deep-copied explains re-marked as coalesced.
+  int followers_answered = 0;
+  for (auto& f : follower_futures) {
+    if (f.wait_for(std::chrono::seconds(0)) != std::future_status::ready) {
+      continue;
+    }
+    Result<QueryResult> r = f.get();
+    ASSERT_TRUE(r.ok());
+    if (r->explain != nullptr) {
+      EXPECT_EQ(r->explain->role, "coalesced");
+      ++followers_answered;
+    }
+  }
+  EXPECT_EQ(followers_answered, 2);
+
+  // The Chrome export draws the links: one "s" and one "f" flow event per
+  // coalesced follower.
+  const std::string json = TraceToChromeJson(trace, "worker-0");
+  auto parsed = ParseJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  int flow_starts = 0, flow_finishes = 0;
+  for (const JsonValue& e : parsed->Find("traceEvents")->array) {
+    const std::string ph(e.StringOr("ph", ""));
+    if (ph == "s") ++flow_starts;
+    if (ph == "f") ++flow_finishes;
+  }
+  EXPECT_EQ(flow_starts, 2);
+  EXPECT_EQ(flow_finishes, 2);
+
+  queue.Close();
+  BatchScheduler::Group rest;
+  while (scheduler.NextGroup(&rest)) {
+    for (size_t i = 0; i < rest.tasks.size(); ++i) {
+      scheduler.CompleteFlight(rest.keys[i], Result<QueryResult>(QueryResult()));
+      rest.tasks[i].promise.set_value(Result<QueryResult>(QueryResult()));
+    }
+  }
+}
+
+// Every submitted query must be visible in the batched service's metrics
+// and results: completed + coalesced == submitted, and every result that
+// executed carries batch-context attribution.
+TEST(BatchedTraceTest, BatchedServiceAccountsForEverySubmission) {
+  const testing::TinyDataset tiny =
+      testing::MakeTinyDataset(11, /*n=*/32, /*extra_edges=*/24,
+                               /*num_pois=*/16);
+  Dataset ds;
+  ds.name = "batched-explain";
+  ds.graph = tiny.graph;
+  ds.forest = tiny.forest;
+  QueryGenParams qp;
+  qp.count = 12;
+  qp.sequence_size = 2;
+  qp.seed = 3;
+  auto queries = GenerateQueries(ds, qp);
+  // Duplicate sources so groups actually form.
+  for (size_t i = 0; i < queries.size(); ++i) {
+    queries[i].start = queries[i % 3].start;
+  }
+
+  ServiceConfig cfg;
+  cfg.num_threads = 2;
+  cfg.max_batch = 4;
+  cfg.enable_tracing = true;
+  cfg.cache_capacity = 0;  // keep every execution on the engine path
+  cfg.default_options.explain = true;
+  QueryService service(ds.graph, ds.forest, cfg);
+  const auto results = service.RunBatch(queries);
+  for (const auto& r : results) {
+    ASSERT_TRUE(r.ok());
+    ASSERT_NE(r->explain, nullptr);
+    EXPECT_GE(r->explain->batch_id, 0);
+    EXPECT_TRUE(r->explain->role == "leader" ||
+                r->explain->role == "coalesced")
+        << r->explain->role;
+  }
+  const MetricsSnapshot m = service.Metrics();
+  EXPECT_EQ(m.completed + m.coalesced_queries,
+            static_cast<int64_t>(queries.size()));
+  service.Shutdown();
+  const std::string traces = service.WorkerTracesToJson();
+  EXPECT_NE(traces.find("\"group_execute\""), std::string::npos);
+  EXPECT_NE(traces.find("\"batch_drain\""), std::string::npos);
+}
+
+TEST(ServiceExplainTest, ResultCacheHitSynthesizesAttribution) {
+  const testing::TinyDataset tiny = testing::MakeTinyDataset(7);
+  ServiceConfig cfg;
+  cfg.num_threads = 1;
+  cfg.cache_capacity = 16;
+  cfg.default_options.explain = true;
+  QueryService service(tiny.graph, tiny.forest, cfg);
+
+  const Query q = TinyQuery(tiny);
+  auto first = service.Submit(q).get();
+  ASSERT_TRUE(first.ok());
+  ASSERT_NE(first->explain, nullptr);
+  EXPECT_EQ(first->explain->result_cache.misses, 1);
+  EXPECT_EQ(first->explain->result_cache.hits, 0);
+
+  auto second = service.Submit(q).get();
+  ASSERT_TRUE(second.ok());
+  ASSERT_NE(second->explain, nullptr);
+  EXPECT_EQ(second->explain->result_cache.hits, 1);
+  // The cached copy was stripped: the hit's attribution is synthesized,
+  // not the first execution's record replayed.
+  EXPECT_EQ(second->explain->result_cache.misses, 0);
+  EXPECT_EQ(second->explain->positions.size(), 0u);
+}
+
+// ---------------------------------------------------------- endpoint + UI --
+
+std::string HttpGet(int port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const std::string req = "GET " + path + " HTTP/1.0\r\n\r\n";
+  EXPECT_EQ(::send(fd, req.data(), req.size(), 0),
+            static_cast<ssize_t>(req.size()));
+  std::string response;
+  char buf[512];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(MetricsEndpointRoutingTest, RoutesKnownPathsAnd404sUnknown) {
+  MetricsEndpoint ep(0, [] { return std::string("skysr_up 1\n"); });
+  ep.AddRoute("/healthz", "text/plain", [] { return std::string("ok\n"); });
+  ep.AddRoute("/debug", "text/html",
+              [] { return std::string("<html>debug</html>"); });
+  ASSERT_TRUE(ep.Start().ok());
+
+  const std::string metrics = HttpGet(ep.port(), "/metrics");
+  EXPECT_NE(metrics.find("200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("skysr_up 1\n"), std::string::npos);
+
+  // The legacy root route still answers with the exposition.
+  EXPECT_NE(HttpGet(ep.port(), "/").find("skysr_up 1\n"), std::string::npos);
+
+  const std::string health = HttpGet(ep.port(), "/healthz");
+  EXPECT_NE(health.find("200 OK"), std::string::npos);
+  EXPECT_NE(health.find("ok\n"), std::string::npos);
+
+  const std::string debug = HttpGet(ep.port(), "/debug?refresh=1");
+  EXPECT_NE(debug.find("200 OK"), std::string::npos);
+  EXPECT_NE(debug.find("text/html"), std::string::npos);
+  EXPECT_NE(debug.find("<html>debug</html>"), std::string::npos);
+
+  const std::string missing = HttpGet(ep.port(), "/nope");
+  EXPECT_NE(missing.find("404 Not Found"), std::string::npos);
+  EXPECT_NE(missing.find("Content-Length:"), std::string::npos);
+  EXPECT_NE(missing.find("404 not found: /nope\n"), std::string::npos);
+  ep.Stop();
+}
+
+TEST(DebugPageTest, HistoryComputesIntervalQpsAndPageRenders) {
+  MetricsHistory history(8);
+  MetricsSnapshot s;
+  s.completed = 100;
+  s.uptime_seconds = 10;
+  s.qps = 10;
+  s.latency_p50_ms = 1.0;
+  s.latency_p99_ms = 5.0;
+  history.Sample(s);
+  s.completed = 160;
+  s.uptime_seconds = 12;
+  history.Sample(s);
+
+  const auto pts = history.Points();
+  ASSERT_EQ(pts.size(), 2u);
+  EXPECT_DOUBLE_EQ(pts[0].qps, 10.0);   // first sample: lifetime average
+  EXPECT_DOUBLE_EQ(pts[1].qps, 30.0);   // 60 completions over 2 seconds
+
+  SlowQueryRecord slow;
+  slow.latency_ms = 12.5;
+  slow.query_id = 42;
+  slow.explain = std::make_shared<QueryExplain>();
+  s.slow_queries.push_back(slow);
+  s.batches = 3;
+  s.batched_queries = 9;
+  s.batch_mean_size = 3;
+  s.batch_size_bucket_counts[1] = 3;
+
+  const std::string html = DebugPageHtml(s, history, /*refresh_seconds=*/0);
+  EXPECT_EQ(html.find("http-equiv"), std::string::npos);  // refresh disabled
+  EXPECT_NE(html.find("skysr service debug"), std::string::npos);
+  EXPECT_NE(html.find("<svg"), std::string::npos);
+  EXPECT_NE(html.find("q42"), std::string::npos);
+  EXPECT_NE(html.find("cand_pruned="), std::string::npos);  // inline explain
+  EXPECT_NE(DebugPageHtml(s, history, 2).find("http-equiv=\"refresh\""),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace skysr

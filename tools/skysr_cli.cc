@@ -38,6 +38,7 @@
 //             [--oracle flat|ch|alt] [--index FILE]
 //             [--retriever auto|settle|bucket|resume] [--buckets FILE|build]
 //             [--trace-out FILE] [--trace-capacity N]
+//             [--explain] [--explain-out FILE]
 //       Runs one SkySR query (category names as in taxonomy.txt) and prints
 //       the skyline plus search statistics. --oracle builds (or --index
 //       loads) a distance oracle backing NNinit and the lower bounds;
@@ -45,7 +46,10 @@
 //       bucket tables and --retriever picks the expansion backend.
 //       --trace-out records per-phase spans and writes Chrome trace-event
 //       JSON (loadable in chrome://tracing or https://ui.perfetto.dev) plus
-//       a per-phase breakdown to stdout.
+//       a per-phase breakdown to stdout. --explain prints the query's
+//       decision-attribution tree (retriever choice per position, cache
+//       layers, per-pruner candidate shares); --explain-out (implies
+//       --explain) writes the same record as JSON.
 //
 //   skysr_cli workload --data DIR --size K --count N [--seed S] [--out FILE]
 //       Generates N random queries of size K and reports aggregate timing;
@@ -80,9 +84,15 @@
 //       Observability: --stats-interval prints a one-line progress summary
 //       every SEC seconds while the replay runs; --metrics-out writes the
 //       final metrics in Prometheus text format; --metrics-port serves the
-//       same exposition live on 127.0.0.1:P for the run's duration;
+//       exposition live on 127.0.0.1:P/metrics for the run's duration,
+//       along with a self-refreshing HTML dashboard on /debug (QPS/latency
+//       sparklines, batch-size histogram, slow queries with inline
+//       explains) and liveness probes on /healthz and /readyz;
 //       --trace enables per-worker phase tracing and --trace-out (implies
 //       --trace) writes the merged worker timelines as Chrome trace JSON.
+//       --explain runs every query with decision attribution enabled;
+//       --explain-out FILE (implies --explain) writes the slowest queries'
+//       explain records as a JSON array after the replay.
 
 #include <atomic>
 #include <chrono>
@@ -101,7 +111,9 @@
 #include <thread>
 #include <vector>
 
+#include "obs/explain.h"
 #include "obs/trace_export.h"
+#include "service/debug_page.h"
 #include "service/metrics_endpoint.h"
 #include "skysr.h"
 #include "util/string_util.h"
@@ -598,6 +610,9 @@ int CmdQuery(const std::map<std::string, std::string>& flags) {
   if (flags.count("budget")) {
     opts.time_budget_seconds = std::atof(flags.at("budget").c_str());
   }
+  if (flags.count("explain") || flags.count("explain-out")) {
+    opts.explain = true;
+  }
 
   if (!ApplyRetrieverFlag(flags, &opts)) return 2;
 
@@ -632,6 +647,17 @@ int CmdQuery(const std::map<std::string, std::string>& flags) {
     std::printf("%s\n", RouteToString(ds->graph, r).c_str());
   }
   std::printf("\n%s\n", result->stats.ToString().c_str());
+  if (result->explain != nullptr) {
+    std::printf("\n%s", result->explain->ToTreeString().c_str());
+    if (flags.count("explain-out")) {
+      if (!WriteTextFile(flags.at("explain-out"),
+                         result->explain->ToJson() + "\n")) {
+        return 1;
+      }
+      std::printf("\nwrote explain JSON to %s\n",
+                  flags.at("explain-out").c_str());
+    }
+  }
   if (trace != nullptr) {
     const std::string& path = flags.at("trace-out");
     if (!WriteTextFile(path, TraceToChromeJson(*trace))) return 1;
@@ -820,6 +846,9 @@ int CmdBatch(const std::map<std::string, std::string>& flags) {
     cfg.batch_window_us =
         std::max<int64_t>(0, std::atoll(flags.at("batch-window").c_str()));
   }
+  if (flags.count("explain") || flags.count("explain-out")) {
+    cfg.default_options.explain = true;
+  }
 
   if (!ApplyRetrieverFlag(flags, &cfg.default_options)) return 2;
 
@@ -838,16 +867,32 @@ int CmdBatch(const std::map<std::string, std::string>& flags) {
 
   QueryService service(ds->graph, ds->forest, cfg);
 
+  MetricsHistory debug_history;
   std::unique_ptr<MetricsEndpoint> endpoint;
   if (flags.count("metrics-port")) {
     endpoint = std::make_unique<MetricsEndpoint>(
         std::atoi(flags.at("metrics-port").c_str()),
         [&service] { return service.MetricsToPrometheus(); });
+    endpoint->AddRoute("/debug", "text/html",
+                       [&service, &debug_history] {
+                         MetricsSnapshot s = service.Metrics();
+                         debug_history.Sample(s);
+                         return DebugPageHtml(s, debug_history);
+                       });
+    endpoint->AddRoute("/healthz", "text/plain", [] {
+      return std::string("ok\n");
+    });
+    // The service accepts work for the CLI's whole run, so ready == alive
+    // here; a long-lived server would gate this on warmup instead.
+    endpoint->AddRoute("/readyz", "text/plain", [] {
+      return std::string("ok\n");
+    });
     if (Status st = endpoint->Start(); !st.ok()) {
       std::fprintf(stderr, "%s\n", st.ToString().c_str());
       return 1;
     }
-    std::printf("serving /metrics on 127.0.0.1:%d\n", endpoint->port());
+    std::printf("serving /metrics, /debug, /healthz, /readyz on 127.0.0.1:%d\n",
+                endpoint->port());
   }
   std::unique_ptr<StatsTicker> ticker;
   if (flags.count("stats-interval")) {
@@ -902,6 +947,28 @@ int CmdBatch(const std::map<std::string, std::string>& flags) {
   if (flags.count("metrics-out") &&
       !WriteTextFile(flags.at("metrics-out"), service.MetricsToPrometheus())) {
     return 1;
+  }
+  if (flags.count("explain-out")) {
+    // The slow-query reservoir is where per-query explains survive the
+    // replay; export them as one JSON array (slowest first).
+    std::string json = "[";
+    bool first = true;
+    for (const SlowQueryRecord& rec : m.slow_queries) {
+      if (rec.explain == nullptr) continue;
+      if (!first) json += ",";
+      first = false;
+      char head[128];
+      std::snprintf(head, sizeof(head),
+                    "{\"query_id\":%lld,\"latency_ms\":%.3f,\"explain\":",
+                    static_cast<long long>(rec.query_id), rec.latency_ms);
+      json += head;
+      json += rec.explain->ToJson();
+      json += "}";
+    }
+    json += "]\n";
+    if (!WriteTextFile(flags.at("explain-out"), json)) return 1;
+    std::printf("wrote slow-query explain JSON to %s\n",
+                flags.at("explain-out").c_str());
   }
   if (flags.count("trace-out")) {
     // Workers are idle between batches, so the single-writer traces are
